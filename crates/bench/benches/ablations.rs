@@ -1,0 +1,194 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs one contrasting pair/family of configurations on a
+//! workload chosen to expose the mechanism, prints the metric comparison
+//! (the interesting output), and times the runs under Criterion so
+//! regressions in simulator cost also surface.
+//!
+//! Ablations:
+//! 1. **NC allocation policy** — victim vs relaxed inclusion vs full
+//!    inclusion, at equal size (why the paper breaks inclusion).
+//! 2. **MESIR clean-victim capture** — `vb` vs the same NC under plain
+//!    MESI (why the paper extends the bus protocol).
+//! 3. **Victim-NC indexing** — block vs page bits (the `vp` trade-off).
+//! 4. **Relocation counter placement** — directory (R-NUMA) vs victim
+//!    sets (`vxp`), counting relocations and stall.
+//! 5. **Threshold policy** — fixed 8/32/128 vs adaptive (thrashing
+//!    control).
+//! 6. **Dirty-shared `O` state** — MESIR vs MOESI-R (the paper's
+//!    "very little benefit" claim).
+//! 7. **vxp invalidation decrement** — the paper's optional counter
+//!    correction on late invalidations.
+//! 8. **Directory scalability** — `vxp` under a full-map vs a Dir-4-B
+//!    limited-pointer directory (the paper's claim that victim-set
+//!    counters, unlike R-NUMA's, survive non-full-map directories).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dsm_core::runner::run_trace;
+use dsm_core::{NcSpec, PcSize, Report, SystemSpec, ThresholdPolicy};
+use dsm_trace::{Scale, WorkloadKind};
+use dsm_types::{Geometry, MemRef, Topology};
+
+const SCALE: f64 = 0.1;
+
+struct Ablation {
+    name: &'static str,
+    kind: WorkloadKind,
+    /// Trace scale; relocation-threshold dynamics need denser traces.
+    scale: f64,
+    specs: Vec<SystemSpec>,
+}
+
+fn ablations() -> Vec<Ablation> {
+    let mut inclusion_full_sram = SystemSpec::ncd();
+    // Same 16-KB size and SRAM speed as `nc`/`vb`, but full inclusion:
+    // isolates the allocation/inclusion policy from size and technology.
+    inclusion_full_sram.nc = NcSpec::DramInclusion {
+        bytes: 16 * 1024,
+        ways: 4,
+    };
+    inclusion_full_sram.name = "full-incl".into();
+
+    vec![
+        Ablation {
+            name: "nc_allocation_policy",
+            kind: WorkloadKind::Radix,
+            scale: SCALE,
+            specs: vec![SystemSpec::vb(), SystemSpec::nc(), inclusion_full_sram],
+        },
+        Ablation {
+            name: "mesir_clean_capture",
+            kind: WorkloadKind::Barnes,
+            scale: SCALE,
+            specs: vec![SystemSpec::vb(), SystemSpec::vb().without_mesir_capture()],
+        },
+        Ablation {
+            name: "victim_indexing",
+            kind: WorkloadKind::Fmm,
+            scale: SCALE,
+            specs: vec![SystemSpec::vb(), SystemSpec::vp()],
+        },
+        Ablation {
+            name: "counter_placement",
+            kind: WorkloadKind::Barnes,
+            scale: SCALE,
+            specs: vec![
+                SystemSpec::vpp(PcSize::DataFraction(5)),
+                SystemSpec::vxp(PcSize::DataFraction(5), 32),
+            ],
+        },
+        Ablation {
+            name: "threshold_policy",
+            kind: WorkloadKind::Radix,
+            // Denser trace: threshold dynamics vanish under decimation.
+            scale: 0.4,
+            specs: [8u32, 32, 128]
+                .iter()
+                .map(|&t| {
+                    let mut s = SystemSpec::ncp(PcSize::DataFraction(9))
+                        .with_threshold(ThresholdPolicy::Fixed(t));
+                    s.name = format!("ncp9-t{t}");
+                    s
+                })
+                .chain(std::iter::once({
+                    let mut s = SystemSpec::ncp(PcSize::DataFraction(9));
+                    s.name = "ncp9-adapt".into();
+                    s
+                }))
+                .collect(),
+        },
+        Ablation {
+            name: "dirty_shared_o_state",
+            // Barnes' contended tree-top cells are written by every
+            // processor (remote for 7 of 8 clusters) and then read by
+            // in-cluster peers: exactly the remote M -> S downgrades whose
+            // write-backs the O state avoids.
+            kind: WorkloadKind::Barnes,
+            scale: SCALE,
+            specs: vec![SystemSpec::vb(), SystemSpec::vb().with_dirty_shared()],
+        },
+        Ablation {
+            name: "directory_scalability",
+            kind: WorkloadKind::Barnes,
+            scale: SCALE,
+            specs: vec![
+                SystemSpec::vxp(PcSize::DataFraction(5), 32),
+                SystemSpec::vxp(PcSize::DataFraction(5), 32).with_limited_directory(4),
+            ],
+        },
+        Ablation {
+            name: "vxp_invalidation_decrement",
+            kind: WorkloadKind::Barnes,
+            scale: SCALE,
+            specs: vec![
+                SystemSpec::vxp(PcSize::DataFraction(5), 32),
+                SystemSpec::vxp(PcSize::DataFraction(5), 32).with_invalidation_decrement(),
+            ],
+        },
+    ]
+}
+
+fn print_comparison(ab: &Ablation, reports: &[Report]) {
+    println!("[ablation: {} on {} @ scale {}]", ab.name, ab.kind, ab.scale);
+    println!(
+        "  {:<16} {:>9} {:>9} {:>12} {:>9} {:>8} {:>9} {:>9}",
+        "config", "read-m%", "write-m%", "stall", "traffic", "reloc", "wb", "absorbed"
+    );
+    for r in reports {
+        println!(
+            "  {:<16} {:>9.3} {:>9.3} {:>12} {:>9} {:>8} {:>9} {:>9}",
+            r.system,
+            r.read_miss_ratio * 100.0,
+            r.write_miss_ratio * 100.0,
+            r.remote_read_stall,
+            r.remote_traffic,
+            r.metrics.relocations,
+            r.metrics.remote_writebacks,
+            r.metrics.absorbed_downgrades
+        );
+    }
+    println!();
+}
+
+fn run_all(
+    specs: &[SystemSpec],
+    data_bytes: u64,
+    trace: &[MemRef],
+    topo: Topology,
+    geo: Geometry,
+) -> Vec<Report> {
+    specs
+        .iter()
+        .map(|s| run_trace(s, "ablation", data_bytes, trace, topo, geo).unwrap())
+        .collect()
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for ab in ablations() {
+        let w = ab.kind.paper_instance();
+        let trace = w.generate(&topo, Scale::new(ab.scale).unwrap());
+        let reports = run_all(&ab.specs, w.shared_bytes(), &trace, topo, geo);
+        print_comparison(&ab, &reports);
+        g.bench_function(ab.name, |b| {
+            b.iter(|| {
+                black_box(run_all(
+                    &ab.specs,
+                    w.shared_bytes(),
+                    &trace,
+                    topo,
+                    geo,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates Figure 4 of the paper. `--scale <f>` shortens traces.
+
+use dsm_bench::figures::{all_workloads, fig4};
+use dsm_bench::{parse_scale_arg, TraceSet};
+
+fn main() {
+    let scale = parse_scale_arg();
+    let mut ts = TraceSet::new(scale);
+    let table = fig4::run(&mut ts, &all_workloads());
+    println!("{}", table.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 6 of the paper (fixed vs adaptive relocation
+//! threshold), plus a supplementary run with a tighter (1/16) page cache
+//! where the synthetic traces actually thrash. `--scale <f>` shortens
+//! traces.
+
+use dsm_bench::figures::{all_workloads, fig6};
+use dsm_bench::{parse_scale_arg, TraceSet};
+
+fn main() {
+    let scale = parse_scale_arg();
+    let mut ts = TraceSet::new(scale);
+    println!("{}", fig6::run(&mut ts, &all_workloads()).render());
+    let mut ts = TraceSet::new(scale);
+    println!("{}", fig6::run_tight(&mut ts, &all_workloads()).render());
+}

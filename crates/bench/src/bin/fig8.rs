@@ -1,0 +1,11 @@
+//! Regenerates Figure 8 of the paper. `--scale <f>` shortens traces.
+
+use dsm_bench::figures::{all_workloads, fig8};
+use dsm_bench::{parse_scale_arg, TraceSet};
+
+fn main() {
+    let scale = parse_scale_arg();
+    let mut ts = TraceSet::new(scale);
+    let table = fig8::run(&mut ts, &all_workloads());
+    println!("{}", table.render());
+}

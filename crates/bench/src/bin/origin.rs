@@ -1,0 +1,12 @@
+//! Supplementary experiment: SGI-Origin-style page migration/replication
+//! vs network caches, including the paper's concluding hypothesis
+//! (`origin+vb`). `--scale <f>` shortens traces.
+
+use dsm_bench::figures::{all_workloads, origin};
+use dsm_bench::{parse_scale_arg, TraceSet};
+
+fn main() {
+    let scale = parse_scale_arg();
+    let mut ts = TraceSet::new(scale);
+    println!("{}", origin::run(&mut ts, &all_workloads()).render());
+}

@@ -1,0 +1,51 @@
+//! Runs every experiment of the paper — Tables 1-3 and Figures 3-11 —
+//! and prints each table, plus a Markdown digest suitable for
+//! EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p dsm-bench --release --bin reproduce [--scale <f>]
+//! [--markdown]`.
+
+use dsm_bench::figures::{
+    all_workloads, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9, origin, tables,
+};
+use dsm_bench::{parse_scale_arg, FigureTable, TraceSet};
+
+fn main() {
+    let scale = parse_scale_arg();
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    eprintln!("reproduce: scale factor {}", scale.factor());
+
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+
+    let kinds = all_workloads();
+    type Runner = fn(&mut TraceSet, &[dsm_trace::WorkloadKind]) -> FigureTable;
+    let figures: Vec<(&str, Runner)> = vec![
+        ("fig3", fig3::run as Runner),
+        ("fig4", fig4::run as Runner),
+        ("fig5", fig5::run as Runner),
+        ("fig6", fig6::run as Runner),
+        ("fig6-tight (supplementary)", fig6::run_tight as Runner),
+        ("fig7", fig7::run as Runner),
+        ("fig8", fig8::run as Runner),
+        ("fig9", fig9::run as Runner),
+        ("fig10", fig10::run as Runner),
+        ("fig11", fig11::run as Runner),
+        ("origin (supplementary)", origin::run as Runner),
+    ];
+
+    for (name, runner) in figures {
+        eprintln!("reproduce: running {name} ...");
+        let t0 = std::time::Instant::now();
+        // A fresh trace set per figure keeps peak memory to one trace.
+        let mut ts = TraceSet::new(scale);
+        let table = runner(&mut ts, &kinds);
+        eprintln!("reproduce: {name} done in {:.1}s", t0.elapsed().as_secs_f64());
+        if markdown {
+            println!("## {}\n\n{}", table.caption, table.render_markdown());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Tables 1-3 of the paper.
+
+use dsm_bench::figures::tables;
+
+fn main() {
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+}

@@ -1,0 +1,45 @@
+//! Figure 4: cluster miss ratios for the two ways of integrating a 16-KB
+//! NC — inclusion for dirty blocks (`nc`) versus a victim cache (`vb`).
+
+use dsm_core::SystemSpec;
+use dsm_trace::WorkloadKind;
+
+use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
+
+/// Runs Figure 4 over `kinds`.
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+    let specs = [SystemSpec::nc(), SystemSpec::vb()];
+    let grid = run_grid(ts, &specs, kinds);
+    miss_ratio_table(
+        "Figure 4: cluster miss ratio (%), inclusion NC (nc) vs victim NC (vb), 16 KB",
+        &grid,
+        vec!["nc".into(), "vb".into()],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_trace::Scale;
+
+    #[test]
+    fn victim_beats_or_matches_inclusion() {
+        let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
+        let t = run(&mut ts, &[WorkloadKind::Radix, WorkloadKind::Lu]);
+        for (name, v) in &t.rows {
+            assert!(
+                v[1] <= v[0] + 0.05,
+                "{name}: vb ({}) worse than nc ({})",
+                v[1],
+                v[0]
+            );
+        }
+        // Radix (write-capacity dominated) shows a clear victim-cache win.
+        let radix = &t.rows[0].1;
+        assert!(
+            radix[1] < radix[0],
+            "Radix: expected vb < nc, got {radix:?}"
+        );
+    }
+}

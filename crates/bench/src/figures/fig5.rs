@@ -1,0 +1,43 @@
+//! Figure 5: cluster miss ratios for the two victim-cache indexing
+//! schemes — block-address (`vb`) versus page-address (`vp`) bits.
+
+use dsm_core::SystemSpec;
+use dsm_trace::WorkloadKind;
+
+use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
+
+/// Runs Figure 5 over `kinds`.
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+    let specs = [SystemSpec::vb(), SystemSpec::vp()];
+    let grid = run_grid(ts, &specs, kinds);
+    miss_ratio_table(
+        "Figure 5: cluster miss ratio (%), block-indexed (vb) vs page-indexed (vp) victim NC",
+        &grid,
+        vec!["vb".into(), "vp".into()],
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_trace::Scale;
+
+    #[test]
+    fn page_indexing_never_catastrophic() {
+        // The paper: vp can degrade high-spatial-locality apps but "can
+        // never lead to results worse than when no NC is present".
+        let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
+        let base = {
+            let grid = crate::harness::run_grid(
+                &mut ts,
+                &[dsm_core::SystemSpec::base()],
+                &[WorkloadKind::Ocean],
+            );
+            (grid[0].1[0].read_miss_ratio + grid[0].1[0].write_miss_ratio) * 100.0
+        };
+        let t = run(&mut ts, &[WorkloadKind::Ocean]);
+        let vp = t.rows[0].1[1];
+        assert!(vp <= base + 1e-9, "vp ({vp}) worse than no NC ({base})");
+    }
+}

@@ -1,0 +1,283 @@
+//! Shared experiment machinery: trace caching, fair comparison, and table
+//! rendering.
+
+use std::collections::HashMap;
+
+use dsm_core::runner::run_trace;
+use dsm_core::{Report, SystemSpec};
+use dsm_trace::{Scale, WorkloadKind};
+use dsm_types::{Geometry, MemRef, Topology};
+
+/// Parses `--scale <f>` from argv, falling back to the `DSM_SCALE`
+/// environment variable and then to 1.0.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed input.
+#[must_use]
+pub fn parse_scale_arg() -> Scale {
+    let mut args = std::env::args().skip(1);
+    let mut value: Option<f64> = None;
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--scale requires a value"));
+            value = Some(v.parse().unwrap_or_else(|_| panic!("bad scale '{v}'")));
+        }
+    }
+    if value.is_none() {
+        if let Ok(v) = std::env::var("DSM_SCALE") {
+            value = Some(v.parse().unwrap_or_else(|_| panic!("bad DSM_SCALE '{v}'")));
+        }
+    }
+    Scale::new(value.unwrap_or(1.0)).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A cache of generated traces, one per workload, shared by every system
+/// configuration of a figure (the paper's same-trace methodology).
+pub struct TraceSet {
+    topo: Topology,
+    geo: Geometry,
+    scale: Scale,
+    traces: HashMap<WorkloadKind, (u64, Vec<MemRef>)>,
+}
+
+impl TraceSet {
+    /// Creates an empty set generating paper-parameter traces at `scale`.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        TraceSet {
+            topo: Topology::paper_default(),
+            geo: Geometry::paper_default(),
+            scale,
+            traces: HashMap::new(),
+        }
+    }
+
+    /// The machine topology in use.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn ensure(&mut self, kind: WorkloadKind) {
+        if !self.traces.contains_key(&kind) {
+            let w = kind.paper_instance();
+            let trace = w.generate(&self.topo, self.scale);
+            self.traces.insert(kind, (w.shared_bytes(), trace));
+        }
+    }
+
+    /// Runs `spec` on `kind`'s cached trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system spec is invalid for this workload.
+    pub fn run(&mut self, spec: &SystemSpec, kind: WorkloadKind) -> Report {
+        self.ensure(kind);
+        let (data_bytes, trace) = &self.traces[&kind];
+        run_trace(
+            spec,
+            &kind.display_name().to_lowercase(),
+            *data_bytes,
+            trace,
+            self.topo,
+            self.geo,
+        )
+        .unwrap_or_else(|e| panic!("{}/{kind}: {e}", spec.name))
+    }
+
+    /// Drops `kind`'s cached trace (frees memory between figures).
+    pub fn evict(&mut self, kind: WorkloadKind) {
+        self.traces.remove(&kind);
+    }
+}
+
+/// A printable figure: a caption, column headers, and one row per
+/// benchmark.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    /// Figure caption.
+    pub caption: String,
+    /// Column headers (first column is the benchmark).
+    pub columns: Vec<String>,
+    /// Rows: benchmark name + one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Printf precision for values.
+    pub precision: usize,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(caption: impl Into<String>, columns: Vec<String>) -> Self {
+        FigureTable {
+            caption: caption.into(),
+            columns,
+            rows: Vec::new(),
+            precision: 3,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push((name.into(), values));
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.caption));
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(["benchmark".len()])
+            .max()
+            .unwrap_or(9);
+        let col_w = self
+            .columns
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(8)
+            .max(self.precision + 4);
+        out.push_str(&format!("{:name_w$}", "benchmark"));
+        for c in &self.columns {
+            out.push_str(&format!("  {c:>col_w$}"));
+        }
+        out.push('\n');
+        for (name, values) in &self.rows {
+            out.push_str(&format!("{name:name_w$}"));
+            for v in values {
+                out.push_str(&format!("  {v:>col_w$.prec$}", prec = self.precision));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a Markdown table (for EXPERIMENTS.md).
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| benchmark | {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|---|{}\n", "---|".repeat(self.columns.len())));
+        for (name, values) in &self.rows {
+            let vals: Vec<String> = values
+                .iter()
+                .map(|v| format!("{v:.prec$}", prec = self.precision))
+                .collect();
+            out.push_str(&format!("| {name} | {} |\n", vals.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Runs each spec on each workload (sharing traces) and returns
+/// `(workload, reports-in-spec-order)` rows.
+pub fn run_grid(
+    ts: &mut TraceSet,
+    specs: &[SystemSpec],
+    kinds: &[WorkloadKind],
+) -> Vec<(WorkloadKind, Vec<Report>)> {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        let reports = specs.iter().map(|s| ts.run(s, kind)).collect();
+        ts.evict(kind);
+        rows.push((kind, reports));
+    }
+    rows
+}
+
+/// Builds a table of total cluster miss ratios (%) — the Figures 3-5/8
+/// format. Each column is one spec; relocation overhead (x225/30) is
+/// folded in when `include_relocation` is set (Figures 6-8 bar tops).
+pub fn miss_ratio_table(
+    caption: &str,
+    grid: &[(WorkloadKind, Vec<Report>)],
+    columns: Vec<String>,
+    include_relocation: bool,
+) -> FigureTable {
+    let mut t = FigureTable::new(caption, columns);
+    for (kind, reports) in grid {
+        let values = reports
+            .iter()
+            .map(|r| {
+                let mut v = (r.read_miss_ratio + r.write_miss_ratio) * 100.0;
+                if include_relocation {
+                    v += r.relocation_overhead * 100.0;
+                }
+                v
+            })
+            .collect();
+        t.push_row(kind.display_name(), values);
+    }
+    t
+}
+
+/// Builds a table of values normalized to the *first* spec's value per
+/// workload (the Figures 9-11 format, normalized to the infinite DRAM
+/// NC), using `metric` to extract the value from each report.
+pub fn normalized_table(
+    caption: &str,
+    grid: &[(WorkloadKind, Vec<Report>)],
+    columns: Vec<String>,
+    metric: impl Fn(&Report) -> f64,
+) -> FigureTable {
+    let mut t = FigureTable::new(caption, columns);
+    for (kind, reports) in grid {
+        let baseline = metric(&reports[0]).max(1e-12);
+        let values = reports[1..]
+            .iter()
+            .map(|r| metric(r) / baseline)
+            .collect();
+        t.push_row(kind.display_name(), values);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_table_renders() {
+        let mut t = FigureTable::new("Test", vec!["a".into(), "b".into()]);
+        t.push_row("FFT", vec![1.0, 2.5]);
+        let text = t.render();
+        assert!(text.contains("# Test"));
+        assert!(text.contains("FFT"));
+        assert!(text.contains("2.500"));
+        let md = t.render_markdown();
+        assert!(md.starts_with("| benchmark | a | b |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = FigureTable::new("Test", vec!["a".into()]);
+        t.push_row("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn trace_set_shares_traces() {
+        let mut ts = TraceSet::new(Scale::new(0.5).unwrap());
+        // Use the smallest workload for speed.
+        let r1 = ts.run(&SystemSpec::base(), WorkloadKind::Lu);
+        let r2 = ts.run(&SystemSpec::vb(), WorkloadKind::Lu);
+        assert_eq!(r1.refs, r2.refs);
+        ts.evict(WorkloadKind::Lu);
+    }
+}

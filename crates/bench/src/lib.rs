@@ -1,0 +1,24 @@
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper.
+//!
+//! Each figure has a module under [`figures`] exposing a `run` function
+//! returning printable rows, and a binary (`cargo run -p dsm-bench
+//! --release --bin fig3` etc.) that prints them. `--bin reproduce` runs
+//! everything and emits the data behind `EXPERIMENTS.md`.
+//!
+//! Traces are generated **once per workload** and shared across all system
+//! configurations of a figure — the paper's methodology (every system sees
+//! the same reference stream).
+//!
+//! Trace lengths are controlled by a scale factor in `(0, 1]` (see
+//! `dsm_trace::Scale`), settable with `--scale <f>` on every binary or the
+//! `DSM_SCALE` environment variable; the default is 1.0 (full-length
+//! traces, minutes of runtime in release mode).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{parse_scale_arg, FigureTable, TraceSet};

@@ -1,0 +1,39 @@
+//! Set-associative cache substrate for the clustered-DSM simulator.
+//!
+//! This crate provides the building blocks every caching structure in the
+//! system is made of:
+//!
+//! * [`CacheShape`] — size/associativity arithmetic (sets, ways, index bits);
+//! * [`SetAssoc`] — a generic set-associative tag array with true-LRU
+//!   replacement, used by processor caches, network caches and victim caches;
+//! * [`CacheState`] — the MESIR block states (`M`, `E`, `S`, `I` plus the
+//!   paper's `R` state: *mastership for a remote clean block*);
+//! * [`ProcCache`] — a processor cache model: a [`SetAssoc`] of
+//!   [`CacheState`] keyed by block address, with the operations the bus
+//!   protocol needs (probe, fill, downgrade, invalidate, victimize).
+//!
+//! # Example
+//!
+//! ```
+//! use dsm_cache::{CacheShape, ProcCache};
+//! use dsm_types::BlockAddr;
+//!
+//! // The paper's base processor cache: 16 KB, 2-way, 64-byte blocks.
+//! let shape = CacheShape::new(16 * 1024, 64, 2)?;
+//! let mut cache = ProcCache::new(shape);
+//! assert!(!cache.contains(BlockAddr(42)));
+//! # Ok::<(), dsm_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proc_cache;
+pub mod set_assoc;
+pub mod shape;
+pub mod state;
+
+pub use proc_cache::{Eviction, ProcCache};
+pub use set_assoc::SetAssoc;
+pub use shape::CacheShape;
+pub use state::CacheState;

@@ -1,0 +1,287 @@
+//! The processor cache model: a set-associative array of MESIR states.
+
+use dsm_types::BlockAddr;
+
+use crate::{CacheShape, CacheState, SetAssoc};
+
+/// A block evicted from a processor cache, together with the state it held.
+///
+/// The bus protocol turns evictions into write-backs (for `M`) or
+/// replacement transactions (for `R` under MESIR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The victimized block.
+    pub block: BlockAddr,
+    /// Its state at the time of eviction.
+    pub state: CacheState,
+}
+
+/// A write-back processor cache holding MESIR coherence states per block.
+///
+/// Data values are not modeled (the simulator is trace-driven and only
+/// coherence state matters for the paper's metrics); a frame is a
+/// `(tag, CacheState)` pair. Set indexing always uses block-address bits —
+/// only network caches use page indexing.
+///
+/// # Example
+///
+/// ```
+/// use dsm_cache::{CacheShape, CacheState, ProcCache};
+/// use dsm_types::BlockAddr;
+///
+/// let mut c = ProcCache::new(CacheShape::new(1024, 64, 2)?);
+/// let b = BlockAddr(7);
+/// assert!(c.fill(b, CacheState::Exclusive).is_none());
+/// assert_eq!(c.state_of(b), CacheState::Exclusive);
+/// c.set_state(b, CacheState::Modified);
+/// assert!(c.state_of(b).is_dirty());
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcCache {
+    frames: SetAssoc<CacheState>,
+}
+
+impl ProcCache {
+    /// Creates an empty cache of the given shape.
+    #[must_use]
+    pub fn new(shape: CacheShape) -> Self {
+        ProcCache {
+            frames: SetAssoc::new(shape),
+        }
+    }
+
+    /// The cache shape.
+    #[must_use]
+    pub fn shape(&self) -> &CacheShape {
+        self.frames.shape()
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        self.frames.shape().set_of_block(block)
+    }
+
+    /// The state of `block`, `Invalid` if not present. Does not touch LRU.
+    #[must_use]
+    pub fn state_of(&self, block: BlockAddr) -> CacheState {
+        self.frames
+            .peek(self.set_of(block), block.0)
+            .copied()
+            .unwrap_or(CacheState::Invalid)
+    }
+
+    /// Whether `block` is present in any valid state.
+    #[must_use]
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.state_of(block).is_valid()
+    }
+
+    /// Records a processor access hit on `block`: refreshes LRU and returns
+    /// the current state. Returns `Invalid` without LRU effect on a miss.
+    pub fn touch(&mut self, block: BlockAddr) -> CacheState {
+        let set = self.set_of(block);
+        self.frames
+            .get(set, block.0)
+            .copied()
+            .unwrap_or(CacheState::Invalid)
+    }
+
+    /// Changes the state of a resident block without an LRU refresh (used
+    /// for snoop-induced downgrades/upgrades).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not resident — callers must only adjust states
+    /// of blocks they have observed present.
+    pub fn set_state(&mut self, block: BlockAddr, state: CacheState) {
+        let set = self.set_of(block);
+        let slot = self
+            .frames
+            .peek_mut(set, block.0)
+            .unwrap_or_else(|| panic!("set_state on absent block {block}"));
+        *slot = state;
+    }
+
+    /// Allocates `block` in `state`, evicting the set's LRU occupant if
+    /// necessary. Returns the eviction, if any.
+    ///
+    /// If the block is already resident this just updates its state (no
+    /// eviction), which also covers upgrade fills.
+    pub fn fill(&mut self, block: BlockAddr, state: CacheState) -> Option<Eviction> {
+        let set = self.set_of(block);
+        self.frames
+            .insert(set, block.0, state)
+            .map(|(tag, old_state)| Eviction {
+                block: BlockAddr(tag),
+                state: old_state,
+            })
+    }
+
+    /// Invalidates `block`, returning the state it held (`Invalid` if it
+    /// was not resident).
+    pub fn invalidate(&mut self, block: BlockAddr) -> CacheState {
+        let set = self.set_of(block);
+        self.frames
+            .remove(set, block.0)
+            .unwrap_or(CacheState::Invalid)
+    }
+
+    /// The eviction that a [`ProcCache::fill`] of a block mapping to
+    /// `block`'s set would cause right now, or `None` if a free way exists.
+    #[must_use]
+    pub fn pending_victim(&self, block: BlockAddr) -> Option<Eviction> {
+        let set = self.set_of(block);
+        if self.frames.peek(set, block.0).is_some() {
+            return None; // upgrade fill, no eviction
+        }
+        self.frames.victim_of(set).map(|(tag, state)| Eviction {
+            block: BlockAddr(tag),
+            state: *state,
+        })
+    }
+
+    /// Iterates over all resident blocks as `(block, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, CacheState)> + '_ {
+        self.frames
+            .iter()
+            .map(|(_, tag, state)| (BlockAddr(tag), *state))
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the cache holds no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ProcCache {
+        // 2 sets x 2 ways.
+        ProcCache::new(CacheShape::from_sets_ways(2, 2, 64).unwrap())
+    }
+
+    #[test]
+    fn absent_block_is_invalid() {
+        let c = small();
+        assert_eq!(c.state_of(BlockAddr(0)), CacheState::Invalid);
+        assert!(!c.contains(BlockAddr(0)));
+    }
+
+    #[test]
+    fn fill_and_state_roundtrip() {
+        let mut c = small();
+        assert!(c.fill(BlockAddr(4), CacheState::Shared).is_none());
+        assert_eq!(c.state_of(BlockAddr(4)), CacheState::Shared);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fill_evicts_lru_in_same_set() {
+        let mut c = small();
+        // Blocks 0, 2, 4 all map to set 0 (even block numbers).
+        c.fill(BlockAddr(0), CacheState::Modified);
+        c.fill(BlockAddr(2), CacheState::Shared);
+        c.touch(BlockAddr(0)); // protect block 0
+        let ev = c.fill(BlockAddr(4), CacheState::Exclusive).unwrap();
+        assert_eq!(ev.block, BlockAddr(2));
+        assert_eq!(ev.state, CacheState::Shared);
+        assert!(c.contains(BlockAddr(0)));
+        assert!(c.contains(BlockAddr(4)));
+    }
+
+    #[test]
+    fn upgrade_fill_does_not_evict() {
+        let mut c = small();
+        c.fill(BlockAddr(0), CacheState::Shared);
+        c.fill(BlockAddr(2), CacheState::Shared);
+        // Re-filling resident block 0 (e.g. S -> M upgrade) must not evict.
+        assert!(c.fill(BlockAddr(0), CacheState::Modified).is_none());
+        assert_eq!(c.state_of(BlockAddr(0)), CacheState::Modified);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_returns_previous_state() {
+        let mut c = small();
+        c.fill(BlockAddr(1), CacheState::RemoteMaster);
+        assert_eq!(c.invalidate(BlockAddr(1)), CacheState::RemoteMaster);
+        assert_eq!(c.invalidate(BlockAddr(1)), CacheState::Invalid);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn set_state_changes_without_lru_touch() {
+        let mut c = small();
+        c.fill(BlockAddr(0), CacheState::Modified);
+        c.fill(BlockAddr(2), CacheState::Shared);
+        // Downgrade block 0 via snoop; it must remain LRU.
+        c.set_state(BlockAddr(0), CacheState::Shared);
+        let ev = c.fill(BlockAddr(4), CacheState::Shared).unwrap();
+        assert_eq!(ev.block, BlockAddr(0));
+        assert_eq!(ev.state, CacheState::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_state on absent block")]
+    fn set_state_on_absent_panics() {
+        let mut c = small();
+        c.set_state(BlockAddr(9), CacheState::Shared);
+    }
+
+    #[test]
+    fn pending_victim_predicts_eviction() {
+        let mut c = small();
+        assert!(c.pending_victim(BlockAddr(0)).is_none());
+        c.fill(BlockAddr(0), CacheState::Shared);
+        c.fill(BlockAddr(2), CacheState::Modified);
+        let pv = c.pending_victim(BlockAddr(4)).unwrap();
+        let ev = c.fill(BlockAddr(4), CacheState::Shared).unwrap();
+        assert_eq!(pv, ev);
+        // Resident block: upgrade, no victim.
+        assert!(c.pending_victim(BlockAddr(4)).is_none());
+    }
+
+    #[test]
+    fn touch_miss_returns_invalid() {
+        let mut c = small();
+        assert_eq!(c.touch(BlockAddr(3)), CacheState::Invalid);
+    }
+
+    #[test]
+    fn iter_reports_residents() {
+        let mut c = small();
+        c.fill(BlockAddr(0), CacheState::Shared);
+        c.fill(BlockAddr(1), CacheState::Modified);
+        let mut v: Vec<_> = c.iter().collect();
+        v.sort_by_key(|(b, _)| b.0);
+        assert_eq!(
+            v,
+            vec![
+                (BlockAddr(0), CacheState::Shared),
+                (BlockAddr(1), CacheState::Modified)
+            ]
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = small();
+        c.fill(BlockAddr(0), CacheState::Shared);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! A generic set-associative tag array with true-LRU replacement.
+
+use crate::CacheShape;
+
+#[derive(Debug, Clone)]
+struct Frame<T> {
+    tag: u64,
+    value: T,
+    last_use: u64,
+}
+
+/// A set-associative array mapping `tag -> T` within externally-computed
+/// sets, with true-LRU victim selection.
+///
+/// Set indexing is deliberately *external*: the caller computes the set from
+/// whatever bits it wants (block-address bits for conventional caches, page
+/// address bits for the paper's `vp` victim-cache organization), typically
+/// via [`CacheShape::set_of_block`] or [`CacheShape::set_of_page`]. The tag
+/// stored here is the full block (or page) number, so distinct keys can
+/// never alias.
+///
+/// # Example
+///
+/// ```
+/// use dsm_cache::{CacheShape, SetAssoc};
+/// let shape = CacheShape::from_sets_ways(2, 2, 64)?;
+/// let mut c: SetAssoc<&str> = SetAssoc::new(shape);
+/// assert!(c.insert(0, 100, "a").is_none());
+/// assert!(c.insert(0, 200, "b").is_none());
+/// // Set 0 is full; inserting a third tag evicts the LRU entry (tag 100).
+/// let evicted = c.insert(0, 300, "c").unwrap();
+/// assert_eq!(evicted, (100, "a"));
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssoc<T> {
+    shape: CacheShape,
+    frames: Vec<Option<Frame<T>>>,
+    tick: u64,
+    len: usize,
+}
+
+impl<T> SetAssoc<T> {
+    /// Creates an empty array of the given shape.
+    #[must_use]
+    pub fn new(shape: CacheShape) -> Self {
+        let mut frames = Vec::with_capacity(shape.total_blocks());
+        frames.resize_with(shape.total_blocks(), || None);
+        SetAssoc {
+            shape,
+            frames,
+            tick: 0,
+            len: 0,
+        }
+    }
+
+    /// The shape this array was built with.
+    #[must_use]
+    pub fn shape(&self) -> &CacheShape {
+        &self.shape
+    }
+
+    /// Number of occupied frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no frames are occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn set_range(&self, set: usize) -> core::ops::Range<usize> {
+        assert!(set < self.shape.sets(), "set {set} out of range");
+        let base = set * self.shape.ways();
+        base..base + self.shape.ways()
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `tag` in `set` without touching LRU state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn peek(&self, set: usize, tag: u64) -> Option<&T> {
+        self.frames[self.set_range(set)]
+            .iter()
+            .flatten()
+            .find(|f| f.tag == tag)
+            .map(|f| &f.value)
+    }
+
+    /// Looks up `tag` in `set`, marking it most-recently-used on a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn get(&mut self, set: usize, tag: u64) -> Option<&T> {
+        let tick = self.bump();
+        let range = self.set_range(set);
+        self.frames[range]
+            .iter_mut()
+            .flatten()
+            .find(|f| f.tag == tag)
+            .map(|f| {
+                f.last_use = tick;
+                &f.value
+            })
+    }
+
+    /// Mutable variant of [`SetAssoc::get`]; also refreshes LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn get_mut(&mut self, set: usize, tag: u64) -> Option<&mut T> {
+        let tick = self.bump();
+        let range = self.set_range(set);
+        self.frames[range]
+            .iter_mut()
+            .flatten()
+            .find(|f| f.tag == tag)
+            .map(|f| {
+                f.last_use = tick;
+                &mut f.value
+            })
+    }
+
+    /// Mutable lookup without refreshing LRU (for state maintenance that
+    /// should not count as a use, e.g. downgrades caused by snoops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn peek_mut(&mut self, set: usize, tag: u64) -> Option<&mut T> {
+        let range = self.set_range(set);
+        self.frames[range]
+            .iter_mut()
+            .flatten()
+            .find(|f| f.tag == tag)
+            .map(|f| &mut f.value)
+    }
+
+    /// Inserts `tag -> value` into `set`, evicting the LRU occupant if the
+    /// set is full. Returns the evicted `(tag, value)`, or `None` if a free
+    /// way was available. If `tag` is already present its value is replaced
+    /// (and refreshed) and `None` is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn insert(&mut self, set: usize, tag: u64, value: T) -> Option<(u64, T)> {
+        let tick = self.bump();
+        let range = self.set_range(set);
+
+        // Already present: replace in place.
+        if let Some(f) = self.frames[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|f| f.tag == tag)
+        {
+            f.value = value;
+            f.last_use = tick;
+            return None;
+        }
+
+        // Free way available.
+        if let Some(slot) = self.frames[range.clone()].iter().position(Option::is_none) {
+            let idx = range.start + slot;
+            self.frames[idx] = Some(Frame {
+                tag,
+                value,
+                last_use: tick,
+            });
+            self.len += 1;
+            return None;
+        }
+
+        // Evict the LRU way.
+        let victim_off = self.frames[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.as_ref().map_or(u64::MAX, |f| f.last_use))
+            .map(|(i, _)| i)
+            .expect("set has at least one way");
+        let idx = range.start + victim_off;
+        let old = self.frames[idx]
+            .replace(Frame {
+                tag,
+                value,
+                last_use: tick,
+            })
+            .expect("victim frame is occupied");
+        Some((old.tag, old.value))
+    }
+
+    /// Removes `tag` from `set`, returning its value if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn remove(&mut self, set: usize, tag: u64) -> Option<T> {
+        let range = self.set_range(set);
+        for idx in range {
+            if self.frames[idx].as_ref().is_some_and(|f| f.tag == tag) {
+                self.len -= 1;
+                return self.frames[idx].take().map(|f| f.value);
+            }
+        }
+        None
+    }
+
+    /// The tag/value that [`SetAssoc::insert`] would evict from a full
+    /// `set`, or `None` if the set still has free ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn victim_of(&self, set: usize) -> Option<(u64, &T)> {
+        let range = self.set_range(set);
+        let slice = &self.frames[range];
+        if slice.iter().any(Option::is_none) {
+            return None;
+        }
+        slice
+            .iter()
+            .flatten()
+            .min_by_key(|f| f.last_use)
+            .map(|f| (f.tag, &f.value))
+    }
+
+    /// Iterates over the occupants of `set` as `(tag, &value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (u64, &T)> {
+        self.frames[self.set_range(set)]
+            .iter()
+            .flatten()
+            .map(|f| (f.tag, &f.value))
+    }
+
+    /// Iterates over all occupants as `(set, tag, &value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &T)> {
+        let ways = self.shape.ways();
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, f)| f.as_ref().map(|f| (i / ways, f.tag, &f.value)))
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.frames.iter_mut().for_each(|f| *f = None);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(sets: usize, ways: usize) -> CacheShape {
+        CacheShape::from_sets_ways(sets, ways, 64).unwrap()
+    }
+
+    #[test]
+    fn empty_lookup_misses() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(shape(4, 2));
+        assert!(c.get(0, 1).is_none());
+        assert!(c.peek(0, 1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let mut c = SetAssoc::new(shape(4, 2));
+        assert!(c.insert(1, 42, "x").is_none());
+        assert_eq!(c.get(1, 42), Some(&"x"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssoc::new(shape(1, 2));
+        c.insert(0, 1, 1);
+        c.insert(0, 2, 2);
+        // Touch tag 1 so tag 2 becomes LRU.
+        c.get(0, 1);
+        let evicted = c.insert(0, 3, 3).unwrap();
+        assert_eq!(evicted, (2, 2));
+        assert!(c.peek(0, 1).is_some());
+        assert!(c.peek(0, 3).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru() {
+        let mut c = SetAssoc::new(shape(1, 2));
+        c.insert(0, 1, ());
+        c.insert(0, 2, ());
+        let _ = c.peek(0, 1); // must NOT protect tag 1
+        let evicted = c.insert(0, 3, ()).unwrap();
+        assert_eq!(evicted.0, 1);
+    }
+
+    #[test]
+    fn peek_mut_does_not_refresh_lru() {
+        let mut c = SetAssoc::new(shape(1, 2));
+        c.insert(0, 1, 0u8);
+        c.insert(0, 2, 0u8);
+        *c.peek_mut(0, 1).unwrap() = 9;
+        let evicted = c.insert(0, 3, 0u8).unwrap();
+        assert_eq!(evicted, (1, 9));
+    }
+
+    #[test]
+    fn reinsert_replaces_value_in_place() {
+        let mut c = SetAssoc::new(shape(1, 2));
+        c.insert(0, 1, "old");
+        assert!(c.insert(0, 1, "new").is_none());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(0, 1), Some(&"new"));
+    }
+
+    #[test]
+    fn remove_frees_the_way() {
+        let mut c = SetAssoc::new(shape(1, 1));
+        c.insert(0, 1, ());
+        assert_eq!(c.remove(0, 1), Some(()));
+        assert_eq!(c.remove(0, 1), None);
+        assert!(c.insert(0, 2, ()).is_none());
+    }
+
+    #[test]
+    fn victim_of_matches_insert_behaviour() {
+        let mut c = SetAssoc::new(shape(1, 2));
+        assert!(c.victim_of(0).is_none());
+        c.insert(0, 1, ());
+        assert!(c.victim_of(0).is_none());
+        c.insert(0, 2, ());
+        let (vtag, _) = c.victim_of(0).unwrap();
+        let evicted = c.insert(0, 3, ()).unwrap();
+        assert_eq!(vtag, evicted.0);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssoc::new(shape(2, 1));
+        c.insert(0, 1, ());
+        assert!(c.insert(1, 2, ()).is_none()); // different set, no eviction
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iter_set_and_iter() {
+        let mut c = SetAssoc::new(shape(2, 2));
+        c.insert(0, 1, ());
+        c.insert(1, 2, ());
+        c.insert(1, 3, ());
+        let set1: Vec<u64> = c.iter_set(1).map(|(t, _)| t).collect();
+        assert_eq!(set1.len(), 2);
+        assert!(set1.contains(&2) && set1.contains(&3));
+        assert_eq!(c.iter().count(), 3);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = SetAssoc::new(shape(2, 2));
+        c.insert(0, 1, ());
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.peek(0, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let c: SetAssoc<()> = SetAssoc::new(shape(2, 2));
+        let _ = c.peek(2, 0);
+    }
+
+    #[test]
+    fn get_mut_refreshes_lru() {
+        let mut c = SetAssoc::new(shape(1, 2));
+        c.insert(0, 1, 0u8);
+        c.insert(0, 2, 0u8);
+        *c.get_mut(0, 1).unwrap() = 5;
+        let evicted = c.insert(0, 3, 0u8).unwrap();
+        assert_eq!(evicted.0, 2);
+    }
+}

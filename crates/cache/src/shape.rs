@@ -1,0 +1,208 @@
+//! Cache size/associativity arithmetic.
+
+use dsm_types::{BlockAddr, ConfigError, Geometry, PageAddr};
+
+/// The shape of a set-associative cache: number of sets and ways, derived
+/// from a capacity, block size and associativity.
+///
+/// # Example
+///
+/// ```
+/// use dsm_cache::CacheShape;
+/// // 16 KB, 64-byte blocks, 4 ways -> 64 sets.
+/// let s = CacheShape::new(16 * 1024, 64, 4)?;
+/// assert_eq!(s.sets(), 64);
+/// assert_eq!(s.ways(), 4);
+/// assert_eq!(s.total_blocks(), 256);
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheShape {
+    sets: usize,
+    ways: usize,
+    block_bytes: u64,
+}
+
+impl CacheShape {
+    /// Computes the shape of a cache of `capacity_bytes` with the given
+    /// block size and associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any argument is zero, the capacity is not
+    /// an exact multiple of `block_bytes * ways`, or the resulting number of
+    /// sets is not a power of two (required for bit-field set indexing).
+    pub fn new(capacity_bytes: u64, block_bytes: u64, ways: usize) -> Result<Self, ConfigError> {
+        if capacity_bytes == 0 || block_bytes == 0 || ways == 0 {
+            return Err(ConfigError::new(
+                "cache capacity, block size and associativity must be nonzero",
+            ));
+        }
+        let way_bytes = block_bytes
+            .checked_mul(ways as u64)
+            .ok_or_else(|| ConfigError::new("cache way size overflows"))?;
+        if !capacity_bytes.is_multiple_of(way_bytes) {
+            return Err(ConfigError::new(format!(
+                "capacity {capacity_bytes} is not a multiple of ways*block ({way_bytes})"
+            )));
+        }
+        let sets = capacity_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "set count {sets} must be a power of two"
+            )));
+        }
+        Ok(CacheShape {
+            sets: sets as usize,
+            ways,
+            block_bytes,
+        })
+    }
+
+    /// Builds a shape directly from a set count and way count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `sets` is not a power of two or either
+    /// count is zero.
+    pub fn from_sets_ways(
+        sets: usize,
+        ways: usize,
+        block_bytes: u64,
+    ) -> Result<Self, ConfigError> {
+        if sets == 0 || ways == 0 || block_bytes == 0 {
+            return Err(ConfigError::new("sets, ways and block size must be nonzero"));
+        }
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "set count {sets} must be a power of two"
+            )));
+        }
+        Ok(CacheShape {
+            sets,
+            ways,
+            block_bytes,
+        })
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways (associativity).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Block size in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Total number of block frames.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.block_bytes * self.total_blocks() as u64
+    }
+
+    /// Set index for a block address, using the least significant bits of
+    /// the block number (the conventional indexing, `vb` in the paper).
+    #[must_use]
+    pub fn set_of_block(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) & (self.sets - 1)
+    }
+
+    /// Set index for a block using the least significant bits of its *page*
+    /// number (the paper's `vp` indexing: all blocks of a page map to the
+    /// same set, so a set acts as intermediate storage for one remote page).
+    #[must_use]
+    pub fn set_of_page(&self, geo: &Geometry, block: BlockAddr) -> usize {
+        let page: PageAddr = geo.page_of_block(block);
+        (page.0 as usize) & (self.sets - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn paper_shapes() {
+        // 16 KB 2-way processor cache -> 128 sets.
+        let pc = CacheShape::new(16 * 1024, 64, 2).unwrap();
+        assert_eq!(pc.sets(), 128);
+        // 16 KB 4-way NC -> 64 sets.
+        let nc = CacheShape::new(16 * 1024, 64, 4).unwrap();
+        assert_eq!(nc.sets(), 64);
+        // 1 KB 4-way NC -> 4 sets.
+        let small = CacheShape::new(1024, 64, 4).unwrap();
+        assert_eq!(small.sets(), 4);
+        // 512 KB 4-way DRAM NC -> 2048 sets.
+        let dram = CacheShape::new(512 * 1024, 64, 4).unwrap();
+        assert_eq!(dram.sets(), 2048);
+    }
+
+    #[test]
+    fn rejects_zero_and_nonmultiple() {
+        assert!(CacheShape::new(0, 64, 2).is_err());
+        assert!(CacheShape::new(16 * 1024, 0, 2).is_err());
+        assert!(CacheShape::new(16 * 1024, 64, 0).is_err());
+        assert!(CacheShape::new(1000, 64, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        // 192 KB / (64*2) = 1536 sets -> not a power of two.
+        assert!(CacheShape::new(192 * 1024, 64, 2).is_err());
+    }
+
+    #[test]
+    fn from_sets_ways_validates() {
+        assert!(CacheShape::from_sets_ways(3, 2, 64).is_err());
+        assert!(CacheShape::from_sets_ways(0, 2, 64).is_err());
+        let s = CacheShape::from_sets_ways(4, 2, 64).unwrap();
+        assert_eq!(s.capacity_bytes(), 512);
+    }
+
+    #[test]
+    fn block_indexing_uses_low_bits() {
+        let s = CacheShape::new(16 * 1024, 64, 4).unwrap(); // 64 sets
+        assert_eq!(s.set_of_block(BlockAddr(0)), 0);
+        assert_eq!(s.set_of_block(BlockAddr(63)), 63);
+        assert_eq!(s.set_of_block(BlockAddr(64)), 0);
+        assert_eq!(s.set_of_block(BlockAddr(65)), 1);
+    }
+
+    #[test]
+    fn page_indexing_groups_blocks_of_a_page() {
+        let geo = Geometry::paper_default();
+        let s = CacheShape::new(16 * 1024, 64, 4).unwrap(); // 64 sets
+        // All 64 blocks of page 5 map to the same set.
+        let base = geo.first_block_of_page(dsm_types::PageAddr(5));
+        let set = s.set_of_page(&geo, base);
+        for i in 0..geo.blocks_per_page() {
+            assert_eq!(s.set_of_page(&geo, BlockAddr(base.0 + i)), set);
+        }
+        // Consecutive pages land in consecutive sets.
+        let next = geo.first_block_of_page(dsm_types::PageAddr(6));
+        assert_eq!(s.set_of_page(&geo, next), (set + 1) % 64);
+    }
+
+    #[test]
+    fn capacity_roundtrips() {
+        let s = CacheShape::new(16 * 1024, 64, 2).unwrap();
+        assert_eq!(s.capacity_bytes(), 16 * 1024);
+        assert_eq!(s.total_blocks(), 256);
+    }
+}

@@ -1,0 +1,153 @@
+//! MESIR block states.
+
+use core::fmt;
+
+/// The coherence state of a block in a processor cache under the paper's
+/// **MESIR** protocol — MESI extended with `R`, *mastership for a remote
+/// clean block*.
+///
+/// `R` behaves like `Shared` except on victimization: a block in `R` is the
+/// designated master copy of a clean remote block inside the cluster, so its
+/// replacement generates a bus transaction that either hands mastership to
+/// another sharer or deposits the block in the network victim cache. Under
+/// plain MESI a clean block is dropped silently and can never be captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheState {
+    /// Not present (or invalidated).
+    #[default]
+    Invalid,
+    /// Clean, potentially multiple sharers, not the master copy.
+    Shared,
+    /// Clean, only cached copy machine-wide, local supply allowed (MESI `E`).
+    Exclusive,
+    /// Dirty, only valid copy machine-wide.
+    Modified,
+    /// Clean **remote** block for which this cache holds cluster mastership
+    /// (the paper's `R` state). Replacement reaches the bus.
+    RemoteMaster,
+    /// Dirty-shared (MOESI `O`): this cache supplies the block and owes the
+    /// eventual write-back, while peers hold `Shared` copies. The paper
+    /// considered adding `O` to avoid polluting the victim cache with
+    /// downgrade write-backs but measured "very little benefit"; it is
+    /// implemented here as an optional protocol variant so that claim can
+    /// be checked (see the `dirty_shared_o_state` ablation).
+    Owned,
+}
+
+impl CacheState {
+    /// Whether the block is present (any state but `Invalid`).
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        !matches!(self, CacheState::Invalid)
+    }
+
+    /// Whether the block holds data that differs from memory.
+    #[must_use]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, CacheState::Modified | CacheState::Owned)
+    }
+
+    /// Whether a read hit is allowed in this state.
+    #[must_use]
+    pub fn allows_read(self) -> bool {
+        self.is_valid()
+    }
+
+    /// Whether a write hit is allowed without a bus transaction.
+    #[must_use]
+    pub fn allows_silent_write(self) -> bool {
+        matches!(self, CacheState::Modified | CacheState::Exclusive)
+    }
+
+    /// Whether this cache must respond to a snoop for the block with data
+    /// (it is the cluster master copy).
+    #[must_use]
+    pub fn is_master(self) -> bool {
+        matches!(
+            self,
+            CacheState::Modified
+                | CacheState::Exclusive
+                | CacheState::RemoteMaster
+                | CacheState::Owned
+        )
+    }
+}
+
+impl fmt::Display for CacheState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CacheState::Invalid => "I",
+            CacheState::Shared => "S",
+            CacheState::Exclusive => "E",
+            CacheState::Modified => "M",
+            CacheState::RemoteMaster => "R",
+            CacheState::Owned => "O",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(CacheState::default(), CacheState::Invalid);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(!CacheState::Invalid.is_valid());
+        for s in [
+            CacheState::Shared,
+            CacheState::Exclusive,
+            CacheState::Modified,
+            CacheState::RemoteMaster,
+            CacheState::Owned,
+        ] {
+            assert!(s.is_valid(), "{s} should be valid");
+        }
+    }
+
+    #[test]
+    fn only_modified_is_dirty() {
+        assert!(CacheState::Modified.is_dirty());
+        assert!(CacheState::Owned.is_dirty());
+        for s in [
+            CacheState::Invalid,
+            CacheState::Shared,
+            CacheState::Exclusive,
+            CacheState::RemoteMaster,
+        ] {
+            assert!(!s.is_dirty(), "{s} should be clean");
+        }
+    }
+
+    #[test]
+    fn silent_writes_need_exclusivity() {
+        assert!(CacheState::Modified.allows_silent_write());
+        assert!(CacheState::Exclusive.allows_silent_write());
+        assert!(!CacheState::Shared.allows_silent_write());
+        assert!(!CacheState::RemoteMaster.allows_silent_write());
+        assert!(!CacheState::Owned.allows_silent_write());
+        assert!(!CacheState::Invalid.allows_silent_write());
+    }
+
+    #[test]
+    fn masters_supply_data() {
+        assert!(CacheState::Modified.is_master());
+        assert!(CacheState::Owned.is_master());
+        assert!(CacheState::Exclusive.is_master());
+        assert!(CacheState::RemoteMaster.is_master());
+        assert!(!CacheState::Shared.is_master());
+        assert!(!CacheState::Invalid.is_master());
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(CacheState::RemoteMaster.to_string(), "R");
+        assert_eq!(CacheState::Modified.to_string(), "M");
+        assert_eq!(CacheState::Owned.to_string(), "O");
+    }
+}

@@ -1,0 +1,177 @@
+//! Simulates a system configuration on a workload or a recorded trace.
+//!
+//! ```text
+//! simulate --system <name> --workload <benchmark> [--scale <f>] [--dev]
+//! simulate --system <name> --trace <file.dsmt> [--data-mb <n>]
+//! ```
+//!
+//! Systems: `base`, `nc`, `vb`, `vp`, `ncd`, `ncs`, `inf-dram`, and the
+//! page-cache systems `ncp`, `vbp`, `vpp`, `vxp` (which accept
+//! `--pc-fraction <d>` [default 5] or `--pc-bytes <n>`, and `vxp` accepts
+//! `--threshold <t>` [default 32]).
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use dsm_core::runner::run_trace;
+use dsm_core::{PcSize, SystemSpec};
+use dsm_trace::{read_trace, Scale, WorkloadKind};
+use dsm_types::{Geometry, Topology};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simulate --system <name> --workload <benchmark> [--scale <f>] [--dev]\n\
+         \x20      simulate --system <name> --trace <file.dsmt> [--data-mb <n>]\n\
+         systems: base nc vb vp ncd ncs inf-dram ncp vbp vpp vxp\n\
+         page-cache options: --pc-fraction <d> | --pc-bytes <n>; vxp: --threshold <t>"
+    );
+    ExitCode::FAILURE
+}
+
+struct Options {
+    system: String,
+    workload: Option<WorkloadKind>,
+    trace: Option<String>,
+    scale: f64,
+    dev: bool,
+    pc_fraction: Option<u32>,
+    pc_bytes: Option<u64>,
+    threshold: u32,
+    data_mb: Option<u64>,
+}
+
+fn parse_args() -> Option<Options> {
+    let mut o = Options {
+        system: String::new(),
+        workload: None,
+        trace: None,
+        scale: 1.0,
+        dev: false,
+        pc_fraction: None,
+        pc_bytes: None,
+        threshold: 32,
+        data_mb: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next();
+        match a.as_str() {
+            "--system" => o.system = val()?,
+            "--workload" => {
+                let name = val()?;
+                o.workload = WorkloadKind::all()
+                    .into_iter()
+                    .find(|k| k.display_name().eq_ignore_ascii_case(&name));
+                o.workload?;
+            }
+            "--trace" => o.trace = Some(val()?),
+            "--scale" => o.scale = val()?.parse().ok()?,
+            "--dev" => o.dev = true,
+            "--pc-fraction" => o.pc_fraction = Some(val()?.parse().ok()?),
+            "--pc-bytes" => o.pc_bytes = Some(val()?.parse().ok()?),
+            "--threshold" => o.threshold = val()?.parse().ok()?,
+            "--data-mb" => o.data_mb = Some(val()?.parse().ok()?),
+            _ => return None,
+        }
+    }
+    if o.system.is_empty() || (o.workload.is_none() == o.trace.is_none()) {
+        return None;
+    }
+    Some(o)
+}
+
+fn spec_of(o: &Options) -> Option<SystemSpec> {
+    let pc_size = match (o.pc_bytes, o.pc_fraction) {
+        (Some(b), _) => PcSize::Bytes(b),
+        (None, Some(d)) => PcSize::DataFraction(d),
+        (None, None) => PcSize::DataFraction(5),
+    };
+    Some(match o.system.as_str() {
+        "base" => SystemSpec::base(),
+        "nc" => SystemSpec::nc(),
+        "vb" => SystemSpec::vb(),
+        "vp" => SystemSpec::vp(),
+        "ncd" => SystemSpec::ncd(),
+        "ncs" => SystemSpec::ncs(),
+        "inf-dram" => SystemSpec::infinite_dram(),
+        "ncp" => SystemSpec::ncp(pc_size),
+        "vbp" => SystemSpec::vbp(pc_size),
+        "vpp" => SystemSpec::vpp(pc_size),
+        "vxp" => SystemSpec::vxp(pc_size, o.threshold),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let Some(o) = parse_args() else {
+        return usage();
+    };
+    let Some(spec) = spec_of(&o) else {
+        eprintln!("unknown system '{}'", o.system);
+        return usage();
+    };
+
+    let geo = Geometry::paper_default();
+    let (topo, trace, data_bytes, name) = if let Some(kind) = o.workload {
+        let scale = match Scale::new(o.scale) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let w = if o.dev {
+            kind.dev_instance()
+        } else {
+            kind.paper_instance()
+        };
+        let topo = Topology::paper_default();
+        let trace = w.generate(&topo, scale);
+        (topo, trace, w.shared_bytes(), w.name().to_owned())
+    } else {
+        let path = o.trace.as_deref().expect("checked by parse_args");
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match read_trace(BufReader::new(file)) {
+            Ok((topo, trace)) => {
+                let data_bytes = o.data_mb.unwrap_or(32) * 1024 * 1024;
+                (topo, trace, data_bytes, path.to_owned())
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let report = match run_trace(&spec, &name, data_bytes, &trace, topo, geo) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("system:              {}", report.system);
+    println!("workload:            {}", report.workload);
+    println!("references:          {}", report.refs);
+    println!("read miss ratio:     {:.4} %", report.read_miss_ratio * 100.0);
+    println!("write miss ratio:    {:.4} %", report.write_miss_ratio * 100.0);
+    println!("relocation overhead: {:.4} %", report.relocation_overhead * 100.0);
+    println!("remote read stall:   {} cycles", report.remote_read_stall);
+    println!("remote traffic:      {} blocks", report.remote_traffic);
+    let m = &report.metrics;
+    println!("  necessary misses:  {} r / {} w", m.remote_read_necessary, m.remote_write_necessary);
+    println!("  capacity misses:   {} r / {} w", m.remote_read_capacity, m.remote_write_capacity);
+    println!("  NC hits:           {} r / {} w", m.nc_read_hits, m.nc_write_hits);
+    println!("  PC hits:           {} r / {} w", m.pc_read_hits, m.pc_write_hits);
+    println!("  relocations:       {}", m.relocations);
+    println!("  writebacks:        {}", m.remote_writebacks);
+    ExitCode::SUCCESS
+}

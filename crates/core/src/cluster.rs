@@ -1,0 +1,160 @@
+//! One cluster's hardware: processor caches + bus, network cache, page
+//! cache, and relocation-policy state.
+
+use dsm_cache::CacheShape;
+use dsm_protocol::BusCluster;
+use dsm_types::{ConfigError, Geometry, Topology};
+
+use crate::config::{CounterSource, NcSpec, SystemSpec, ThresholdPolicy};
+use crate::nc::{InclusionNc, InfiniteNc, NcIndexing, NcUnit, VictimNc};
+use crate::page_cache::{AdaptiveThreshold, PageCache};
+use crate::relocation::VxpCounters;
+use crate::model::NcTechnology;
+
+/// The per-cluster simulation state.
+#[derive(Debug, Clone)]
+pub struct ClusterUnit {
+    /// Processor caches on the snooping bus.
+    pub bus: BusCluster,
+    /// The network cache (possibly [`NcUnit::None`]).
+    pub nc: NcUnit,
+    /// The page cache, if configured.
+    pub pc: Option<PageCache>,
+    /// Relocation-threshold state (meaningful only with a page cache).
+    pub threshold: AdaptiveThreshold,
+    /// Per-set victimization counters (`vxp` only).
+    pub vxp: Option<VxpCounters>,
+}
+
+impl ClusterUnit {
+    /// Builds one cluster from the system spec. `pc_frames` is the
+    /// resolved page-cache capacity (`None` when the spec has no PC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid cache/NC shapes.
+    pub fn build(
+        spec: &SystemSpec,
+        topo: &Topology,
+        geo: Geometry,
+        pc_frames: Option<usize>,
+    ) -> Result<Self, ConfigError> {
+        let cache_shape = CacheShape::new(spec.cache.bytes, geo.block_bytes(), spec.cache.ways)?;
+        let mut bus = BusCluster::new(usize::from(topo.procs_per_cluster()), cache_shape);
+        bus.set_dirty_shared(spec.dirty_shared);
+
+        let nc = match spec.nc {
+            NcSpec::None => NcUnit::None,
+            NcSpec::SramInclusion { bytes, ways } => {
+                let shape = CacheShape::new(bytes, geo.block_bytes(), ways)?;
+                NcUnit::Inclusion(InclusionNc::sram_relaxed(shape))
+            }
+            NcSpec::SramVictim {
+                bytes,
+                ways,
+                indexing,
+                capture_clean,
+            } => {
+                let shape = CacheShape::new(bytes, geo.block_bytes(), ways)?;
+                let mut nc = VictimNc::new(shape, NcIndexing::from(indexing), geo);
+                if !capture_clean {
+                    nc = nc.without_clean_capture();
+                }
+                NcUnit::Victim(nc)
+            }
+            NcSpec::DramInclusion { bytes, ways } => {
+                let shape = CacheShape::new(bytes, geo.block_bytes(), ways)?;
+                NcUnit::Inclusion(InclusionNc::dram_full(shape))
+            }
+            NcSpec::Infinite { dram } => NcUnit::Infinite(InfiniteNc::new(if dram {
+                NcTechnology::Dram
+            } else {
+                NcTechnology::Sram
+            })),
+        };
+
+        let pc = match (&spec.pc, pc_frames) {
+            (Some(_), Some(frames)) => Some(PageCache::new(frames, geo)),
+            (None, None) => None,
+            _ => {
+                return Err(ConfigError::new(
+                    "page-cache spec and resolved frame count must agree",
+                ))
+            }
+        };
+
+        let threshold = match spec.pc.as_ref().map(|p| p.threshold) {
+            Some(ThresholdPolicy::Fixed(t)) => AdaptiveThreshold::fixed(t),
+            Some(ThresholdPolicy::Adaptive { initial }) => {
+                AdaptiveThreshold::adaptive(initial, pc_frames.unwrap_or(1))
+            }
+            None => AdaptiveThreshold::fixed(u32::MAX),
+        };
+
+        let vxp = match spec.pc.as_ref().map(|p| p.counters) {
+            Some(CounterSource::VictimSets) => {
+                let sets = nc.sets().ok_or_else(|| {
+                    ConfigError::new("victim-set counters require a victim NC")
+                })?;
+                Some(VxpCounters::new(sets))
+            }
+            _ => None,
+        };
+
+        Ok(ClusterUnit {
+            bus,
+            nc,
+            pc,
+            threshold,
+            vxp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PcSize, SystemSpec};
+
+    fn topo() -> Topology {
+        Topology::paper_default()
+    }
+
+    #[test]
+    fn base_has_no_nc_or_pc() {
+        let c = ClusterUnit::build(&SystemSpec::base(), &topo(), Geometry::paper_default(), None)
+            .unwrap();
+        assert!(matches!(c.nc, NcUnit::None));
+        assert!(c.pc.is_none());
+        assert!(c.vxp.is_none());
+        assert_eq!(c.bus.procs(), 4);
+    }
+
+    #[test]
+    fn vb_builds_victim_nc() {
+        let c = ClusterUnit::build(&SystemSpec::vb(), &topo(), Geometry::paper_default(), None)
+            .unwrap();
+        assert!(matches!(c.nc, NcUnit::Victim(_)));
+        assert_eq!(c.nc.sets(), Some(64)); // 16 KB / (64 B x 4 ways)
+    }
+
+    #[test]
+    fn vxp_builds_counters_sized_to_nc_sets() {
+        let spec = SystemSpec::vxp(PcSize::Bytes(512 * 1024), 32);
+        let c = ClusterUnit::build(&spec, &topo(), Geometry::paper_default(), Some(128)).unwrap();
+        assert_eq!(c.vxp.as_ref().unwrap().sets(), 64);
+        assert!(c.pc.is_some());
+        assert!(c.threshold.is_adaptive());
+        assert_eq!(c.threshold.threshold(), 32);
+    }
+
+    #[test]
+    fn mismatched_pc_resolution_errors() {
+        let spec = SystemSpec::ncp(PcSize::Bytes(512 * 1024));
+        assert!(ClusterUnit::build(&spec, &topo(), Geometry::paper_default(), None).is_err());
+        assert!(
+            ClusterUnit::build(&SystemSpec::base(), &topo(), Geometry::paper_default(), Some(4))
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # sram-nc-dsm core
+//!
+//! A from-scratch reproduction of Moga & Dubois, *"The Effectiveness of
+//! SRAM Network Caches in Clustered DSMs"* (HPCA 1998 / USC CENG 97-11):
+//! small SRAM network **victim caches** and main-memory **page caches** as
+//! alternatives to large, slow DRAM network caches in clustered CC-NUMA
+//! machines.
+//!
+//! This crate is the top of the workspace: it composes the substrates —
+//! [`dsm_cache`] (set-associative arrays, MESIR states), [`dsm_protocol`]
+//! (the snooping cluster bus), [`dsm_directory`] (full-map inter-cluster
+//! directory, first-touch placement, R-NUMA counters) and [`dsm_trace`]
+//! (SPLASH-2-style trace kernels) — into complete systems:
+//!
+//! * [`nc`] — the network-cache design space (victim `vb`/`vp`, relaxed
+//!   inclusion `nc`, DRAM `NCD`, infinite `NCS`);
+//! * [`page_cache`] — remote pages aliased into local DRAM, with
+//!   least-recently-missed replacement and the adaptive relocation
+//!   threshold;
+//! * [`relocation`] — `vxp`: victimization counters on victim-cache sets
+//!   replacing R-NUMA's directory counters;
+//! * [`model`] — the latency model of Tables 1-2 and Equation 1;
+//! * [`System`] — the trace-driven machine simulator;
+//! * [`runner`] — one-call experiment execution.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dsm_core::{runner::run_workload, SystemSpec};
+//! use dsm_trace::{workloads::Fft, Scale};
+//!
+//! let fft = Fft::with_points(1 << 8); // small instance for the doctest
+//! let base = run_workload(&SystemSpec::base(), &fft, Scale::full())?;
+//! let vb = run_workload(&SystemSpec::vb(), &fft, Scale::full())?;
+//! assert!(vb.read_miss_ratio <= base.read_miss_ratio + 1e-12);
+//! # Ok::<(), dsm_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod metrics;
+pub mod model;
+pub mod nc;
+pub mod page_cache;
+pub mod relocation;
+pub mod runner;
+pub mod system;
+
+pub use config::{
+    CacheSpec, CounterSource, DirectorySpec, MigRepSpec, NcSpec, PcSize, PcSpec, SystemSpec,
+    ThresholdPolicy,
+};
+pub use metrics::Metrics;
+pub use model::{Latencies, LatencyModel, NcTechnology};
+pub use runner::{run_workload, Report};
+pub use system::System;

@@ -1,0 +1,257 @@
+//! Event counters and the derived figures-of-merit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::LatencyModel;
+
+/// Everything the simulator counts, machine-wide.
+///
+/// The paper's metrics derive from these:
+///
+/// * **cluster miss ratio** (Figures 3-8): references to remote data that
+///   leave the cluster, as a percentage of all shared references, split
+///   into reads and writes, with page-relocation overhead expressed in
+///   equivalent misses;
+/// * **remote read stall** (Figure 9, Equation 1);
+/// * **remote data traffic** (Figure 10): read misses + write misses +
+///   write-backs crossing the network.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// All shared references processed.
+    pub shared_refs: u64,
+    /// Shared reads.
+    pub reads: u64,
+    /// Shared writes.
+    pub writes: u64,
+
+    /// Read hits in the issuing processor's own cache.
+    pub read_hits: u64,
+    /// Write hits (`M`, or silent `E -> M`).
+    pub write_hits: u64,
+    /// Write upgrades satisfied without a directory transaction.
+    pub local_upgrades: u64,
+    /// Misses supplied cache-to-cache by a peer in the same cluster.
+    pub peer_transfers: u64,
+
+    /// Read misses to remote data that hit in the network cache.
+    pub nc_read_hits: u64,
+    /// Write misses to remote data whose data came from the network cache.
+    pub nc_write_hits: u64,
+    /// Read misses to remote data that hit in the page cache.
+    pub pc_read_hits: u64,
+    /// Write misses to remote data whose data came from the page cache.
+    pub pc_write_hits: u64,
+
+    /// Read misses to remote data serviced by the home node, classified as
+    /// *necessary* (cold/coherence: the requester's presence bit was clear).
+    pub remote_read_necessary: u64,
+    /// ... and as capacity/conflict (presence bit already set).
+    pub remote_read_capacity: u64,
+    /// Write misses/upgrades to remote data requiring a directory
+    /// transaction, necessary.
+    pub remote_write_necessary: u64,
+    /// ... and capacity/conflict.
+    pub remote_write_capacity: u64,
+    /// Ownership-only directory transactions for remote data: the write's
+    /// *data* was supplied inside the cluster (peer cache, NC or PC held a
+    /// clean copy) but exclusivity had to be acquired from the home. These
+    /// cross the network (they count as cluster write misses and traffic)
+    /// but are not the reference's primary service classification.
+    pub remote_ownership_requests: u64,
+
+    /// Misses to *local* data that left the processor caches (served by
+    /// local memory; not part of the paper's remote metrics).
+    pub local_misses: u64,
+
+    /// Dirty blocks written back across the network to a remote home.
+    pub remote_writebacks: u64,
+    /// Pages relocated into page caches.
+    pub relocations: u64,
+    /// Blocks invalidated in caches/NCs/PCs by remote writes.
+    pub invalidations: u64,
+    /// Blocks forcibly evicted from processor caches by NC inclusion or by
+    /// page-cache page evictions (re-mapping evictions).
+    pub forced_evictions: u64,
+    /// Victim blocks accepted by the network cache.
+    pub nc_captures: u64,
+    /// Dirty downgrades (M -> S on a peer read) of remote blocks absorbed
+    /// by the network cache instead of updating the remote home.
+    pub absorbed_downgrades: u64,
+    /// Pages migrated to a new home (Origin-style OS policy).
+    #[serde(default)]
+    pub migrations: u64,
+    /// Read-only pages replicated into a cluster's local memory.
+    #[serde(default)]
+    pub replications: u64,
+    /// Replica sets collapsed by a write to a replicated page.
+    #[serde(default)]
+    pub replica_collapses: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Read misses to remote data serviced by the home node (all classes).
+    #[must_use]
+    pub fn remote_read_misses(&self) -> u64 {
+        self.remote_read_necessary + self.remote_read_capacity
+    }
+
+    /// Write transactions to remote data requiring the directory,
+    /// including ownership-only requests.
+    #[must_use]
+    pub fn remote_write_misses(&self) -> u64 {
+        self.remote_write_necessary + self.remote_write_capacity + self.remote_ownership_requests
+    }
+
+    /// Cluster read miss ratio: remote read misses leaving the cluster per
+    /// shared reference (the read portion of Figures 3-8).
+    #[must_use]
+    pub fn read_miss_ratio(&self) -> f64 {
+        ratio(self.remote_read_misses(), self.shared_refs)
+    }
+
+    /// Cluster write miss ratio (the write portion of Figures 3-8).
+    #[must_use]
+    pub fn write_miss_ratio(&self) -> f64 {
+        ratio(self.remote_write_misses(), self.shared_refs)
+    }
+
+    /// Combined cluster miss ratio.
+    #[must_use]
+    pub fn cluster_miss_ratio(&self) -> f64 {
+        self.read_miss_ratio() + self.write_miss_ratio()
+    }
+
+    /// Page-relocation overhead expressed as an equivalent miss ratio: the
+    /// relocation ratio scaled by the paper's 225/30 cost factor (the bar
+    /// tops in Figures 7-8).
+    #[must_use]
+    pub fn relocation_overhead_ratio(&self, model: &LatencyModel) -> f64 {
+        ratio(self.relocations, self.shared_refs) * model.latencies().relocation_cost_factor()
+    }
+
+    /// OS page operations charged at the page-relocation cost: page-cache
+    /// relocations plus Origin-style migrations and replications (all
+    /// involve handlers and TLB shootdown).
+    #[must_use]
+    pub fn os_page_ops(&self) -> u64 {
+        self.relocations + self.migrations + self.replications
+    }
+
+    /// Equation 1: total remote read stall in bus cycles.
+    #[must_use]
+    pub fn remote_read_stall(&self, model: &LatencyModel) -> u64 {
+        model.remote_read_stall(
+            self.nc_read_hits,
+            self.pc_read_hits,
+            self.remote_read_misses(),
+            self.os_page_ops(),
+        )
+    }
+
+    /// Remote data traffic in block transfers: read misses + write misses
+    /// + write-backs crossing the network (Figure 10).
+    #[must_use]
+    pub fn remote_traffic(&self) -> u64 {
+        self.remote_read_misses() + self.remote_write_misses() + self.remote_writebacks
+    }
+}
+
+/// Per-cluster event counts, for locality/imbalance analysis (e.g. how
+/// well first-touch placement spread the remote-miss load).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterCounts {
+    /// References issued by this cluster's processors.
+    pub refs: u64,
+    /// Remote read misses this cluster sent to other homes.
+    pub remote_reads: u64,
+    /// Remote write transactions this cluster sent (incl. ownership-only).
+    pub remote_writes: u64,
+    /// Remote-data misses served by this cluster's NC.
+    pub nc_hits: u64,
+    /// Remote-data misses served by this cluster's page cache.
+    pub pc_hits: u64,
+    /// Pages relocated into this cluster's page cache.
+    pub relocations: u64,
+}
+
+impl ClusterCounts {
+    /// Remote transactions per reference issued — the per-cluster
+    /// communication intensity.
+    #[must_use]
+    pub fn remote_intensity(&self) -> f64 {
+        ratio(self.remote_reads + self.remote_writes, self.refs)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Latencies, NcTechnology};
+
+    #[test]
+    fn zeroed_by_default() {
+        let m = Metrics::new();
+        assert_eq!(m.shared_refs, 0);
+        assert_eq!(m.cluster_miss_ratio(), 0.0);
+        assert_eq!(m.remote_traffic(), 0);
+    }
+
+    #[test]
+    fn miss_ratios() {
+        let m = Metrics {
+            shared_refs: 1000,
+            remote_read_necessary: 10,
+            remote_read_capacity: 20,
+            remote_write_necessary: 5,
+            remote_write_capacity: 5,
+            ..Metrics::default()
+        };
+        assert!((m.read_miss_ratio() - 0.03).abs() < 1e-12);
+        assert!((m.write_miss_ratio() - 0.01).abs() < 1e-12);
+        assert!((m.cluster_miss_ratio() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relocation_overhead_uses_cost_factor() {
+        let m = Metrics {
+            shared_refs: 1000,
+            relocations: 4,
+            ..Metrics::default()
+        };
+        let model = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
+        // 4/1000 * 7.5 = 0.03
+        assert!((m.relocation_overhead_ratio(&model) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_and_traffic_composition() {
+        let m = Metrics {
+            nc_read_hits: 10,
+            pc_read_hits: 2,
+            remote_read_necessary: 3,
+            remote_read_capacity: 1,
+            remote_write_necessary: 2,
+            remote_write_capacity: 0,
+            remote_writebacks: 5,
+            relocations: 1,
+            ..Metrics::default()
+        };
+        let model = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
+        assert_eq!(m.remote_read_stall(&model), 10 + 20 + 120 + 225);
+        assert_eq!(m.remote_traffic(), 4 + 2 + 5);
+    }
+}

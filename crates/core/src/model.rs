@@ -1,0 +1,202 @@
+//! The paper's performance model: event latencies (Table 2), per-system
+//! latency composition (Table 1), and the remote read stall (Equation 1).
+//!
+//! The model is deliberately simple — the paper's own words: "This model
+//! does not account for contention and uses a constant, average value for
+//! latencies". Every latency is in 10-ns cycles of the 100-MHz cluster bus.
+
+use serde::{Deserialize, Serialize};
+
+/// Event latencies in bus cycles — the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Latencies {
+    /// A DRAM array access (page-cache data, or DRAM-NC data+tag fetch).
+    pub dram_access: u64,
+    /// Checking a DRAM NC's tag after the fetch.
+    pub tag_check: u64,
+    /// A cache-to-cache transfer on the cluster bus (SRAM NC or peer cache).
+    pub cache_to_cache: u64,
+    /// A remote access to the home node over the network.
+    pub remote_access: u64,
+    /// Relocating a page into the page cache (interrupt + software handler
+    /// + TLB shootdown), amortized average.
+    pub page_relocation: u64,
+}
+
+impl Latencies {
+    /// Table 2 of the paper: 10 / 3 / 1 / 30 / 225 cycles.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Latencies {
+            dram_access: 10,
+            tag_check: 3,
+            cache_to_cache: 1,
+            remote_access: 30,
+            page_relocation: 225,
+        }
+    }
+
+    /// The relocation-to-remote-access cost ratio the paper uses to fold
+    /// relocation overhead into "equivalent remote misses" (225 / 30).
+    #[must_use]
+    pub fn relocation_cost_factor(&self) -> f64 {
+        self.page_relocation as f64 / self.remote_access as f64
+    }
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies::paper_default()
+    }
+}
+
+/// The memory technology of a network cache, which determines where its
+/// access time falls on the remote-miss critical path (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NcTechnology {
+    /// No network cache at all.
+    None,
+    /// Small and fast: snoops at bus speed, hits are cache-to-cache
+    /// transfers, misses add nothing.
+    Sram,
+    /// Large and slow: every lookup costs a DRAM fetch plus a tag check,
+    /// on hits *and* misses.
+    Dram,
+}
+
+/// Per-event latencies for one system configuration — the rows of Table 1
+/// evaluated against Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    latencies: Latencies,
+    nc: NcTechnology,
+}
+
+impl LatencyModel {
+    /// Builds the model for a system whose NC uses `nc` technology.
+    #[must_use]
+    pub fn new(latencies: Latencies, nc: NcTechnology) -> Self {
+        LatencyModel { latencies, nc }
+    }
+
+    /// The raw event latencies.
+    #[must_use]
+    pub fn latencies(&self) -> &Latencies {
+        &self.latencies
+    }
+
+    /// Latency of a remote-data miss that hits in the network cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no NC (such systems cannot produce NC hits).
+    #[must_use]
+    pub fn nc_hit(&self) -> u64 {
+        match self.nc {
+            NcTechnology::None => panic!("a system without an NC cannot hit in it"),
+            NcTechnology::Sram => self.latencies.cache_to_cache,
+            NcTechnology::Dram => self.latencies.dram_access + self.latencies.tag_check,
+        }
+    }
+
+    /// Latency of a remote-data miss that hits in the page cache (a local
+    /// DRAM access; the page cache's block-state tags are SRAM and snooped
+    /// at bus speed, so no tag-check penalty applies).
+    #[must_use]
+    pub fn pc_hit(&self) -> u64 {
+        self.latencies.dram_access
+    }
+
+    /// Latency of a remote-data miss that must go to the home node. A DRAM
+    /// NC adds its tag check to the critical path even on a miss.
+    #[must_use]
+    pub fn remote_miss(&self) -> u64 {
+        match self.nc {
+            NcTechnology::None | NcTechnology::Sram => self.latencies.remote_access,
+            NcTechnology::Dram => self.latencies.remote_access + self.latencies.tag_check,
+        }
+    }
+
+    /// Average overhead of one page relocation.
+    #[must_use]
+    pub fn relocation(&self) -> u64 {
+        self.latencies.page_relocation
+    }
+
+    /// Equation 1: the total remote read stall for the given event counts.
+    #[must_use]
+    pub fn remote_read_stall(
+        &self,
+        nc_read_hits: u64,
+        pc_read_hits: u64,
+        remote_read_misses: u64,
+        relocations: u64,
+    ) -> u64 {
+        let nc_part = if nc_read_hits == 0 {
+            0
+        } else {
+            nc_read_hits * self.nc_hit()
+        };
+        nc_part
+            + pc_read_hits * self.pc_hit()
+            + remote_read_misses * self.remote_miss()
+            + relocations * self.relocation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        let l = Latencies::paper_default();
+        assert_eq!(l.dram_access, 10);
+        assert_eq!(l.tag_check, 3);
+        assert_eq!(l.cache_to_cache, 1);
+        assert_eq!(l.remote_access, 30);
+        assert_eq!(l.page_relocation, 225);
+        assert!((l.relocation_cost_factor() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_sram_row() {
+        let m = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
+        assert_eq!(m.nc_hit(), 1);
+        assert_eq!(m.pc_hit(), 10);
+        assert_eq!(m.remote_miss(), 30);
+    }
+
+    #[test]
+    fn table1_dram_row() {
+        let m = LatencyModel::new(Latencies::paper_default(), NcTechnology::Dram);
+        assert_eq!(m.nc_hit(), 13);
+        assert_eq!(m.remote_miss(), 33);
+    }
+
+    #[test]
+    fn table1_no_nc_row() {
+        let m = LatencyModel::new(Latencies::paper_default(), NcTechnology::None);
+        assert_eq!(m.remote_miss(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an NC")]
+    fn nc_hit_without_nc_panics() {
+        let m = LatencyModel::new(Latencies::paper_default(), NcTechnology::None);
+        let _ = m.nc_hit();
+    }
+
+    #[test]
+    fn equation1_composition() {
+        let m = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
+        // 10 NC hits + 5 PC hits + 2 remote + 1 relocation
+        assert_eq!(m.remote_read_stall(10, 5, 2, 1), 10 + 50 + 60 + 225);
+    }
+
+    #[test]
+    fn equation1_zero_nc_hits_ok_without_nc() {
+        let m = LatencyModel::new(Latencies::paper_default(), NcTechnology::None);
+        assert_eq!(m.remote_read_stall(0, 0, 4, 0), 120);
+    }
+}

@@ -1,0 +1,394 @@
+//! Network caches: the paper's design space.
+//!
+//! Four organizations, one enum ([`NcUnit`]) so the cluster model can hold
+//! any of them without dynamic dispatch and the `vxp` relocation counters
+//! can reach into the victim variant:
+//!
+//! * [`VictimNc`] — the paper's contribution: a small SRAM cache holding
+//!   *only* blocks victimized from the processor caches (no inclusion,
+//!   no allocation on fills). Indexed by block-address bits (`vb`) or
+//!   page-address bits (`vp`).
+//! * [`InclusionNc`] — allocates on every remote fill. With
+//!   `full_inclusion = false` it relaxes inclusion for clean blocks (the
+//!   paper's `nc`, after Fletcher et al. / R-NUMA): evicting a clean NC
+//!   entry leaves processor-cache copies alone; evicting a dirty one
+//!   forces them out. With `full_inclusion = true` it models the 512-KB
+//!   DRAM `NCD` (NUMA-Q style).
+//! * [`InfiniteNc`] — an unbounded NC (the `NCS` ideal and the
+//!   infinite-DRAM normalization baseline of Figures 9-11).
+//! * [`NcUnit::None`] — no NC (`base`).
+
+mod inclusion;
+mod infinite;
+mod victim;
+
+use dsm_types::{BlockAddr, PageAddr};
+
+pub use inclusion::InclusionNc;
+pub use infinite::InfiniteNc;
+pub use victim::{NcIndexing, VictimNc};
+
+use crate::model::NcTechnology;
+
+/// A hit in a network cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NcHit {
+    /// The cached copy is dirty (the cluster holds ownership; a fill from
+    /// it installs `M` without a directory transaction).
+    pub dirty: bool,
+}
+
+/// A block leaving a network cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NcEviction {
+    /// The evicted block.
+    pub block: BlockAddr,
+    /// It carries dirty data that must be written back (to the page cache
+    /// if the page is resident, else to the remote home).
+    pub dirty: bool,
+    /// Inclusion requires the processor caches' copies of this block to be
+    /// evicted too (dirty entries under relaxed inclusion; all entries
+    /// under full inclusion).
+    pub force_cache_eviction: bool,
+}
+
+/// Outcome of offering a victimized block to the NC.
+#[derive(Debug, Clone, Default)]
+pub struct VictimOutcome {
+    /// The NC took the block (victim organizations always accept remote
+    /// victims; inclusion NCs fold write-backs into their existing entry).
+    pub accepted: bool,
+    /// Entries displaced to make room.
+    pub evictions: Vec<NcEviction>,
+    /// The NC set the block landed in (victim organizations only) — the
+    /// hook for `vxp`'s per-set victimization counters.
+    pub set: Option<usize>,
+}
+
+/// Any of the paper's network-cache organizations (or none).
+#[derive(Debug, Clone)]
+pub enum NcUnit {
+    /// No network cache.
+    None,
+    /// The victim-cache organization (`vb` / `vp`).
+    Victim(VictimNc),
+    /// Allocate-on-fill with (relaxed or full) inclusion (`nc` / `NCD`).
+    Inclusion(InclusionNc),
+    /// Unbounded (`NCS` and the infinite-DRAM baseline).
+    Infinite(InfiniteNc),
+}
+
+impl NcUnit {
+    /// The memory technology, for latency modelling.
+    #[must_use]
+    pub fn technology(&self) -> NcTechnology {
+        match self {
+            NcUnit::None => NcTechnology::None,
+            NcUnit::Victim(_) => NcTechnology::Sram,
+            NcUnit::Inclusion(nc) => nc.technology(),
+            NcUnit::Infinite(nc) => nc.technology(),
+        }
+    }
+
+    /// Looks up `block` for a read miss. Victim organizations transfer the
+    /// block to the requesting cache (the entry is removed); inclusion
+    /// organizations keep their entry.
+    pub fn read_lookup(&mut self, block: BlockAddr) -> Option<NcHit> {
+        match self {
+            NcUnit::None => None,
+            NcUnit::Victim(nc) => nc.take(block),
+            NcUnit::Inclusion(nc) => nc.read_lookup(block),
+            NcUnit::Infinite(nc) => nc.read_lookup(block),
+        }
+    }
+
+    /// Looks up `block` for a write miss; the block will be installed `M`
+    /// in the requesting cache, so every organization relinquishes or
+    /// shadows its entry.
+    pub fn write_lookup(&mut self, block: BlockAddr) -> Option<NcHit> {
+        match self {
+            NcUnit::None => None,
+            NcUnit::Victim(nc) => nc.take(block),
+            NcUnit::Inclusion(nc) => nc.write_lookup(block),
+            NcUnit::Infinite(nc) => nc.write_lookup(block),
+        }
+    }
+
+    /// A remote fill (from the home node) completed; inclusion
+    /// organizations allocate. `write` marks a write fill (the cache
+    /// installs `M`).
+    pub fn on_remote_fill(&mut self, block: BlockAddr, write: bool) -> Vec<NcEviction> {
+        match self {
+            NcUnit::None | NcUnit::Victim(_) => Vec::new(),
+            NcUnit::Inclusion(nc) => nc.on_remote_fill(block, write),
+            NcUnit::Infinite(nc) => {
+                nc.on_remote_fill(block, write);
+                Vec::new()
+            }
+        }
+    }
+
+    /// A victimized remote block (dirty write-back, or a clean `R`
+    /// replacement under MESIR) is on the bus.
+    pub fn on_victim(&mut self, block: BlockAddr, dirty: bool) -> VictimOutcome {
+        match self {
+            NcUnit::None => VictimOutcome::default(),
+            NcUnit::Victim(nc) => nc.on_victim(block, dirty),
+            NcUnit::Inclusion(nc) => nc.on_victim(block, dirty),
+            NcUnit::Infinite(nc) => nc.on_victim(block, dirty),
+        }
+    }
+
+    /// A local processor took `M` ownership of `block` (upgrade or
+    /// peer-supplied write): NC copies are stale.
+    pub fn on_local_write(&mut self, block: BlockAddr) -> Vec<NcEviction> {
+        match self {
+            NcUnit::None => Vec::new(),
+            NcUnit::Victim(nc) => {
+                nc.remove(block);
+                Vec::new()
+            }
+            NcUnit::Inclusion(nc) => nc.on_local_write(block),
+            NcUnit::Infinite(nc) => {
+                nc.on_local_write(block);
+                Vec::new()
+            }
+        }
+    }
+
+    /// A dirty downgrade (peer read of an `M` block) put a remote
+    /// write-back on the bus; returns `true` if the NC absorbed it
+    /// (otherwise it must update the remote home — the DASH RAC problem).
+    pub fn on_downgrade_writeback(&mut self, block: BlockAddr) -> bool {
+        match self {
+            NcUnit::None => false,
+            // Pollution: the victim cache allocates a frame although the
+            // caches still hold (clean) copies.
+            NcUnit::Victim(nc) => {
+                let _ = nc.on_victim(block, true);
+                true
+            }
+            NcUnit::Inclusion(nc) => nc.absorb_downgrade(block),
+            NcUnit::Infinite(nc) => {
+                nc.absorb_downgrade(block);
+                true
+            }
+        }
+    }
+
+    /// Removes any entry for `block` during a page re-mapping (page-cache
+    /// eviction), returning whether a copy existed and whether it carried
+    /// dirty data needing a write-back.
+    pub fn purge(&mut self, block: BlockAddr) -> Option<NcHit> {
+        match self {
+            NcUnit::None => None,
+            NcUnit::Victim(nc) => nc.take(block),
+            NcUnit::Inclusion(nc) => nc.purge(block),
+            NcUnit::Infinite(nc) => nc.purge(block),
+        }
+    }
+
+    /// An external downgrade (a remote read of a block this cluster owns):
+    /// dirty NC copies become clean, the home having been updated.
+    pub fn on_external_downgrade(&mut self, block: BlockAddr) {
+        match self {
+            NcUnit::None => {}
+            NcUnit::Victim(nc) => nc.clean(block),
+            NcUnit::Inclusion(nc) => nc.on_external_downgrade(block),
+            NcUnit::Infinite(nc) => nc.on_external_downgrade(block),
+        }
+    }
+
+    /// An external (directory) invalidation; returns `true` if a copy was
+    /// dropped.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        match self {
+            NcUnit::None => false,
+            NcUnit::Victim(nc) => nc.remove(block),
+            NcUnit::Inclusion(nc) => nc.invalidate(block),
+            NcUnit::Infinite(nc) => nc.invalidate(block),
+        }
+    }
+
+    /// Whether the NC holds `block` in any state.
+    #[must_use]
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        match self {
+            NcUnit::None => false,
+            NcUnit::Victim(nc) => nc.contains(block),
+            NcUnit::Inclusion(nc) => nc.contains(block),
+            NcUnit::Infinite(nc) => nc.contains(block),
+        }
+    }
+
+    /// The predominant page among the tags of victim-NC set `set` — the
+    /// relocation candidate `vxp` derives from the set contents. `None`
+    /// for non-victim organizations or empty sets.
+    #[must_use]
+    pub fn predominant_page(&self, set: usize) -> Option<PageAddr> {
+        match self {
+            NcUnit::Victim(nc) => nc.predominant_page(set),
+            _ => None,
+        }
+    }
+
+    /// Number of sets (victim organizations), for sizing `vxp` counters.
+    #[must_use]
+    pub fn sets(&self) -> Option<usize> {
+        match self {
+            NcUnit::Victim(nc) => Some(nc.sets()),
+            _ => None,
+        }
+    }
+
+    /// The victim-NC set `block` maps to (for `vxp` counter addressing).
+    #[must_use]
+    pub fn set_of(&self, block: BlockAddr) -> Option<usize> {
+        match self {
+            NcUnit::Victim(nc) => Some(nc.set_of(block)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_cache::CacheShape;
+    use dsm_types::Geometry;
+
+    fn victim_unit() -> NcUnit {
+        NcUnit::Victim(VictimNc::new(
+            CacheShape::new(1024, 64, 4).unwrap(),
+            NcIndexing::Page,
+            Geometry::paper_default(),
+        ))
+    }
+
+    fn inclusion_unit() -> NcUnit {
+        NcUnit::Inclusion(InclusionNc::sram_relaxed(
+            CacheShape::new(1024, 64, 4).unwrap(),
+        ))
+    }
+
+    fn infinite_unit() -> NcUnit {
+        NcUnit::Infinite(InfiniteNc::new(crate::model::NcTechnology::Sram))
+    }
+
+    #[test]
+    fn victim_dispatch_transfers_on_hit() {
+        let mut nc = victim_unit();
+        assert_eq!(nc.technology(), NcTechnology::Sram);
+        let b = BlockAddr(5);
+        assert!(nc.on_victim(b, true).accepted);
+        assert!(nc.contains(b));
+        assert_eq!(nc.read_lookup(b), Some(NcHit { dirty: true }));
+        assert!(!nc.contains(b), "victim hits transfer the block out");
+        assert_eq!(nc.sets(), Some(4));
+        assert_eq!(nc.set_of(b), Some(0));
+    }
+
+    #[test]
+    fn inclusion_dispatch_keeps_entries_on_read_hits() {
+        let mut nc = inclusion_unit();
+        let b = BlockAddr(5);
+        assert!(nc.on_remote_fill(b, false).is_empty());
+        assert_eq!(nc.read_lookup(b), Some(NcHit { dirty: false }));
+        assert!(nc.contains(b));
+        assert!(nc.sets().is_none());
+        assert!(nc.set_of(b).is_none());
+        assert!(nc.predominant_page(0).is_none());
+    }
+
+    #[test]
+    fn infinite_dispatch_accumulates() {
+        let mut nc = infinite_unit();
+        for i in 0..100 {
+            nc.on_remote_fill(BlockAddr(i), false);
+        }
+        assert!(nc.contains(BlockAddr(0)));
+        assert!(nc.on_victim(BlockAddr(200), true).accepted);
+        assert!(nc.on_downgrade_writeback(BlockAddr(300)));
+        assert!(nc.invalidate(BlockAddr(0)));
+    }
+
+    #[test]
+    fn purge_reports_dirty_data_per_variant() {
+        let b = BlockAddr(5);
+        let mut v = victim_unit();
+        v.on_victim(b, true);
+        assert_eq!(v.purge(b), Some(NcHit { dirty: true }));
+
+        let mut i = inclusion_unit();
+        i.on_remote_fill(b, true); // shadow: dirty data is in a cache
+        assert_eq!(i.purge(b), Some(NcHit { dirty: false }));
+        i.on_remote_fill(b, false);
+        i.on_victim(b, true); // now genuinely dirty
+        assert_eq!(i.purge(b), Some(NcHit { dirty: true }));
+
+        let mut inf = infinite_unit();
+        assert_eq!(inf.purge(b), None);
+    }
+
+    #[test]
+    fn external_downgrade_cleans_each_variant() {
+        let b = BlockAddr(5);
+        let mut v = victim_unit();
+        v.on_victim(b, true);
+        v.on_external_downgrade(b);
+        assert_eq!(v.read_lookup(b), Some(NcHit { dirty: false }));
+
+        let mut i = inclusion_unit();
+        i.on_remote_fill(b, false);
+        i.on_victim(b, true);
+        i.on_external_downgrade(b);
+        assert_eq!(i.read_lookup(b), Some(NcHit { dirty: false }));
+
+        let mut inf = infinite_unit();
+        inf.on_victim(b, true);
+        inf.on_external_downgrade(b);
+        assert_eq!(inf.read_lookup(b), Some(NcHit { dirty: false }));
+    }
+
+    #[test]
+    fn downgrade_writeback_absorption_per_variant() {
+        let b = BlockAddr(9);
+        let mut none = NcUnit::None;
+        assert!(!none.on_downgrade_writeback(b));
+
+        let mut v = victim_unit();
+        assert!(v.on_downgrade_writeback(b)); // pollution copy allocated
+        assert!(v.contains(b));
+
+        let mut i = inclusion_unit();
+        assert!(i.on_downgrade_writeback(b));
+        assert_eq!(i.read_lookup(b), Some(NcHit { dirty: true }));
+    }
+
+    #[test]
+    fn predominant_page_through_enum() {
+        let mut nc = victim_unit();
+        // Two blocks of page 0 (blocks 0..64 map to set 0 of 4).
+        nc.on_victim(BlockAddr(0), false);
+        nc.on_victim(BlockAddr(1), false);
+        let set = nc.set_of(BlockAddr(0)).unwrap();
+        assert_eq!(nc.predominant_page(set), Some(dsm_types::PageAddr(0)));
+    }
+
+    #[test]
+    fn none_is_inert() {
+        let mut nc = NcUnit::None;
+        let b = BlockAddr(1);
+        assert_eq!(nc.technology(), NcTechnology::None);
+        assert!(nc.read_lookup(b).is_none());
+        assert!(nc.write_lookup(b).is_none());
+        assert!(nc.on_remote_fill(b, false).is_empty());
+        let out = nc.on_victim(b, true);
+        assert!(!out.accepted);
+        assert!(!nc.on_downgrade_writeback(b));
+        assert!(!nc.invalidate(b));
+        assert!(!nc.contains(b));
+        assert!(nc.predominant_page(0).is_none());
+        assert!(nc.sets().is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! The network victim cache (`vb` / `vp`), the paper's proposal.
+
+use std::collections::HashMap;
+
+use dsm_cache::{CacheShape, SetAssoc};
+use dsm_types::{BlockAddr, Geometry, PageAddr};
+
+use super::{NcEviction, NcHit, VictimOutcome};
+
+/// How the victim cache computes a block's set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NcIndexing {
+    /// Least significant bits of the block address (`vb`).
+    Block,
+    /// Least significant bits of the page address (`vp`): all blocks of a
+    /// page share a set, making each set an intermediate store for one
+    /// remote page — the organization that lets relocation counters attach
+    /// to sets (`vxp`).
+    Page,
+}
+
+/// A small SRAM network cache organized as a **victim cache** for remote
+/// data: it holds only blocks victimized by the processor caches (the last
+/// copy in the node, delivered by MESIR write-back/replacement
+/// transactions), never replicating what the caches already hold.
+///
+/// Lookups are *transfers*: a hit removes the entry and moves the block
+/// back into the requesting processor's cache (two-level exclusive
+/// caching), so the NC's capacity is pure surplus for the cluster.
+#[derive(Debug, Clone)]
+pub struct VictimNc {
+    frames: SetAssoc<bool>, // payload: dirty flag
+    indexing: NcIndexing,
+    geo: Geometry,
+    capture_clean: bool,
+}
+
+impl VictimNc {
+    /// Creates a victim NC of the given shape and indexing.
+    #[must_use]
+    pub fn new(shape: CacheShape, indexing: NcIndexing, geo: Geometry) -> Self {
+        VictimNc {
+            frames: SetAssoc::new(shape),
+            indexing,
+            geo,
+            capture_clean: true,
+        }
+    }
+
+    /// Disables capture of *clean* victims — an ablation of the MESIR `R`
+    /// state: under plain MESI a clean remote block never reaches the bus
+    /// on replacement, so only dirty write-backs can be captured.
+    #[must_use]
+    pub fn without_clean_capture(mut self) -> Self {
+        self.capture_clean = false;
+        self
+    }
+
+    /// Whether clean (MESIR replacement-transaction) victims are captured.
+    #[must_use]
+    pub fn captures_clean(&self) -> bool {
+        self.capture_clean
+    }
+
+    /// The indexing mode.
+    #[must_use]
+    pub fn indexing(&self) -> NcIndexing {
+        self.indexing
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.frames.shape().sets()
+    }
+
+    /// The set `block` maps to under this indexing.
+    #[must_use]
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        match self.indexing {
+            NcIndexing::Block => self.frames.shape().set_of_block(block),
+            NcIndexing::Page => self.frames.shape().set_of_page(&self.geo, block),
+        }
+    }
+
+    /// Transfers `block` out of the NC (read or write miss service):
+    /// removes the entry and reports its dirtiness.
+    pub fn take(&mut self, block: BlockAddr) -> Option<NcHit> {
+        let set = self.set_of(block);
+        self.frames.remove(set, block.0).map(|dirty| NcHit { dirty })
+    }
+
+    /// Drops `block` without a hit (stale copy after a local write, or an
+    /// external invalidation). Returns whether an entry existed.
+    pub fn remove(&mut self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        self.frames.remove(set, block.0).is_some()
+    }
+
+    /// Marks a resident dirty entry clean (an external downgrade: another
+    /// cluster's read forced this cluster, the owner, to supply the block
+    /// and update the home). No-op if absent.
+    pub fn clean(&mut self, block: BlockAddr) {
+        let set = self.set_of(block);
+        if let Some(dirty) = self.frames.peek_mut(set, block.0) {
+            *dirty = false;
+        }
+    }
+
+    /// Accepts a victimized block, possibly displacing the set's LRU
+    /// entry. Victim-cache evictions never force processor-cache evictions
+    /// (there is no inclusion to maintain). Clean victims are rejected
+    /// when MESIR capture is disabled ([`VictimNc::without_clean_capture`]).
+    pub fn on_victim(&mut self, block: BlockAddr, dirty: bool) -> VictimOutcome {
+        if !dirty && !self.capture_clean {
+            return VictimOutcome::default();
+        }
+        let set = self.set_of(block);
+        let evictions = self
+            .frames
+            .insert(set, block.0, dirty)
+            .map(|(tag, was_dirty)| NcEviction {
+                block: BlockAddr(tag),
+                dirty: was_dirty,
+                force_cache_eviction: false,
+            })
+            .into_iter()
+            .collect();
+        VictimOutcome {
+            accepted: true,
+            evictions,
+            set: Some(set),
+        }
+    }
+
+    /// Whether `block` is resident.
+    #[must_use]
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.frames.peek(self.set_of(block), block.0).is_some()
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the NC is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The page holding the most tags in `set` — the page a software
+    /// relocation handler would pick when the set's victimization counter
+    /// trips (`vxp`). Ties break toward the lower page number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn predominant_page(&self, set: usize) -> Option<PageAddr> {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for (tag, _) in self.frames.iter_set(set) {
+            let page = self.geo.page_of_block(BlockAddr(tag));
+            *counts.entry(page.0).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(page, _)| PageAddr(page))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nc(indexing: NcIndexing) -> VictimNc {
+        // 1 KB, 4-way, 64-B blocks -> 4 sets.
+        VictimNc::new(
+            CacheShape::new(1024, 64, 4).unwrap(),
+            indexing,
+            Geometry::paper_default(),
+        )
+    }
+
+    #[test]
+    fn take_transfers_and_removes() {
+        let mut v = nc(NcIndexing::Block);
+        let b = BlockAddr(5);
+        assert!(v.take(b).is_none());
+        v.on_victim(b, true);
+        assert!(v.contains(b));
+        assert_eq!(v.take(b), Some(NcHit { dirty: true }));
+        assert!(!v.contains(b));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn victims_never_force_cache_evictions() {
+        let mut v = nc(NcIndexing::Block);
+        // Fill set 0 (blocks 0,4,8,12 with 4 sets) then overflow it.
+        for i in 0..5 {
+            let out = v.on_victim(BlockAddr(i * 4), false);
+            assert!(out.accepted);
+            for e in out.evictions {
+                assert!(!e.force_cache_eviction);
+            }
+        }
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn eviction_carries_dirtiness() {
+        let mut v = VictimNc::new(
+            CacheShape::from_sets_ways(1, 1, 64).unwrap(),
+            NcIndexing::Block,
+            Geometry::paper_default(),
+        );
+        v.on_victim(BlockAddr(1), true);
+        let out = v.on_victim(BlockAddr(2), false);
+        assert_eq!(out.evictions.len(), 1);
+        assert_eq!(out.evictions[0].block, BlockAddr(1));
+        assert!(out.evictions[0].dirty);
+    }
+
+    #[test]
+    fn block_indexing_spreads_a_page() {
+        let v = nc(NcIndexing::Block);
+        // Consecutive blocks of one page land in different sets.
+        assert_ne!(v.set_of(BlockAddr(0)), v.set_of(BlockAddr(1)));
+    }
+
+    #[test]
+    fn page_indexing_collapses_a_page() {
+        let v = nc(NcIndexing::Page);
+        // All 64 blocks of page 0 share a set; page 1 gets the next set.
+        let s0 = v.set_of(BlockAddr(0));
+        for i in 1..64 {
+            assert_eq!(v.set_of(BlockAddr(i)), s0);
+        }
+        assert_eq!(v.set_of(BlockAddr(64)), (s0 + 1) % 4);
+    }
+
+    #[test]
+    fn predominant_page_majority() {
+        let mut v = nc(NcIndexing::Page);
+        // Page 0 and page 4 both map to set 0 (4 sets). Two blocks of page
+        // 4, one of page 0.
+        v.on_victim(BlockAddr(64 * 4), false);
+        v.on_victim(BlockAddr(64 * 4 + 1), false);
+        v.on_victim(BlockAddr(0), false);
+        assert_eq!(v.predominant_page(v.set_of(BlockAddr(0))), Some(PageAddr(4)));
+    }
+
+    #[test]
+    fn predominant_page_empty_set() {
+        let v = nc(NcIndexing::Page);
+        assert_eq!(v.predominant_page(0), None);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut v = nc(NcIndexing::Block);
+        assert!(!v.remove(BlockAddr(3)));
+        v.on_victim(BlockAddr(3), false);
+        assert!(v.remove(BlockAddr(3)));
+    }
+}

@@ -1,0 +1,188 @@
+//! The paper's adaptive relocation-threshold policy (Section 6.2).
+//!
+//! Fixed thresholds make cross-application comparison unfair and leave
+//! page-cache thrashing unchecked (Figure 6: Barnes and Radix thrash with
+//! a fixed threshold of 32). The adaptive policy:
+//!
+//! * per-node threshold, initialized to 32 (or 64 for `vxp`'s more eager
+//!   victimization counters), incremented by 8 whenever thrashing is
+//!   detected;
+//! * thrashing detection: every page-cache frame has a saturating hit
+//!   counter; when a frame is *reused* (its page evicted for a new one),
+//!   `hits - break_even` is accumulated into a thrashing indicator
+//!   (break-even = 12, the hit count that amortizes one relocation);
+//! * after a monitoring window of `2 x frames` reuses, a negative
+//!   indicator raises the threshold and resets all hit counters.
+
+/// Per-cluster relocation-threshold state, fixed or adaptive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveThreshold {
+    threshold: u32,
+    adaptive: bool,
+    increment: u32,
+    break_even: u32,
+    window: u64,
+    reuses: u64,
+    indicator: i64,
+    adjustments: u32,
+}
+
+impl AdaptiveThreshold {
+    /// Break-even hit count: the minimum hits that offset one relocation.
+    pub const BREAK_EVEN: u32 = 12;
+    /// Threshold increment on detected thrashing.
+    pub const INCREMENT: u32 = 8;
+
+    /// The paper's adaptive policy for a page cache of `frames` frames:
+    /// initial threshold `initial` (32 in `ncp`/`vbp`/`vpp`, 32 or 64 in
+    /// `vxp`), break-even 12, monitoring window `2 x frames`.
+    #[must_use]
+    pub fn adaptive(initial: u32, frames: usize) -> Self {
+        AdaptiveThreshold {
+            threshold: initial,
+            adaptive: true,
+            increment: Self::INCREMENT,
+            break_even: Self::BREAK_EVEN,
+            window: 2 * frames.max(1) as u64,
+            reuses: 0,
+            indicator: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// A fixed threshold (the comparison policy of Figure 6).
+    #[must_use]
+    pub fn fixed(threshold: u32) -> Self {
+        AdaptiveThreshold {
+            threshold,
+            adaptive: false,
+            increment: 0,
+            break_even: Self::BREAK_EVEN,
+            window: u64::MAX,
+            reuses: 0,
+            indicator: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// The current relocation threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Whether the policy adapts.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// How many times the threshold was raised.
+    #[must_use]
+    pub fn adjustments(&self) -> u32 {
+        self.adjustments
+    }
+
+    /// Records a frame reuse whose evicted page had `hits` page-cache
+    /// hits. Returns `true` if the monitoring window closed with a
+    /// negative indicator — the caller must then reset the page cache's
+    /// hit counters ([`super::PageCache::reset_hit_counters`]).
+    pub fn on_frame_reuse(&mut self, hits: u32) -> bool {
+        if !self.adaptive {
+            return false;
+        }
+        self.indicator += i64::from(hits) - i64::from(self.break_even);
+        self.reuses += 1;
+        if self.reuses < self.window {
+            return false;
+        }
+        let thrashing = self.indicator < 0;
+        if thrashing {
+            self.threshold += self.increment;
+            self.adjustments += 1;
+        }
+        self.reuses = 0;
+        self.indicator = 0;
+        thrashing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut t = AdaptiveThreshold::fixed(32);
+        for _ in 0..1000 {
+            assert!(!t.on_frame_reuse(0));
+        }
+        assert_eq!(t.threshold(), 32);
+        assert!(!t.is_adaptive());
+        assert_eq!(t.adjustments(), 0);
+    }
+
+    #[test]
+    fn thrashing_raises_threshold() {
+        // 4 frames -> window of 8 reuses.
+        let mut t = AdaptiveThreshold::adaptive(32, 4);
+        let mut tripped = false;
+        for _ in 0..8 {
+            // Every reuse with 0 hits: indicator goes strongly negative.
+            tripped |= t.on_frame_reuse(0);
+        }
+        assert!(tripped);
+        assert_eq!(t.threshold(), 40);
+        assert_eq!(t.adjustments(), 1);
+    }
+
+    #[test]
+    fn amortized_frames_do_not_trip() {
+        let mut t = AdaptiveThreshold::adaptive(32, 4);
+        for _ in 0..16 {
+            // Hits above break-even: healthy reuse.
+            assert!(!t.on_frame_reuse(20));
+        }
+        assert_eq!(t.threshold(), 32);
+    }
+
+    #[test]
+    fn window_resets_after_each_decision() {
+        let mut t = AdaptiveThreshold::adaptive(32, 2); // window 4
+        for _ in 0..4 {
+            t.on_frame_reuse(0);
+        }
+        assert_eq!(t.threshold(), 40);
+        // Next window: healthy -> no further bump.
+        for _ in 0..4 {
+            t.on_frame_reuse(20);
+        }
+        assert_eq!(t.threshold(), 40);
+        // And thrash again.
+        for _ in 0..4 {
+            t.on_frame_reuse(0);
+        }
+        assert_eq!(t.threshold(), 48);
+        assert_eq!(t.adjustments(), 2);
+    }
+
+    #[test]
+    fn mixed_window_balances_at_break_even() {
+        let mut t = AdaptiveThreshold::adaptive(32, 2); // window 4
+        // Two frames at 24, two at 0: indicator = 2*(24-12) + 2*(-12) = 0,
+        // not negative -> no bump.
+        t.on_frame_reuse(24);
+        t.on_frame_reuse(0);
+        t.on_frame_reuse(24);
+        assert!(!t.on_frame_reuse(0));
+        assert_eq!(t.threshold(), 32);
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(AdaptiveThreshold::BREAK_EVEN, 12);
+        assert_eq!(AdaptiveThreshold::INCREMENT, 8);
+        let t = AdaptiveThreshold::adaptive(32, 128);
+        assert_eq!(t.window, 256);
+    }
+}

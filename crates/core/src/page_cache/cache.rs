@@ -1,0 +1,399 @@
+//! The page-cache frame store with least-recently-missed replacement.
+
+use std::collections::HashMap;
+
+use dsm_types::{BlockAddr, Geometry, PageAddr};
+
+/// Fine-grain (block-level) state inside a resident page-cache page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PcBlockState {
+    /// No valid copy in the page cache (never fetched, invalidated by a
+    /// remote write, or owned dirty higher in the cluster hierarchy).
+    #[default]
+    Invalid,
+    /// Valid copy, identical to the home memory.
+    Clean,
+    /// Valid copy, newer than the home memory (the cluster owns the block;
+    /// eviction requires a write-back).
+    Dirty,
+}
+
+impl PcBlockState {
+    /// Whether the block can be supplied from the page cache.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        !matches!(self, PcBlockState::Invalid)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PageEntry {
+    blocks: Box<[PcBlockState]>,
+    /// Saturating per-frame hit counter (hardware-maintained in the
+    /// paper), consumed by the adaptive-threshold thrashing detector.
+    hits: u32,
+    /// Tick of the last *miss* that touched this page — the page cache is
+    /// only accessed on processor-cache misses, and R-NUMA's replacement
+    /// policy is least-recently-**missed**.
+    last_miss: u64,
+}
+
+/// A page evicted from the page cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedPage {
+    /// The page that lost its frame.
+    pub page: PageAddr,
+    /// Blocks that held dirty data (each needs a write-back to the home).
+    pub dirty_blocks: Vec<BlockAddr>,
+    /// The frame's hit count at eviction (fed to the thrashing detector
+    /// on frame reuse).
+    pub hits: u32,
+}
+
+/// The page-cache frame store: up to `capacity` remote pages with
+/// block-grain state, least-recently-missed replacement, and per-frame hit
+/// counters.
+///
+/// # Example
+///
+/// ```
+/// use dsm_core::page_cache::{PageCache, PcBlockState};
+/// use dsm_types::{Geometry, PageAddr};
+///
+/// let geo = Geometry::paper_default();
+/// let mut pc = PageCache::new(2, geo);
+/// pc.insert_page(PageAddr(7), |_| PcBlockState::Clean);
+/// let first = geo.first_block_of_page(PageAddr(7));
+/// assert_eq!(pc.lookup_block(first), Some(PcBlockState::Clean));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    capacity: usize,
+    geo: Geometry,
+    pages: HashMap<u64, PageEntry>,
+    tick: u64,
+}
+
+impl PageCache {
+    /// Creates a page cache of `capacity` page frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (configure no page cache instead).
+    #[must_use]
+    pub fn new(capacity: usize, geo: Geometry) -> Self {
+        assert!(capacity > 0, "a page cache needs at least one frame");
+        PageCache {
+            capacity,
+            geo,
+            pages: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// The frame capacity in pages.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Whether `page` is resident.
+    #[must_use]
+    pub fn has_page(&self, page: PageAddr) -> bool {
+        self.pages.contains_key(&page.0)
+    }
+
+    fn block_slot(&self, block: BlockAddr) -> (PageAddr, usize) {
+        let page = self.geo.page_of_block(block);
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = self.geo.block_index_in_page(block) as usize;
+        (page, idx)
+    }
+
+    /// Looks up `block` on a processor-cache miss: returns its state if
+    /// the page is resident, refreshing the page's last-missed tick. The
+    /// caller decides hit vs miss from the state and must call
+    /// [`PageCache::record_hit`] on an actual data supply.
+    pub fn lookup_block(&mut self, block: BlockAddr) -> Option<PcBlockState> {
+        self.tick += 1;
+        let (page, idx) = self.block_slot(block);
+        let tick = self.tick;
+        self.pages.get_mut(&page.0).map(|e| {
+            e.last_miss = tick;
+            e.blocks[idx]
+        })
+    }
+
+    /// Peeks at `block`'s state without touching the LRM tick (for state
+    /// maintenance that is not a miss lookup).
+    #[must_use]
+    pub fn block_state(&self, block: BlockAddr) -> Option<PcBlockState> {
+        let (page, idx) = self.block_slot(block);
+        self.pages.get(&page.0).map(|e| e.blocks[idx])
+    }
+
+    /// Counts a data supply from the page cache toward the frame's hit
+    /// counter (saturating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn record_hit(&mut self, page: PageAddr) {
+        let e = self
+            .pages
+            .get_mut(&page.0)
+            .unwrap_or_else(|| panic!("record_hit on absent {page}"));
+        e.hits = e.hits.saturating_add(1);
+    }
+
+    /// Sets the state of one block of a resident page (remote fill
+    /// completion, write-back landing, ownership handoff). No-op if the
+    /// page is not resident.
+    pub fn set_block(&mut self, block: BlockAddr, state: PcBlockState) {
+        let (page, idx) = self.block_slot(block);
+        if let Some(e) = self.pages.get_mut(&page.0) {
+            e.blocks[idx] = state;
+        }
+    }
+
+    /// Invalidates one block (remote write); returns the previous state.
+    pub fn invalidate_block(&mut self, block: BlockAddr) -> PcBlockState {
+        let (page, idx) = self.block_slot(block);
+        match self.pages.get_mut(&page.0) {
+            Some(e) => std::mem::replace(&mut e.blocks[idx], PcBlockState::Invalid),
+            None => PcBlockState::Invalid,
+        }
+    }
+
+    /// Relocates `page` into the cache. `initial` supplies the state of
+    /// each block (by index within the page): `Clean` for blocks whose
+    /// home copy is valid, `Invalid` for blocks dirty elsewhere.
+    ///
+    /// If the cache is full, the least-recently-missed page is evicted and
+    /// returned (its dirty blocks need write-backs, and the paper's
+    /// re-mapping rule requires the cluster to drop all its copies of the
+    /// evicted page's blocks).
+    ///
+    /// Re-inserting a resident page refreshes nothing and returns `None`.
+    pub fn insert_page(
+        &mut self,
+        page: PageAddr,
+        initial: impl Fn(u64) -> PcBlockState,
+    ) -> Option<EvictedPage> {
+        if self.pages.contains_key(&page.0) {
+            return None;
+        }
+        let evicted = if self.pages.len() >= self.capacity {
+            let victim = self
+                .pages
+                .iter()
+                .min_by_key(|(_, e)| e.last_miss)
+                .map(|(&p, _)| p)
+                .expect("cache is full, therefore nonempty");
+            self.remove_page(PageAddr(victim))
+        } else {
+            None
+        };
+        #[allow(clippy::cast_possible_truncation)]
+        let n = self.geo.blocks_per_page() as usize;
+        let blocks: Box<[PcBlockState]> = (0..n as u64).map(&initial).collect();
+        self.tick += 1;
+        self.pages.insert(
+            page.0,
+            PageEntry {
+                blocks,
+                hits: 0,
+                last_miss: self.tick,
+            },
+        );
+        evicted
+    }
+
+    /// Removes `page` outright (used by tests and explicit shrinking),
+    /// returning its eviction record.
+    pub fn remove_page(&mut self, page: PageAddr) -> Option<EvictedPage> {
+        let entry = self.pages.remove(&page.0)?;
+        let first = self.geo.first_block_of_page(page);
+        let dirty_blocks = entry
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PcBlockState::Dirty)
+            .map(|(i, _)| BlockAddr(first.0 + i as u64))
+            .collect();
+        Some(EvictedPage {
+            page,
+            dirty_blocks,
+            hits: entry.hits,
+        })
+    }
+
+    /// All blocks of resident `page`, with their states.
+    #[must_use]
+    pub fn page_blocks(&self, page: PageAddr) -> Vec<(BlockAddr, PcBlockState)> {
+        let Some(entry) = self.pages.get(&page.0) else {
+            return Vec::new();
+        };
+        let first = self.geo.first_block_of_page(page);
+        entry
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (BlockAddr(first.0 + i as u64), *s))
+            .collect()
+    }
+
+    /// Resets every frame's hit counter (the adaptive policy does this
+    /// when it raises the threshold).
+    pub fn reset_hit_counters(&mut self) {
+        for e in self.pages.values_mut() {
+            e.hits = 0;
+        }
+    }
+
+    /// Resident pages (unordered).
+    pub fn pages(&self) -> impl Iterator<Item = PageAddr> + '_ {
+        self.pages.keys().map(|&p| PageAddr(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Geometry {
+        Geometry::paper_default()
+    }
+
+    fn block_of_page(page: u64, idx: u64) -> BlockAddr {
+        BlockAddr(page * 64 + idx)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut pc = PageCache::new(2, geo());
+        assert!(pc.insert_page(PageAddr(1), |_| PcBlockState::Clean).is_none());
+        assert_eq!(
+            pc.lookup_block(block_of_page(1, 5)),
+            Some(PcBlockState::Clean)
+        );
+        assert_eq!(pc.lookup_block(block_of_page(2, 0)), None);
+        assert_eq!(pc.len(), 1);
+    }
+
+    #[test]
+    fn initial_states_per_block() {
+        let mut pc = PageCache::new(1, geo());
+        pc.insert_page(PageAddr(0), |i| {
+            if i % 2 == 0 {
+                PcBlockState::Clean
+            } else {
+                PcBlockState::Invalid
+            }
+        });
+        assert_eq!(pc.lookup_block(block_of_page(0, 0)), Some(PcBlockState::Clean));
+        assert_eq!(
+            pc.lookup_block(block_of_page(0, 1)),
+            Some(PcBlockState::Invalid)
+        );
+    }
+
+    #[test]
+    fn least_recently_missed_eviction() {
+        let mut pc = PageCache::new(2, geo());
+        pc.insert_page(PageAddr(1), |_| PcBlockState::Clean);
+        pc.insert_page(PageAddr(2), |_| PcBlockState::Clean);
+        // Miss on page 1 -> page 2 becomes LRM.
+        pc.lookup_block(block_of_page(1, 0));
+        let ev = pc.insert_page(PageAddr(3), |_| PcBlockState::Clean).unwrap();
+        assert_eq!(ev.page, PageAddr(2));
+        assert!(pc.has_page(PageAddr(1)));
+        assert!(pc.has_page(PageAddr(3)));
+    }
+
+    #[test]
+    fn eviction_reports_dirty_blocks_and_hits() {
+        let mut pc = PageCache::new(1, geo());
+        pc.insert_page(PageAddr(1), |_| PcBlockState::Clean);
+        pc.set_block(block_of_page(1, 3), PcBlockState::Dirty);
+        pc.set_block(block_of_page(1, 7), PcBlockState::Dirty);
+        pc.record_hit(PageAddr(1));
+        pc.record_hit(PageAddr(1));
+        let ev = pc.insert_page(PageAddr(2), |_| PcBlockState::Clean).unwrap();
+        assert_eq!(ev.page, PageAddr(1));
+        assert_eq!(
+            ev.dirty_blocks,
+            vec![block_of_page(1, 3), block_of_page(1, 7)]
+        );
+        assert_eq!(ev.hits, 2);
+    }
+
+    #[test]
+    fn reinsert_resident_page_is_noop() {
+        let mut pc = PageCache::new(1, geo());
+        pc.insert_page(PageAddr(1), |_| PcBlockState::Clean);
+        pc.set_block(block_of_page(1, 0), PcBlockState::Dirty);
+        assert!(pc.insert_page(PageAddr(1), |_| PcBlockState::Invalid).is_none());
+        // State preserved.
+        assert_eq!(pc.lookup_block(block_of_page(1, 0)), Some(PcBlockState::Dirty));
+    }
+
+    #[test]
+    fn invalidate_block() {
+        let mut pc = PageCache::new(1, geo());
+        pc.insert_page(PageAddr(1), |_| PcBlockState::Clean);
+        assert_eq!(pc.invalidate_block(block_of_page(1, 0)), PcBlockState::Clean);
+        assert_eq!(
+            pc.invalidate_block(block_of_page(1, 0)),
+            PcBlockState::Invalid
+        );
+        assert_eq!(pc.invalidate_block(block_of_page(9, 0)), PcBlockState::Invalid);
+    }
+
+    #[test]
+    fn hit_counters_reset() {
+        let mut pc = PageCache::new(1, geo());
+        pc.insert_page(PageAddr(1), |_| PcBlockState::Clean);
+        pc.record_hit(PageAddr(1));
+        pc.reset_hit_counters();
+        let ev = pc.remove_page(PageAddr(1)).unwrap();
+        assert_eq!(ev.hits, 0);
+    }
+
+    #[test]
+    fn page_blocks_lists_states() {
+        let mut pc = PageCache::new(1, geo());
+        pc.insert_page(PageAddr(2), |_| PcBlockState::Clean);
+        pc.set_block(block_of_page(2, 1), PcBlockState::Dirty);
+        let blocks = pc.page_blocks(PageAddr(2));
+        assert_eq!(blocks.len(), 64);
+        assert_eq!(blocks[0], (block_of_page(2, 0), PcBlockState::Clean));
+        assert_eq!(blocks[1], (block_of_page(2, 1), PcBlockState::Dirty));
+        assert!(pc.page_blocks(PageAddr(9)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = PageCache::new(0, geo());
+    }
+
+    #[test]
+    #[should_panic(expected = "record_hit on absent")]
+    fn record_hit_absent_panics() {
+        let mut pc = PageCache::new(1, geo());
+        pc.record_hit(PageAddr(5));
+    }
+}

@@ -1,0 +1,21 @@
+//! The page cache: remote pages aliased into local main memory.
+//!
+//! Proposed for Simple COMA and refined by R-NUMA, the page cache extends
+//! the cluster's remote-data capacity at **page** granularity: a relocated
+//! remote page occupies a local DRAM frame, its blocks keep fine-grain
+//! (block-level) coherence state in SRAM tags snooped at bus speed, and a
+//! hit costs one local DRAM access — off the critical path of necessary
+//! misses, unlike a DRAM network cache.
+//!
+//! What makes or breaks the page cache is the relocation *policy*:
+//! relocating costs the paper's 225 cycles (interrupt + handler + TLB
+//! shootdown), so a page must serve enough capacity misses to amortize it.
+//! [`AdaptiveThreshold`] implements the paper's thrashing-driven threshold
+//! adjustment on top of either counter source (directory R-NUMA counters
+//! or `vxp` victim-set counters).
+
+mod adaptive;
+mod cache;
+
+pub use adaptive::AdaptiveThreshold;
+pub use cache::{EvictedPage, PageCache, PcBlockState};

@@ -1,0 +1,12 @@
+//! Page-relocation control: *where the counters live*.
+//!
+//! R-NUMA attaches capacity-miss counters to directory entries (one per
+//! page per cluster — accurate but non-scalable, full-map-only; see
+//! `dsm_directory::RnumaCounters`). The paper's alternative attaches
+//! **victimization counters to the sets of the network victim cache**
+//! ([`VxpCounters`]): scalable, directory-agnostic, and colocated with the
+//! implicit relocation candidates (the tags in the set).
+
+mod vxp;
+
+pub use vxp::VxpCounters;

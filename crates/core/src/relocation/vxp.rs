@@ -1,0 +1,149 @@
+//! Per-set victimization counters attached to the network victim cache
+//! (the paper's `vxp` mechanism, Section 3.4).
+
+/// One saturating victimization counter per victim-NC set.
+///
+/// Every capacity miss is preceded by a victimization somewhere in the
+/// cluster hierarchy, so counting arrivals at the victim NC approximates
+/// R-NUMA's capacity-miss counts without touching the directory. With the
+/// NC indexed by page address, all blocks of a page hit the same counter,
+/// and when a counter crosses the node's threshold the set's
+/// *predominant tag* (see `VictimNc::predominant_page`) names the page to
+/// relocate.
+///
+/// Scalability: the counter count equals the NC set count (64 for a 16-KB,
+/// 4-way NC) — independent of the machine size and of the number of pages,
+/// versus R-NUMA's `clusters x pages` bytes.
+///
+/// # Example
+///
+/// ```
+/// use dsm_core::relocation::VxpCounters;
+/// let mut c = VxpCounters::new(4);
+/// assert_eq!(c.record_victimization(2), 1);
+/// assert_eq!(c.record_victimization(2), 2);
+/// c.reset(2);
+/// assert_eq!(c.count(2), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VxpCounters {
+    counts: Vec<u32>,
+}
+
+impl VxpCounters {
+    /// Creates counters for an NC of `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    #[must_use]
+    pub fn new(sets: usize) -> Self {
+        assert!(sets > 0, "need at least one set");
+        VxpCounters {
+            counts: vec![0; sets],
+        }
+    }
+
+    /// Number of counters (one per set).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records a victimization arriving at `set`; returns the new count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn record_victimization(&mut self, set: usize) -> u32 {
+        let c = &mut self.counts[set];
+        *c = c.saturating_add(1);
+        *c
+    }
+
+    /// The paper's optional refinement: decrement on a late invalidation
+    /// when no cache or NC in the node holds the block (the next miss will
+    /// be a coherence miss, so the earlier victimization should not count).
+    /// Saturates at zero. Returns the new count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn record_late_invalidation(&mut self, set: usize) -> u32 {
+        let c = &mut self.counts[set];
+        *c = c.saturating_sub(1);
+        *c
+    }
+
+    /// The current count for `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn count(&self, set: usize) -> u32 {
+        self.counts[set]
+    }
+
+    /// Resets `set`'s counter (after a relocation decision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn reset(&mut self, set: usize) {
+        self.counts[set] = 0;
+    }
+
+    /// Hardware cost in counters — the scalability claim: equal to the NC
+    /// set count, independent of machine and memory size.
+    #[must_use]
+    pub fn counter_cost(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_set_independently() {
+        let mut c = VxpCounters::new(3);
+        c.record_victimization(0);
+        c.record_victimization(0);
+        c.record_victimization(2);
+        assert_eq!(c.count(0), 2);
+        assert_eq!(c.count(1), 0);
+        assert_eq!(c.count(2), 1);
+    }
+
+    #[test]
+    fn reset_clears_one_set() {
+        let mut c = VxpCounters::new(2);
+        c.record_victimization(0);
+        c.record_victimization(1);
+        c.reset(0);
+        assert_eq!(c.count(0), 0);
+        assert_eq!(c.count(1), 1);
+    }
+
+    #[test]
+    fn late_invalidation_decrements_saturating() {
+        let mut c = VxpCounters::new(1);
+        assert_eq!(c.record_late_invalidation(0), 0);
+        c.record_victimization(0);
+        c.record_victimization(0);
+        assert_eq!(c.record_late_invalidation(0), 1);
+    }
+
+    #[test]
+    fn cost_is_set_count() {
+        assert_eq!(VxpCounters::new(64).counter_cost(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        let _ = VxpCounters::new(0);
+    }
+}

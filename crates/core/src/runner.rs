@@ -1,0 +1,154 @@
+//! Convenience harness: run a workload on a system, collect a report.
+
+use dsm_trace::{Scale, Workload};
+use dsm_types::{ConfigError, Geometry, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::config::SystemSpec;
+use crate::metrics::Metrics;
+use crate::system::System;
+
+/// The result of running one workload on one system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The configuration name (`base`, `vb16`, `ncp5`, ...).
+    pub system: String,
+    /// The workload name (`fft`, `radix`, ...).
+    pub workload: String,
+    /// Shared-data footprint of the workload in bytes.
+    pub data_bytes: u64,
+    /// Trace length in references.
+    pub refs: u64,
+    /// Raw event counts.
+    pub metrics: Metrics,
+    /// Cluster read miss ratio (fraction of shared refs).
+    pub read_miss_ratio: f64,
+    /// Cluster write miss ratio.
+    pub write_miss_ratio: f64,
+    /// Relocation overhead in equivalent miss ratio (x225/30).
+    pub relocation_overhead: f64,
+    /// Remote read stall, bus cycles (Equation 1).
+    pub remote_read_stall: u64,
+    /// Remote data traffic, block transfers.
+    pub remote_traffic: u64,
+}
+
+/// Runs `workload` at `scale` on a system built from `spec` with the
+/// paper's topology and geometry.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the spec is invalid for this workload (e.g.
+/// a fraction page cache too small to hold one page).
+///
+/// # Example
+///
+/// ```
+/// use dsm_core::runner::run_workload;
+/// use dsm_core::SystemSpec;
+/// use dsm_trace::{Scale, workloads::Fft, Workload};
+///
+/// let fft = Fft::with_points(1 << 8);
+/// let report = run_workload(&SystemSpec::vb(), &fft, Scale::full())?;
+/// assert!(report.refs > 0);
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+pub fn run_workload(
+    spec: &SystemSpec,
+    workload: &dyn Workload,
+    scale: Scale,
+) -> Result<Report, ConfigError> {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    run_workload_on(spec, workload, scale, topo, geo)
+}
+
+/// [`run_workload`] with explicit topology/geometry.
+///
+/// # Errors
+///
+/// As [`run_workload`].
+pub fn run_workload_on(
+    spec: &SystemSpec,
+    workload: &dyn Workload,
+    scale: Scale,
+    topo: Topology,
+    geo: Geometry,
+) -> Result<Report, ConfigError> {
+    let data_bytes = workload.shared_bytes();
+    let mut system = System::new(spec.clone(), topo, geo, data_bytes)?;
+    let trace = workload.generate(&topo, scale);
+    let refs = trace.len() as u64;
+    system.run(trace);
+    Ok(report_of(&system, workload.name(), data_bytes, refs))
+}
+
+/// Runs a pre-generated trace (so several systems can share one trace —
+/// how the paper compares configurations).
+///
+/// # Errors
+///
+/// As [`run_workload`].
+pub fn run_trace(
+    spec: &SystemSpec,
+    workload_name: &str,
+    data_bytes: u64,
+    trace: &[dsm_types::MemRef],
+    topo: Topology,
+    geo: Geometry,
+) -> Result<Report, ConfigError> {
+    let mut system = System::new(spec.clone(), topo, geo, data_bytes)?;
+    system.run(trace.iter().copied());
+    Ok(report_of(&system, workload_name, data_bytes, trace.len() as u64))
+}
+
+fn report_of(system: &System, workload: &str, data_bytes: u64, refs: u64) -> Report {
+    let m = system.metrics().clone();
+    let model = system.model();
+    Report {
+        system: system.name().to_owned(),
+        workload: workload.to_owned(),
+        data_bytes,
+        refs,
+        read_miss_ratio: m.read_miss_ratio(),
+        write_miss_ratio: m.write_miss_ratio(),
+        relocation_overhead: m.relocation_overhead_ratio(model),
+        remote_read_stall: m.remote_read_stall(model),
+        remote_traffic: m.remote_traffic(),
+        metrics: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemSpec;
+    use dsm_trace::workloads::Fft;
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let fft = Fft::with_points(1 << 8);
+        let r = run_workload(&SystemSpec::base(), &fft, Scale::full()).unwrap();
+        assert_eq!(r.system, "base");
+        assert_eq!(r.workload, "fft");
+        assert_eq!(r.refs, r.metrics.shared_refs);
+        assert!(r.read_miss_ratio >= 0.0);
+        assert_eq!(r.relocation_overhead, 0.0);
+    }
+
+    #[test]
+    fn shared_trace_comparison_is_fair() {
+        use dsm_types::{Geometry, Topology};
+        let fft = Fft::with_points(1 << 8);
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = fft.generate(&topo, Scale::full());
+        let a = run_trace(&SystemSpec::base(), "fft", fft.shared_bytes(), &trace, topo, geo)
+            .unwrap();
+        let b = run_trace(&SystemSpec::vb(), "fft", fft.shared_bytes(), &trace, topo, geo)
+            .unwrap();
+        assert_eq!(a.refs, b.refs);
+        // A victim NC can only help the cluster miss ratio.
+        assert!(b.read_miss_ratio <= a.read_miss_ratio + 1e-12);
+    }
+}

@@ -1,0 +1,403 @@
+//! The full-map, non-notifying inter-cluster directory.
+
+use std::collections::HashMap;
+
+use dsm_types::{BlockAddr, ClusterId};
+
+/// The directory's answer to an inter-cluster read request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadGrant {
+    /// The requester's presence bit was already set — the cluster had this
+    /// block before and silently dropped it, so the miss is a
+    /// **capacity/conflict miss** (R-NUMA's relocation signal). When clear,
+    /// the miss is *necessary* (cold or post-invalidation coherence).
+    pub prior_presence: bool,
+    /// Another cluster held the block dirty and was downgraded to a clean
+    /// sharer to service this read (a three-hop transaction in a real
+    /// machine; the paper's model charges the same constant remote latency).
+    pub downgraded_owner: Option<ClusterId>,
+    /// No other cluster holds a copy: the requester may cache the block
+    /// with cluster-level mastership (`E` for local data, `R` for remote).
+    pub exclusive: bool,
+}
+
+/// The directory's answer to an inter-cluster write(-ownership) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteGrant {
+    /// Same capacity-miss signal as [`ReadGrant::prior_presence`].
+    pub prior_presence: bool,
+    /// Clusters whose copies must be invalidated (excludes the requester).
+    pub invalidate: Vec<ClusterId>,
+    /// The previous dirty owner, if the block was dirty elsewhere (its data
+    /// is forwarded to the requester; also listed in `invalidate`).
+    pub previous_owner: Option<ClusterId>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    /// One bit per cluster. In a non-notifying protocol bits persist across
+    /// clean replacements.
+    presence: u64,
+    /// The cluster holding the block dirty, if any.
+    owner: Option<ClusterId>,
+}
+
+/// A full-map directory with per-cluster presence bits and a dirty-owner
+/// field, keyed by block address.
+///
+/// The directory is home-based conceptually, but since every home memory
+/// behaves identically in the model, one map serves the whole machine; the
+/// caller decides which requests are *remote* by comparing the requester's
+/// cluster with the block's home (see [`crate::HomeMap`]).
+///
+/// Two deliberate R-NUMA behaviours:
+///
+/// * presence bits are **not** cleared on clean replacement (non-notifying);
+/// * presence bits are **kept** when a dirty block is written back
+///   ([`FullMapDirectory::writeback`]), so the next miss by the same cluster
+///   still registers as a capacity miss. This is the paper's "bits remain
+///   turned on after a dirty block is written back" modification, and can be
+///   disabled with [`FullMapDirectory::set_keep_presence_on_writeback`].
+#[derive(Debug, Clone)]
+pub struct FullMapDirectory {
+    clusters: u16,
+    entries: HashMap<u64, Entry>,
+    keep_presence_on_writeback: bool,
+}
+
+impl FullMapDirectory {
+    /// Creates a directory for `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or exceeds 64 (the presence bit-field
+    /// width).
+    #[must_use]
+    pub fn new(clusters: u16) -> Self {
+        assert!(
+            (1..=64).contains(&clusters),
+            "cluster count {clusters} must be in 1..=64"
+        );
+        FullMapDirectory {
+            clusters,
+            entries: HashMap::new(),
+            keep_presence_on_writeback: true,
+        }
+    }
+
+    /// Controls whether presence bits survive a dirty write-back (default
+    /// `true`, the R-NUMA modification).
+    pub fn set_keep_presence_on_writeback(&mut self, keep: bool) {
+        self.keep_presence_on_writeback = keep;
+    }
+
+    /// Number of clusters this directory serves.
+    #[must_use]
+    pub fn clusters(&self) -> u16 {
+        self.clusters
+    }
+
+    fn bit(&self, cluster: ClusterId) -> u64 {
+        assert!(
+            cluster.0 < self.clusters,
+            "cluster {cluster} out of range (have {})",
+            self.clusters
+        );
+        1u64 << cluster.0
+    }
+
+    /// Processes a read request from `requester` for `block`.
+    pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {
+        let bit = self.bit(requester);
+        let entry = self.entries.entry(block.0).or_default();
+        let prior_presence = entry.presence & bit != 0;
+        let mut downgraded_owner = None;
+        if let Some(owner) = entry.owner {
+            if owner != requester {
+                // Owner supplies data and is downgraded to a clean sharer;
+                // its presence bit stays set.
+                downgraded_owner = Some(owner);
+            }
+            entry.owner = None;
+        }
+        entry.presence |= bit;
+        let exclusive = entry.presence == bit;
+        ReadGrant {
+            prior_presence,
+            downgraded_owner,
+            exclusive,
+        }
+    }
+
+    /// Processes a write(-ownership) request from `requester` for `block`.
+    ///
+    /// All other clusters with copies are invalidated; the requester becomes
+    /// the dirty owner and the only cluster with a presence bit.
+    pub fn write(&mut self, block: BlockAddr, requester: ClusterId) -> WriteGrant {
+        let bit = self.bit(requester);
+        let entry = self.entries.entry(block.0).or_default();
+        let prior_presence = entry.presence & bit != 0;
+        let previous_owner = entry.owner.filter(|&o| o != requester);
+        let mut invalidate = Vec::new();
+        let others = entry.presence & !bit;
+        for c in 0..self.clusters {
+            if others & (1u64 << c) != 0 {
+                invalidate.push(ClusterId(c));
+            }
+        }
+        entry.presence = bit;
+        entry.owner = Some(requester);
+        WriteGrant {
+            prior_presence,
+            invalidate,
+            previous_owner,
+        }
+    }
+
+    /// Records that `cluster` wrote the dirty block back to its home
+    /// memory (a dirty replacement that left the cluster entirely).
+    ///
+    /// Ownership is cleared; the presence bit is kept or dropped according
+    /// to [`FullMapDirectory::set_keep_presence_on_writeback`]. A write-back
+    /// from a non-owner (stale, e.g. racing with an intervening request) is
+    /// ignored, as in real directories.
+    pub fn writeback(&mut self, block: BlockAddr, cluster: ClusterId) {
+        let bit = self.bit(cluster);
+        if let Some(entry) = self.entries.get_mut(&block.0) {
+            if entry.owner == Some(cluster) {
+                entry.owner = None;
+                if !self.keep_presence_on_writeback {
+                    entry.presence &= !bit;
+                }
+            }
+        }
+    }
+
+    /// Whether `cluster` currently holds dirty ownership of `block` (it may
+    /// write without a directory transaction).
+    #[must_use]
+    pub fn is_owner(&self, block: BlockAddr, cluster: ClusterId) -> bool {
+        self.entries
+            .get(&block.0)
+            .is_some_and(|e| e.owner == Some(cluster))
+    }
+
+    /// The cluster holding `block` dirty, if any.
+    #[must_use]
+    pub fn owner_of(&self, block: BlockAddr) -> Option<ClusterId> {
+        self.entries.get(&block.0).and_then(|e| e.owner)
+    }
+
+    /// Records an exclusive-clean (`E`) grant: `cluster` received the only
+    /// copy machine-wide and may silently transition it to `Modified`, so
+    /// the directory must treat it as the owner. Standard MESI-directory
+    /// behaviour for local data; remote clean fills take MESIR's `R`
+    /// instead, which does not allow silent writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other clusters also hold presence bits (an `E` grant
+    /// would be incoherent).
+    pub fn grant_exclusive(&mut self, block: BlockAddr, cluster: ClusterId) {
+        let bit = self.bit(cluster);
+        let entry = self.entries.entry(block.0).or_default();
+        assert!(
+            entry.presence & !bit == 0,
+            "exclusive grant of {block} to {cluster} with other sharers present"
+        );
+        entry.presence = bit;
+        entry.owner = Some(cluster);
+    }
+
+    /// Whether `cluster`'s presence bit is set (possibly stale).
+    #[must_use]
+    pub fn has_presence(&self, block: BlockAddr, cluster: ClusterId) -> bool {
+        let bit = self.bit(cluster);
+        self.entries
+            .get(&block.0)
+            .is_some_and(|e| e.presence & bit != 0)
+    }
+
+    /// Clusters whose presence bit is set for `block`.
+    #[must_use]
+    pub fn sharers(&self, block: BlockAddr) -> Vec<ClusterId> {
+        let Some(entry) = self.entries.get(&block.0) else {
+            return Vec::new();
+        };
+        (0..self.clusters)
+            .filter(|c| entry.presence & (1u64 << c) != 0)
+            .map(ClusterId)
+            .collect()
+    }
+
+    /// Explicitly clears `cluster`'s presence bit (a *notifying* protocol's
+    /// replacement hint; unused by the paper's base system but provided for
+    /// experimentation).
+    pub fn drop_presence(&mut self, block: BlockAddr, cluster: ClusterId) {
+        let bit = self.bit(cluster);
+        if let Some(entry) = self.entries.get_mut(&block.0) {
+            entry.presence &= !bit;
+        }
+    }
+
+    /// Number of blocks with directory state allocated.
+    #[must_use]
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: ClusterId = ClusterId(0);
+    const C1: ClusterId = ClusterId(1);
+    const C2: ClusterId = ClusterId(2);
+    const B: BlockAddr = BlockAddr(42);
+
+    #[test]
+    fn first_read_is_cold_and_exclusive() {
+        let mut d = FullMapDirectory::new(4);
+        let g = d.read(B, C0);
+        assert!(!g.prior_presence);
+        assert!(g.exclusive);
+        assert!(g.downgraded_owner.is_none());
+    }
+
+    #[test]
+    fn second_cluster_read_is_shared() {
+        let mut d = FullMapDirectory::new(4);
+        d.read(B, C0);
+        let g = d.read(B, C1);
+        assert!(!g.prior_presence);
+        assert!(!g.exclusive);
+    }
+
+    #[test]
+    fn reread_after_silent_drop_flags_capacity_miss() {
+        let mut d = FullMapDirectory::new(4);
+        d.read(B, C0);
+        // C0 silently replaces the clean block (non-notifying), then misses.
+        let g = d.read(B, C0);
+        assert!(g.prior_presence);
+        assert!(g.exclusive, "still the only cluster with a presence bit");
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = FullMapDirectory::new(4);
+        d.read(B, C0);
+        d.read(B, C1);
+        let g = d.write(B, C2);
+        assert_eq!(g.invalidate, vec![C0, C1]);
+        assert!(g.previous_owner.is_none());
+        assert!(d.is_owner(B, C2));
+        assert_eq!(d.sharers(B), vec![C2]);
+    }
+
+    #[test]
+    fn read_downgrades_dirty_owner() {
+        let mut d = FullMapDirectory::new(4);
+        d.write(B, C0);
+        let g = d.read(B, C1);
+        assert_eq!(g.downgraded_owner, Some(C0));
+        assert!(!d.is_owner(B, C0));
+        // Both clusters now have presence bits.
+        assert_eq!(d.sharers(B), vec![C0, C1]);
+    }
+
+    #[test]
+    fn owner_reread_does_not_self_downgrade() {
+        let mut d = FullMapDirectory::new(4);
+        d.write(B, C0);
+        let g = d.read(B, C0);
+        assert!(g.downgraded_owner.is_none());
+        assert!(g.prior_presence);
+        // Ownership is dropped on a read request (the block is clean now).
+        assert!(!d.is_owner(B, C0));
+    }
+
+    #[test]
+    fn write_after_write_transfers_ownership() {
+        let mut d = FullMapDirectory::new(4);
+        d.write(B, C0);
+        let g = d.write(B, C1);
+        assert_eq!(g.previous_owner, Some(C0));
+        assert_eq!(g.invalidate, vec![C0]);
+        assert!(d.is_owner(B, C1));
+    }
+
+    #[test]
+    fn invalidation_clears_presence_so_next_miss_is_necessary() {
+        let mut d = FullMapDirectory::new(4);
+        d.read(B, C0);
+        d.write(B, C1); // invalidates C0
+        let g = d.read(B, C0);
+        assert!(
+            !g.prior_presence,
+            "post-invalidation miss must be a necessary (coherence) miss"
+        );
+    }
+
+    #[test]
+    fn writeback_keeps_presence_by_default() {
+        let mut d = FullMapDirectory::new(4);
+        d.write(B, C0);
+        d.writeback(B, C0);
+        assert!(!d.is_owner(B, C0));
+        assert!(d.has_presence(B, C0));
+        let g = d.read(B, C0);
+        assert!(g.prior_presence, "R-NUMA counts this as a capacity miss");
+    }
+
+    #[test]
+    fn writeback_can_drop_presence_when_configured() {
+        let mut d = FullMapDirectory::new(4);
+        d.set_keep_presence_on_writeback(false);
+        d.write(B, C0);
+        d.writeback(B, C0);
+        assert!(!d.has_presence(B, C0));
+    }
+
+    #[test]
+    fn stale_writeback_from_non_owner_is_ignored() {
+        let mut d = FullMapDirectory::new(4);
+        d.write(B, C0);
+        d.write(B, C1); // ownership moved
+        d.writeback(B, C0); // stale
+        assert!(d.is_owner(B, C1));
+    }
+
+    #[test]
+    fn drop_presence_clears_bit() {
+        let mut d = FullMapDirectory::new(4);
+        d.read(B, C0);
+        d.drop_presence(B, C0);
+        assert!(!d.has_presence(B, C0));
+        let g = d.read(B, C0);
+        assert!(!g.prior_presence);
+    }
+
+    #[test]
+    fn tracked_blocks_counts_entries() {
+        let mut d = FullMapDirectory::new(4);
+        assert_eq!(d.tracked_blocks(), 0);
+        d.read(BlockAddr(1), C0);
+        d.read(BlockAddr(2), C0);
+        assert_eq!(d.tracked_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cluster_panics() {
+        let mut d = FullMapDirectory::new(2);
+        d.read(B, ClusterId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=64")]
+    fn too_many_clusters_panics() {
+        let _ = FullMapDirectory::new(65);
+    }
+}

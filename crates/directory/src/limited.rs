@@ -1,0 +1,334 @@
+//! A limited-pointer directory (Dir-i-B) — the non-full-map organization
+//! the paper invokes when arguing that `vxp` scales where R-NUMA's
+//! counters do not.
+//!
+//! Each entry tracks at most `i` sharer pointers; on overflow the entry
+//! degrades to a *broadcast* state where sharer identity is lost:
+//! invalidations go to every cluster, and — crucially for R-NUMA — the
+//! "was this cluster already a sharer?" question can no longer be
+//! answered, so capacity misses cannot be distinguished from necessary
+//! ones. The paper: R-NUMA "only works with full-map, centralized
+//! directories ... Another appeal of our relocation mechanism is that it
+//! does not require a full-map directory implementation. As such, even
+//! systems based on limited pointer or linked lists protocols (like
+//! NUMA-Q) could make efficient use of the page caches."
+
+use std::collections::HashMap;
+
+use dsm_types::{BlockAddr, ClusterId};
+
+use crate::full_map::{ReadGrant, WriteGrant};
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    /// Up to `pointers` sharer ids; meaningless once `broadcast` is set.
+    sharers: Vec<ClusterId>,
+    /// Pointer overflow: identity lost, invalidations must broadcast.
+    broadcast: bool,
+    owner: Option<ClusterId>,
+}
+
+/// A Dir-i-B limited-pointer directory with the same request interface as
+/// [`crate::FullMapDirectory`], so the system simulator can swap them.
+///
+/// Behavioural differences that matter to the paper's argument:
+///
+/// * after pointer overflow, [`ReadGrant::prior_presence`] is reported as
+///   `false` even for clusters that did hold the block — R-NUMA's
+///   capacity-miss classification silently degrades;
+/// * writes to overflowed entries return an invalidation list containing
+///   *every* other cluster (broadcast), inflating invalidation traffic.
+#[derive(Debug, Clone)]
+pub struct LimitedPointerDirectory {
+    clusters: u16,
+    pointers: usize,
+    entries: HashMap<u64, Entry>,
+    keep_presence_on_writeback: bool,
+}
+
+impl LimitedPointerDirectory {
+    /// Creates a Dir-i-B directory with `pointers` sharer slots per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is not in `1..=64` or `pointers` is zero.
+    #[must_use]
+    pub fn new(clusters: u16, pointers: usize) -> Self {
+        assert!(
+            (1..=64).contains(&clusters),
+            "cluster count {clusters} must be in 1..=64"
+        );
+        assert!(pointers > 0, "need at least one sharer pointer");
+        LimitedPointerDirectory {
+            clusters,
+            pointers,
+            entries: HashMap::new(),
+            keep_presence_on_writeback: true,
+        }
+    }
+
+    /// Number of sharer pointers per entry.
+    #[must_use]
+    pub fn pointers(&self) -> usize {
+        self.pointers
+    }
+
+    /// Number of clusters served.
+    #[must_use]
+    pub fn clusters(&self) -> u16 {
+        self.clusters
+    }
+
+    fn check(&self, cluster: ClusterId) {
+        assert!(
+            cluster.0 < self.clusters,
+            "cluster {cluster} out of range (have {})",
+            self.clusters
+        );
+    }
+
+    /// Processes a read request (compare
+    /// [`crate::FullMapDirectory::read`]).
+    pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {
+        self.check(requester);
+        let pointers = self.pointers;
+        let entry = self.entries.entry(block.0).or_default();
+        // After overflow the entry cannot say who shared: presence
+        // information is lost (the R-NUMA degradation).
+        let prior_presence = !entry.broadcast && entry.sharers.contains(&requester);
+        let mut downgraded_owner = None;
+        if let Some(owner) = entry.owner {
+            if owner != requester {
+                downgraded_owner = Some(owner);
+            }
+            entry.owner = None;
+        }
+        if !entry.broadcast && !entry.sharers.contains(&requester) {
+            if entry.sharers.len() < pointers {
+                entry.sharers.push(requester);
+            } else {
+                entry.broadcast = true;
+                entry.sharers.clear();
+            }
+        }
+        let exclusive = !entry.broadcast && entry.sharers == [requester];
+        ReadGrant {
+            prior_presence,
+            downgraded_owner,
+            exclusive,
+        }
+    }
+
+    /// Processes a write(-ownership) request (compare
+    /// [`crate::FullMapDirectory::write`]).
+    pub fn write(&mut self, block: BlockAddr, requester: ClusterId) -> WriteGrant {
+        self.check(requester);
+        let entry = self.entries.entry(block.0).or_default();
+        let prior_presence = !entry.broadcast && entry.sharers.contains(&requester);
+        let previous_owner = entry.owner.filter(|&o| o != requester);
+        let invalidate: Vec<ClusterId> = if entry.broadcast {
+            // Identity lost: broadcast to everyone else (false
+            // invalidations included).
+            (0..self.clusters)
+                .map(ClusterId)
+                .filter(|&c| c != requester)
+                .collect()
+        } else {
+            entry
+                .sharers
+                .iter()
+                .copied()
+                .filter(|&c| c != requester)
+                .collect()
+        };
+        entry.broadcast = false;
+        entry.sharers = vec![requester];
+        entry.owner = Some(requester);
+        WriteGrant {
+            prior_presence,
+            invalidate,
+            previous_owner,
+        }
+    }
+
+    /// Records a dirty write-back (compare
+    /// [`crate::FullMapDirectory::writeback`]).
+    pub fn writeback(&mut self, block: BlockAddr, cluster: ClusterId) {
+        self.check(cluster);
+        if let Some(entry) = self.entries.get_mut(&block.0) {
+            if entry.owner == Some(cluster) {
+                entry.owner = None;
+                if !self.keep_presence_on_writeback {
+                    entry.sharers.retain(|&c| c != cluster);
+                }
+            }
+        }
+    }
+
+    /// Whether `cluster` holds dirty ownership.
+    #[must_use]
+    pub fn is_owner(&self, block: BlockAddr, cluster: ClusterId) -> bool {
+        self.entries
+            .get(&block.0)
+            .is_some_and(|e| e.owner == Some(cluster))
+    }
+
+    /// The dirty owner, if any.
+    #[must_use]
+    pub fn owner_of(&self, block: BlockAddr) -> Option<ClusterId> {
+        self.entries.get(&block.0).and_then(|e| e.owner)
+    }
+
+    /// Clusters the directory would invalidate for `block` (all of them
+    /// under broadcast).
+    #[must_use]
+    pub fn sharers(&self, block: BlockAddr) -> Vec<ClusterId> {
+        match self.entries.get(&block.0) {
+            None => Vec::new(),
+            Some(e) if e.broadcast => (0..self.clusters).map(ClusterId).collect(),
+            Some(e) => {
+                let mut v = e.sharers.clone();
+                v.sort_unstable();
+                v
+            }
+        }
+    }
+
+    /// Records an exclusive-clean grant (compare
+    /// [`crate::FullMapDirectory::grant_exclusive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if other sharers are tracked.
+    pub fn grant_exclusive(&mut self, block: BlockAddr, cluster: ClusterId) {
+        self.check(cluster);
+        let entry = self.entries.entry(block.0).or_default();
+        assert!(
+            !entry.broadcast && entry.sharers.iter().all(|&c| c == cluster),
+            "exclusive grant of {block} to {cluster} with other sharers tracked"
+        );
+        entry.sharers = vec![cluster];
+        entry.owner = Some(cluster);
+    }
+
+    /// Whether the entry has overflowed to broadcast mode.
+    #[must_use]
+    pub fn is_broadcast(&self, block: BlockAddr) -> bool {
+        self.entries.get(&block.0).is_some_and(|e| e.broadcast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BlockAddr = BlockAddr(42);
+
+    fn dir() -> LimitedPointerDirectory {
+        LimitedPointerDirectory::new(8, 2)
+    }
+
+    #[test]
+    fn tracks_exactly_like_full_map_below_overflow() {
+        let mut d = dir();
+        let g = d.read(B, ClusterId(0));
+        assert!(g.exclusive && !g.prior_presence);
+        let g = d.read(B, ClusterId(1));
+        assert!(!g.exclusive);
+        // Re-read: presence still known (no overflow yet).
+        let g = d.read(B, ClusterId(0));
+        assert!(g.prior_presence);
+        assert_eq!(d.sharers(B), vec![ClusterId(0), ClusterId(1)]);
+    }
+
+    #[test]
+    fn overflow_degrades_to_broadcast() {
+        let mut d = dir();
+        d.read(B, ClusterId(0));
+        d.read(B, ClusterId(1));
+        d.read(B, ClusterId(2)); // third sharer: overflow
+        assert!(d.is_broadcast(B));
+        assert_eq!(d.sharers(B).len(), 8);
+        // Presence information is gone: cluster 0's re-read looks cold.
+        let g = d.read(B, ClusterId(0));
+        assert!(
+            !g.prior_presence,
+            "broadcast entries cannot classify capacity misses"
+        );
+    }
+
+    #[test]
+    fn broadcast_write_invalidates_everyone() {
+        let mut d = dir();
+        d.read(B, ClusterId(0));
+        d.read(B, ClusterId(1));
+        d.read(B, ClusterId(2));
+        let g = d.write(B, ClusterId(3));
+        assert_eq!(g.invalidate.len(), 7, "{:?}", g.invalidate);
+        assert!(!g.invalidate.contains(&ClusterId(3)));
+        // Write resets the entry to a precise single pointer.
+        assert!(!d.is_broadcast(B));
+        assert_eq!(d.sharers(B), vec![ClusterId(3)]);
+        assert!(d.is_owner(B, ClusterId(3)));
+    }
+
+    #[test]
+    fn precise_write_invalidates_only_pointers() {
+        let mut d = dir();
+        d.read(B, ClusterId(0));
+        d.read(B, ClusterId(1));
+        let g = d.write(B, ClusterId(5));
+        let mut inv = g.invalidate;
+        inv.sort_unstable();
+        assert_eq!(inv, vec![ClusterId(0), ClusterId(1)]);
+    }
+
+    #[test]
+    fn dirty_owner_downgrade() {
+        let mut d = dir();
+        d.write(B, ClusterId(0));
+        let g = d.read(B, ClusterId(1));
+        assert_eq!(g.downgraded_owner, Some(ClusterId(0)));
+        assert!(!d.is_owner(B, ClusterId(0)));
+    }
+
+    #[test]
+    fn writeback_clears_owner_keeps_pointer() {
+        let mut d = dir();
+        d.write(B, ClusterId(0));
+        d.writeback(B, ClusterId(0));
+        assert!(d.owner_of(B).is_none());
+        let g = d.read(B, ClusterId(0));
+        assert!(g.prior_presence, "pointer survives the write-back");
+    }
+
+    #[test]
+    fn grant_exclusive_sets_owner() {
+        let mut d = dir();
+        d.read(B, ClusterId(2));
+        d.grant_exclusive(B, ClusterId(2));
+        assert!(d.is_owner(B, ClusterId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "other sharers tracked")]
+    fn grant_exclusive_rejects_shared_entries() {
+        let mut d = dir();
+        d.read(B, ClusterId(0));
+        d.read(B, ClusterId(1));
+        d.grant_exclusive(B, ClusterId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sharer pointer")]
+    fn zero_pointers_panics() {
+        let _ = LimitedPointerDirectory::new(8, 0);
+    }
+
+    #[test]
+    fn memory_cost_is_pointer_bound() {
+        // The point of Dir-i-B: entry size is O(i log N), not O(N).
+        let d = LimitedPointerDirectory::new(64, 4);
+        assert_eq!(d.pointers(), 4);
+    }
+}

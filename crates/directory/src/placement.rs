@@ -1,0 +1,188 @@
+//! First-touch page placement and the block -> home-cluster map.
+
+use std::collections::HashMap;
+
+use dsm_types::{BlockAddr, ClusterId, Geometry, PageAddr};
+
+/// First-touch page placement: each page's home memory is the cluster of
+/// the first processor that references it.
+///
+/// The SPLASH-2 codes are optimized so that first-touch is near-optimal at
+/// minimizing remote accesses (the paper cites Marchetti et al.). The paper
+/// also fixes LU, whose master processor initializes the whole matrix inside
+/// the parallel section — that fix is expressed here as *pre-assignment*:
+/// [`FirstTouchPlacement::preassign`] pins a page's home before the trace
+/// runs.
+///
+/// # Example
+///
+/// ```
+/// use dsm_directory::FirstTouchPlacement;
+/// use dsm_types::{ClusterId, PageAddr};
+///
+/// let mut p = FirstTouchPlacement::new();
+/// assert_eq!(p.home_of(PageAddr(9), ClusterId(3)), ClusterId(3));
+/// // Later touches by other clusters do not move the page.
+/// assert_eq!(p.home_of(PageAddr(9), ClusterId(5)), ClusterId(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FirstTouchPlacement {
+    homes: HashMap<u64, ClusterId>,
+}
+
+impl FirstTouchPlacement {
+    /// Creates an empty placement map.
+    #[must_use]
+    pub fn new() -> Self {
+        FirstTouchPlacement::default()
+    }
+
+    /// Returns the home of `page`, assigning it to `toucher` on first touch.
+    pub fn home_of(&mut self, page: PageAddr, toucher: ClusterId) -> ClusterId {
+        *self.homes.entry(page.0).or_insert(toucher)
+    }
+
+    /// The home of `page` if already assigned.
+    #[must_use]
+    pub fn peek_home(&self, page: PageAddr) -> Option<ClusterId> {
+        self.homes.get(&page.0).copied()
+    }
+
+    /// Pins `page`'s home to `cluster` regardless of who touches it first
+    /// (overwrites any existing assignment).
+    pub fn preassign(&mut self, page: PageAddr, cluster: ClusterId) {
+        self.homes.insert(page.0, cluster);
+    }
+
+    /// Number of pages placed so far.
+    #[must_use]
+    pub fn placed_pages(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Iterates over `(page, home)` assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (PageAddr, ClusterId)> + '_ {
+        self.homes.iter().map(|(&p, &c)| (PageAddr(p), c))
+    }
+}
+
+/// Combines first-touch placement with the address-space geometry to answer
+/// the question the simulator asks on every reference: *which cluster is
+/// home for this block, and is that the requester?*
+#[derive(Debug, Clone)]
+pub struct HomeMap {
+    geometry: Geometry,
+    placement: FirstTouchPlacement,
+}
+
+impl HomeMap {
+    /// Creates a home map over `geometry` with empty first-touch state.
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Self {
+        HomeMap {
+            geometry,
+            placement: FirstTouchPlacement::new(),
+        }
+    }
+
+    /// The geometry in use.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Home cluster of the page containing `block`, first-touch assigning
+    /// it to `toucher` if unplaced.
+    pub fn home_of_block(&mut self, block: BlockAddr, toucher: ClusterId) -> ClusterId {
+        let page = self.geometry.page_of_block(block);
+        self.placement.home_of(page, toucher)
+    }
+
+    /// Whether `block` is remote for `cluster` (assigning on first touch,
+    /// in which case it is local by definition).
+    pub fn is_remote(&mut self, block: BlockAddr, cluster: ClusterId) -> bool {
+        self.home_of_block(block, cluster) != cluster
+    }
+
+    /// Pins the home of `page` (the paper's LU initialization fix).
+    pub fn preassign(&mut self, page: PageAddr, cluster: ClusterId) {
+        self.placement.preassign(page, cluster);
+    }
+
+    /// The underlying placement map.
+    #[must_use]
+    pub fn placement(&self) -> &FirstTouchPlacement {
+        &self.placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_assigns_and_sticks() {
+        let mut p = FirstTouchPlacement::new();
+        assert_eq!(p.peek_home(PageAddr(1)), None);
+        assert_eq!(p.home_of(PageAddr(1), ClusterId(2)), ClusterId(2));
+        assert_eq!(p.home_of(PageAddr(1), ClusterId(7)), ClusterId(2));
+        assert_eq!(p.peek_home(PageAddr(1)), Some(ClusterId(2)));
+        assert_eq!(p.placed_pages(), 1);
+    }
+
+    #[test]
+    fn preassign_overrides_first_touch() {
+        let mut p = FirstTouchPlacement::new();
+        p.preassign(PageAddr(5), ClusterId(4));
+        assert_eq!(p.home_of(PageAddr(5), ClusterId(0)), ClusterId(4));
+    }
+
+    #[test]
+    fn preassign_overwrites_existing() {
+        let mut p = FirstTouchPlacement::new();
+        p.home_of(PageAddr(5), ClusterId(0));
+        p.preassign(PageAddr(5), ClusterId(4));
+        assert_eq!(p.peek_home(PageAddr(5)), Some(ClusterId(4)));
+    }
+
+    #[test]
+    fn iter_lists_assignments() {
+        let mut p = FirstTouchPlacement::new();
+        p.home_of(PageAddr(1), ClusterId(0));
+        p.home_of(PageAddr(2), ClusterId(1));
+        let mut v: Vec<_> = p.iter().collect();
+        v.sort_by_key(|(pg, _)| pg.0);
+        assert_eq!(
+            v,
+            vec![
+                (PageAddr(1), ClusterId(0)),
+                (PageAddr(2), ClusterId(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn home_map_blocks_share_their_pages_home() {
+        let mut hm = HomeMap::new(Geometry::paper_default());
+        // Block 0 and block 63 are both in page 0; block 64 is in page 1.
+        assert_eq!(hm.home_of_block(BlockAddr(0), ClusterId(3)), ClusterId(3));
+        assert_eq!(hm.home_of_block(BlockAddr(63), ClusterId(5)), ClusterId(3));
+        assert_eq!(hm.home_of_block(BlockAddr(64), ClusterId(5)), ClusterId(5));
+    }
+
+    #[test]
+    fn is_remote_discriminates() {
+        let mut hm = HomeMap::new(Geometry::paper_default());
+        assert!(!hm.is_remote(BlockAddr(0), ClusterId(1))); // first touch -> local
+        assert!(hm.is_remote(BlockAddr(0), ClusterId(2)));
+        assert!(!hm.is_remote(BlockAddr(0), ClusterId(1)));
+    }
+
+    #[test]
+    fn home_map_preassign() {
+        let mut hm = HomeMap::new(Geometry::paper_default());
+        hm.preassign(PageAddr(0), ClusterId(6));
+        assert!(hm.is_remote(BlockAddr(0), ClusterId(0)));
+        assert!(!hm.is_remote(BlockAddr(0), ClusterId(6)));
+    }
+}

@@ -1,0 +1,177 @@
+//! MESIR transition helpers.
+//!
+//! The paper's protocol is "a minor departure from a standard bus protocol"
+//! (Section 3.2): MESI plus a single new state `R` that marks *mastership
+//! for a remote clean block*. The key transitions:
+//!
+//! | event | transition |
+//! |---|---|
+//! | read fill from outside the cluster, **remote** block | `I -> R` (first clean copy in the node takes mastership) |
+//! | read fill from outside, **local** block, no other cluster caches it | `I -> E` |
+//! | read fill from outside, local block, shared machine-wide | `I -> S` |
+//! | read fill supplied by a peer cache | requester `I -> S`; supplier `M -> S` (write-back on bus), `E -> S`, `R -> R`, `S -> S` |
+//! | write fill (any source) | requester `I -> M`; all peers `-> I` |
+//! | write upgrade | `S/R/E -> M`; peers `-> I` |
+//! | victimization | `M` -> write-back txn; `R` -> replacement txn (peer `S -> R` hand-off, else victim-cache capture); `E`/`S` -> silent |
+
+use dsm_cache::CacheState;
+
+/// The state a requester's cache installs on a **read** fill that came from
+/// outside the processor caches (network cache, page cache, or home
+/// memory).
+///
+/// * `remote` — the block's home is another cluster.
+/// * `cluster_exclusive` — the directory granted the requesting *cluster*
+///   the only copy machine-wide.
+#[must_use]
+pub fn read_fill_state(remote: bool, cluster_exclusive: bool) -> CacheState {
+    if remote {
+        // First clean copy of a remote block in the node: take mastership
+        // so its eventual replacement reaches the bus (and the victim NC).
+        CacheState::RemoteMaster
+    } else if cluster_exclusive {
+        CacheState::Exclusive
+    } else {
+        CacheState::Shared
+    }
+}
+
+/// The state a requester installs on a read fill supplied cache-to-cache by
+/// a peer in the same cluster: always `Shared` (the supplier keeps or takes
+/// mastership).
+#[must_use]
+pub fn peer_read_fill_state() -> CacheState {
+    CacheState::Shared
+}
+
+/// The supplier's next state after providing data for a peer's bus read.
+///
+/// Returns `(next_state, dirty_downgrade)`; `dirty_downgrade` is `true`
+/// when the supplier held the block `Modified` and the downgrade puts the
+/// (previously dirty) data on the bus — for a remote block this write-back
+/// must be absorbed by the network cache or sent to the remote home.
+#[must_use]
+pub fn supplier_next_state(current: CacheState) -> (CacheState, bool) {
+    match current {
+        CacheState::Modified => (CacheState::Shared, true),
+        CacheState::Exclusive => (CacheState::Shared, false),
+        // R keeps mastership of the remote clean block.
+        CacheState::RemoteMaster => (CacheState::RemoteMaster, false),
+        // An O supplier keeps the dirty-shared copy (MOESI-R variant).
+        CacheState::Owned => (CacheState::Owned, false),
+        CacheState::Shared => (CacheState::Shared, false),
+        CacheState::Invalid => {
+            unreachable!("an invalid cache cannot supply data")
+        }
+    }
+}
+
+/// The supplier's next state under the **MOESI-R** variant (the optional
+/// dirty-shared `O` state the paper evaluated): a `Modified` supplier
+/// downgrades to `Owned` instead of `Shared`, keeping the dirty data in
+/// its cache — no write-back reaches the bus, so nothing pollutes the
+/// victim cache or travels to the remote home.
+#[must_use]
+pub fn supplier_next_state_dirty_shared(current: CacheState) -> (CacheState, bool) {
+    match current {
+        CacheState::Modified => (CacheState::Owned, false),
+        other => supplier_next_state(other),
+    }
+}
+
+/// The state installed on any write fill: `Modified`.
+#[must_use]
+pub fn write_fill_state() -> CacheState {
+    CacheState::Modified
+}
+
+/// Whether victimizing a block in `state` generates a bus transaction that
+/// can be captured by a network victim cache (the paper's replacement
+/// transactions): dirty write-backs (`M`) and remote-clean-master
+/// replacements (`R`).
+#[must_use]
+pub fn victim_reaches_bus(state: CacheState) -> bool {
+    matches!(
+        state,
+        CacheState::Modified | CacheState::RemoteMaster | CacheState::Owned
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_read_fills_take_r() {
+        assert_eq!(read_fill_state(true, true), CacheState::RemoteMaster);
+        assert_eq!(read_fill_state(true, false), CacheState::RemoteMaster);
+    }
+
+    #[test]
+    fn local_read_fills_follow_mesi() {
+        assert_eq!(read_fill_state(false, true), CacheState::Exclusive);
+        assert_eq!(read_fill_state(false, false), CacheState::Shared);
+    }
+
+    #[test]
+    fn peer_fills_are_shared() {
+        assert_eq!(peer_read_fill_state(), CacheState::Shared);
+    }
+
+    #[test]
+    fn supplier_transitions() {
+        assert_eq!(
+            supplier_next_state(CacheState::Modified),
+            (CacheState::Shared, true)
+        );
+        assert_eq!(
+            supplier_next_state(CacheState::Exclusive),
+            (CacheState::Shared, false)
+        );
+        assert_eq!(
+            supplier_next_state(CacheState::RemoteMaster),
+            (CacheState::RemoteMaster, false)
+        );
+        assert_eq!(
+            supplier_next_state(CacheState::Shared),
+            (CacheState::Shared, false)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache cannot supply")]
+    fn invalid_supplier_is_a_bug() {
+        let _ = supplier_next_state(CacheState::Invalid);
+    }
+
+    #[test]
+    fn writes_fill_modified() {
+        assert_eq!(write_fill_state(), CacheState::Modified);
+    }
+
+    #[test]
+    fn only_master_dirty_or_r_victims_reach_the_bus() {
+        assert!(victim_reaches_bus(CacheState::Modified));
+        assert!(victim_reaches_bus(CacheState::RemoteMaster));
+        assert!(victim_reaches_bus(CacheState::Owned));
+        assert!(!victim_reaches_bus(CacheState::Shared));
+        assert!(!victim_reaches_bus(CacheState::Exclusive));
+        assert!(!victim_reaches_bus(CacheState::Invalid));
+    }
+
+    #[test]
+    fn dirty_shared_variant_keeps_data_in_cache() {
+        assert_eq!(
+            supplier_next_state_dirty_shared(CacheState::Modified),
+            (CacheState::Owned, false)
+        );
+        assert_eq!(
+            supplier_next_state_dirty_shared(CacheState::Owned),
+            (CacheState::Owned, false)
+        );
+        assert_eq!(
+            supplier_next_state_dirty_shared(CacheState::RemoteMaster),
+            (CacheState::RemoteMaster, false)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Result types for bus transactions.
+
+use dsm_cache::Eviction;
+use dsm_types::LocalProcId;
+
+/// Outcome of a cache-to-cache read supply within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerReadSupply {
+    /// The peer that put the data on the bus.
+    pub supplier: LocalProcId,
+    /// The supplier held the block `Modified`; its downgrade write-back is
+    /// now on the bus and — for a remote block — must be absorbed by the
+    /// network cache or forwarded to the remote home.
+    pub dirty_downgrade: bool,
+    /// Block victimized from the requester's cache by the fill, if any.
+    pub eviction: Option<Eviction>,
+}
+
+/// Outcome of a write miss serviced inside the cluster (a peer held the
+/// block; all peer copies are invalidated and the requester installs `M`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerWriteSupply {
+    /// A peer held the block `Modified` and supplied the dirty data.
+    pub took_dirty_data: bool,
+    /// Number of peer copies invalidated (excluding the requester).
+    pub peers_invalidated: usize,
+    /// Block victimized from the requester's cache by the fill, if any.
+    pub eviction: Option<Eviction>,
+}
+
+/// Outcome of an externally-requested invalidation broadcast on the bus
+/// (directory-initiated, when another cluster writes the block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvalidationResult {
+    /// Number of processor caches that held (and dropped) the block.
+    pub copies_invalidated: usize,
+    /// One of them held it `Modified` (its data is forfeited to the
+    /// requester via the directory; no write-back is needed).
+    pub had_dirty: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_cache::CacheState;
+    use dsm_types::BlockAddr;
+
+    #[test]
+    fn defaults_and_construction() {
+        let inv = InvalidationResult::default();
+        assert_eq!(inv.copies_invalidated, 0);
+        assert!(!inv.had_dirty);
+
+        let s = PeerReadSupply {
+            supplier: LocalProcId(1),
+            dirty_downgrade: true,
+            eviction: Some(Eviction {
+                block: BlockAddr(3),
+                state: CacheState::Modified,
+            }),
+        };
+        assert_eq!(s.supplier, LocalProcId(1));
+        assert!(s.eviction.unwrap().state.is_dirty());
+    }
+}

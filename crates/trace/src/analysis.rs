@@ -1,0 +1,240 @@
+//! Sharing-pattern analysis of reference traces.
+//!
+//! The paper's results hinge on workload *character*: spatial locality,
+//! read-only vs write-shared data, and how widely blocks are shared.
+//! This module computes those properties from a trace, so a kernel's
+//! fidelity to its SPLASH-2 original can be checked quantitatively (and
+//! so users can characterize their own workloads before choosing an RDC
+//! design).
+
+use std::collections::HashMap;
+
+use dsm_types::{Geometry, MemRef, Topology};
+
+/// Per-block accounting used during analysis.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockInfo {
+    readers: u64,  // bitmask over 64 processors (the paper's 32 fit)
+    writers: u64,
+    refs: u32,
+}
+
+/// Sharing-pattern summary of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingAnalysis {
+    /// Distinct blocks touched.
+    pub blocks: u64,
+    /// Distinct pages touched.
+    pub pages: u64,
+    /// Mean distinct processors referencing each touched block.
+    pub avg_block_sharers: f64,
+    /// Mean distinct processors referencing each touched page.
+    pub avg_page_sharers: f64,
+    /// Fraction of touched pages never written.
+    pub read_only_page_fraction: f64,
+    /// Fraction of touched blocks written by more than one processor
+    /// (true write sharing, the invalidation driver).
+    pub write_shared_block_fraction: f64,
+    /// Fraction of each processor's successive references landing within
+    /// a +/- 16-block (1-KB) neighbourhood of the previous one — a spatial
+    /// locality measure (near 1.0 for streaming/stencil kernels, low for
+    /// pointer-chasing ones).
+    pub sequentiality: f64,
+}
+
+/// Analyzes `trace` under `geo`/`topo`.
+///
+/// # Panics
+///
+/// Panics if the topology has more than 64 processors (sharer sets are
+/// bitmasks; the paper's machine has 32).
+#[must_use]
+pub fn analyze(trace: &[MemRef], geo: &Geometry, topo: &Topology) -> SharingAnalysis {
+    assert!(
+        topo.total_procs() <= 64,
+        "analysis supports up to 64 processors"
+    );
+    let mut blocks: HashMap<u64, BlockInfo> = HashMap::new();
+    let mut pages: HashMap<u64, (u64, bool)> = HashMap::new(); // sharers mask, written
+    let mut last_block: Vec<Option<u64>> = vec![None; usize::from(topo.total_procs())];
+    let mut sequential = 0u64;
+    let mut steps = 0u64;
+
+    for r in trace {
+        let b = geo.block_of(r.addr).0;
+        let p = geo.page_of(r.addr).0;
+        let bit = 1u64 << r.proc.0;
+
+        let info = blocks.entry(b).or_default();
+        info.refs = info.refs.saturating_add(1);
+        if r.op.is_write() {
+            info.writers |= bit;
+        } else {
+            info.readers |= bit;
+        }
+
+        let page = pages.entry(p).or_insert((0, false));
+        page.0 |= bit;
+        page.1 |= r.op.is_write();
+
+        let slot = &mut last_block[r.proc.index()];
+        if let Some(prev) = *slot {
+            steps += 1;
+            if b.abs_diff(prev) <= 16 {
+                sequential += 1;
+            }
+        }
+        *slot = Some(b);
+    }
+
+    let nblocks = blocks.len() as f64;
+    let npages = pages.len() as f64;
+    let block_sharers: u64 = blocks
+        .values()
+        .map(|i| u64::from((i.readers | i.writers).count_ones()))
+        .sum();
+    let page_sharers: u64 = pages.values().map(|(m, _)| u64::from(m.count_ones())).sum();
+    let read_only_pages = pages.values().filter(|(_, w)| !w).count() as f64;
+    let write_shared = blocks
+        .values()
+        .filter(|i| i.writers.count_ones() > 1)
+        .count() as f64;
+
+    SharingAnalysis {
+        blocks: blocks.len() as u64,
+        pages: pages.len() as u64,
+        avg_block_sharers: if nblocks > 0.0 {
+            block_sharers as f64 / nblocks
+        } else {
+            0.0
+        },
+        avg_page_sharers: if npages > 0.0 {
+            page_sharers as f64 / npages
+        } else {
+            0.0
+        },
+        read_only_page_fraction: if npages > 0.0 {
+            read_only_pages / npages
+        } else {
+            0.0
+        },
+        write_shared_block_fraction: if nblocks > 0.0 {
+            write_shared / nblocks
+        } else {
+            0.0
+        },
+        sequentiality: if steps > 0 {
+            sequential as f64 / steps as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_types::{Addr, ProcId};
+
+    fn geo() -> Geometry {
+        Geometry::paper_default()
+    }
+
+    fn topo() -> Topology {
+        Topology::paper_default()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let a = analyze(&[], &geo(), &topo());
+        assert_eq!(a.blocks, 0);
+        assert_eq!(a.pages, 0);
+        assert_eq!(a.sequentiality, 0.0);
+    }
+
+    #[test]
+    fn read_only_page_detection() {
+        let trace = vec![
+            MemRef::read(ProcId(0), Addr(0)),
+            MemRef::read(ProcId(4), Addr(64)),
+            MemRef::write(ProcId(0), Addr(4096)),
+        ];
+        let a = analyze(&trace, &geo(), &topo());
+        assert_eq!(a.pages, 2);
+        assert!((a.read_only_page_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_sharing_detection() {
+        let trace = vec![
+            MemRef::write(ProcId(0), Addr(0)),
+            MemRef::write(ProcId(5), Addr(8)), // same block, second writer
+            MemRef::write(ProcId(1), Addr(64)), // sole writer
+        ];
+        let a = analyze(&trace, &geo(), &topo());
+        assert_eq!(a.blocks, 2);
+        assert!((a.write_shared_block_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharer_counts() {
+        let trace = vec![
+            MemRef::read(ProcId(0), Addr(0)),
+            MemRef::read(ProcId(1), Addr(0)),
+            MemRef::read(ProcId(2), Addr(0)),
+            MemRef::read(ProcId(0), Addr(0)), // repeat does not recount
+        ];
+        let a = analyze(&trace, &geo(), &topo());
+        assert!((a.avg_block_sharers - 3.0).abs() < 1e-12);
+        assert!((a.avg_page_sharers - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequentiality_of_streams_vs_jumps() {
+        // P0 streams three consecutive blocks; P1 jumps wildly.
+        let trace = vec![
+            MemRef::read(ProcId(0), Addr(0)),
+            MemRef::read(ProcId(0), Addr(64)),
+            MemRef::read(ProcId(0), Addr(128)),
+            MemRef::read(ProcId(1), Addr(0)),
+            MemRef::read(ProcId(1), Addr(1 << 20)),
+            MemRef::read(ProcId(1), Addr(2 << 20)),
+        ];
+        let a = analyze(&trace, &geo(), &topo());
+        // P0: 2/2 near steps; P1: 0/2.
+        assert!((a.sequentiality - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_characters_match_the_paper() {
+        use crate::{Scale, WorkloadKind};
+        let t = topo();
+        let g = geo();
+        let run = |k: WorkloadKind| {
+            let w = k.dev_instance();
+            analyze(&w.generate(&t, Scale::new(0.3).unwrap()), &g, &t)
+        };
+        let ocean = run(WorkloadKind::Ocean);
+        let raytrace = run(WorkloadKind::Raytrace);
+        let radix = run(WorkloadKind::Radix);
+        // Regular streaming kernel vs pointer-chasing kernel.
+        assert!(
+            ocean.sequentiality > raytrace.sequentiality + 0.2,
+            "ocean {} vs raytrace {}",
+            ocean.sequentiality,
+            raytrace.sequentiality
+        );
+        // Raytrace's scene is read-mostly.
+        assert!(
+            raytrace.read_only_page_fraction < 0.05,
+            "init writes touch every page; fraction {}",
+            raytrace.read_only_page_fraction
+        );
+        // Radix histogram rows are written by many processors.
+        assert!(
+            radix.write_shared_block_fraction > 0.0,
+            "radix {:?}",
+            radix
+        );
+    }
+}

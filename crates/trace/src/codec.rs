@@ -1,0 +1,284 @@
+//! A compact binary on-disk format for reference traces.
+//!
+//! Trace-driven methodology separates *tracing* from *simulation*: the
+//! paper's authors traced SPARC binaries once and replayed the traces
+//! against every system configuration. This codec provides the same
+//! workflow — generate once with the `tracegen` binary, replay many times
+//! with `simulate` — and makes traces portable between machines.
+//!
+//! # Format (`DSMT`, version 1)
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! magic      4 bytes  "DSMT"
+//! version    u16      1
+//! clusters   u16
+//! procs/cl   u16
+//! refs       u64      record count
+//! records    refs x { proc: u16, op: u8 (0 = read, 1 = write), addr: u64 }
+//! ```
+
+use std::io::{self, Read, Write};
+
+use dsm_types::{Addr, ConfigError, MemOp, MemRef, ProcId, Topology};
+
+const MAGIC: &[u8; 4] = b"DSMT";
+const VERSION: u16 = 1;
+
+/// Errors produced while reading a trace file.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The bytes are not a trace file, or an unsupported version.
+    Format(String),
+    /// The header's topology is invalid.
+    Config(ConfigError),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::Format(m) => write!(f, "malformed trace: {m}"),
+            CodecError::Config(e) => write!(f, "invalid topology in trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            CodecError::Config(e) => Some(e),
+            CodecError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Writes `trace` (generated for `topo`) to `w` in `DSMT` format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace<W: Write>(
+    mut w: W,
+    topo: &Topology,
+    trace: &[MemRef],
+) -> Result<(), CodecError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&topo.clusters().to_le_bytes())?;
+    w.write_all(&topo.procs_per_cluster().to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for r in trace {
+        buf.extend_from_slice(&r.proc.0.to_le_bytes());
+        buf.push(u8::from(r.op.is_write()));
+        buf.extend_from_slice(&r.addr.0.to_le_bytes());
+        if buf.len() >= 64 * 1024 - 16 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N], CodecError> {
+    let mut b = [0u8; N];
+    r.read_exact(&mut b)?;
+    Ok(b)
+}
+
+/// Reads a `DSMT` trace from `r`, returning the topology it was generated
+/// for and the reference stream.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on I/O failure, bad magic/version, an invalid
+/// topology, or a reference naming a processor outside the topology.
+pub fn read_trace<R: Read>(mut r: R) -> Result<(Topology, Vec<MemRef>), CodecError> {
+    let magic = read_exact::<_, 4>(&mut r)?;
+    if &magic != MAGIC {
+        return Err(CodecError::Format(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
+    if version != VERSION {
+        return Err(CodecError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let clusters = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
+    let procs = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
+    let topo = Topology::new(clusters, procs).map_err(CodecError::Config)?;
+    let count = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    let count = usize::try_from(count)
+        .map_err(|_| CodecError::Format("trace too large for this platform".into()))?;
+
+    let mut trace = Vec::with_capacity(count.min(1 << 24));
+    for i in 0..count {
+        let proc = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
+        let op = read_exact::<_, 1>(&mut r)?[0];
+        let addr = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+        if proc >= topo.total_procs() {
+            return Err(CodecError::Format(format!(
+                "record {i}: processor {proc} outside topology {topo}"
+            )));
+        }
+        let op = match op {
+            0 => MemOp::Read,
+            1 => MemOp::Write,
+            other => {
+                return Err(CodecError::Format(format!(
+                    "record {i}: bad op byte {other}"
+                )))
+            }
+        };
+        trace.push(MemRef::new(ProcId(proc), op, Addr(addr)));
+    }
+    // Trailing garbage is an error: it usually means a truncated header
+    // count or a concatenated file.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok((topo, trace)),
+        _ => Err(CodecError::Format("trailing bytes after trace".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Topology, Vec<MemRef>) {
+        let topo = Topology::new(2, 2).unwrap();
+        let trace = vec![
+            MemRef::read(ProcId(0), Addr(0x40)),
+            MemRef::write(ProcId(3), Addr(0xdead_beef)),
+            MemRef::read(ProcId(2), Addr(u64::MAX)),
+        ];
+        (topo, trace)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (topo, trace) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &trace).unwrap();
+        let (topo2, trace2) = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(topo, topo2);
+        assert_eq!(trace, trace2);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let topo = Topology::paper_default();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &[]).unwrap();
+        let (_, trace) = read_trace(bytes.as_slice()).unwrap();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn record_size_is_eleven_bytes() {
+        let (topo, trace) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &trace).unwrap();
+        assert_eq!(bytes.len(), 4 + 2 + 2 + 2 + 8 + trace.len() * 11);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE\x01\x00"[..]).unwrap_err();
+        assert!(matches!(err, CodecError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &Topology::paper_default(), &[]).unwrap();
+        bytes[4] = 9;
+        assert!(matches!(
+            read_trace(bytes.as_slice()).unwrap_err(),
+            CodecError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_records() {
+        let (topo, trace) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &trace).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(
+            read_trace(bytes.as_slice()).unwrap_err(),
+            CodecError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_processor() {
+        let topo = Topology::new(1, 1).unwrap();
+        // Hand-craft: valid header but proc 7.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"DSMT");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&7u16.to_le_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("outside topology"), "{err}");
+        let _ = topo;
+    }
+
+    #[test]
+    fn rejects_bad_op_byte() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"DSMT");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.push(9);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bad op byte"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let (topo, trace) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &trace).unwrap();
+        bytes.push(0);
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn large_trace_roundtrips_through_buffering() {
+        // Exercise the 64-KiB internal buffer boundary.
+        let topo = Topology::paper_default();
+        let trace: Vec<MemRef> = (0..10_000u64)
+            .map(|i| MemRef::read(ProcId((i % 32) as u16), Addr(i * 64)))
+            .collect();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &trace).unwrap();
+        let (_, back) = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+}

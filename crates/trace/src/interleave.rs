@@ -1,0 +1,180 @@
+//! Interleaving per-processor reference streams into one global trace.
+
+use dsm_types::{Addr, MemOp, MemRef, ProcId, Topology};
+
+/// Round-robin interleaves per-processor streams: one reference from each
+/// non-exhausted stream in processor order, repeatedly. This models the
+/// lock-step progress a trace-driven simulator assumes between
+/// synchronization points.
+#[must_use]
+pub fn round_robin(mut streams: Vec<Vec<MemRef>>) -> Vec<MemRef> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; streams.len()];
+    let mut remaining = total;
+    while remaining > 0 {
+        for (stream, cursor) in streams.iter().zip(cursors.iter_mut()) {
+            if *cursor < stream.len() {
+                out.push(stream[*cursor]);
+                *cursor += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    for s in &mut streams {
+        s.clear();
+    }
+    out
+}
+
+/// Collects one *phase* of a parallel program: every processor's references
+/// between two barriers. [`PhaseBuilder::interleave_into`] merges them
+/// round-robin and appends to the global trace, modelling the barrier (no
+/// reference of phase *k+1* precedes any of phase *k*).
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::PhaseBuilder;
+/// use dsm_types::{Addr, MemOp, ProcId, Topology};
+///
+/// let topo = Topology::new(2, 1)?;
+/// let mut trace = Vec::new();
+/// let mut phase = PhaseBuilder::new(&topo);
+/// phase.read(ProcId(0), Addr(0));
+/// phase.read(ProcId(1), Addr(64));
+/// phase.write(ProcId(0), Addr(0));
+/// phase.interleave_into(&mut trace);
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace[0].proc, ProcId(0));
+/// assert_eq!(trace[1].proc, ProcId(1));
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct PhaseBuilder {
+    streams: Vec<Vec<MemRef>>,
+}
+
+impl PhaseBuilder {
+    /// Creates an empty phase for the machine's processors.
+    #[must_use]
+    pub fn new(topo: &Topology) -> Self {
+        PhaseBuilder {
+            streams: vec![Vec::new(); usize::from(topo.total_procs())],
+        }
+    }
+
+    /// Appends a reference by `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range for the topology.
+    pub fn push(&mut self, proc: ProcId, op: MemOp, addr: Addr) {
+        self.streams[proc.index()].push(MemRef::new(proc, op, addr));
+    }
+
+    /// Appends a read by `proc`.
+    pub fn read(&mut self, proc: ProcId, addr: Addr) {
+        self.push(proc, MemOp::Read, addr);
+    }
+
+    /// Appends a write by `proc`.
+    pub fn write(&mut self, proc: ProcId, addr: Addr) {
+        self.push(proc, MemOp::Write, addr);
+    }
+
+    /// Emits element-granularity reads of `count` elements of `elem_bytes`
+    /// starting at `base` (a sequential sweep, the common regular pattern).
+    pub fn read_run(&mut self, proc: ProcId, base: Addr, count: u64, elem_bytes: u64) {
+        for i in 0..count {
+            self.read(proc, base.offset(i * elem_bytes));
+        }
+    }
+
+    /// Emits element-granularity writes, as [`PhaseBuilder::read_run`].
+    pub fn write_run(&mut self, proc: ProcId, base: Addr, count: u64, elem_bytes: u64) {
+        for i in 0..count {
+            self.write(proc, base.offset(i * elem_bytes));
+        }
+    }
+
+    /// Number of references buffered in this phase.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the phase is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.streams.iter().all(Vec::is_empty)
+    }
+
+    /// Interleaves the phase round-robin and appends it to `trace`,
+    /// emptying the builder for reuse in the next phase.
+    pub fn interleave_into(&mut self, trace: &mut Vec<MemRef>) {
+        let streams = std::mem::take(&mut self.streams);
+        let n = streams.len();
+        trace.extend(round_robin(streams));
+        self.streams = vec![Vec::new(); n];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: u16, a: u64) -> MemRef {
+        MemRef::read(ProcId(p), Addr(a))
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let out = round_robin(vec![vec![r(0, 0), r(0, 1)], vec![r(1, 10), r(1, 11)]]);
+        let addrs: Vec<u64> = out.iter().map(|m| m.addr.0).collect();
+        assert_eq!(addrs, vec![0, 10, 1, 11]);
+    }
+
+    #[test]
+    fn round_robin_handles_uneven_streams() {
+        let out = round_robin(vec![vec![r(0, 0)], vec![r(1, 10), r(1, 11), r(1, 12)]]);
+        let addrs: Vec<u64> = out.iter().map(|m| m.addr.0).collect();
+        assert_eq!(addrs, vec![0, 10, 11, 12]);
+    }
+
+    #[test]
+    fn round_robin_empty() {
+        assert!(round_robin(vec![]).is_empty());
+        assert!(round_robin(vec![vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn phase_builder_barriers() {
+        let topo = Topology::new(2, 1).unwrap();
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(&topo);
+        phase.read(ProcId(1), Addr(100));
+        phase.interleave_into(&mut trace);
+        // Second phase: all refs come after the first phase's.
+        phase.read(ProcId(0), Addr(200));
+        phase.interleave_into(&mut trace);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].addr, Addr(100));
+        assert_eq!(trace[1].addr, Addr(200));
+        assert!(phase.is_empty());
+    }
+
+    #[test]
+    fn runs_emit_element_granularity() {
+        let topo = Topology::new(1, 1).unwrap();
+        let mut phase = PhaseBuilder::new(&topo);
+        phase.read_run(ProcId(0), Addr(0), 4, 8);
+        phase.write_run(ProcId(0), Addr(64), 2, 16);
+        assert_eq!(phase.len(), 6);
+        let mut trace = Vec::new();
+        phase.interleave_into(&mut trace);
+        assert_eq!(trace[3].addr, Addr(24));
+        assert!(trace[4].op.is_write());
+        assert_eq!(trace[5].addr, Addr(80));
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared-address-space layout: page-aligned regions for workload arrays.
+
+use dsm_types::{Addr, ConfigError};
+
+/// A named, page-aligned span of the shared address space holding one of a
+/// workload's arrays (the key array, a grid, the scene BVH, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    name: &'static str,
+    base: u64,
+    bytes: u64,
+}
+
+impl Region {
+    /// The region's name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// First byte address.
+    #[must_use]
+    pub fn base(&self) -> Addr {
+        Addr(self.base)
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The address `offset` bytes into the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside the region.
+    #[must_use]
+    pub fn at(&self, offset: u64) -> Addr {
+        assert!(
+            offset < self.bytes,
+            "offset {offset} outside region '{}' of {} bytes",
+            self.name,
+            self.bytes
+        );
+        Addr(self.base + offset)
+    }
+
+    /// The address of element `index` of an array of `elem_bytes`-sized
+    /// elements stored in this region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element lies outside the region.
+    #[must_use]
+    pub fn elem(&self, index: u64, elem_bytes: u64) -> Addr {
+        self.at(index * elem_bytes)
+    }
+
+    /// Whether `addr` falls inside this region.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.base && addr.0 < self.base + self.bytes
+    }
+}
+
+/// Allocates page-aligned [`Region`]s bottom-up in the shared space.
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::Layout;
+/// let mut l = Layout::new(4096);
+/// let keys = l.region("keys", 10_000)?;
+/// let dest = l.region("dest", 10_000)?;
+/// assert_eq!(keys.base().0, 0);
+/// assert_eq!(dest.base().0 % 4096, 0);
+/// assert!(l.total_bytes() >= 20_000);
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    page_bytes: u64,
+    next: u64,
+}
+
+impl Layout {
+    /// Creates a layout with the given page alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a nonzero power of two.
+    #[must_use]
+    pub fn new(page_bytes: u64) -> Self {
+        assert!(
+            page_bytes > 0 && page_bytes.is_power_of_two(),
+            "page size must be a nonzero power of two"
+        );
+        Layout {
+            page_bytes,
+            next: 0,
+        }
+    }
+
+    /// Reserves a page-aligned region of at least `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `bytes` is zero.
+    pub fn region(&mut self, name: &'static str, bytes: u64) -> Result<Region, ConfigError> {
+        if bytes == 0 {
+            return Err(ConfigError::new(format!("region '{name}' has zero size")));
+        }
+        let base = self.next;
+        let padded = bytes.div_ceil(self.page_bytes) * self.page_bytes;
+        self.next += padded;
+        Ok(Region { name, base, bytes })
+    }
+
+    /// Total bytes reserved so far (including alignment padding).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let mut l = Layout::new(4096);
+        let a = l.region("a", 100).unwrap();
+        let b = l.region("b", 5000).unwrap();
+        let c = l.region("c", 4096).unwrap();
+        assert_eq!(a.base().0, 0);
+        assert_eq!(b.base().0, 4096);
+        assert_eq!(c.base().0, 4096 + 8192);
+        assert_eq!(l.total_bytes(), 4096 + 8192 + 4096);
+    }
+
+    #[test]
+    fn zero_size_region_rejected() {
+        let mut l = Layout::new(4096);
+        assert!(l.region("z", 0).is_err());
+    }
+
+    #[test]
+    fn elem_addressing() {
+        let mut l = Layout::new(4096);
+        let r = l.region("arr", 80).unwrap();
+        assert_eq!(r.elem(0, 8), Addr(0));
+        assert_eq!(r.elem(9, 8), Addr(72));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn elem_out_of_bounds_panics() {
+        let mut l = Layout::new(4096);
+        let r = l.region("arr", 80).unwrap();
+        let _ = r.elem(10, 8);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let mut l = Layout::new(4096);
+        let _a = l.region("a", 4096).unwrap();
+        let b = l.region("b", 100).unwrap();
+        assert!(b.contains(Addr(4096)));
+        assert!(b.contains(Addr(4195)));
+        assert!(!b.contains(Addr(4196)));
+        assert!(!b.contains(Addr(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_panics() {
+        let _ = Layout::new(1000);
+    }
+}

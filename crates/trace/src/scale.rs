@@ -1,0 +1,99 @@
+//! Trace-length scaling.
+
+use dsm_types::ConfigError;
+
+/// A factor in `(0, 1]` scaling the *repetition counts* of a workload
+/// (timesteps, sweeps, sort passes, ray batches) without shrinking its data
+/// set.
+///
+/// Scaling time instead of space keeps the working sets — and therefore the
+/// capacity-miss behaviour the paper studies — honest, while letting tests
+/// and Criterion benches run on short traces.
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::Scale;
+/// let s = Scale::new(0.25)?;
+/// assert_eq!(s.apply(8), 2);
+/// assert_eq!(s.apply(1), 1); // never scales to zero
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    factor: f64,
+}
+
+impl Scale {
+    /// Creates a scale factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] unless `0 < factor <= 1`.
+    pub fn new(factor: f64) -> Result<Self, ConfigError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(ConfigError::new(format!(
+                "scale factor must be in (0, 1], got {factor}"
+            )));
+        }
+        Ok(Scale { factor })
+    }
+
+    /// Full-length traces (factor 1), the paper's configuration.
+    #[must_use]
+    pub fn full() -> Self {
+        Scale { factor: 1.0 }
+    }
+
+    /// The raw factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Scales a repetition count, never below 1.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn apply(&self, count: u64) -> u64 {
+        (((count as f64) * self.factor).round() as u64).max(1)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Scale::new(0.0).is_err());
+        assert!(Scale::new(-0.5).is_err());
+        assert!(Scale::new(1.5).is_err());
+        assert!(Scale::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn full_is_identity() {
+        let s = Scale::full();
+        assert_eq!(s.apply(17), 17);
+        assert_eq!(s.factor(), 1.0);
+    }
+
+    #[test]
+    fn scales_and_floors_at_one() {
+        let s = Scale::new(0.1).unwrap();
+        assert_eq!(s.apply(100), 10);
+        assert_eq!(s.apply(3), 1);
+        assert_eq!(s.apply(1), 1);
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(Scale::default(), Scale::full());
+    }
+}

@@ -1,0 +1,123 @@
+//! Summary statistics over a generated trace.
+
+use std::collections::HashSet;
+
+use dsm_types::{Geometry, MemRef, Topology};
+
+/// Aggregate characteristics of a reference trace: lengths, read/write mix,
+/// and the touched footprint at block and page granularity. The Table 3
+/// harness uses this to report each workload's shared-memory size, and
+/// tests use it to validate that kernels have the locality character the
+/// paper describes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total references.
+    pub refs: u64,
+    /// Read references.
+    pub reads: u64,
+    /// Write references.
+    pub writes: u64,
+    /// Distinct blocks touched.
+    pub blocks_touched: u64,
+    /// Distinct pages touched.
+    pub pages_touched: u64,
+    /// References per processor.
+    pub per_proc: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace` under the given geometry/topology.
+    #[must_use]
+    pub fn compute(trace: &[MemRef], geo: &Geometry, topo: &Topology) -> Self {
+        let mut blocks = HashSet::new();
+        let mut pages = HashSet::new();
+        let mut per_proc = vec![0u64; usize::from(topo.total_procs())];
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for r in trace {
+            if r.op.is_write() {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+            blocks.insert(geo.block_of(r.addr).0);
+            pages.insert(geo.page_of(r.addr).0);
+            per_proc[r.proc.index()] += 1;
+        }
+        TraceStats {
+            refs: trace.len() as u64,
+            reads,
+            writes,
+            blocks_touched: blocks.len() as u64,
+            pages_touched: pages.len() as u64,
+            per_proc,
+        }
+    }
+
+    /// Fraction of references that are writes.
+    #[must_use]
+    pub fn write_fraction(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.refs as f64
+        }
+    }
+
+    /// Touched footprint in bytes at page granularity.
+    #[must_use]
+    pub fn footprint_bytes(&self, geo: &Geometry) -> u64 {
+        self.pages_touched * geo.page_bytes()
+    }
+
+    /// Mean references per touched block — a crude spatial+temporal
+    /// locality indicator (regular kernels revisit blocks many times;
+    /// Raytrace-style sparse kernels approach 1).
+    #[must_use]
+    pub fn refs_per_block(&self) -> f64 {
+        if self.blocks_touched == 0 {
+            0.0
+        } else {
+            self.refs as f64 / self.blocks_touched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_types::{Addr, MemRef, ProcId};
+
+    #[test]
+    fn empty_trace() {
+        let geo = Geometry::paper_default();
+        let topo = Topology::new(1, 2).unwrap();
+        let s = TraceStats::compute(&[], &geo, &topo);
+        assert_eq!(s.refs, 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.refs_per_block(), 0.0);
+        assert_eq!(s.per_proc, vec![0, 0]);
+    }
+
+    #[test]
+    fn counts_and_footprint() {
+        let geo = Geometry::paper_default();
+        let topo = Topology::new(1, 2).unwrap();
+        let trace = vec![
+            MemRef::read(ProcId(0), Addr(0)),
+            MemRef::read(ProcId(0), Addr(8)),    // same block
+            MemRef::write(ProcId(1), Addr(64)),  // new block, same page
+            MemRef::read(ProcId(1), Addr(4096)), // new page
+        ];
+        let s = TraceStats::compute(&trace, &geo, &topo);
+        assert_eq!(s.refs, 4);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.blocks_touched, 3);
+        assert_eq!(s.pages_touched, 2);
+        assert_eq!(s.per_proc, vec![2, 2]);
+        assert_eq!(s.footprint_bytes(&geo), 8192);
+        assert!((s.write_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.refs_per_block() - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

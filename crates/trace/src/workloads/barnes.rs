@@ -1,0 +1,229 @@
+//! Barnes-Hut N-body trace kernel (SPLASH-2 `Barnes`, 16K bodies).
+//!
+//! Bodies and tree cells live in two shared arrays (16384 x 128 B bodies +
+//! 8192 x 240 B cells = Table 3's 3.94 MB). Each timestep rebuilds the tree
+//! (writes to own cells plus contended writes near the root) and computes
+//! forces: every body's walk reads the *hot* top-of-tree cells shared by
+//! all processors plus a locality-decaying set of neighbour cells and
+//! bodies — the paper's "irregular access patterns and little spatial
+//! locality" profile, read-dominated.
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::rng::TraceRng;
+use crate::{Layout, PhaseBuilder, Region, Scale, Workload};
+
+const BODY_BYTES: u64 = 128;
+const CELL_BYTES: u64 = 240;
+const TIMESTEPS: u64 = 2;
+/// Cells read by every walk from the top of the tree.
+const HOT_READS: u64 = 8;
+/// Locality-decaying interaction cells per body.
+const NEAR_READS: u64 = 24;
+/// Neighbour bodies read per body.
+const BODY_READS: u64 = 8;
+
+/// The Barnes-Hut trace kernel.
+#[derive(Debug, Clone)]
+pub struct Barnes {
+    bodies: u64,
+}
+
+impl Barnes {
+    /// Barnes-Hut over `bodies` bodies (cells are `bodies / 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies` is not a positive multiple of 64.
+    #[must_use]
+    pub fn with_bodies(bodies: u64) -> Self {
+        assert!(
+            bodies > 0 && bodies.is_multiple_of(64),
+            "body count {bodies} must be a positive multiple of 64"
+        );
+        Barnes { bodies }
+    }
+
+    fn cells(&self) -> u64 {
+        self.bodies / 2
+    }
+}
+
+impl Default for Barnes {
+    /// The paper's instance: 16K bodies.
+    fn default() -> Self {
+        Barnes::with_bodies(1 << 14)
+    }
+}
+
+impl Barnes {
+    fn read_cell(phase: &mut PhaseBuilder, proc: ProcId, cells: &Region, idx: u64) {
+        // A cell spans four blocks; a walk inspects the mass/center fields
+        // in the first block and the child pointers one block later.
+        phase.read(proc, cells.at(idx * CELL_BYTES));
+        phase.read(proc, cells.at(idx * CELL_BYTES + 64));
+    }
+}
+
+impl Workload for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn params(&self) -> String {
+        format!("{}K bodies", self.bodies >> 10)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        let mut l = Layout::new(4096);
+        let _ = l.region("bodies", self.bodies * BODY_BYTES);
+        let _ = l.region("cells", self.cells() * CELL_BYTES);
+        l.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let mut l = Layout::new(4096);
+        let bodies = l
+            .region("bodies", self.bodies * BODY_BYTES)
+            .expect("nonzero");
+        let cells = l
+            .region("cells", self.cells() * CELL_BYTES)
+            .expect("nonzero");
+        let p = u64::from(topo.total_procs());
+        let bodies_per_proc = self.bodies / p;
+        let cells_per_proc = self.cells() / p;
+        let steps = scale.apply(TIMESTEPS);
+        let mut rng = TraceRng::for_workload("barnes", 0xbab5);
+
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        // Init: bodies and cells first-touched by their owners.
+        for proc_i in 0..p {
+            let proc = ProcId(proc_i as u16);
+            let bchunk = bodies_per_proc * BODY_BYTES;
+            phase.write_run(proc, bodies.at(proc_i * bchunk), bchunk / 64, 64);
+            let cchunk = cells_per_proc * CELL_BYTES;
+            phase.write_run(proc, cells.at(proc_i * cchunk), cchunk / 64, 64);
+        }
+        phase.interleave_into(&mut trace);
+
+        for _step in 0..steps {
+            // Tree build: each processor inserts its bodies — writes to its
+            // own cell range plus contended writes near the root (cell 0..64),
+            // which every processor updates.
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for c in 0..cells_per_proc {
+                    let idx = proc_i * cells_per_proc + c;
+                    phase.read(proc, cells.at(idx * CELL_BYTES));
+                    phase.write(proc, cells.at(idx * CELL_BYTES + 8));
+                }
+                for _ in 0..16 {
+                    let hot = rng.near(64.min(self.cells()));
+                    phase.read(proc, cells.at(hot * CELL_BYTES));
+                    phase.write(proc, cells.at(hot * CELL_BYTES + 8));
+                }
+            }
+            phase.interleave_into(&mut trace);
+
+            // Force computation: tree walks.
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for b in 0..bodies_per_proc {
+                    let body = proc_i * bodies_per_proc + b;
+                    let home_cell = body * self.cells() / self.bodies;
+                    // Hot top-of-tree cells, shared by everyone.
+                    for _ in 0..HOT_READS {
+                        Self::read_cell(&mut phase, proc, &cells, rng.near(64.min(self.cells())));
+                    }
+                    // Locality-decaying neighbour cells around the body's
+                    // region of the tree.
+                    for _ in 0..NEAR_READS {
+                        let d = rng.near(self.cells() / 2);
+                        let idx = (home_cell + d) % self.cells();
+                        Self::read_cell(&mut phase, proc, &cells, idx);
+                    }
+                    // Neighbour bodies.
+                    for _ in 0..BODY_READS {
+                        let d = rng.near(self.bodies / 4);
+                        let idx = (body + d) % self.bodies;
+                        phase.read(proc, bodies.at(idx * BODY_BYTES));
+                    }
+                    // Update own body: position/velocity in one block.
+                    for field in 0..4 {
+                        phase.write(proc, bodies.at(body * BODY_BYTES + field * 8));
+                    }
+                }
+            }
+            phase.interleave_into(&mut trace);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Barnes::with_bodies(1 << 10));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Barnes::with_bodies(1 << 10));
+    }
+
+    #[test]
+    fn paper_footprint_matches_table3() {
+        let mb = Barnes::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((3.8..=4.0).contains(&mb), "footprint {mb:.2} MB vs 3.94");
+    }
+
+    #[test]
+    fn read_dominated() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = Barnes::with_bodies(1 << 10).generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        assert!(
+            stats.write_fraction() < 0.25,
+            "write fraction {}",
+            stats.write_fraction()
+        );
+    }
+
+    #[test]
+    fn lower_locality_than_regular_kernels() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = Barnes::with_bodies(1 << 10).generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        // Irregular walks revisit blocks via temporal, not spatial, reuse.
+        // (The dev-size instance concentrates reuse; the bound is loose.)
+        assert!(stats.refs_per_block() < 120.0, "refs/block {}", stats.refs_per_block());
+    }
+
+    #[test]
+    fn hot_cells_are_read_by_every_processor() {
+        let topo = Topology::paper_default();
+        let w = Barnes::with_bodies(1 << 10);
+        let trace = w.generate(&topo, Scale::full());
+        let bodies_bytes = w.bodies * BODY_BYTES;
+        let bodies_pages = bodies_bytes.div_ceil(4096) * 4096;
+        // Hot cells = first 64 cells of the cell region.
+        let hot_lo = bodies_pages;
+        let hot_hi = hot_lo + 64 * CELL_BYTES;
+        let readers: std::collections::HashSet<_> = trace
+            .iter()
+            .filter(|r| r.addr.0 >= hot_lo && r.addr.0 < hot_hi)
+            .map(|r| r.proc)
+            .collect();
+        assert_eq!(readers.len(), 32, "hot tree top not globally shared");
+    }
+}

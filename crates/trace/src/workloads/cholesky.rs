@@ -1,0 +1,200 @@
+//! Supernodal sparse Cholesky trace kernel (SPLASH-2 `Cholesky`, tk15.0).
+//!
+//! The factor is stored as a sequence of supernode *panels* (groups of
+//! columns with identical structure), each contiguous in memory. Tasks
+//! stream long unit-stride runs out of ancestor panels into their own —
+//! "large spatial locality" per the paper — but the task graph is an
+//! irregular elimination tree, so which panels a processor reads is
+//! data-dependent. The synthetic matrix reproduces tk15.0's ~21.4-MB
+//! factor with a deterministic pseudo-irregular panel-size distribution.
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::rng::TraceRng;
+use crate::{Layout, PhaseBuilder, Scale, Workload};
+
+const ELEM_BYTES: u64 = 8;
+/// Ancestor panels read per supernode update.
+const UPDATES_PER_NODE: u64 = 6;
+/// Bytes streamed from each ancestor panel.
+const STREAM_BYTES: u64 = 2048;
+/// Bytes of the own panel rewritten per pass.
+const OWN_BYTES: u64 = 4096;
+const PASSES: u64 = 2;
+
+/// The Cholesky trace kernel.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    supernodes: u64,
+}
+
+impl Cholesky {
+    /// A factorization with `supernodes` supernode panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supernodes` is zero.
+    #[must_use]
+    pub fn with_supernodes(supernodes: u64) -> Self {
+        assert!(supernodes > 0, "need at least one supernode");
+        Cholesky { supernodes }
+    }
+
+    /// Panel size in bytes for supernode `s`: a deterministic
+    /// pseudo-irregular distribution (width 4..32 columns, height 64..384
+    /// rows) averaging ~31 KB.
+    fn panel_bytes(&self, s: u64) -> u64 {
+        let width = 4 + (s * 7) % 28;
+        let height = 64 + (s * 13) % 320;
+        width * height * ELEM_BYTES
+    }
+
+    fn panel_offsets(&self) -> Vec<u64> {
+        let mut offsets = Vec::with_capacity(self.supernodes as usize + 1);
+        let mut off = 0;
+        for s in 0..self.supernodes {
+            offsets.push(off);
+            off += self.panel_bytes(s);
+        }
+        offsets.push(off);
+        offsets
+    }
+}
+
+impl Default for Cholesky {
+    /// The paper's instance: tk15.0 (~21.4 MB of factor).
+    fn default() -> Self {
+        Cholesky::with_supernodes(845)
+    }
+}
+
+impl Workload for Cholesky {
+    fn name(&self) -> &'static str {
+        "cholesky"
+    }
+
+    fn params(&self) -> String {
+        format!("tk15.0-sized, {} supernodes", self.supernodes)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        let total = *self.panel_offsets().last().expect("nonempty");
+        let mut l = Layout::new(4096);
+        let _ = l.region("factor", total);
+        l.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let offsets = self.panel_offsets();
+        let total = *offsets.last().expect("nonempty");
+        let mut l = Layout::new(4096);
+        let factor = l.region("factor", total).expect("nonzero");
+        let p = u64::from(topo.total_procs());
+        let passes = scale.apply(PASSES);
+        let depth = scale.apply(UPDATES_PER_NODE);
+        let mut rng = TraceRng::for_workload("cholesky", 0xc401);
+
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        // Init: supernode s first-touched by its task owner (s mod P).
+        for s in 0..self.supernodes {
+            let owner = ProcId((s % p) as u16);
+            let bytes = self.panel_bytes(s);
+            phase.write_run(owner, factor.at(offsets[s as usize]), bytes / 64, 64);
+        }
+        phase.interleave_into(&mut trace);
+
+        // Factorization: supernodes in elimination order; each task streams
+        // from a biased-random set of *earlier* panels (its elimination-tree
+        // descendants) and rewrites the head of its own panel.
+        for s in 0..self.supernodes {
+            let owner = ProcId((s % p) as u16);
+            if s > 0 {
+                for _ in 0..depth {
+                    let child = s - 1 - rng.near(s);
+                    let child_bytes = self.panel_bytes(child);
+                    let run = STREAM_BYTES.min(child_bytes);
+                    phase.read_run(
+                        owner,
+                        factor.at(offsets[child as usize]),
+                        run / ELEM_BYTES,
+                        ELEM_BYTES,
+                    );
+                }
+            }
+            let own_bytes = self.panel_bytes(s);
+            let run = OWN_BYTES.min(own_bytes);
+            for _ in 0..passes {
+                phase.read_run(owner, factor.at(offsets[s as usize]), run / ELEM_BYTES, ELEM_BYTES);
+                phase.write_run(owner, factor.at(offsets[s as usize]), run / ELEM_BYTES, ELEM_BYTES);
+            }
+            // Tasks between supernodes are barrier-free in reality, but the
+            // elimination order is a serialization point per panel.
+            if s % 16 == 15 {
+                phase.interleave_into(&mut trace);
+            }
+        }
+        phase.interleave_into(&mut trace);
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Cholesky::with_supernodes(64));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Cholesky::with_supernodes(64));
+    }
+
+    #[test]
+    fn paper_footprint_near_table3() {
+        let mb = Cholesky::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((19.0..=23.5).contains(&mb), "footprint {mb:.2} MB vs 21.37");
+    }
+
+    #[test]
+    fn panels_are_irregularly_sized() {
+        let c = Cholesky::default();
+        let sizes: std::collections::HashSet<u64> =
+            (0..c.supernodes).map(|s| c.panel_bytes(s)).collect();
+        assert!(sizes.len() > 50, "only {} distinct panel sizes", sizes.len());
+    }
+
+    #[test]
+    fn high_spatial_locality_in_streams() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = Cholesky::with_supernodes(64).generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        // Streams are element-granularity over 64-byte blocks.
+        assert!(stats.refs_per_block() > 5.0, "refs/block {}", stats.refs_per_block());
+    }
+
+    #[test]
+    fn ancestors_read_across_owners() {
+        let topo = Topology::paper_default();
+        let c = Cholesky::with_supernodes(64);
+        let offsets = c.panel_offsets();
+        let trace = c.generate(&topo, Scale::full());
+        let owner_of = |addr: u64| -> u16 {
+            let s = offsets.partition_point(|&o| o <= addr) as u64 - 1;
+            ((s.min(c.supernodes - 1)) % 32) as u16
+        };
+        let cross = trace
+            .iter()
+            .filter(|r| !r.op.is_write() && owner_of(r.addr.0) != r.proc.0)
+            .count();
+        assert!(cross > 100, "cross-owner panel reads = {cross}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Six-step FFT trace kernel (SPLASH-2 `FFT`, 64K points).
+//!
+//! The shared data is three `sqrt(n) x sqrt(n)` complex-double matrices
+//! (source, destination, twiddle factors). The six-step algorithm
+//! alternates *blocked all-to-all transposes* — every processor reads
+//! column tiles of every other processor's rows — with *local* row FFTs.
+//! The result is the paper's "regular access patterns and large spatial
+//! locality" profile: long unit-stride runs, page-dense working set.
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::{Layout, PhaseBuilder, Scale, Workload};
+
+const COMPLEX_BYTES: u64 = 16;
+/// Transpose tile edge, in elements: 4 complex doubles = one cache block.
+const TILE: u64 = 4;
+/// One write per cache block is enough to first-touch a region.
+const INIT_STRIDE: u64 = 64;
+
+/// The FFT trace kernel.
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::{Scale, Workload};
+/// use dsm_trace::workloads::Fft;
+/// use dsm_types::Topology;
+///
+/// let fft = Fft::with_points(1 << 8);
+/// let trace = fft.generate(&Topology::paper_default(), Scale::full());
+/// assert!(trace.len() > 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    points: u64,
+}
+
+impl Fft {
+    /// An FFT over `points` complex points; `points` must be a power of
+    /// four (so the matrix is square) and at least 256.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is not a power of four or is below 256.
+    #[must_use]
+    pub fn with_points(points: u64) -> Self {
+        assert!(
+            points >= 256 && points.is_power_of_two() && points.trailing_zeros().is_multiple_of(2),
+            "points must be a power of four >= 256, got {points}"
+        );
+        Fft { points }
+    }
+
+    /// Matrix edge: `sqrt(points)`.
+    #[must_use]
+    pub fn dim(&self) -> u64 {
+        1 << (self.points.trailing_zeros() / 2)
+    }
+}
+
+impl Default for Fft {
+    /// The paper's instance: 64K points.
+    fn default() -> Self {
+        Fft::with_points(1 << 16)
+    }
+}
+
+struct Matrices {
+    src: crate::Region,
+    dst: crate::Region,
+    twiddle: crate::Region,
+}
+
+impl Fft {
+    fn layout(&self) -> (Layout, Matrices) {
+        let bytes = self.points * COMPLEX_BYTES;
+        let mut l = Layout::new(4096);
+        let src = l.region("src", bytes).expect("nonzero");
+        let dst = l.region("dst", bytes).expect("nonzero");
+        let twiddle = l.region("twiddle", bytes).expect("nonzero");
+        (l, Matrices { src, dst, twiddle })
+    }
+
+    fn owner_of_row(&self, topo: &Topology, row: u64) -> ProcId {
+        let rows_per_proc = (self.dim() / u64::from(topo.total_procs())).max(1);
+        let p = (row / rows_per_proc).min(u64::from(topo.total_procs()) - 1);
+        ProcId(p as u16)
+    }
+
+    /// Blocked transpose `to[i][j] = from[j][i]`: the owner of each
+    /// destination row tile reads a (remote) source tile and writes its own
+    /// rows, `TILE` contiguous elements at a time.
+    fn transpose(
+        &self,
+        topo: &Topology,
+        phase: &mut PhaseBuilder,
+        from: &crate::Region,
+        to: &crate::Region,
+    ) {
+        let m = self.dim();
+        for ti in (0..m).step_by(TILE as usize) {
+            let owner = self.owner_of_row(topo, ti);
+            for tj in (0..m).step_by(TILE as usize) {
+                // Read source tile rows tj..tj+TILE, columns ti..ti+TILE.
+                for r in tj..tj + TILE {
+                    phase.read_run(owner, from.elem(r * m + ti, COMPLEX_BYTES), TILE, COMPLEX_BYTES);
+                }
+                // Write destination tile rows ti..ti+TILE, columns tj..tj+TILE.
+                for r in ti..ti + TILE {
+                    phase.write_run(owner, to.elem(r * m + tj, COMPLEX_BYTES), TILE, COMPLEX_BYTES);
+                }
+            }
+        }
+    }
+
+    /// `stages` in-place FFT passes over each row: entirely local,
+    /// unit-stride reads and writes; the first stage also streams the
+    /// twiddle row.
+    fn row_ffts(
+        &self,
+        topo: &Topology,
+        phase: &mut PhaseBuilder,
+        data: &crate::Region,
+        twiddle: &crate::Region,
+        stages: u64,
+    ) {
+        let m = self.dim();
+        for row in 0..m {
+            let owner = self.owner_of_row(topo, row);
+            for stage in 0..stages {
+                if stage == 0 {
+                    phase.read_run(owner, twiddle.elem(row * m, COMPLEX_BYTES), m, COMPLEX_BYTES);
+                }
+                phase.read_run(owner, data.elem(row * m, COMPLEX_BYTES), m, COMPLEX_BYTES);
+                phase.write_run(owner, data.elem(row * m, COMPLEX_BYTES), m, COMPLEX_BYTES);
+            }
+        }
+    }
+
+    fn init(&self, topo: &Topology, phase: &mut PhaseBuilder, mats: &Matrices) {
+        let m = self.dim();
+        let row_bytes = m * COMPLEX_BYTES;
+        for row in 0..m {
+            let owner = self.owner_of_row(topo, row);
+            for region in [&mats.src, &mats.dst, &mats.twiddle] {
+                let base = region.at(row * row_bytes);
+                phase.write_run(owner, base, row_bytes / INIT_STRIDE, INIT_STRIDE);
+            }
+        }
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn params(&self) -> String {
+        format!("{}K points", self.points / 1024)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.layout().0.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let (_, mats) = self.layout();
+        let stages = scale.apply(u64::from(self.dim().trailing_zeros()));
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        self.init(topo, &mut phase, &mats);
+        phase.interleave_into(&mut trace);
+
+        // Step 1: transpose src -> dst (all-to-all).
+        self.transpose(topo, &mut phase, &mats.src, &mats.dst);
+        phase.interleave_into(&mut trace);
+        // Step 2: row FFTs on dst (local), streaming twiddles.
+        self.row_ffts(topo, &mut phase, &mats.dst, &mats.twiddle, stages);
+        phase.interleave_into(&mut trace);
+        // Step 3: transpose dst -> src.
+        self.transpose(topo, &mut phase, &mats.dst, &mats.src);
+        phase.interleave_into(&mut trace);
+        // Step 4: row FFTs on src.
+        self.row_ffts(topo, &mut phase, &mats.src, &mats.twiddle, stages);
+        phase.interleave_into(&mut trace);
+        // Step 5: final transpose src -> dst.
+        self.transpose(topo, &mut phase, &mats.src, &mats.dst);
+        phase.interleave_into(&mut trace);
+
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Fft::with_points(1 << 10));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Fft::with_points(1 << 10));
+    }
+
+    #[test]
+    fn paper_footprint_near_table3() {
+        let mb = Fft::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        // Table 3 reports 3.54 MB; three 1-MB matrices dominate.
+        assert!((2.9..=3.6).contains(&mb), "footprint {mb:.2} MB");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of four")]
+    fn rejects_non_square_sizes() {
+        let _ = Fft::with_points(1 << 9);
+    }
+
+    #[test]
+    fn high_spatial_locality() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let w = Fft::with_points(1 << 10);
+        let trace = w.generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        // Regular kernel: many references per touched block.
+        assert!(
+            stats.refs_per_block() > 4.0,
+            "refs/block = {}",
+            stats.refs_per_block()
+        );
+    }
+
+    #[test]
+    fn transposes_generate_cross_processor_reads() {
+        // Destination-row owners read source rows owned by other procs.
+        let topo = Topology::paper_default();
+        let w = Fft::with_points(1 << 10);
+        let (_, mats) = w.layout();
+        let trace = w.generate(&topo, Scale::full());
+        let m = w.dim();
+        let cross = trace
+            .iter()
+            .filter(|r| !r.op.is_write() && mats.src.contains(r.addr))
+            .filter(|r| {
+                let elem = (r.addr.0 - mats.src.base().0) / COMPLEX_BYTES;
+                w.owner_of_row(&topo, elem / m) != r.proc
+            })
+            .count();
+        assert!(cross > 0, "no cross-processor transpose reads");
+    }
+
+    #[test]
+    fn dim_is_square_root() {
+        assert_eq!(Fft::with_points(1 << 16).dim(), 256);
+        assert_eq!(Fft::with_points(1 << 10).dim(), 32);
+    }
+}

@@ -1,0 +1,216 @@
+//! Adaptive fast-multipole trace kernel (SPLASH-2 `FMM`, 16K bodies).
+//!
+//! FMM's shared state is dominated by per-cell expansion coefficients:
+//! 4096 cells x ~6.8 KB puts the footprint at Table 3's 29.23 MB — an
+//! order of magnitude beyond any cluster's SRAM. Interaction-list
+//! translations read a few blocks from each of ~27 pseudo-randomly chosen
+//! cells, giving a **large, sparse remote working set with irregular
+//! access** — with Radix and Raytrace, the class of applications where the
+//! paper finds DRAM NCs still win and page caches fragment.
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::rng::TraceRng;
+use crate::{Layout, PhaseBuilder, Scale, Workload};
+
+const BODY_BYTES: u64 = 128;
+/// Expansion coefficients per cell; 109 cache blocks.
+const CELL_BYTES: u64 = 6976;
+const TIMESTEPS: u64 = 2;
+/// Interaction-list length (the well-separated cells of a 2D FMM).
+const INTERACTIONS: u64 = 27;
+/// Bytes of a remote cell's expansion read per translation.
+const TRANSLATION_BYTES: u64 = 256;
+
+/// The FMM trace kernel.
+#[derive(Debug, Clone)]
+pub struct Fmm {
+    bodies: u64,
+}
+
+impl Fmm {
+    /// FMM over `bodies` bodies; the tree has `bodies / 4` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies` is not a positive multiple of 128.
+    #[must_use]
+    pub fn with_bodies(bodies: u64) -> Self {
+        assert!(
+            bodies > 0 && bodies.is_multiple_of(128),
+            "body count {bodies} must be a positive multiple of 128"
+        );
+        Fmm { bodies }
+    }
+
+    fn cells(&self) -> u64 {
+        self.bodies / 4
+    }
+}
+
+impl Default for Fmm {
+    /// The paper's instance: 16K bodies.
+    fn default() -> Self {
+        Fmm::with_bodies(1 << 14)
+    }
+}
+
+impl Workload for Fmm {
+    fn name(&self) -> &'static str {
+        "fmm"
+    }
+
+    fn params(&self) -> String {
+        format!("{}K bodies", self.bodies >> 10)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        let mut l = Layout::new(4096);
+        let _ = l.region("bodies", self.bodies * BODY_BYTES);
+        let _ = l.region("cells", self.cells() * CELL_BYTES);
+        l.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let mut l = Layout::new(4096);
+        let bodies = l
+            .region("bodies", self.bodies * BODY_BYTES)
+            .expect("nonzero");
+        let cells = l
+            .region("cells", self.cells() * CELL_BYTES)
+            .expect("nonzero");
+        let p = u64::from(topo.total_procs());
+        let bodies_per_proc = self.bodies / p;
+        let cells_per_proc = self.cells() / p;
+        let steps = scale.apply(TIMESTEPS);
+        let mut rng = TraceRng::for_workload("fmm", 0xf33d);
+
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        // Init by owner, one write per block.
+        for proc_i in 0..p {
+            let proc = ProcId(proc_i as u16);
+            let bchunk = bodies_per_proc * BODY_BYTES;
+            phase.write_run(proc, bodies.at(proc_i * bchunk), bchunk / 64, 64);
+            let cchunk = cells_per_proc * CELL_BYTES;
+            phase.write_run(proc, cells.at(proc_i * cchunk), cchunk / 64, 64);
+        }
+        phase.interleave_into(&mut trace);
+
+        for _step in 0..steps {
+            // Upward pass: each owner forms its cells' multipole expansions
+            // (local, sequential over the expansion).
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for c in 0..cells_per_proc {
+                    let base = (proc_i * cells_per_proc + c) * CELL_BYTES;
+                    phase.read_run(proc, cells.at(base), 8, 64);
+                    phase.write_run(proc, cells.at(base + 512), 8, 64);
+                }
+            }
+            phase.interleave_into(&mut trace);
+
+            // Interaction phase: multipole-to-local translations read a few
+            // blocks from each of ~27 scattered cells, then accumulate into
+            // the local expansion.
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for c in 0..cells_per_proc {
+                    let own = proc_i * cells_per_proc + c;
+                    for _ in 0..INTERACTIONS {
+                        // Mix of tree-neighbourhood locality and far cells.
+                        let partner = if rng.chance(0.7) {
+                            (own + rng.near(self.cells() / 4)) % self.cells()
+                        } else {
+                            rng.below(self.cells())
+                        };
+                        phase.read_run(
+                            proc,
+                            cells.at(partner * CELL_BYTES),
+                            TRANSLATION_BYTES / 64,
+                            64,
+                        );
+                    }
+                    phase.write_run(proc, cells.at(own * CELL_BYTES + 1024), 8, 64);
+                }
+            }
+            phase.interleave_into(&mut trace);
+
+            // Downward/body pass: evaluate local expansions at own bodies.
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for b in 0..bodies_per_proc {
+                    let body = proc_i * bodies_per_proc + b;
+                    let cell = body * self.cells() / self.bodies;
+                    phase.read_run(proc, cells.at(cell * CELL_BYTES + 1024), 4, 64);
+                    phase.write(proc, bodies.at(body * BODY_BYTES));
+                    phase.write(proc, bodies.at(body * BODY_BYTES + 8));
+                }
+            }
+            phase.interleave_into(&mut trace);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Fmm::with_bodies(1 << 10));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Fmm::with_bodies(1 << 10));
+    }
+
+    #[test]
+    fn paper_footprint_matches_table3() {
+        let mb = Fmm::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((28.0..=30.0).contains(&mb), "footprint {mb:.2} MB vs 29.23");
+    }
+
+    #[test]
+    fn working_set_is_large_and_sparse() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let w = Fmm::with_bodies(1 << 11);
+        let trace = w.generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        // Most of the footprint is touched...
+        assert!(
+            stats.footprint_bytes(&geo) * 2 > w.shared_bytes(),
+            "only {} of {} bytes touched",
+            stats.footprint_bytes(&geo),
+            w.shared_bytes()
+        );
+        // ...but each block is revisited only a handful of times.
+        assert!(stats.refs_per_block() < 25.0, "refs/block {}", stats.refs_per_block());
+    }
+
+    #[test]
+    fn interaction_reads_cross_ownership() {
+        let topo = Topology::paper_default();
+        let w = Fmm::with_bodies(1 << 11);
+        let trace = w.generate(&topo, Scale::full());
+        let bodies_span = (w.bodies * BODY_BYTES).div_ceil(4096) * 4096;
+        let cells_per_proc = w.cells() / 32;
+        let cross = trace
+            .iter()
+            .filter(|r| !r.op.is_write() && r.addr.0 >= bodies_span)
+            .filter(|r| {
+                let cell = (r.addr.0 - bodies_span) / CELL_BYTES;
+                let owner = (cell / cells_per_proc).min(31) as u16;
+                owner != r.proc.0
+            })
+            .count();
+        assert!(cross > 1000, "cross-owner interaction reads = {cross}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Blocked dense LU trace kernel (SPLASH-2 `LU`, 512 x 512).
+//!
+//! The matrix is stored block-major (each 16x16 block contiguous — the
+//! SPLASH-2 "optimized" layout that gives blocks page-level locality) and
+//! blocks are 2D-scattered over the processors. Phase `k` factors the
+//! diagonal block, updates the perimeter row/column (owners read the
+//! diagonal block remotely), then the interior (owners read one perimeter
+//! row block and one perimeter column block). Regular, high spatial
+//! locality, with widely-read-shared perimeter blocks.
+//!
+//! The paper's first-touch fix for LU (initialization by the eventual
+//! owner, not the master processor) is built in: the init phase writes
+//! every block from its owner.
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::{Layout, PhaseBuilder, Region, Scale, Workload};
+
+const ELEM_BYTES: u64 = 8;
+/// Extra shared state (pivots, barriers, global sums): 160 KB, bringing the
+/// 512x512 instance to Table 3's 2.16 MB.
+const GLOBALS_BYTES: u64 = 160 * 1024;
+
+/// The LU trace kernel.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: u64,
+    block: u64,
+}
+
+impl Lu {
+    /// LU on an `n x n` matrix of doubles with 16 x 16 blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 16.
+    #[must_use]
+    pub fn with_matrix(n: u64) -> Self {
+        assert!(n > 0 && n.is_multiple_of(16), "matrix size {n} must be a multiple of 16");
+        Lu { n, block: 16 }
+    }
+
+    /// Blocks per matrix edge.
+    #[must_use]
+    pub fn blocks_per_edge(&self) -> u64 {
+        self.n / self.block
+    }
+
+    fn elems_per_block(&self) -> u64 {
+        self.block * self.block
+    }
+
+    /// 2D-scatter ownership: `owner(I, J) = (I mod pr) * pc + (J mod pc)`.
+    fn owner(&self, topo: &Topology, bi: u64, bj: u64) -> ProcId {
+        let p = u64::from(topo.total_procs());
+        // pr = largest power of two with pr*pr <= p (pr <= pc).
+        let mut pr = 1u64;
+        while pr * pr * 4 <= p {
+            pr *= 2;
+        }
+        let pc = (p / pr).max(1);
+        let owner = (bi % pr) * pc + (bj % pc);
+        ProcId((owner % p) as u16)
+    }
+
+    /// Byte offset of block `(bi, bj)` in the block-major matrix region.
+    fn block_base(&self, bi: u64, bj: u64) -> u64 {
+        (bi * self.blocks_per_edge() + bj) * self.elems_per_block() * ELEM_BYTES
+    }
+
+    fn read_block(&self, phase: &mut PhaseBuilder, proc: ProcId, m: &Region, bi: u64, bj: u64) {
+        phase.read_run(
+            proc,
+            m.at(self.block_base(bi, bj)),
+            self.elems_per_block(),
+            ELEM_BYTES,
+        );
+    }
+
+    fn update_block(&self, phase: &mut PhaseBuilder, proc: ProcId, m: &Region, bi: u64, bj: u64) {
+        let base = m.at(self.block_base(bi, bj));
+        phase.read_run(proc, base, self.elems_per_block(), ELEM_BYTES);
+        phase.write_run(proc, base, self.elems_per_block(), ELEM_BYTES);
+    }
+}
+
+impl Default for Lu {
+    /// The paper's instance: 512 x 512.
+    fn default() -> Self {
+        Lu::with_matrix(512)
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn params(&self) -> String {
+        format!("{} x {}", self.n, self.n)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        let mut l = Layout::new(4096);
+        let _ = l.region("matrix", self.n * self.n * ELEM_BYTES);
+        let _ = l.region("globals", GLOBALS_BYTES);
+        l.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let mut l = Layout::new(4096);
+        let matrix = l.region("matrix", self.n * self.n * ELEM_BYTES).expect("nonzero");
+        let globals = l.region("globals", GLOBALS_BYTES).expect("nonzero");
+        let nb = self.blocks_per_edge();
+        // Interior-update decimation factor: scale < 1 processes every
+        // m-th interior block, preserving every phase and the full matrix
+        // footprint (the init phase touches everything).
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let decimate = ((1.0 / scale.factor()).round() as u64).max(1);
+
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        // Init: every block first-touched by its owner (the paper's fix).
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let owner = self.owner(topo, bi, bj);
+                let base = matrix.at(self.block_base(bi, bj));
+                let bytes = self.elems_per_block() * ELEM_BYTES;
+                phase.write_run(owner, base, bytes / 64, 64);
+            }
+        }
+        // Globals first-touched by processor 0 (master).
+        phase.write_run(ProcId(0), globals.base(), GLOBALS_BYTES / 64, 64);
+        phase.interleave_into(&mut trace);
+
+        for k in 0..nb {
+            // Factor the diagonal block.
+            let dk = self.owner(topo, k, k);
+            self.update_block(&mut phase, dk, &matrix, k, k);
+            phase.read(dk, globals.at((k * 8) % GLOBALS_BYTES));
+            phase.interleave_into(&mut trace);
+
+            // Perimeter: column blocks (i, k) and row blocks (k, j) read
+            // the diagonal block (remote for most owners) and update
+            // themselves.
+            for i in k + 1..nb {
+                let o = self.owner(topo, i, k);
+                self.read_block(&mut phase, o, &matrix, k, k);
+                self.update_block(&mut phase, o, &matrix, i, k);
+
+                let o = self.owner(topo, k, i);
+                self.read_block(&mut phase, o, &matrix, k, k);
+                self.update_block(&mut phase, o, &matrix, k, i);
+            }
+            phase.interleave_into(&mut trace);
+
+            // Interior: block (i, j) reads perimeter blocks (i, k), (k, j).
+            for i in k + 1..nb {
+                for j in k + 1..nb {
+                    if (i * 31 + j * 17 + k) % decimate != 0 {
+                        continue;
+                    }
+                    let o = self.owner(topo, i, j);
+                    self.read_block(&mut phase, o, &matrix, i, k);
+                    self.read_block(&mut phase, o, &matrix, k, j);
+                    self.update_block(&mut phase, o, &matrix, i, j);
+                }
+            }
+            phase.interleave_into(&mut trace);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Lu::with_matrix(128));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Lu::with_matrix(128));
+    }
+
+    #[test]
+    fn paper_footprint_matches_table3() {
+        let mb = Lu::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((2.1..=2.2).contains(&mb), "footprint {mb:.3} MB vs 2.16");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_unaligned_matrix() {
+        let _ = Lu::with_matrix(100);
+    }
+
+    #[test]
+    fn ownership_is_scattered() {
+        let topo = Topology::paper_default();
+        let lu = Lu::with_matrix(512);
+        let mut owners = std::collections::HashSet::new();
+        for bi in 0..lu.blocks_per_edge() {
+            for bj in 0..lu.blocks_per_edge() {
+                owners.insert(lu.owner(&topo, bi, bj));
+            }
+        }
+        assert_eq!(owners.len(), 32, "all processors own blocks");
+    }
+
+    #[test]
+    fn high_spatial_locality() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = Lu::with_matrix(128).generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        assert!(stats.refs_per_block() > 6.0, "refs/block = {}", stats.refs_per_block());
+    }
+
+    #[test]
+    fn diagonal_block_is_widely_read() {
+        // Many distinct processors read block (0, 0) during phase 0.
+        let topo = Topology::paper_default();
+        let lu = Lu::with_matrix(256);
+        let trace = lu.generate(&topo, Scale::full());
+        let b00_end = lu.elems_per_block() * ELEM_BYTES;
+        let readers: std::collections::HashSet<_> = trace
+            .iter()
+            .filter(|r| !r.op.is_write() && r.addr.0 < b00_end)
+            .map(|r| r.proc)
+            .collect();
+        assert!(readers.len() > 4, "only {} readers of the pivot block", readers.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! The eight SPLASH-2-style trace kernels (see the crate docs for the
+//! paper-to-kernel substitution rationale).
+
+mod barnes;
+mod cholesky;
+mod fft;
+mod fmm;
+mod lu;
+mod ocean;
+mod radix;
+mod raytrace;
+
+pub use barnes::Barnes;
+pub use cholesky::Cholesky;
+pub use fft::Fft;
+pub use fmm::Fmm;
+pub use lu::Lu;
+pub use ocean::Ocean;
+pub use radix::Radix;
+pub use raytrace::Raytrace;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use dsm_types::{Geometry, Topology};
+
+    use crate::{Scale, TraceStats, Workload};
+
+    /// Shared sanity checks every kernel must satisfy.
+    pub fn check_kernel(w: &dyn Workload) {
+        let topo = Topology::paper_default();
+        let trace = w.generate(&topo, Scale::new(0.5).unwrap());
+        assert!(!trace.is_empty(), "{} produced an empty trace", w.name());
+
+        // Determinism.
+        let again = w.generate(&topo, Scale::new(0.5).unwrap());
+        assert_eq!(trace, again, "{} is not deterministic", w.name());
+
+        let geo = Geometry::paper_default();
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+
+        // Every processor participates.
+        for (p, n) in stats.per_proc.iter().enumerate() {
+            assert!(*n > 0, "{}: processor {p} issued no references", w.name());
+        }
+
+        // The trace stays inside the declared footprint (allow one page of
+        // rounding per region; kernels have at most 64 regions).
+        assert!(
+            stats.footprint_bytes(&geo) <= w.shared_bytes() + 64 * geo.page_bytes(),
+            "{}: touched {} bytes, declared {}",
+            w.name(),
+            stats.footprint_bytes(&geo),
+            w.shared_bytes()
+        );
+
+        // Both reads and writes occur.
+        assert!(stats.reads > 0 && stats.writes > 0, "{}: degenerate mix", w.name());
+    }
+
+    /// Checks that scaling down shortens the trace without shrinking the
+    /// touched footprint by more than a factor of two (working sets must
+    /// survive scaling).
+    pub fn check_scaling(w: &dyn Workload) {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let full = w.generate(&topo, Scale::full());
+        let half = w.generate(&topo, Scale::new(0.4).unwrap());
+        assert!(
+            half.len() < full.len(),
+            "{}: scale 0.4 did not shorten the trace",
+            w.name()
+        );
+        let fs = TraceStats::compute(&full, &geo, &topo);
+        let hs = TraceStats::compute(&half, &geo, &topo);
+        assert!(
+            hs.pages_touched * 2 >= fs.pages_touched,
+            "{}: scaling collapsed the footprint ({} vs {} pages)",
+            w.name(),
+            hs.pages_touched,
+            fs.pages_touched
+        );
+    }
+}

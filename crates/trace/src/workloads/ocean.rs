@@ -1,0 +1,189 @@
+//! Ocean simulation trace kernel (SPLASH-2 `Ocean`, 258 x 258).
+//!
+//! A stack of `(g x g)` double grids (29 of them at the paper's size,
+//! matching the 15.52-MB footprint) partitioned by contiguous row bands.
+//! Each timestep runs red-black Gauss-Seidel sweeps over a rotating subset
+//! of grids: 5-point stencils with unit-stride inner loops — regular and
+//! page-dense, with remote reads confined to the band-boundary rows.
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::{Layout, PhaseBuilder, Region, Scale, Workload};
+
+const ELEM_BYTES: u64 = 8;
+const GRIDS: u64 = 29;
+const GRIDS_PER_STEP: u64 = 4;
+const TIMESTEPS: u64 = 2;
+
+/// The Ocean trace kernel.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    g: u64,
+}
+
+impl Ocean {
+    /// Ocean on `g x g` grids (including the boundary ring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g < 18` (too small to band-partition).
+    #[must_use]
+    pub fn with_grid(g: u64) -> Self {
+        assert!(g >= 18, "grid edge {g} too small");
+        Ocean { g }
+    }
+
+    fn grid_bytes(&self) -> u64 {
+        self.g * self.g * ELEM_BYTES
+    }
+
+    fn owner_of_row(&self, topo: &Topology, row: u64) -> ProcId {
+        let p = u64::from(topo.total_procs());
+        let rows_per_proc = (self.g / p).max(1);
+        ProcId(((row / rows_per_proc).min(p - 1)) as u16)
+    }
+
+    fn point(&self, grid: &Region, gi: u64, i: u64, j: u64) -> dsm_types::Addr {
+        grid.at(gi * self.grid_bytes() + (i * self.g + j) * ELEM_BYTES)
+    }
+
+    /// One red-black half-sweep of grid `gi`: each interior point of the
+    /// given parity reads its 4 neighbours and itself, then writes itself.
+    fn half_sweep(&self, topo: &Topology, phase: &mut PhaseBuilder, grid: &Region, gi: u64, color: u64) {
+        for i in 1..self.g - 1 {
+            let owner = self.owner_of_row(topo, i);
+            for j in 1..self.g - 1 {
+                if (i + j) % 2 != color {
+                    continue;
+                }
+                phase.read(owner, self.point(grid, gi, i, j));
+                phase.read(owner, self.point(grid, gi, i - 1, j));
+                phase.read(owner, self.point(grid, gi, i + 1, j));
+                phase.read(owner, self.point(grid, gi, i, j - 1));
+                phase.read(owner, self.point(grid, gi, i, j + 1));
+                phase.write(owner, self.point(grid, gi, i, j));
+            }
+        }
+    }
+}
+
+impl Default for Ocean {
+    /// The paper's instance: 258 x 258.
+    fn default() -> Self {
+        Ocean::with_grid(258)
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+
+    fn params(&self) -> String {
+        format!("{} x {}", self.g, self.g)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        let mut l = Layout::new(4096);
+        let _ = l.region("grids", GRIDS * self.grid_bytes());
+        l.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let mut l = Layout::new(4096);
+        let grids = l
+            .region("grids", GRIDS * self.grid_bytes())
+            .expect("nonzero");
+        let steps = scale.apply(TIMESTEPS);
+
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        // Init: every grid first-touched row-band by row-band by its owner
+        // (one write per cache block).
+        for gi in 0..GRIDS {
+            for i in 0..self.g {
+                let owner = self.owner_of_row(topo, i);
+                let row_base = grids.at(gi * self.grid_bytes() + i * self.g * ELEM_BYTES);
+                phase.write_run(owner, row_base, (self.g * ELEM_BYTES) / 64, 64);
+            }
+        }
+        phase.interleave_into(&mut trace);
+
+        for step in 0..steps {
+            for k in 0..GRIDS_PER_STEP {
+                let gi = (step * GRIDS_PER_STEP + k) % GRIDS;
+                self.half_sweep(topo, &mut phase, &grids, gi, 0);
+                phase.interleave_into(&mut trace);
+                self.half_sweep(topo, &mut phase, &grids, gi, 1);
+                phase.interleave_into(&mut trace);
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Ocean::with_grid(34));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Ocean::with_grid(34));
+    }
+
+    #[test]
+    fn paper_footprint_matches_table3() {
+        let mb = Ocean::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((14.5..=15.8).contains(&mb), "footprint {mb:.2} MB vs 15.52");
+    }
+
+    #[test]
+    fn stencil_reads_cross_band_boundaries() {
+        let topo = Topology::paper_default();
+        let w = Ocean::with_grid(66);
+        let trace = w.generate(&topo, Scale::full());
+        // A reference is cross-band when its row's owner differs from the
+        // issuing processor (the i-1 / i+1 stencil neighbours at band
+        // edges).
+        let cross = trace
+            .iter()
+            .filter(|r| !r.op.is_write())
+            .filter(|r| {
+                let off = r.addr.0 % w.grid_bytes();
+                let row = off / (w.g * ELEM_BYTES);
+                w.owner_of_row(&topo, row) != r.proc
+            })
+            .count();
+        assert!(cross > 0, "no boundary-row communication");
+    }
+
+    #[test]
+    fn writes_stay_local_to_band_owner() {
+        let topo = Topology::paper_default();
+        let w = Ocean::with_grid(66);
+        let trace = w.generate(&topo, Scale::full());
+        for r in trace.iter().filter(|r| r.op.is_write()) {
+            let off = r.addr.0 % w.grid_bytes();
+            let row = off / (w.g * ELEM_BYTES);
+            assert_eq!(w.owner_of_row(&topo, row), r.proc, "foreign write at {r}");
+        }
+    }
+
+    #[test]
+    fn very_high_spatial_locality() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = Ocean::with_grid(66).generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        assert!(stats.refs_per_block() > 5.0, "refs/block = {}", stats.refs_per_block());
+    }
+}

@@ -1,0 +1,297 @@
+//! Radix sort trace kernel (SPLASH-2 `Radix`, 1M integers).
+//!
+//! The paper's stress case for page caches: the permutation phase writes
+//! each key to its sorted position in the destination array, and with
+//! random keys consecutive writes jump between 1024 widely-separated
+//! buckets — **irregular, write-dominated, very low spatial locality**, a
+//! large sparse remote working set. Radix is where the victim cache and
+//! the `vp`/`vxp` page-indexed organizations pay off in the paper.
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::rng::TraceRng;
+use crate::{Layout, PhaseBuilder, Scale, Workload};
+
+const KEY_BYTES: u64 = 4;
+const RADIX_BITS: u32 = 10;
+const BUCKETS: u64 = 1 << RADIX_BITS;
+const KEY_BITS: u32 = 20;
+const PASSES: u64 = 2;
+const HIST_ENTRY_BYTES: u64 = 8;
+
+/// The Radix trace kernel.
+#[derive(Debug, Clone)]
+pub struct Radix {
+    keys: u64,
+}
+
+impl Radix {
+    /// Sorts `keys` random integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is not a positive multiple of 1024.
+    #[must_use]
+    pub fn with_keys(keys: u64) -> Self {
+        assert!(
+            keys > 0 && keys.is_multiple_of(BUCKETS),
+            "key count {keys} must be a positive multiple of {BUCKETS}"
+        );
+        Radix { keys }
+    }
+}
+
+impl Default for Radix {
+    /// The paper's instance: 1M integers.
+    fn default() -> Self {
+        Radix::with_keys(1 << 20)
+    }
+}
+
+struct Regions {
+    key0: crate::Region,
+    key1: crate::Region,
+    local_hist: crate::Region,
+    global_hist: crate::Region,
+}
+
+impl Radix {
+    fn layout(&self, topo: &Topology) -> (Layout, Regions) {
+        let p = u64::from(topo.total_procs());
+        let mut l = Layout::new(4096);
+        let key0 = l.region("key0", self.keys * KEY_BYTES).expect("nonzero");
+        let key1 = l.region("key1", self.keys * KEY_BYTES).expect("nonzero");
+        let local_hist = l
+            .region("local_hist", p * BUCKETS * HIST_ENTRY_BYTES)
+            .expect("nonzero");
+        // Global rank/prefix trees; sized as in the SPLASH-2 code (a
+        // bucket-by-processor matrix plus prefix levels).
+        let global_hist = l
+            .region("global_hist", 2 * p * BUCKETS * HIST_ENTRY_BYTES)
+            .expect("nonzero");
+        (
+            l,
+            Regions {
+                key0,
+                key1,
+                local_hist,
+                global_hist,
+            },
+        )
+    }
+
+    fn digit(key: u64, pass: u64) -> u64 {
+        (key >> (pass as u32 * RADIX_BITS)) & (BUCKETS - 1)
+    }
+
+    /// Deterministic key value for index `i` (the same value the init and
+    /// every pass observe).
+    fn key_value(rng_base: &mut TraceRng) -> u64 {
+        rng_base.below(1 << KEY_BITS)
+    }
+}
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "radix"
+    }
+
+    fn params(&self) -> String {
+        if self.keys >= 1 << 20 {
+            format!("{}M integers", self.keys >> 20)
+        } else {
+            format!("{}K integers", self.keys >> 10)
+        }
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.layout(&Topology::paper_default()).0.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let (_, regions) = self.layout(topo);
+        let p = u64::from(topo.total_procs());
+        let keys_per_proc = self.keys / p;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let decimate = ((1.0 / scale.factor()).round() as u64).max(1);
+
+        // Materialize the key values once so every pass sees the same
+        // permutation targets.
+        let mut rng = TraceRng::for_workload("radix", 0x5eed);
+        let values: Vec<u64> = (0..self.keys).map(|_| Self::key_value(&mut rng)).collect();
+
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        // Init: each processor writes its contiguous key chunk in both
+        // arrays and its histogram rows.
+        for proc_i in 0..p {
+            let proc = ProcId(proc_i as u16);
+            let chunk = keys_per_proc * KEY_BYTES;
+            phase.write_run(proc, regions.key0.at(proc_i * chunk), chunk / 64, 64);
+            phase.write_run(proc, regions.key1.at(proc_i * chunk), chunk / 64, 64);
+            let hrow = BUCKETS * HIST_ENTRY_BYTES;
+            phase.write_run(proc, regions.local_hist.at(proc_i * hrow), hrow / 64, 64);
+            phase.write_run(
+                proc,
+                regions.global_hist.at(proc_i * 2 * hrow),
+                2 * hrow / 64,
+                64,
+            );
+        }
+        phase.interleave_into(&mut trace);
+
+        for pass in 0..PASSES {
+            let (src, dst) = if pass % 2 == 0 {
+                (&regions.key0, &regions.key1)
+            } else {
+                (&regions.key1, &regions.key0)
+            };
+
+            // Phase 1: local histograms — sequential reads of own keys.
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for i in (0..keys_per_proc).step_by(decimate as usize) {
+                    let idx = proc_i * keys_per_proc + i;
+                    phase.read(proc, src.elem(idx, KEY_BYTES));
+                    let d = Self::digit(values[idx as usize], pass);
+                    phase.write(
+                        proc,
+                        regions
+                            .local_hist
+                            .elem(proc_i * BUCKETS + d, HIST_ENTRY_BYTES),
+                    );
+                }
+            }
+            phase.interleave_into(&mut trace);
+
+            // Phase 2: global prefix — every processor reads the others'
+            // histogram rows and publishes its bucket offsets.
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for other in 0..p {
+                    if other == proc_i {
+                        continue;
+                    }
+                    // Read a 1/p slice of each foreign histogram row.
+                    let start = other * BUCKETS + proc_i * (BUCKETS / p);
+                    phase.read_run(
+                        proc,
+                        regions.local_hist.elem(start, HIST_ENTRY_BYTES),
+                        BUCKETS / p,
+                        HIST_ENTRY_BYTES,
+                    );
+                }
+                phase.write_run(
+                    proc,
+                    regions
+                        .global_hist
+                        .elem(proc_i * 2 * BUCKETS, HIST_ENTRY_BYTES),
+                    BUCKETS,
+                    HIST_ENTRY_BYTES,
+                );
+            }
+            phase.interleave_into(&mut trace);
+
+            // Phase 3: permutation — sequential reads, scattered writes.
+            // Key `idx` with digit `d` lands in bucket `d`; within the
+            // bucket, each processor owns a sub-range (rank order).
+            let bucket_span = self.keys / BUCKETS;
+            let proc_span = (bucket_span / p).max(1);
+            let mut cursors = vec![0u64; (BUCKETS * p) as usize];
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for i in (0..keys_per_proc).step_by(decimate as usize) {
+                    let idx = proc_i * keys_per_proc + i;
+                    phase.read(proc, src.elem(idx, KEY_BYTES));
+                    let d = Self::digit(values[idx as usize], pass);
+                    let cur = &mut cursors[(d * p + proc_i) as usize];
+                    let pos = d * bucket_span + proc_i * proc_span + (*cur % proc_span);
+                    *cur += 1;
+                    phase.write(proc, dst.elem(pos.min(self.keys - 1), KEY_BYTES));
+                }
+            }
+            phase.interleave_into(&mut trace);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Radix::with_keys(1 << 14));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Radix::with_keys(1 << 14));
+    }
+
+    #[test]
+    fn paper_footprint_near_table3() {
+        let mb = Radix::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        // Table 3 reports 9.87 MB; two 4-MB key arrays plus rank trees.
+        assert!((8.5..=10.2).contains(&mb), "footprint {mb:.2} MB");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn rejects_unaligned_key_count() {
+        let _ = Radix::with_keys(1000);
+    }
+
+    #[test]
+    fn digit_extraction() {
+        assert_eq!(Radix::digit(0b11_0000000001, 0), 1);
+        assert_eq!(Radix::digit(0b11_0000000001, 1), 0b11);
+    }
+
+    #[test]
+    fn writes_dominate_more_than_other_kernels() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = Radix::with_keys(1 << 14).generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        assert!(
+            stats.write_fraction() > 0.35,
+            "write fraction {}",
+            stats.write_fraction()
+        );
+    }
+
+    #[test]
+    fn permutation_writes_are_scattered() {
+        // Consecutive writes by one processor into the destination array
+        // should rarely fall in the same cache block.
+        let topo = Topology::paper_default();
+        let w = Radix::with_keys(1 << 14);
+        let (_, regions) = w.layout(&topo);
+        let trace = w.generate(&topo, Scale::full());
+        let mut last_block: Option<u64> = None;
+        let mut same = 0u64;
+        let mut total = 0u64;
+        for r in trace
+            .iter()
+            .filter(|r| r.op.is_write() && r.proc == ProcId(0) && regions.key1.contains(r.addr))
+        {
+            let blk = r.addr.0 / 64;
+            if last_block == Some(blk) {
+                same += 1;
+            }
+            total += 1;
+            last_block = Some(blk);
+        }
+        assert!(total > 100, "not enough permutation writes ({total})");
+        assert!(
+            (same as f64) / (total as f64) < 0.3,
+            "{same}/{total} consecutive writes in the same block — too regular"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Raytrace trace kernel (SPLASH-2 `Raytrace`, "car" scene).
+//!
+//! The scene — BVH nodes plus primitives, ~35 MB for the car model — is
+//! read-only shared data. Every ray performs a data-dependent walk:
+//! a few hot nodes near the root, then pseudo-random descents through the
+//! 14-MB node array and scattered primitive fetches. The result is the
+//! paper's extreme case of a **huge, sparse, read-dominated remote working
+//! set with very low spatial locality**, where page caches fragment badly
+//! and a 512-KB DRAM NC still wins (Figures 9 and 10).
+
+use dsm_types::{MemRef, ProcId, Topology};
+
+use crate::rng::TraceRng;
+use crate::{Layout, PhaseBuilder, Scale, Workload};
+
+const NODE_BYTES: u64 = 128;
+const PRIM_BYTES: u64 = 96;
+const FRAMEBUFFER_BYTES: u64 = 1024 * 1024;
+const RAY_BATCHES: u64 = 2;
+const RAYS_PER_PROC: u64 = 1024;
+const WALK_DEPTH: u64 = 18;
+
+/// The Raytrace trace kernel.
+#[derive(Debug, Clone)]
+pub struct Raytrace {
+    scene_mb: u64,
+}
+
+impl Raytrace {
+    /// A scene of roughly `scene_mb` megabytes (40 % BVH nodes, 60 %
+    /// primitives) plus a 1-MB framebuffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scene_mb` is zero.
+    #[must_use]
+    pub fn with_scene_mb(scene_mb: u64) -> Self {
+        assert!(scene_mb > 0, "scene must be at least 1 MB");
+        Raytrace { scene_mb }
+    }
+
+    fn node_count(&self) -> u64 {
+        self.scene_mb * 1024 * 1024 * 2 / 5 / NODE_BYTES
+    }
+
+    fn prim_count(&self) -> u64 {
+        self.scene_mb * 1024 * 1024 * 3 / 5 / PRIM_BYTES
+    }
+}
+
+impl Default for Raytrace {
+    /// The paper's instance: the 34.86-MB "car" scene.
+    fn default() -> Self {
+        Raytrace::with_scene_mb(34)
+    }
+}
+
+impl Workload for Raytrace {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+
+    fn params(&self) -> String {
+        format!("car-sized scene, {} MB", self.scene_mb)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        let mut l = Layout::new(4096);
+        let _ = l.region("nodes", self.node_count() * NODE_BYTES);
+        let _ = l.region("prims", self.prim_count() * PRIM_BYTES);
+        let _ = l.region("framebuffer", FRAMEBUFFER_BYTES);
+        l.total_bytes()
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let mut l = Layout::new(4096);
+        let nodes = l
+            .region("nodes", self.node_count() * NODE_BYTES)
+            .expect("nonzero");
+        let prims = l
+            .region("prims", self.prim_count() * PRIM_BYTES)
+            .expect("nonzero");
+        let fb = l.region("framebuffer", FRAMEBUFFER_BYTES).expect("nonzero");
+        let p = u64::from(topo.total_procs());
+        let batches = scale.apply(RAY_BATCHES);
+        let mut rng = TraceRng::for_workload("raytrace", 0x4a7e);
+
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+
+        // Init: the scene is built in parallel (the tuned SPLASH-2 codes
+        // distribute the model), so first-touch spreads pages round-robin
+        // by processor chunk; the framebuffer is tiled over processors.
+        for proc_i in 0..p {
+            let proc = ProcId(proc_i as u16);
+            let nchunk = (self.node_count() * NODE_BYTES) / p;
+            phase.write_run(proc, nodes.at(proc_i * nchunk), nchunk / 64, 64);
+            let pchunk = (self.prim_count() * PRIM_BYTES) / p;
+            phase.write_run(proc, prims.at(proc_i * pchunk), pchunk / 64, 64);
+            let fchunk = FRAMEBUFFER_BYTES / p;
+            phase.write_run(proc, fb.at(proc_i * fchunk), fchunk / 64, 64);
+        }
+        phase.interleave_into(&mut trace);
+
+        for _batch in 0..batches {
+            for proc_i in 0..p {
+                let proc = ProcId(proc_i as u16);
+                for ray in 0..RAYS_PER_PROC {
+                    for step in 0..WALK_DEPTH {
+                        // Hot root neighbourhood early in the walk, then
+                        // data-dependent jumps over the whole node array.
+                        let node = if step < 3 {
+                            rng.near(64.min(self.node_count()))
+                        } else {
+                            rng.below(self.node_count())
+                        };
+                        phase.read(proc, nodes.at(node * NODE_BYTES));
+                        phase.read(proc, nodes.at(node * NODE_BYTES + 64));
+                        // Leaf intersection every third step.
+                        if step % 3 == 2 {
+                            let prim = rng.below(self.prim_count());
+                            phase.read(proc, prims.at(prim * PRIM_BYTES));
+                            phase.read(proc, prims.at(prim * PRIM_BYTES + 64));
+                        }
+                    }
+                    // Shade: one framebuffer write in the processor's tile.
+                    let fchunk = FRAMEBUFFER_BYTES / p;
+                    phase.write(proc, fb.at(proc_i * fchunk + (ray * 4) % fchunk));
+                }
+            }
+            phase.interleave_into(&mut trace);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::test_support;
+    use crate::TraceStats;
+    use dsm_types::Geometry;
+
+    #[test]
+    fn kernel_sanity() {
+        test_support::check_kernel(&Raytrace::with_scene_mb(2));
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        test_support::check_scaling(&Raytrace::with_scene_mb(2));
+    }
+
+    #[test]
+    fn paper_footprint_near_table3() {
+        let mb = Raytrace::default().shared_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((34.0..=36.0).contains(&mb), "footprint {mb:.2} MB vs 34.86");
+    }
+
+    #[test]
+    fn read_dominated_and_sparse() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = Raytrace::with_scene_mb(8).generate(&topo, Scale::full());
+        let stats = TraceStats::compute(&trace, &geo, &topo);
+        assert!(
+            stats.write_fraction() < 0.25,
+            "write fraction {}",
+            stats.write_fraction()
+        );
+        // Compute-phase reads revisit scene blocks only a few times.
+        assert!(stats.refs_per_block() < 30.0, "refs/block {}", stats.refs_per_block());
+    }
+
+    #[test]
+    fn framebuffer_writes_stay_in_own_tile() {
+        let topo = Topology::paper_default();
+        let w = Raytrace::with_scene_mb(2);
+        let trace = w.generate(&topo, Scale::full());
+        let fb_base = w.shared_bytes() - FRAMEBUFFER_BYTES.div_ceil(4096) * 4096;
+        let fchunk = FRAMEBUFFER_BYTES / 32;
+        for r in trace.iter().filter(|r| r.op.is_write() && r.addr.0 >= fb_base) {
+            let tile = ((r.addr.0 - fb_base) / fchunk).min(31) as u16;
+            assert_eq!(tile, r.proc.0, "foreign framebuffer write {r}");
+        }
+    }
+}

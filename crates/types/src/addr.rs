@@ -1,0 +1,147 @@
+//! Byte, block and page addresses.
+//!
+//! The simulator models a single shared (physical) address space. Three
+//! newtypes keep the different granularities from being confused:
+//! [`Addr`] is a byte address, [`BlockAddr`] a cache-block number, and
+//! [`PageAddr`] a page number. Conversions between them go through
+//! [`crate::Geometry`], which owns the block/page sizes.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the shared data space.
+///
+/// # Example
+///
+/// ```
+/// use dsm_types::Addr;
+/// let a = Addr(0x40);
+/// assert_eq!(a.offset(8).0, 0x48);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Returns this address displaced by `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+/// A cache-block number (byte address divided by the block size).
+///
+/// Coherence state — in processor caches, network caches, page caches and
+/// the directory — is kept at this granularity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockAddr(pub u64);
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(v: u64) -> Self {
+        BlockAddr(v)
+    }
+}
+
+impl From<BlockAddr> for u64 {
+    fn from(a: BlockAddr) -> Self {
+        a.0
+    }
+}
+
+/// A page number (byte address divided by the page size).
+///
+/// Page caches allocate at this granularity, and first-touch placement
+/// assigns home clusters page by page.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageAddr(pub u64);
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PageAddr {
+    fn from(v: u64) -> Self {
+        PageAddr(v)
+    }
+}
+
+impl From<PageAddr> for u64 {
+    fn from(a: PageAddr) -> Self {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_offset_adds_bytes() {
+        assert_eq!(Addr(100).offset(28), Addr(128));
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Addr(255)), "ff");
+    }
+
+    #[test]
+    fn block_and_page_display_are_tagged() {
+        assert_eq!(BlockAddr(16).to_string(), "blk:0x10");
+        assert_eq!(PageAddr(16).to_string(), "pg:0x10");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(u64::from(Addr::from(7u64)), 7);
+        assert_eq!(u64::from(BlockAddr::from(7u64)), 7);
+        assert_eq!(u64::from(PageAddr::from(7u64)), 7);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Addr(1) < Addr(2));
+        assert!(BlockAddr(1) < BlockAddr(2));
+        assert!(PageAddr(1) < PageAddr(2));
+    }
+}

@@ -1,0 +1,53 @@
+//! The configuration error type shared by all simulator crates.
+
+use core::fmt;
+use std::error::Error;
+
+/// An invalid configuration was supplied (bad sizes, zero counts, mismatched
+/// geometry, ...).
+///
+/// # Example
+///
+/// ```
+/// use dsm_types::Geometry;
+/// let err = Geometry::new(48, 4096).unwrap_err();
+/// assert!(err.to_string().contains("power of two"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_message() {
+        let e = ConfigError::new("bad things");
+        assert_eq!(e.to_string(), "bad things");
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ConfigError>();
+    }
+}

@@ -1,0 +1,233 @@
+//! Address-space geometry: block and page sizes and the derived mappings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Addr, BlockAddr, ConfigError, PageAddr};
+
+/// Block/page geometry of the shared address space.
+///
+/// The paper's base machine uses 64-byte cache blocks and 4-KB pages; both
+/// are configurable here but must be powers of two with the page at least as
+/// large as the block.
+///
+/// # Example
+///
+/// ```
+/// use dsm_types::{Addr, Geometry};
+/// let geo = Geometry::new(64, 4096)?;
+/// assert_eq!(geo.blocks_per_page(), 64);
+/// assert_eq!(geo.page_of_block(geo.block_of(Addr(4096 + 65))).0, 1);
+/// # Ok::<(), dsm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    block_bytes: u64,
+    page_bytes: u64,
+    block_shift: u32,
+    page_shift: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry with the given block and page sizes in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if either size is not a power of two, is
+    /// zero, or if the page is smaller than the block.
+    pub fn new(block_bytes: u64, page_bytes: u64) -> Result<Self, ConfigError> {
+        if block_bytes == 0 || !block_bytes.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "block size must be a nonzero power of two, got {block_bytes}"
+            )));
+        }
+        if page_bytes == 0 || !page_bytes.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "page size must be a nonzero power of two, got {page_bytes}"
+            )));
+        }
+        if page_bytes < block_bytes {
+            return Err(ConfigError::new(format!(
+                "page size {page_bytes} must be >= block size {block_bytes}"
+            )));
+        }
+        Ok(Geometry {
+            block_bytes,
+            page_bytes,
+            block_shift: block_bytes.trailing_zeros(),
+            page_shift: page_bytes.trailing_zeros(),
+        })
+    }
+
+    /// The paper's base geometry: 64-byte blocks, 4-KB pages.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Geometry::new(64, 4096).expect("constants are valid")
+    }
+
+    /// Block size in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Number of cache blocks in one page.
+    #[must_use]
+    pub fn blocks_per_page(&self) -> u64 {
+        self.page_bytes >> self.block_shift
+    }
+
+    /// The block containing byte address `addr`.
+    #[must_use]
+    pub fn block_of(&self, addr: Addr) -> BlockAddr {
+        BlockAddr(addr.0 >> self.block_shift)
+    }
+
+    /// The page containing byte address `addr`.
+    #[must_use]
+    pub fn page_of(&self, addr: Addr) -> PageAddr {
+        PageAddr(addr.0 >> self.page_shift)
+    }
+
+    /// The page containing block `block`.
+    #[must_use]
+    pub fn page_of_block(&self, block: BlockAddr) -> PageAddr {
+        PageAddr(block.0 >> (self.page_shift - self.block_shift))
+    }
+
+    /// The first block of page `page`.
+    #[must_use]
+    pub fn first_block_of_page(&self, page: PageAddr) -> BlockAddr {
+        BlockAddr(page.0 << (self.page_shift - self.block_shift))
+    }
+
+    /// The byte address of the start of block `block`.
+    #[must_use]
+    pub fn block_base(&self, block: BlockAddr) -> Addr {
+        Addr(block.0 << self.block_shift)
+    }
+
+    /// The byte address of the start of page `page`.
+    #[must_use]
+    pub fn page_base(&self, page: PageAddr) -> Addr {
+        Addr(page.0 << self.page_shift)
+    }
+
+    /// The index of `block` within its page, in `0..blocks_per_page()`.
+    #[must_use]
+    pub fn block_index_in_page(&self, block: BlockAddr) -> u64 {
+        block.0 & (self.blocks_per_page() - 1)
+    }
+
+    /// Number of pages needed to hold `bytes` bytes (rounded up).
+    #[must_use]
+    pub fn pages_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_bytes)
+    }
+
+    /// Number of blocks needed to hold `bytes` bytes (rounded up).
+    #[must_use]
+    pub fn blocks_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_bytes)
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_64b_4k() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.block_bytes(), 64);
+        assert_eq!(g.page_bytes(), 4096);
+        assert_eq!(g.blocks_per_page(), 64);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(Geometry::new(48, 4096).is_err());
+        assert!(Geometry::new(64, 1000).is_err());
+        assert!(Geometry::new(0, 4096).is_err());
+        assert!(Geometry::new(64, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_page_smaller_than_block() {
+        assert!(Geometry::new(128, 64).is_err());
+    }
+
+    #[test]
+    fn block_and_page_mapping() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.block_of(Addr(0)).0, 0);
+        assert_eq!(g.block_of(Addr(63)).0, 0);
+        assert_eq!(g.block_of(Addr(64)).0, 1);
+        assert_eq!(g.page_of(Addr(4095)).0, 0);
+        assert_eq!(g.page_of(Addr(4096)).0, 1);
+    }
+
+    #[test]
+    fn page_of_block_consistent_with_page_of_addr() {
+        let g = Geometry::paper_default();
+        for a in [0u64, 63, 64, 4095, 4096, 123_456_789] {
+            let addr = Addr(a);
+            assert_eq!(g.page_of_block(g.block_of(addr)), g.page_of(addr));
+        }
+    }
+
+    #[test]
+    fn first_block_of_page_inverts_page_of_block() {
+        let g = Geometry::paper_default();
+        let p = PageAddr(7);
+        let b = g.first_block_of_page(p);
+        assert_eq!(g.page_of_block(b), p);
+        assert_eq!(g.block_index_in_page(b), 0);
+    }
+
+    #[test]
+    fn block_index_in_page_wraps() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.block_index_in_page(BlockAddr(0)), 0);
+        assert_eq!(g.block_index_in_page(BlockAddr(63)), 63);
+        assert_eq!(g.block_index_in_page(BlockAddr(64)), 0);
+        assert_eq!(g.block_index_in_page(BlockAddr(65)), 1);
+    }
+
+    #[test]
+    fn bases_round_down() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.block_base(BlockAddr(2)).0, 128);
+        assert_eq!(g.page_base(PageAddr(2)).0, 8192);
+    }
+
+    #[test]
+    fn size_rounding() {
+        let g = Geometry::paper_default();
+        assert_eq!(g.pages_for(1), 1);
+        assert_eq!(g.pages_for(4096), 1);
+        assert_eq!(g.pages_for(4097), 2);
+        assert_eq!(g.blocks_for(1), 1);
+        assert_eq!(g.blocks_for(64), 1);
+        assert_eq!(g.blocks_for(65), 2);
+        assert_eq!(g.pages_for(0), 0);
+    }
+
+    #[test]
+    fn equal_block_and_page_size_allowed() {
+        let g = Geometry::new(64, 64).unwrap();
+        assert_eq!(g.blocks_per_page(), 1);
+        assert_eq!(g.block_index_in_page(BlockAddr(5)), 0);
+    }
+}

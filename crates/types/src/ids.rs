@@ -1,0 +1,278 @@
+//! Processor and cluster identifiers, and the machine topology.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ConfigError;
+
+/// A cluster (node) identifier, `0..Topology::clusters()`.
+///
+/// A cluster is a small bus-based SMP; the paper's machine has eight.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub u16);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A processor's index within its cluster, `0..Topology::procs_per_cluster()`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LocalProcId(pub u16);
+
+impl fmt::Display for LocalProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A machine-global processor identifier, `0..Topology::total_procs()`.
+///
+/// The mapping to `(cluster, local)` pairs is owned by [`Topology`]:
+/// processors are numbered cluster-major, so cluster `c` holds processors
+/// `c*P .. (c+1)*P` where `P` is the per-cluster processor count.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// Creates a processor id from a raw index.
+    #[must_use]
+    pub fn new(index: u16) -> Self {
+        ProcId(index)
+    }
+
+    /// The raw index as a usize, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The machine shape: number of clusters and processors per cluster.
+///
+/// # Example
+///
+/// ```
+/// use dsm_types::{ProcId, Topology};
+/// let t = Topology::paper_default(); // 8 clusters x 4 processors
+/// assert_eq!(t.total_procs(), 32);
+/// assert_eq!(t.cluster_of(ProcId(13)).0, 3);
+/// assert_eq!(t.local_of(ProcId(13)).0, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    clusters: u16,
+    procs_per_cluster: u16,
+}
+
+impl Topology {
+    /// Creates a topology with `clusters` clusters of `procs_per_cluster`
+    /// processors each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if either count is zero or the total number
+    /// of processors overflows `u16`.
+    pub fn new(clusters: u16, procs_per_cluster: u16) -> Result<Self, ConfigError> {
+        if clusters == 0 || procs_per_cluster == 0 {
+            return Err(ConfigError::new(
+                "topology requires at least one cluster and one processor per cluster",
+            ));
+        }
+        if clusters.checked_mul(procs_per_cluster).is_none() {
+            return Err(ConfigError::new(format!(
+                "topology {clusters}x{procs_per_cluster} overflows the processor id space"
+            )));
+        }
+        Ok(Topology {
+            clusters,
+            procs_per_cluster,
+        })
+    }
+
+    /// The paper's machine: 8 clusters of 4 processors (32 total).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Topology::new(8, 4).expect("constants are valid")
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn clusters(&self) -> u16 {
+        self.clusters
+    }
+
+    /// Number of processors in each cluster.
+    #[must_use]
+    pub fn procs_per_cluster(&self) -> u16 {
+        self.procs_per_cluster
+    }
+
+    /// Total processor count across the machine.
+    #[must_use]
+    pub fn total_procs(&self) -> u16 {
+        self.clusters * self.procs_per_cluster
+    }
+
+    /// The cluster containing global processor `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range for this topology.
+    #[must_use]
+    pub fn cluster_of(&self, proc: ProcId) -> ClusterId {
+        assert!(
+            proc.0 < self.total_procs(),
+            "processor {proc} out of range for {self}"
+        );
+        ClusterId(proc.0 / self.procs_per_cluster)
+    }
+
+    /// The within-cluster index of global processor `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range for this topology.
+    #[must_use]
+    pub fn local_of(&self, proc: ProcId) -> LocalProcId {
+        assert!(
+            proc.0 < self.total_procs(),
+            "processor {proc} out of range for {self}"
+        );
+        LocalProcId(proc.0 % self.procs_per_cluster)
+    }
+
+    /// The global processor id for `(cluster, local)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is out of range.
+    #[must_use]
+    pub fn proc_of(&self, cluster: ClusterId, local: LocalProcId) -> ProcId {
+        assert!(cluster.0 < self.clusters, "cluster {cluster} out of range");
+        assert!(
+            local.0 < self.procs_per_cluster,
+            "local processor {local} out of range"
+        );
+        ProcId(cluster.0 * self.procs_per_cluster + local.0)
+    }
+
+    /// Iterates over all cluster ids.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> {
+        (0..self.clusters).map(ClusterId)
+    }
+
+    /// Iterates over all global processor ids.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.total_procs()).map(ProcId)
+    }
+
+    /// Iterates over the global processor ids belonging to `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn procs_in(&self, cluster: ClusterId) -> impl Iterator<Item = ProcId> {
+        assert!(cluster.0 < self.clusters, "cluster {cluster} out of range");
+        let base = cluster.0 * self.procs_per_cluster;
+        (base..base + self.procs_per_cluster).map(ProcId)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::paper_default()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.clusters, self.procs_per_cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_8x4() {
+        let t = Topology::paper_default();
+        assert_eq!(t.clusters(), 8);
+        assert_eq!(t.procs_per_cluster(), 4);
+        assert_eq!(t.total_procs(), 32);
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(Topology::new(0, 4).is_err());
+        assert!(Topology::new(8, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_proc_space() {
+        assert!(Topology::new(u16::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn cluster_and_local_mapping_roundtrip() {
+        let t = Topology::paper_default();
+        for p in t.proc_ids() {
+            let c = t.cluster_of(p);
+            let l = t.local_of(p);
+            assert_eq!(t.proc_of(c, l), p);
+        }
+    }
+
+    #[test]
+    fn procs_in_cluster_are_contiguous() {
+        let t = Topology::paper_default();
+        let procs: Vec<_> = t.procs_in(ClusterId(2)).collect();
+        assert_eq!(procs, vec![ProcId(8), ProcId(9), ProcId(10), ProcId(11)]);
+        for p in procs {
+            assert_eq!(t.cluster_of(p), ClusterId(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cluster_of_panics_out_of_range() {
+        let _ = Topology::paper_default().cluster_of(ProcId(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn proc_of_panics_on_bad_local() {
+        let t = Topology::paper_default();
+        let _ = t.proc_of(ClusterId(0), LocalProcId(4));
+    }
+
+    #[test]
+    fn iterators_cover_machine() {
+        let t = Topology::new(3, 5).unwrap();
+        assert_eq!(t.cluster_ids().count(), 3);
+        assert_eq!(t.proc_ids().count(), 15);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Topology::paper_default().to_string(), "8x4");
+        assert_eq!(ClusterId(3).to_string(), "C3");
+        assert_eq!(ProcId(3).to_string(), "P3");
+        assert_eq!(LocalProcId(3).to_string(), "p3");
+    }
+}

@@ -1,0 +1,35 @@
+//! Shared vocabulary types for the clustered-DSM simulator.
+//!
+//! This crate defines the address-space geometry (blocks and pages),
+//! identifiers for processors and clusters, memory operations, and the
+//! configuration error type used across the workspace. It deliberately has
+//! no simulation logic: every other crate builds on these types, so they are
+//! small, `Copy` where possible, and implement the common std traits.
+//!
+//! # Example
+//!
+//! ```
+//! use dsm_types::{Addr, Geometry, MemOp, MemRef, ProcId, Topology};
+//!
+//! let geo = Geometry::new(64, 4096).unwrap();
+//! let topo = Topology::new(8, 4).unwrap();
+//! let r = MemRef::new(ProcId::new(5), MemOp::Write, Addr(0x1_2345));
+//! assert_eq!(geo.block_of(r.addr).0, 0x1_2345 / 64);
+//! assert_eq!(geo.page_of(r.addr).0, 0x1_2345 / 4096);
+//! assert_eq!(topo.cluster_of(r.proc).0, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod error;
+pub mod geometry;
+pub mod ids;
+pub mod op;
+
+pub use addr::{Addr, BlockAddr, PageAddr};
+pub use error::ConfigError;
+pub use geometry::Geometry;
+pub use ids::{ClusterId, LocalProcId, ProcId, Topology};
+pub use op::{MemOp, MemRef};

@@ -1,0 +1,110 @@
+//! Memory operations and references as produced by trace generators.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Addr, ProcId};
+
+/// The kind of a shared-memory access.
+///
+/// The simulator is trace-driven over *shared data* references only
+/// (instruction fetches and private/stack data never leave the processor
+/// cache model in the paper's methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A load from shared data.
+    Read,
+    /// A store to shared data.
+    Write,
+}
+
+impl MemOp {
+    /// Whether this operation is a write.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, MemOp::Write)
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOp::Read => f.write_str("R"),
+            MemOp::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One shared-memory reference from one processor.
+///
+/// # Example
+///
+/// ```
+/// use dsm_types::{Addr, MemOp, MemRef, ProcId};
+/// let r = MemRef::new(ProcId(3), MemOp::Read, Addr(0x100));
+/// assert!(!r.op.is_write());
+/// assert_eq!(r.to_string(), "P3 R 0x100");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// The issuing processor.
+    pub proc: ProcId,
+    /// Load or store.
+    pub op: MemOp,
+    /// The byte address accessed.
+    pub addr: Addr,
+}
+
+impl MemRef {
+    /// Creates a reference.
+    #[must_use]
+    pub fn new(proc: ProcId, op: MemOp, addr: Addr) -> Self {
+        MemRef { proc, op, addr }
+    }
+
+    /// Convenience constructor for a read.
+    #[must_use]
+    pub fn read(proc: ProcId, addr: Addr) -> Self {
+        MemRef::new(proc, MemOp::Read, addr)
+    }
+
+    /// Convenience constructor for a write.
+    #[must_use]
+    pub fn write(proc: ProcId, addr: Addr) -> Self {
+        MemRef::new(proc, MemOp::Write, addr)
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.proc, self.op, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_write_discriminates() {
+        assert!(MemOp::Write.is_write());
+        assert!(!MemOp::Read.is_write());
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let r = MemRef::read(ProcId(1), Addr(64));
+        assert_eq!(r.op, MemOp::Read);
+        let w = MemRef::write(ProcId(2), Addr(128));
+        assert_eq!(w.op, MemOp::Write);
+        assert_eq!(w.proc, ProcId(2));
+        assert_eq!(w.addr, Addr(128));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = MemRef::write(ProcId(7), Addr(0x40));
+        assert_eq!(r.to_string(), "P7 W 0x40");
+    }
+}

@@ -1,0 +1,96 @@
+//! Bring your own workload: the `Workload` trait makes the simulator a
+//! general tool, not just a SPLASH-2 replayer.
+//!
+//! This example implements a producer-consumer pipeline — cluster 0's
+//! processors write batches that every other cluster then reads — a
+//! pattern dominated by *coherence* (necessary) misses that no remote-data
+//! cache can remove. It then shows that, exactly as the paper argues for
+//! FFT, a slow DRAM NC makes such a workload *worse* than no NC at all,
+//! while an SRAM NC is harmless.
+//!
+//! Run with: `cargo run -p dsm-core --release --example custom_workload`
+
+use dsm_core::{runner::run_workload, SystemSpec};
+use dsm_trace::{PhaseBuilder, Scale, Workload};
+use dsm_types::{Addr, MemRef, ProcId, Topology};
+
+/// A producer-consumer pipeline over a ring of shared batches.
+struct Pipeline {
+    batches: u64,
+    batch_bytes: u64,
+    rounds: u64,
+}
+
+impl Workload for Pipeline {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "{} batches x {} KB x {} rounds",
+            self.batches,
+            self.batch_bytes / 1024,
+            self.rounds
+        )
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        self.batches * self.batch_bytes
+    }
+
+    fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
+        let producers: Vec<ProcId> = topo.procs_in(dsm_types::ClusterId(0)).collect();
+        let mut trace = Vec::new();
+        let mut phase = PhaseBuilder::new(topo);
+        for round in 0..scale.apply(self.rounds) {
+            let batch = round % self.batches;
+            let base = Addr(batch * self.batch_bytes);
+            // Producers (cluster 0) write the batch...
+            for (i, &p) in producers.iter().enumerate() {
+                let chunk = self.batch_bytes / producers.len() as u64;
+                phase.write_run(p, base.offset(i as u64 * chunk), chunk / 8, 8);
+            }
+            phase.interleave_into(&mut trace);
+            // ...and one processor of every other cluster consumes it.
+            for c in topo.cluster_ids().skip(1) {
+                let reader = topo.procs_in(c).next().expect("nonempty cluster");
+                phase.read_run(reader, base, self.batch_bytes / 8, 8);
+            }
+            phase.interleave_into(&mut trace);
+        }
+        trace
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pipeline = Pipeline {
+        batches: 8,
+        batch_bytes: 64 * 1024,
+        rounds: 32,
+    };
+    println!("workload: {} ({})", pipeline.name(), pipeline.params());
+
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>14}",
+        "system", "necessary", "capacity", "remote stall"
+    );
+    for spec in [SystemSpec::base(), SystemSpec::vb(), SystemSpec::ncd()] {
+        let r = run_workload(&spec, &pipeline, Scale::full())?;
+        println!(
+            "{:<8} {:>10} {:>10} {:>14}",
+            r.system,
+            r.metrics.remote_read_necessary,
+            r.metrics.remote_read_capacity,
+            r.remote_read_stall
+        );
+    }
+
+    println!(
+        "\nEvery producer write invalidates the consumers' copies, so the\n\
+         misses are *necessary*: the DRAM NC only adds its tag-check to each\n\
+         one (the paper's FFT effect), while the SRAM victim NC stays off\n\
+         the critical path."
+    );
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! Coherence correctness across clusters: hand-built reference sequences
+//! with exact expectations on MESIR states, directory behaviour, and the
+//! single-writer invariant.
+
+use dsm_cache::CacheState;
+use dsm_core::{System, SystemSpec};
+use dsm_types::{Addr, ClusterId, Geometry, LocalProcId, MemRef, ProcId, Topology};
+
+fn system(spec: SystemSpec) -> System {
+    System::new(
+        spec,
+        Topology::paper_default(),
+        Geometry::paper_default(),
+        1024 * 1024,
+    )
+    .unwrap()
+}
+
+fn read(p: u16, a: u64) -> MemRef {
+    MemRef::read(ProcId(p), Addr(a))
+}
+
+fn write(p: u16, a: u64) -> MemRef {
+    MemRef::write(ProcId(p), Addr(a))
+}
+
+/// The machine-wide single-writer invariant over the processor caches:
+/// if any cache holds a block `Modified` or `Exclusive`, no other cache
+/// anywhere holds it valid.
+fn assert_single_writer(sys: &System, blocks: &[u64]) {
+    let topo = *sys.topology();
+    for &b in blocks {
+        let block = sys.geometry().block_of(Addr(b));
+        let mut writable = 0;
+        let mut valid = 0;
+        for c in topo.cluster_ids() {
+            let unit = sys.cluster(c);
+            for lp in 0..topo.procs_per_cluster() {
+                let s = unit.bus.cache(LocalProcId(lp)).state_of(block);
+                if s.is_valid() {
+                    valid += 1;
+                }
+                if s.allows_silent_write() {
+                    writable += 1;
+                }
+            }
+        }
+        assert!(writable <= 1, "block {b:#x}: {writable} writable copies");
+        if writable == 1 {
+            assert_eq!(valid, 1, "block {b:#x}: writable copy coexists with sharers");
+        }
+    }
+}
+
+#[test]
+fn remote_read_fill_takes_r_state() {
+    let mut sys = system(SystemSpec::vb());
+    sys.process(read(0, 0x1000)); // homes page at cluster 0
+    sys.process(read(4, 0x1000)); // cluster 1, remote clean fill
+    let block = sys.geometry().block_of(Addr(0x1000));
+    let c1 = sys.cluster(ClusterId(1));
+    assert_eq!(
+        c1.bus.cache(LocalProcId(0)).state_of(block),
+        CacheState::RemoteMaster
+    );
+}
+
+#[test]
+fn local_exclusive_fill_takes_e_state() {
+    let mut sys = system(SystemSpec::base());
+    sys.process(read(0, 0x1000));
+    let block = sys.geometry().block_of(Addr(0x1000));
+    assert_eq!(
+        sys.cluster(ClusterId(0)).bus.cache(LocalProcId(0)).state_of(block),
+        CacheState::Exclusive
+    );
+    // Silent E -> M write: no new directory transaction.
+    let before = sys.metrics().clone();
+    sys.process(write(0, 0x1000));
+    assert_eq!(sys.metrics().write_hits, before.write_hits + 1);
+}
+
+#[test]
+fn peer_acquires_shared_master_keeps_r() {
+    let mut sys = system(SystemSpec::vb());
+    sys.process(read(0, 0x1000));
+    sys.process(read(4, 0x1000)); // P4 gets R
+    sys.process(read(5, 0x1000)); // P5 peer-supplied, gets S; P4 keeps R
+    let block = sys.geometry().block_of(Addr(0x1000));
+    let c1 = sys.cluster(ClusterId(1));
+    assert_eq!(
+        c1.bus.cache(LocalProcId(0)).state_of(block),
+        CacheState::RemoteMaster
+    );
+    assert_eq!(
+        c1.bus.cache(LocalProcId(1)).state_of(block),
+        CacheState::Shared
+    );
+    assert_eq!(sys.metrics().peer_transfers, 1);
+}
+
+#[test]
+fn write_invalidates_every_other_cluster() {
+    let mut sys = system(SystemSpec::base());
+    sys.process(read(0, 0x2000));
+    sys.process(read(4, 0x2000));
+    sys.process(read(8, 0x2000));
+    sys.process(write(12, 0x2000)); // cluster 3 writes
+    let block = sys.geometry().block_of(Addr(0x2000));
+    for c in 0..3u16 {
+        let unit = sys.cluster(ClusterId(c));
+        assert!(
+            !unit.bus.any_valid(block),
+            "cluster {c} kept a stale copy"
+        );
+    }
+    assert_eq!(
+        sys.cluster(ClusterId(3)).bus.cache(LocalProcId(0)).state_of(block),
+        CacheState::Modified
+    );
+    assert_single_writer(&sys, &[0x2000]);
+}
+
+#[test]
+fn ping_pong_writes_keep_single_writer() {
+    let mut sys = system(SystemSpec::vb());
+    let addr = 0x3000;
+    sys.process(read(0, addr));
+    for round in 0..6 {
+        let writer = (round % 8) * 4; // one processor per cluster
+        sys.process(write(writer, addr));
+        assert_single_writer(&sys, &[addr]);
+    }
+    // Seven ownership transfers happened; each is one remote/local write
+    // transaction and invalidations at the previous owner.
+    assert!(sys.metrics().invalidations >= 5);
+}
+
+#[test]
+fn dirty_remote_read_downgrades_owner() {
+    let mut sys = system(SystemSpec::vb());
+    sys.process(read(0, 0x4000)); // home cluster 0
+    sys.process(write(4, 0x4000)); // cluster 1 owns dirty
+    sys.process(read(8, 0x4000)); // cluster 2 reads: 3-hop downgrade
+    let block = sys.geometry().block_of(Addr(0x4000));
+    let owner_cache = sys.cluster(ClusterId(1)).bus.cache(LocalProcId(0));
+    assert_eq!(owner_cache.state_of(block), CacheState::Shared);
+    assert_single_writer(&sys, &[0x4000]);
+    // A subsequent write by cluster 1 must be a fresh ownership request.
+    let before = sys.metrics().remote_write_misses();
+    sys.process(write(4, 0x4000));
+    assert_eq!(sys.metrics().remote_write_misses(), before + 1);
+}
+
+#[test]
+fn false_sharing_blocks_ping_pong_correctly() {
+    // Two clusters write different words of the same block.
+    let mut sys = system(SystemSpec::vb());
+    sys.process(read(0, 0x5000));
+    for i in 0..4 {
+        sys.process(write(4, 0x5000 + 8)); // cluster 1, word 1
+        sys.process(write(8, 0x5000 + 16)); // cluster 2, word 2
+        let _ = i;
+        assert_single_writer(&sys, &[0x5000]);
+    }
+    // Every write after the first pair is a coherence (necessary) write
+    // transaction, not a capacity one.
+    assert_eq!(sys.metrics().remote_write_capacity, 0);
+}
+
+#[test]
+fn mesir_replacement_hands_mastership_to_sharer() {
+    let mut sys = system(SystemSpec::vb());
+    // Home everything at cluster 0; cluster 1's P4 takes R, P5 takes S.
+    sys.process(read(0, 0x1000));
+    sys.process(read(4, 0x1000));
+    sys.process(read(5, 0x1000));
+    // Conflict-evict P4's R copy (16 KB 2-way: 8-KB stride aliases).
+    sys.process(read(0, 0x1000 + 8 * 1024));
+    sys.process(read(0, 0x1000 + 16 * 1024));
+    sys.process(read(4, 0x1000 + 8 * 1024));
+    sys.process(read(4, 0x1000 + 16 * 1024));
+    let block = sys.geometry().block_of(Addr(0x1000));
+    let c1 = sys.cluster(ClusterId(1));
+    assert_eq!(
+        c1.bus.cache(LocalProcId(0)).state_of(block),
+        CacheState::Invalid,
+        "P4's copy should be evicted"
+    );
+    assert_eq!(
+        c1.bus.cache(LocalProcId(1)).state_of(block),
+        CacheState::RemoteMaster,
+        "P5 should have assumed mastership (S -> R)"
+    );
+    // Mastership hand-off means the NC was not used for this block.
+    assert!(!c1.nc.contains(block));
+}
+
+#[test]
+fn capacity_miss_classification_via_presence_bits() {
+    let mut sys = system(SystemSpec::base());
+    sys.process(read(0, 0x6000));
+    sys.process(read(4, 0x6000)); // necessary (cold)
+    // Evict cluster 1's copy by conflict.
+    sys.process(read(0, 0x6000 + 8 * 1024));
+    sys.process(read(0, 0x6000 + 16 * 1024));
+    sys.process(read(4, 0x6000 + 8 * 1024));
+    sys.process(read(4, 0x6000 + 16 * 1024));
+    sys.process(read(4, 0x6000)); // capacity (presence bit still set)
+    let m = sys.metrics();
+    assert_eq!(m.remote_read_necessary, 3); // 0x6000 + the two aliases
+    assert_eq!(m.remote_read_capacity, 1);
+    // Invalidation resets the classification to necessary.
+    sys.process(write(8, 0x6000));
+    sys.process(read(4, 0x6000));
+    assert_eq!(sys.metrics().remote_read_necessary, 4);
+    assert_eq!(sys.metrics().remote_read_capacity, 1);
+}

@@ -1,0 +1,179 @@
+//! Page-cache lifecycle across the full system: relocation triggering,
+//! service after relocation, eviction/re-mapping effects, thrashing
+//! adaptation, and the vxp counter path.
+
+use dsm_core::{
+    CacheSpec, CounterSource, NcSpec, PcSize, PcSpec, System, SystemSpec, ThresholdPolicy,
+};
+use dsm_types::{Addr, ClusterId, Geometry, MemRef, ProcId, Topology};
+
+fn system(spec: SystemSpec) -> System {
+    System::new(
+        spec,
+        Topology::paper_default(),
+        Geometry::paper_default(),
+        4 * 1024 * 1024,
+    )
+    .unwrap()
+}
+
+fn pc_only(frames_bytes: u64, threshold: ThresholdPolicy) -> SystemSpec {
+    SystemSpec {
+        name: "pc-only".into(),
+        cache: CacheSpec::default(),
+        nc: NcSpec::None,
+        pc: Some(PcSpec {
+            size: PcSize::Bytes(frames_bytes),
+            counters: CounterSource::Directory,
+            threshold,
+            decrement_on_invalidation: false,
+        }),
+        dirty_shared: false,
+        migrep: None,
+        directory: dsm_core::DirectorySpec::FullMap,
+    }
+}
+
+fn read(p: u16, a: u64) -> MemRef {
+    MemRef::read(ProcId(p), Addr(a))
+}
+
+fn write(p: u16, a: u64) -> MemRef {
+    MemRef::write(ProcId(p), Addr(a))
+}
+
+/// Drives `rounds` of conflict misses by cluster 1 on `addr` (homed at
+/// cluster 0), using the 8-KB aliases of a 16-KB 2-way cache.
+fn thrash_block(sys: &mut System, addr: u64, rounds: usize) {
+    sys.process(read(0, addr)); // first touch at cluster 0
+    for _ in 0..rounds {
+        sys.process(read(4, addr));
+        sys.process(read(4, addr + 8 * 1024));
+        sys.process(read(4, addr + 16 * 1024));
+    }
+}
+
+#[test]
+fn relocation_triggers_and_serves() {
+    let mut sys = system(pc_only(256 * 1024, ThresholdPolicy::Fixed(3)));
+    thrash_block(&mut sys, 0x1000, 10);
+    let m = sys.metrics();
+    assert_eq!(m.relocations, 1, "{m:?}");
+    assert!(m.pc_read_hits >= 5, "{m:?}");
+    // Page 1 is resident in cluster 1's PC.
+    let page = sys.geometry().page_of(Addr(0x1000));
+    assert!(sys.cluster(ClusterId(1)).pc.as_ref().unwrap().has_page(page));
+}
+
+#[test]
+fn relocated_page_keeps_being_coherent() {
+    let mut sys = system(pc_only(256 * 1024, ThresholdPolicy::Fixed(3)));
+    thrash_block(&mut sys, 0x1000, 8);
+    assert!(sys.metrics().pc_read_hits > 0);
+    // Another cluster writes the block: the PC copy must be invalidated.
+    sys.process(write(8, 0x1000));
+    let before = sys.metrics().pc_read_hits;
+    let necessary_before = sys.metrics().remote_read_necessary;
+    sys.process(read(4, 0x1000));
+    // Not a PC hit (block invalid in page), but a remote coherence miss.
+    assert_eq!(sys.metrics().pc_read_hits, before);
+    assert_eq!(sys.metrics().remote_read_necessary, necessary_before + 1);
+    // The refill revalidates the PC block: the next conflict round hits.
+    sys.process(read(4, 0x1000 + 8 * 1024));
+    sys.process(read(4, 0x1000 + 16 * 1024));
+    sys.process(read(4, 0x1000));
+    assert_eq!(sys.metrics().pc_read_hits, before + 1);
+}
+
+#[test]
+fn pc_eviction_forces_remapping_evictions() {
+    // A one-frame page cache: relocating a second page evicts the first
+    // and must flush the cluster's copies of the first page's blocks.
+    let mut sys = system(pc_only(4096, ThresholdPolicy::Fixed(2)));
+    thrash_block(&mut sys, 0x1000, 4); // page 1 relocated
+    assert_eq!(sys.metrics().relocations, 1);
+    thrash_block(&mut sys, 0x40_000, 4); // page 0x40 relocated, evicts page 1
+    assert_eq!(sys.metrics().relocations, 2);
+    let pc = sys.cluster(ClusterId(1)).pc.as_ref().unwrap();
+    assert!(!pc.has_page(sys.geometry().page_of(Addr(0x1000))));
+    assert!(pc.has_page(sys.geometry().page_of(Addr(0x40_000))));
+}
+
+#[test]
+fn dirty_pc_blocks_write_back_on_eviction() {
+    let mut sys = system(pc_only(4096, ThresholdPolicy::Fixed(2)));
+    thrash_block(&mut sys, 0x1000, 4);
+    // Dirty the relocated page via a write, then park the M block back
+    // into the PC by conflict-evicting it.
+    sys.process(write(4, 0x1000));
+    sys.process(write(4, 0x1000 + 8 * 1024));
+    sys.process(write(4, 0x1000 + 16 * 1024));
+    let wb_before = sys.metrics().remote_writebacks;
+    // Relocate a different page into the single frame.
+    thrash_block(&mut sys, 0x40_000, 4);
+    assert!(
+        sys.metrics().remote_writebacks > wb_before,
+        "dirty blocks of the evicted page must cross the network: {:?}",
+        sys.metrics()
+    );
+}
+
+#[test]
+fn adaptive_threshold_rises_under_thrashing() {
+    // One-frame PC, two pages fighting for it.
+    let mut sys = system(pc_only(4096, ThresholdPolicy::Adaptive { initial: 2 }));
+    for round in 0..40 {
+        let addr = if round % 2 == 0 { 0x1000 } else { 0x40_000 };
+        thrash_block(&mut sys, addr, 3);
+    }
+    let t = &sys.cluster(ClusterId(1)).threshold;
+    assert!(
+        t.adjustments() > 0,
+        "threshold never adapted: {} relocations",
+        sys.metrics().relocations
+    );
+    assert!(t.threshold() > 2);
+}
+
+#[test]
+fn vxp_counters_drive_relocation_without_directory() {
+    let spec = SystemSpec::vxp(PcSize::Bytes(256 * 1024), 4);
+    let mut sys = system(spec);
+    // Build victimization pressure on one page at cluster 1: with page
+    // indexing, all blocks of page 1 land in one NC set.
+    sys.process(read(0, 0x1000));
+    for round in 0..30u64 {
+        let a = 0x1000 + (round % 4) * 64;
+        sys.process(read(4, a));
+        sys.process(read(4, a + 8 * 1024));
+        sys.process(read(4, a + 16 * 1024));
+    }
+    let m = sys.metrics();
+    assert!(m.nc_captures > 0, "{m:?}");
+    assert!(
+        m.relocations >= 1,
+        "vxp counters never relocated: {m:?}"
+    );
+    let page = sys.geometry().page_of(Addr(0x1000));
+    assert!(sys.cluster(ClusterId(1)).pc.as_ref().unwrap().has_page(page));
+}
+
+#[test]
+fn relocation_counter_resets_on_pc_eviction() {
+    // After a page is evicted, it must re-earn its threshold before being
+    // relocated again (no immediate flip-flop).
+    let mut sys = system(pc_only(4096, ThresholdPolicy::Fixed(4)));
+    thrash_block(&mut sys, 0x1000, 6);
+    thrash_block(&mut sys, 0x40_000, 6);
+    assert_eq!(sys.metrics().relocations, 2);
+    // Two more conflict rounds on page 1: 2 capacity misses < threshold 4.
+    sys.process(read(4, 0x1000));
+    sys.process(read(4, 0x1000 + 8 * 1024));
+    sys.process(read(4, 0x1000 + 16 * 1024));
+    sys.process(read(4, 0x1000));
+    assert_eq!(
+        sys.metrics().relocations,
+        2,
+        "page flip-flopped back in below threshold"
+    );
+}

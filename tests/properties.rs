@@ -1,0 +1,425 @@
+//! Property-based tests on the core data structures and on the full
+//! system under random reference streams.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use dsm_cache::{CacheShape, SetAssoc};
+use dsm_core::{PcSize, System, SystemSpec};
+use dsm_directory::FullMapDirectory;
+use dsm_types::{Addr, BlockAddr, ClusterId, Geometry, LocalProcId, MemOp, MemRef, ProcId, Topology};
+
+// ---------------------------------------------------------------------
+// SetAssoc vs a reference model (per-set LRU list).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ArrayOp {
+    Insert(u64, u32),
+    Get(u64),
+    Remove(u64),
+}
+
+fn array_ops() -> impl Strategy<Value = Vec<ArrayOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..32, any::<u32>()).prop_map(|(t, v)| ArrayOp::Insert(t, v)),
+            (0u64..32).prop_map(ArrayOp::Get),
+            (0u64..32).prop_map(ArrayOp::Remove),
+        ],
+        0..200,
+    )
+}
+
+/// Reference model: per set, an MRU-ordered list of (tag, value).
+#[derive(Default)]
+struct ModelSet {
+    entries: VecDeque<(u64, u32)>, // front = MRU
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_assoc_matches_lru_model(ops in array_ops()) {
+        const SETS: usize = 2;
+        const WAYS: usize = 3;
+        let shape = CacheShape::from_sets_ways(SETS, WAYS, 64).unwrap();
+        let mut sut: SetAssoc<u32> = SetAssoc::new(shape);
+        let mut model: Vec<ModelSet> = (0..SETS).map(|_| ModelSet::default()).collect();
+
+        for op in ops {
+            match op {
+                ArrayOp::Insert(tag, value) => {
+                    let set = (tag as usize) % SETS;
+                    let evicted = sut.insert(set, tag, value);
+                    let m = &mut model[set];
+                    if let Some(pos) = m.entries.iter().position(|e| e.0 == tag) {
+                        m.entries.remove(pos);
+                        m.entries.push_front((tag, value));
+                        prop_assert!(evicted.is_none());
+                    } else {
+                        m.entries.push_front((tag, value));
+                        if m.entries.len() > WAYS {
+                            let lru = m.entries.pop_back().unwrap();
+                            prop_assert_eq!(evicted, Some(lru));
+                        } else {
+                            prop_assert!(evicted.is_none());
+                        }
+                    }
+                }
+                ArrayOp::Get(tag) => {
+                    let set = (tag as usize) % SETS;
+                    let got = sut.get(set, tag).copied();
+                    let m = &mut model[set];
+                    let expect = m.entries.iter().position(|e| e.0 == tag).map(|pos| {
+                        let e = m.entries.remove(pos).unwrap();
+                        m.entries.push_front(e);
+                        e.1
+                    });
+                    prop_assert_eq!(got, expect);
+                }
+                ArrayOp::Remove(tag) => {
+                    let set = (tag as usize) % SETS;
+                    let got = sut.remove(set, tag);
+                    let m = &mut model[set];
+                    let expect = m
+                        .entries
+                        .iter()
+                        .position(|e| e.0 == tag)
+                        .map(|pos| m.entries.remove(pos).unwrap().1);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        // Final occupancy agrees.
+        let total: usize = model.iter().map(|m| m.entries.len()).sum();
+        prop_assert_eq!(sut.len(), total);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace codec: roundtrip over arbitrary traces.
+// ---------------------------------------------------------------------
+
+fn arbitrary_trace() -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec(
+        (0u16..32, prop::bool::ANY, any::<u64>()).prop_map(|(p, w, a)| {
+            MemRef::new(
+                ProcId(p),
+                if w { MemOp::Write } else { MemOp::Read },
+                Addr(a),
+            )
+        }),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrips_any_trace(trace in arbitrary_trace()) {
+        let topo = Topology::paper_default();
+        let mut bytes = Vec::new();
+        dsm_trace::write_trace(&mut bytes, &topo, &trace).unwrap();
+        let (topo2, trace2) = dsm_trace::read_trace(bytes.as_slice()).unwrap();
+        prop_assert_eq!(topo, topo2);
+        prop_assert_eq!(trace, trace2);
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(trace in arbitrary_trace(), cut in 0usize..100) {
+        prop_assume!(!trace.is_empty());
+        let topo = Topology::paper_default();
+        let mut bytes = Vec::new();
+        dsm_trace::write_trace(&mut bytes, &topo, &trace).unwrap();
+        let cut = cut % bytes.len();
+        if cut == 0 {
+            return Ok(()); // empty prefix of the magic: still an error, but
+                            // exercised by unit tests
+        }
+        bytes.truncate(cut);
+        prop_assert!(dsm_trace::read_trace(bytes.as_slice()).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page cache vs a least-recently-missed reference model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PcOp {
+    Insert(u8),
+    Lookup(u8, u8),
+    InvalidateBlock(u8, u8),
+}
+
+fn pc_ops() -> impl Strategy<Value = Vec<PcOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..12).prop_map(PcOp::Insert),
+            (0u8..12, 0u8..64).prop_map(|(p, b)| PcOp::Lookup(p, b)),
+            (0u8..12, 0u8..64).prop_map(|(p, b)| PcOp::InvalidateBlock(p, b)),
+        ],
+        0..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_cache_matches_lrm_model(ops in pc_ops()) {
+        use dsm_core::page_cache::{PageCache, PcBlockState};
+        const CAP: usize = 3;
+        let geo = Geometry::paper_default();
+        let mut pc = PageCache::new(CAP, geo);
+        // Model: pages ordered by last miss-touch, front = most recent.
+        let mut model: VecDeque<u64> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                PcOp::Insert(p) => {
+                    let page = dsm_types::PageAddr(u64::from(p));
+                    let evicted = pc.insert_page(page, |_| PcBlockState::Clean);
+                    if model.contains(&u64::from(p)) {
+                        prop_assert!(evicted.is_none());
+                    } else {
+                        if model.len() >= CAP {
+                            let lrm = model.pop_back().unwrap();
+                            prop_assert_eq!(
+                                evicted.as_ref().map(|e| e.page.0),
+                                Some(lrm)
+                            );
+                        } else {
+                            prop_assert!(evicted.is_none());
+                        }
+                        model.push_front(u64::from(p));
+                    }
+                }
+                PcOp::Lookup(p, b) => {
+                    let block = BlockAddr(u64::from(p) * 64 + u64::from(b));
+                    let hit = pc.lookup_block(block);
+                    let in_model = model.contains(&u64::from(p));
+                    prop_assert_eq!(hit.is_some(), in_model);
+                    if let Some(pos) = model.iter().position(|&x| x == u64::from(p)) {
+                        let v = model.remove(pos).unwrap();
+                        model.push_front(v);
+                    }
+                }
+                PcOp::InvalidateBlock(p, b) => {
+                    let block = BlockAddr(u64::from(p) * 64 + u64::from(b));
+                    pc.invalidate_block(block);
+                    // Invalidation does not change residency or LRM order.
+                }
+            }
+            prop_assert_eq!(pc.len(), model.len());
+            prop_assert!(pc.len() <= CAP);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directory invariants under random request sequences.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DirOp {
+    Read(u8, u8),
+    Write(u8, u8),
+    Writeback(u8, u8),
+}
+
+fn dir_ops() -> impl Strategy<Value = Vec<DirOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4, 0u8..3).prop_map(|(c, b)| DirOp::Read(c, b)),
+            (0u8..4, 0u8..3).prop_map(|(c, b)| DirOp::Write(c, b)),
+            (0u8..4, 0u8..3).prop_map(|(c, b)| DirOp::Writeback(c, b)),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn directory_owner_is_always_a_sharer(ops in dir_ops()) {
+        let mut dir = FullMapDirectory::new(4);
+        for op in ops {
+            match op {
+                DirOp::Read(c, b) => {
+                    dir.read(BlockAddr(u64::from(b)), ClusterId(u16::from(c)));
+                }
+                DirOp::Write(c, b) => {
+                    let g = dir.write(BlockAddr(u64::from(b)), ClusterId(u16::from(c)));
+                    // The writer is never asked to invalidate itself.
+                    prop_assert!(!g.invalidate.contains(&ClusterId(u16::from(c))));
+                }
+                DirOp::Writeback(c, b) => {
+                    dir.writeback(BlockAddr(u64::from(b)), ClusterId(u16::from(c)));
+                }
+            }
+            for b in 0u64..3 {
+                let block = BlockAddr(b);
+                if let Some(owner) = dir.owner_of(block) {
+                    prop_assert!(
+                        dir.has_presence(block, owner),
+                        "owner {owner} of {block} lacks a presence bit"
+                    );
+                    // An owned block has exactly one sharer.
+                    prop_assert_eq!(dir.sharers(block), vec![owner]);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full-system invariants under random reference streams.
+// ---------------------------------------------------------------------
+
+fn ref_stream() -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec(
+        (0u16..32, prop::bool::ANY, 0u64..64 * 1024).prop_map(|(p, w, a)| {
+            MemRef::new(
+                ProcId(p),
+                if w { MemOp::Write } else { MemOp::Read },
+                Addr(a),
+            )
+        }),
+        1..400,
+    )
+}
+
+fn check_system_invariants(spec: SystemSpec, refs: &[MemRef]) -> Result<(), TestCaseError> {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let mut sys = System::new(spec, topo, geo, 1024 * 1024).unwrap();
+    sys.run(refs.iter().copied());
+
+    // Conservation: every reference classified exactly once.
+    let m = sys.metrics();
+    prop_assert_eq!(m.shared_refs, refs.len() as u64);
+    let classified = m.read_hits
+        + m.write_hits
+        + m.local_upgrades
+        + m.peer_transfers
+        + m.nc_read_hits
+        + m.nc_write_hits
+        + m.pc_read_hits
+        + m.pc_write_hits
+        + m.remote_read_necessary
+        + m.remote_read_capacity
+        + m.remote_write_necessary
+        + m.remote_write_capacity
+        + m.local_misses;
+    prop_assert_eq!(classified, m.shared_refs, "unclassified refs: {:#?}", m);
+
+    // Single-writer invariant over every touched block.
+    let mut blocks: Vec<u64> = refs.iter().map(|r| geo.block_of(r.addr).0).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    for b in blocks {
+        let block = BlockAddr(b);
+        let mut writable = 0;
+        let mut valid = 0;
+        for c in topo.cluster_ids() {
+            let unit = sys.cluster(c);
+            for lp in 0..topo.procs_per_cluster() {
+                let s = unit.bus.cache(LocalProcId(lp)).state_of(block);
+                if s.is_valid() {
+                    valid += 1;
+                }
+                if s.allows_silent_write() {
+                    writable += 1;
+                }
+            }
+        }
+        prop_assert!(writable <= 1, "block {b:#x}: {writable} writable copies");
+        if writable == 1 {
+            prop_assert_eq!(valid, 1, "block {:#x}: M/E coexists with sharers", b);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn base_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::base(), &refs)?;
+    }
+
+    #[test]
+    fn victim_nc_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::vb(), &refs)?;
+    }
+
+    #[test]
+    fn page_indexed_victim_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::vp(), &refs)?;
+    }
+
+    #[test]
+    fn inclusion_nc_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::nc(), &refs)?;
+    }
+
+    #[test]
+    fn dram_nc_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::ncd(), &refs)?;
+    }
+
+    #[test]
+    fn page_cache_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::ncp(PcSize::Bytes(16 * 4096)), &refs)?;
+    }
+
+    #[test]
+    fn vxp_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::vxp(PcSize::Bytes(16 * 4096), 4), &refs)?;
+    }
+
+    #[test]
+    fn limited_directory_system_invariants(refs in ref_stream()) {
+        check_system_invariants(SystemSpec::vb().with_limited_directory(2), &refs)?;
+    }
+
+    #[test]
+    fn origin_system_invariants(refs in ref_stream()) {
+        let mut spec = SystemSpec::origin();
+        spec.migrep.as_mut().unwrap().threshold = 4;
+        check_system_invariants(spec, &refs)?;
+    }
+
+    #[test]
+    fn system_is_deterministic(refs in ref_stream()) {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let run = || {
+            let mut sys = System::new(SystemSpec::vbp(PcSize::Bytes(16 * 4096)), topo, geo, 1024 * 1024).unwrap();
+            sys.run(refs.iter().copied());
+            sys.metrics().clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn victim_nc_dominates_base_on_any_stream(refs in ref_stream()) {
+        // The paper's "cannot be worse than no NC" claim, adversarially.
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let run = |spec: SystemSpec| {
+            let mut sys = System::new(spec, topo, geo, 1024 * 1024).unwrap();
+            sys.run(refs.iter().copied());
+            sys.metrics().remote_read_misses() + sys.metrics().remote_write_misses()
+        };
+        let base = run(SystemSpec::base());
+        let vb = run(SystemSpec::vb());
+        prop_assert!(vb <= base, "victim NC increased cluster misses: {vb} > {base}");
+    }
+}
