@@ -2,8 +2,8 @@
 //!
 //! Each ablation runs one contrasting pair/family of configurations on a
 //! workload chosen to expose the mechanism, prints the metric comparison
-//! (the interesting output), and times the runs under Criterion so
-//! regressions in simulator cost also surface.
+//! (the interesting output), and times the runs so regressions in
+//! simulator cost also surface.
 //!
 //! Ablations:
 //! 1. **NC allocation policy** — victim vs relaxed inclusion vs full
@@ -23,9 +23,9 @@
 //!    limited-pointer directory (the paper's claim that victim-set
 //!    counters, unlike R-NUMA's, survive non-full-map directories).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use dsm_bench::tinybench::Tiny;
 use dsm_core::runner::run_trace;
 use dsm_core::{NcSpec, PcSize, Report, SystemSpec, ThresholdPolicy};
 use dsm_trace::{Scale, WorkloadKind};
@@ -131,7 +131,10 @@ fn ablations() -> Vec<Ablation> {
 }
 
 fn print_comparison(ab: &Ablation, reports: &[Report]) {
-    println!("[ablation: {} on {} @ scale {}]", ab.name, ab.kind, ab.scale);
+    println!(
+        "[ablation: {} on {} @ scale {}]",
+        ab.name, ab.kind, ab.scale
+    );
     println!(
         "  {:<16} {:>9} {:>9} {:>12} {:>9} {:>8} {:>9} {:>9}",
         "config", "read-m%", "write-m%", "stall", "traffic", "reloc", "wb", "absorbed"
@@ -165,30 +168,18 @@ fn run_all(
         .collect()
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
+    let mut t = Tiny::from_args();
+    t.group("ablations");
     for ab in ablations() {
         let w = ab.kind.paper_instance();
         let trace = w.generate(&topo, Scale::new(ab.scale).unwrap());
         let reports = run_all(&ab.specs, w.shared_bytes(), &trace, topo, geo);
         print_comparison(&ab, &reports);
-        g.bench_function(ab.name, |b| {
-            b.iter(|| {
-                black_box(run_all(
-                    &ab.specs,
-                    w.shared_bytes(),
-                    &trace,
-                    topo,
-                    geo,
-                ))
-            });
+        t.bench(ab.name, || {
+            black_box(run_all(&ab.specs, w.shared_bytes(), &trace, topo, geo));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! End-to-end figure regeneration as Criterion benchmarks.
+//! End-to-end figure regeneration as benchmarks.
 //!
 //! Each benchmark runs one paper figure on one representative workload at
 //! a reduced trace scale, timing the complete experiment (trace replay on
@@ -8,17 +8,17 @@
 //! use the release binaries (`--bin fig3` ... `--bin fig11`,
 //! `--bin reproduce`) at full scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dsm_bench::figures::{fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use dsm_bench::tinybench::Tiny;
 use dsm_bench::{FigureTable, TraceSet};
 use dsm_trace::{Scale, WorkloadKind};
 
 const BENCH_SCALE: f64 = 0.1;
 
 fn bench_figure(
-    c: &mut Criterion,
+    t: &mut Tiny,
     name: &str,
     kind: WorkloadKind,
     runner: fn(&mut TraceSet, &[WorkloadKind]) -> FigureTable,
@@ -26,30 +26,27 @@ fn bench_figure(
     // Print the single-workload table once for eyeballing.
     let mut ts = TraceSet::new(Scale::new(BENCH_SCALE).unwrap());
     let table = runner(&mut ts, &[kind]);
-    println!("[{name} @ scale {BENCH_SCALE}, {kind} only]\n{}", table.render());
+    println!(
+        "[{name} @ scale {BENCH_SCALE}, {kind} only]\n{}",
+        table.render()
+    );
 
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function(name, |b| {
-        b.iter(|| {
-            let mut ts = TraceSet::new(Scale::new(BENCH_SCALE).unwrap());
-            black_box(runner(&mut ts, &[kind]))
-        });
+    t.bench(name, || {
+        let mut ts = TraceSet::new(Scale::new(BENCH_SCALE).unwrap());
+        black_box(runner(&mut ts, &[kind]));
     });
-    g.finish();
 }
 
-fn figures(c: &mut Criterion) {
-    bench_figure(c, "fig3_lu", WorkloadKind::Lu, fig3::run);
-    bench_figure(c, "fig4_radix", WorkloadKind::Radix, fig4::run);
-    bench_figure(c, "fig5_fmm", WorkloadKind::Fmm, fig5::run);
-    bench_figure(c, "fig6_radix", WorkloadKind::Radix, fig6::run);
-    bench_figure(c, "fig7_fmm", WorkloadKind::Fmm, fig7::run);
-    bench_figure(c, "fig8_ocean", WorkloadKind::Ocean, fig8::run);
-    bench_figure(c, "fig9_lu", WorkloadKind::Lu, fig9::run);
-    bench_figure(c, "fig10_radix", WorkloadKind::Radix, fig10::run);
-    bench_figure(c, "fig11_barnes", WorkloadKind::Barnes, fig11::run);
+fn main() {
+    let mut t = Tiny::from_args();
+    t.group("figures");
+    bench_figure(&mut t, "fig3_lu", WorkloadKind::Lu, fig3::run);
+    bench_figure(&mut t, "fig4_radix", WorkloadKind::Radix, fig4::run);
+    bench_figure(&mut t, "fig5_fmm", WorkloadKind::Fmm, fig5::run);
+    bench_figure(&mut t, "fig6_radix", WorkloadKind::Radix, fig6::run);
+    bench_figure(&mut t, "fig7_fmm", WorkloadKind::Fmm, fig7::run);
+    bench_figure(&mut t, "fig8_ocean", WorkloadKind::Ocean, fig8::run);
+    bench_figure(&mut t, "fig9_lu", WorkloadKind::Lu, fig9::run);
+    bench_figure(&mut t, "fig10_radix", WorkloadKind::Radix, fig10::run);
+    bench_figure(&mut t, "fig11_barnes", WorkloadKind::Barnes, fig11::run);
 }
-
-criterion_group!(benches, figures);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the simulator substrates: per-operation costs of
 //! the structures every simulated reference exercises.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use dsm_bench::tinybench::Tiny;
 use dsm_cache::{CacheShape, CacheState, ProcCache, SetAssoc};
 use dsm_core::{runner::run_trace, SystemSpec};
 use dsm_directory::FullMapDirectory;
@@ -11,122 +11,108 @@ use dsm_protocol::BusCluster;
 use dsm_trace::{Scale, WorkloadKind};
 use dsm_types::{BlockAddr, ClusterId, Geometry, LocalProcId, Topology};
 
-fn bench_set_assoc(c: &mut Criterion) {
+fn bench_set_assoc(t: &mut Tiny) {
     let shape = CacheShape::new(16 * 1024, 64, 4).unwrap();
-    let mut g = c.benchmark_group("set_assoc");
-    g.bench_function("insert_evict", |b| {
+    t.group("set_assoc");
+    {
         let mut arr: SetAssoc<u64> = SetAssoc::new(shape);
         let mut i = 0u64;
-        b.iter(|| {
+        t.bench("insert_evict", || {
             let set = (i % 64) as usize;
             black_box(arr.insert(set, i, i));
             i += 1;
         });
-    });
-    g.bench_function("hit_lookup", |b| {
+    }
+    {
         let mut arr: SetAssoc<u64> = SetAssoc::new(shape);
-        for t in 0..256u64 {
-            arr.insert((t % 64) as usize, t, t);
+        for v in 0..256u64 {
+            arr.insert((v % 64) as usize, v, v);
         }
         let mut i = 0u64;
-        b.iter(|| {
-            let t = i % 256;
-            black_box(arr.get((t % 64) as usize, t));
+        t.bench("hit_lookup", || {
+            let v = i % 256;
+            black_box(arr.get((v % 64) as usize, v));
             i += 1;
-        });
-    });
-    g.finish();
-}
-
-fn bench_proc_cache(c: &mut Criterion) {
-    let shape = CacheShape::new(16 * 1024, 64, 2).unwrap();
-    c.bench_function("proc_cache/fill_touch_invalidate", |b| {
-        let mut cache = ProcCache::new(shape);
-        let mut i = 0u64;
-        b.iter(|| {
-            let blk = BlockAddr(i % 512);
-            cache.fill(blk, CacheState::Shared);
-            black_box(cache.touch(blk));
-            if i.is_multiple_of(3) {
-                cache.invalidate(blk);
-            }
-            i += 1;
-        });
-    });
-}
-
-fn bench_bus(c: &mut Criterion) {
-    let shape = CacheShape::new(16 * 1024, 64, 2).unwrap();
-    c.bench_function("bus/peer_supply_cycle", |b| {
-        let mut bus = BusCluster::new(4, shape);
-        let mut i = 0u64;
-        b.iter(|| {
-            let blk = BlockAddr(i % 256);
-            bus.fill(LocalProcId(0), blk, CacheState::RemoteMaster);
-            if let Some((s, _)) = bus.find_supplier(LocalProcId(1), blk) {
-                black_box(bus.peer_read_supply(LocalProcId(1), s, blk));
-            }
-            bus.invalidate_all(blk);
-            i += 1;
-        });
-    });
-}
-
-fn bench_directory(c: &mut Criterion) {
-    c.bench_function("directory/read_write_cycle", |b| {
-        let mut dir = FullMapDirectory::new(8);
-        let mut i = 0u64;
-        b.iter(|| {
-            let blk = BlockAddr(i % 4096);
-            black_box(dir.read(blk, ClusterId((i % 8) as u16)));
-            if i.is_multiple_of(4) {
-                black_box(dir.write(blk, ClusterId(((i + 1) % 8) as u16)));
-            }
-            i += 1;
-        });
-    });
-}
-
-fn bench_trace_generation(c: &mut Criterion) {
-    let topo = Topology::paper_default();
-    let mut g = c.benchmark_group("trace_gen");
-    g.sample_size(10);
-    for kind in [WorkloadKind::Fft, WorkloadKind::Radix, WorkloadKind::Barnes] {
-        let w = kind.dev_instance();
-        g.bench_function(w.name(), |b| {
-            b.iter(|| black_box(w.generate(&topo, Scale::new(0.2).unwrap())));
         });
     }
-    g.finish();
 }
 
-fn bench_simulation_throughput(c: &mut Criterion) {
+fn bench_proc_cache(t: &mut Tiny) {
+    let shape = CacheShape::new(16 * 1024, 64, 2).unwrap();
+    t.group("proc_cache");
+    let mut cache = ProcCache::new(shape);
+    let mut i = 0u64;
+    t.bench("fill_touch_invalidate", || {
+        let blk = BlockAddr(i % 512);
+        cache.fill(blk, CacheState::Shared);
+        black_box(cache.touch(blk));
+        if i.is_multiple_of(3) {
+            cache.invalidate(blk);
+        }
+        i += 1;
+    });
+}
+
+fn bench_bus(t: &mut Tiny) {
+    let shape = CacheShape::new(16 * 1024, 64, 2).unwrap();
+    t.group("bus");
+    let mut bus = BusCluster::new(4, shape);
+    let mut i = 0u64;
+    t.bench("peer_supply_cycle", || {
+        let blk = BlockAddr(i % 256);
+        bus.fill(LocalProcId(0), blk, CacheState::RemoteMaster);
+        if let Some((s, _)) = bus.find_supplier(LocalProcId(1), blk) {
+            black_box(bus.peer_read_supply(LocalProcId(1), s, blk));
+        }
+        bus.invalidate_all(blk);
+        i += 1;
+    });
+}
+
+fn bench_directory(t: &mut Tiny) {
+    t.group("directory");
+    let mut dir = FullMapDirectory::new(8);
+    let mut i = 0u64;
+    t.bench("read_write_cycle", || {
+        let blk = BlockAddr(i % 4096);
+        black_box(dir.read(blk, ClusterId((i % 8) as u16)));
+        if i.is_multiple_of(4) {
+            black_box(dir.write(blk, ClusterId(((i + 1) % 8) as u16)));
+        }
+        i += 1;
+    });
+}
+
+fn bench_trace_generation(t: &mut Tiny) {
+    let topo = Topology::paper_default();
+    t.group("trace_gen");
+    for kind in [WorkloadKind::Fft, WorkloadKind::Radix, WorkloadKind::Barnes] {
+        let w = kind.dev_instance();
+        t.bench(w.name(), || {
+            black_box(w.generate(&topo, Scale::new(0.2).unwrap()));
+        });
+    }
+}
+
+fn bench_simulation_throughput(t: &mut Tiny) {
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
     let w = WorkloadKind::Lu.dev_instance();
     let trace = w.generate(&topo, Scale::new(0.3).unwrap());
-    let mut g = c.benchmark_group("sim_throughput");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(trace.len() as u64));
+    t.group("sim_throughput");
     for spec in [SystemSpec::base(), SystemSpec::vb(), SystemSpec::ncd()] {
-        g.bench_function(&spec.name, |b| {
-            b.iter_batched(
-                || trace.clone(),
-                |t| black_box(run_trace(&spec, "lu", w.shared_bytes(), &t, topo, geo).unwrap()),
-                BatchSize::LargeInput,
-            );
+        t.bench_elements(&spec.name.clone(), trace.len() as u64, || {
+            black_box(run_trace(&spec, "lu", w.shared_bytes(), &trace, topo, geo).unwrap());
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_set_assoc,
-    bench_proc_cache,
-    bench_bus,
-    bench_directory,
-    bench_trace_generation,
-    bench_simulation_throughput
-);
-criterion_main!(benches);
+fn main() {
+    let mut t = Tiny::from_args();
+    bench_set_assoc(&mut t);
+    bench_proc_cache(&mut t);
+    bench_bus(&mut t);
+    bench_directory(&mut t);
+    bench_trace_generation(&mut t);
+    bench_simulation_throughput(&mut t);
+}

@@ -2,17 +2,178 @@
 //! and prints each table, plus a Markdown digest suitable for
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p dsm-bench --release --bin reproduce [--scale <f>]
-//! [--markdown]`.
+//! Usage:
+//!
+//! ```text
+//! reproduce [--scale <f>] [--markdown] [--out <dir>]
+//! reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]
+//! ```
+//!
+//! The first form reproduces the figures; with `--out` it also writes the
+//! full machine-readable dataset to `<dir>/reproduce_full.json`.
+//!
+//! The second form runs the *instrumented* reproduction instead: each
+//! workload runs on the key system configurations (`base`, `vb`, `ncd`,
+//! `vxp`) with the observability probe attached, and one JSON run report
+//! per (workload, system) pair — figures of merit, event counts, the
+//! per-epoch time series with per-cluster breakdowns, hottest pages and
+//! the relocation timeline — lands under `<dir>` (default `results/`).
+//! `--trace-events` additionally streams every structured event to
+//! `<dir>/<workload>_<system>.events.jsonl`.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
 
 use dsm_bench::figures::{
     all_workloads, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9, origin, tables,
 };
 use dsm_bench::{parse_scale_arg, FigureTable, TraceSet};
+use dsm_core::obs::{Json, JsonlSink, StatsSink};
+use dsm_core::{PcSize, SystemSpec, Tee};
+
+struct Flags {
+    markdown: bool,
+    epoch: Option<u64>,
+    trace_events: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_flags() -> Flags {
+    let mut f = Flags {
+        markdown: false,
+        epoch: None,
+        trace_events: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--markdown" => f.markdown = true,
+            "--trace-events" => f.trace_events = true,
+            "--epoch" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--epoch requires a value"));
+                let w: u64 = v.parse().unwrap_or_else(|_| panic!("bad epoch '{v}'"));
+                assert!(w > 0, "--epoch must be positive");
+                f.epoch = Some(w);
+            }
+            "--out" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--out requires a value"));
+                f.out = Some(PathBuf::from(v));
+            }
+            "--scale" => {
+                args.next(); // parsed by parse_scale_arg
+            }
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+    f
+}
+
+/// Makes a spec name filesystem-friendly (`vxp5(t32)` -> `vxp5-t32`).
+fn file_stem(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    while out.contains("--") {
+        out = out.replace("--", "-");
+    }
+    out.trim_matches('-').to_owned()
+}
+
+fn write_json(path: &Path, json: &Json) {
+    let mut f = BufWriter::new(
+        File::create(path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display())),
+    );
+    writeln!(f, "{}", json.render())
+        .and_then(|()| f.flush())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// The instrumented reproduction: probed runs of every workload on the
+/// key configurations, exported as JSON run reports.
+fn run_instrumented(flags: &Flags) {
+    let scale = parse_scale_arg();
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&out)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
+    let specs = [
+        SystemSpec::base(),
+        SystemSpec::vb(),
+        SystemSpec::ncd(),
+        SystemSpec::vxp(PcSize::DataFraction(5), 32),
+    ];
+    let mut index: Vec<Json> = Vec::new();
+    for &kind in &all_workloads() {
+        let mut ts = TraceSet::new(scale);
+        let wl = kind.display_name().to_lowercase();
+        for spec in &specs {
+            eprintln!("reproduce: instrumented {wl}/{} ...", spec.name);
+            let stem = format!("{wl}_{}", file_stem(&spec.name));
+            let (report, sink) = if flags.trace_events {
+                let ev_path = out.join(format!("{stem}.events.jsonl"));
+                let file = BufWriter::new(
+                    File::create(&ev_path)
+                        .unwrap_or_else(|e| panic!("cannot create {}: {e}", ev_path.display())),
+                );
+                let probe = Tee(StatsSink::new(), JsonlSink::new(file));
+                let (report, Tee(sink, jsonl)) = ts.run_probed(spec, kind, probe, flags.epoch);
+                let lines = jsonl.lines();
+                jsonl
+                    .finish()
+                    .unwrap_or_else(|e| panic!("event log {}: {e}", ev_path.display()))
+                    .flush()
+                    .unwrap_or_else(|e| panic!("event log {}: {e}", ev_path.display()));
+                eprintln!("reproduce:   {} events -> {}", lines, ev_path.display());
+                (report, sink)
+            } else {
+                ts.run_probed(spec, kind, StatsSink::new(), flags.epoch)
+            };
+            let path = out.join(format!("{stem}.json"));
+            let json = Json::obj()
+                .set("scale", scale.factor())
+                .set(
+                    "epoch_window",
+                    match flags.epoch {
+                        Some(w) => Json::U64(w),
+                        None => Json::Null,
+                    },
+                )
+                .set("report", report.to_json())
+                .set("observability", sink.to_json(10));
+            write_json(&path, &json);
+            index.push(
+                Json::obj()
+                    .set("file", path.file_name().unwrap().to_string_lossy().as_ref())
+                    .set("workload", wl.as_str())
+                    .set("system", spec.name.as_str())
+                    .set("refs", report.refs)
+                    .set("read_miss_ratio", report.read_miss_ratio)
+                    .set("relocation_overhead", report.relocation_overhead),
+            );
+        }
+    }
+    let count = index.len();
+    write_json(&out.join("index.json"), &Json::obj().set("runs", index));
+    eprintln!("reproduce: wrote {count} run reports to {}", out.display());
+}
 
 fn main() {
+    let flags = parse_flags();
+    if flags.epoch.is_some() || flags.trace_events {
+        run_instrumented(&flags);
+        return;
+    }
+
     let scale = parse_scale_arg();
-    let markdown = std::env::args().any(|a| a == "--markdown");
     eprintln!("reproduce: scale factor {}", scale.factor());
 
     println!("{}", tables::table1());
@@ -35,17 +196,35 @@ fn main() {
         ("origin (supplementary)", origin::run as Runner),
     ];
 
+    let mut exported: Vec<Json> = Vec::new();
     for (name, runner) in figures {
         eprintln!("reproduce: running {name} ...");
         let t0 = std::time::Instant::now();
         // A fresh trace set per figure keeps peak memory to one trace.
         let mut ts = TraceSet::new(scale);
         let table = runner(&mut ts, &kinds);
-        eprintln!("reproduce: {name} done in {:.1}s", t0.elapsed().as_secs_f64());
-        if markdown {
+        eprintln!(
+            "reproduce: {name} done in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+        if flags.markdown {
             println!("## {}\n\n{}", table.caption, table.render_markdown());
         } else {
             println!("{}", table.render());
         }
+        if flags.out.is_some() {
+            exported.push(table.to_json().set("figure", name));
+        }
+    }
+
+    if let Some(out) = &flags.out {
+        std::fs::create_dir_all(out)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
+        let path = out.join("reproduce_full.json");
+        let json = Json::obj()
+            .set("scale", scale.factor())
+            .set("figures", exported);
+        write_json(&path, &json);
+        eprintln!("reproduce: wrote {}", path.display());
     }
 }

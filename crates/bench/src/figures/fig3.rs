@@ -62,7 +62,10 @@ mod tests {
         // Within each associativity, a bigger victim NC never hurts.
         for w in 0..3 {
             assert!(v[w * 3 + 1] <= v[w * 3] + 1e-9, "1K NC hurt at {w}w: {v:?}");
-            assert!(v[w * 3 + 2] <= v[w * 3 + 1] + 1e-9, "16K NC hurt at {w}w: {v:?}");
+            assert!(
+                v[w * 3 + 2] <= v[w * 3 + 1] + 1e-9,
+                "16K NC hurt at {w}w: {v:?}"
+            );
         }
         // Higher associativity with no NC never hurts LU.
         assert!(v[3] <= v[0] + 1e-9);

@@ -22,8 +22,8 @@ pub fn run_tight(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
 }
 
 fn run_at(ts: &mut TraceSet, kinds: &[WorkloadKind], denom: u32) -> FigureTable {
-    let mut fixed = SystemSpec::ncp(PcSize::DataFraction(denom))
-        .with_threshold(ThresholdPolicy::Fixed(32));
+    let mut fixed =
+        SystemSpec::ncp(PcSize::DataFraction(denom)).with_threshold(ThresholdPolicy::Fixed(32));
     fixed.name = format!("ncp{denom}-fixed32");
     let mut adaptive = SystemSpec::ncp(PcSize::DataFraction(denom));
     adaptive.name = format!("ncp{denom}-adaptive");

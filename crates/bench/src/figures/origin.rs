@@ -53,11 +53,8 @@ mod tests {
         // reuse — with our uniform-random walk it does not, which is
         // itself the expected Origin behaviour on reuse-free data.
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let grid = crate::harness::run_grid(
-            &mut ts,
-            &[SystemSpec::origin()],
-            &[WorkloadKind::Raytrace],
-        );
+        let grid =
+            crate::harness::run_grid(&mut ts, &[SystemSpec::origin()], &[WorkloadKind::Raytrace]);
         let m = &grid[0].1[0].metrics;
         assert!(m.replications > 0, "{m:?}");
         assert!(

@@ -17,7 +17,10 @@ pub fn table1() -> String {
     out.push_str("event      No-NC  DRAM-NC  SRAM-NC  SRAM-NC&PC\n");
     out.push_str(&format!(
         "PC hit     {:>5}  {:>7}  {:>7}  {:>10}\n",
-        "-", "-", "-", sram.pc_hit()
+        "-",
+        "-",
+        "-",
+        sram.pc_hit()
     ));
     out.push_str(&format!(
         "NC hit     {:>5}  {:>7}  {:>7}  {:>10}\n",

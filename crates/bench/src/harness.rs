@@ -3,8 +3,9 @@
 
 use std::collections::HashMap;
 
-use dsm_core::runner::run_trace;
-use dsm_core::{Report, SystemSpec};
+use dsm_core::obs::Json;
+use dsm_core::runner::{run_trace, run_trace_probed};
+use dsm_core::{Probe, Report, SystemSpec};
 use dsm_trace::{Scale, WorkloadKind};
 use dsm_types::{Geometry, MemRef, Topology};
 
@@ -84,6 +85,35 @@ impl TraceSet {
             trace,
             self.topo,
             self.geo,
+        )
+        .unwrap_or_else(|e| panic!("{}/{kind}: {e}", spec.name))
+    }
+
+    /// Runs `spec` on `kind`'s cached trace with an attached probe,
+    /// returning the probe (with its collected events/epochs) next to the
+    /// report. `epoch_window` enables epoch sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system spec is invalid for this workload.
+    pub fn run_probed<P: Probe>(
+        &mut self,
+        spec: &SystemSpec,
+        kind: WorkloadKind,
+        probe: P,
+        epoch_window: Option<u64>,
+    ) -> (Report, P) {
+        self.ensure(kind);
+        let (data_bytes, trace) = &self.traces[&kind];
+        run_trace_probed(
+            spec,
+            &kind.display_name().to_lowercase(),
+            *data_bytes,
+            trace,
+            self.topo,
+            self.geo,
+            probe,
+            epoch_window,
         )
         .unwrap_or_else(|e| panic!("{}/{kind}: {e}", spec.name))
     }
@@ -168,6 +198,31 @@ impl FigureTable {
         out
     }
 
+    /// Serializes the table as a JSON object (for `results/*.json`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|(name, values)| {
+                Json::obj().set("benchmark", name.as_str()).set(
+                    "values",
+                    values.iter().map(|&v| Json::F64(v)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        Json::obj()
+            .set("caption", self.caption.as_str())
+            .set(
+                "columns",
+                self.columns
+                    .iter()
+                    .map(|c| Json::Str(c.clone()))
+                    .collect::<Vec<_>>(),
+            )
+            .set("rows", rows)
+    }
+
     /// Renders as a Markdown table (for EXPERIMENTS.md).
     #[must_use]
     pub fn render_markdown(&self) -> String {
@@ -239,10 +294,7 @@ pub fn normalized_table(
     let mut t = FigureTable::new(caption, columns);
     for (kind, reports) in grid {
         let baseline = metric(&reports[0]).max(1e-12);
-        let values = reports[1..]
-            .iter()
-            .map(|r| metric(r) / baseline)
-            .collect();
+        let values = reports[1..].iter().map(|r| metric(r) / baseline).collect();
         t.push_row(kind.display_name(), values);
     }
     t

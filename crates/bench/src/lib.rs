@@ -20,5 +20,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod tinybench;
 
 pub use harness::{parse_scale_arg, FigureTable, TraceSet};

@@ -65,13 +65,11 @@ impl CacheShape {
     ///
     /// Returns [`ConfigError`] if `sets` is not a power of two or either
     /// count is zero.
-    pub fn from_sets_ways(
-        sets: usize,
-        ways: usize,
-        block_bytes: u64,
-    ) -> Result<Self, ConfigError> {
+    pub fn from_sets_ways(sets: usize, ways: usize, block_bytes: u64) -> Result<Self, ConfigError> {
         if sets == 0 || ways == 0 || block_bytes == 0 {
-            return Err(ConfigError::new("sets, ways and block size must be nonzero"));
+            return Err(ConfigError::new(
+                "sets, ways and block size must be nonzero",
+            ));
         }
         if !sets.is_power_of_two() {
             return Err(ConfigError::new(format!(
@@ -188,7 +186,7 @@ mod tests {
     fn page_indexing_groups_blocks_of_a_page() {
         let geo = Geometry::paper_default();
         let s = CacheShape::new(16 * 1024, 64, 4).unwrap(); // 64 sets
-        // All 64 blocks of page 5 map to the same set.
+                                                            // All 64 blocks of page 5 map to the same set.
         let base = geo.first_block_of_page(dsm_types::PageAddr(5));
         let set = s.set_of_page(&geo, base);
         for i in 0..geo.blocks_per_page() {

@@ -9,22 +9,30 @@
 //! page-cache systems `ncp`, `vbp`, `vpp`, `vxp` (which accept
 //! `--pc-fraction <d>` [default 5] or `--pc-bytes <n>`, and `vxp` accepts
 //! `--threshold <t>` [default 32]).
+//!
+//! `--stats` attaches the observability probe and appends a profiling
+//! view: event counts by kind, per-cluster remote intensity and bus
+//! traffic, the hottest pages (`--top <k>`, default 10), and the
+//! relocation/threshold timelines. `--epoch <refs>` additionally samples
+//! the run into epochs and reports the per-epoch remote miss series.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use dsm_core::runner::run_trace;
-use dsm_core::{PcSize, SystemSpec};
+use dsm_core::obs::StatsSink;
+use dsm_core::runner::{report_of, run_trace};
+use dsm_core::{PcSize, Report, System, SystemSpec};
 use dsm_trace::{read_trace, Scale, WorkloadKind};
-use dsm_types::{Geometry, Topology};
+use dsm_types::{ClusterId, Geometry, Topology};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: simulate --system <name> --workload <benchmark> [--scale <f>] [--dev]\n\
          \x20      simulate --system <name> --trace <file.dsmt> [--data-mb <n>]\n\
          systems: base nc vb vp ncd ncs inf-dram ncp vbp vpp vxp\n\
-         page-cache options: --pc-fraction <d> | --pc-bytes <n>; vxp: --threshold <t>"
+         page-cache options: --pc-fraction <d> | --pc-bytes <n>; vxp: --threshold <t>\n\
+         observability: --stats [--top <k>] [--epoch <refs>]"
     );
     ExitCode::FAILURE
 }
@@ -39,6 +47,9 @@ struct Options {
     pc_bytes: Option<u64>,
     threshold: u32,
     data_mb: Option<u64>,
+    stats: bool,
+    top: usize,
+    epoch: Option<u64>,
 }
 
 fn parse_args() -> Option<Options> {
@@ -52,6 +63,9 @@ fn parse_args() -> Option<Options> {
         pc_bytes: None,
         threshold: 32,
         data_mb: None,
+        stats: false,
+        top: 10,
+        epoch: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +86,15 @@ fn parse_args() -> Option<Options> {
             "--pc-bytes" => o.pc_bytes = Some(val()?.parse().ok()?),
             "--threshold" => o.threshold = val()?.parse().ok()?,
             "--data-mb" => o.data_mb = Some(val()?.parse().ok()?),
+            "--stats" => o.stats = true,
+            "--top" => o.top = val()?.parse().ok()?,
+            "--epoch" => {
+                let w: u64 = val()?.parse().ok()?;
+                if w == 0 {
+                    return None;
+                }
+                o.epoch = Some(w);
+            }
             _ => return None,
         }
     }
@@ -103,6 +126,171 @@ fn spec_of(o: &Options) -> Option<SystemSpec> {
     })
 }
 
+fn print_report(report: &Report) {
+    println!("system:              {}", report.system);
+    println!("workload:            {}", report.workload);
+    println!("references:          {}", report.refs);
+    println!(
+        "read miss ratio:     {:.4} %",
+        report.read_miss_ratio * 100.0
+    );
+    println!(
+        "write miss ratio:    {:.4} %",
+        report.write_miss_ratio * 100.0
+    );
+    println!(
+        "relocation overhead: {:.4} %",
+        report.relocation_overhead * 100.0
+    );
+    println!("remote read stall:   {} cycles", report.remote_read_stall);
+    println!("remote traffic:      {} blocks", report.remote_traffic);
+    let m = &report.metrics;
+    println!(
+        "  necessary misses:  {} r / {} w",
+        m.remote_read_necessary, m.remote_write_necessary
+    );
+    println!(
+        "  capacity misses:   {} r / {} w",
+        m.remote_read_capacity, m.remote_write_capacity
+    );
+    println!(
+        "  NC hits:           {} r / {} w",
+        m.nc_read_hits, m.nc_write_hits
+    );
+    println!(
+        "  PC hits:           {} r / {} w",
+        m.pc_read_hits, m.pc_write_hits
+    );
+    println!("  relocations:       {}", m.relocations);
+    println!("  writebacks:        {}", m.remote_writebacks);
+}
+
+/// The `--stats` profiling view: per-cluster intensity, hot pages,
+/// relocation history, epoch series. Reads both the probe's aggregation
+/// and the final machine state (bus stats, resident frames, counters).
+fn print_stats(system: &System<StatsSink>, top: usize) {
+    let sink = system.probe();
+    let clusters = (0..system.topology().clusters()).map(ClusterId);
+
+    println!("\n== events by kind ({} total) ==", sink.events_seen());
+    for (kind, n) in sink.kind_counts() {
+        println!("  {kind:<20} {n:>12}");
+    }
+
+    println!("\n== per-cluster breakdown ==");
+    println!(
+        "  {:>7}  {:>12}  {:>9}  {:>9}  {:>8}  {:>8}  {:>6}  {:>12}  {:>8}",
+        "cluster",
+        "refs",
+        "rd-remote",
+        "wr-remote",
+        "nc-hits",
+        "pc-hits",
+        "reloc",
+        "bus-txns",
+        "rem/ref"
+    );
+    for c in clusters {
+        let counts = system.cluster_counts(c);
+        let unit = system.cluster(c);
+        let remote = counts.remote_reads + counts.remote_writes;
+        let intensity = if counts.refs == 0 {
+            0.0
+        } else {
+            remote as f64 / counts.refs as f64
+        };
+        println!(
+            "  {:>7}  {:>12}  {:>9}  {:>9}  {:>8}  {:>8}  {:>6}  {:>12}  {:>8.4}",
+            c.0,
+            counts.refs,
+            counts.remote_reads,
+            counts.remote_writes,
+            counts.nc_hits,
+            counts.pc_hits,
+            counts.relocations,
+            unit.bus.stats().transactions(),
+            intensity,
+        );
+    }
+
+    let hot = sink.top_pages(top);
+    if !hot.is_empty() {
+        println!(
+            "\n== top {} hottest pages (PC hits + relocations) ==",
+            hot.len()
+        );
+        for (page, heat) in hot {
+            println!("  page {:>8}  {:>10}", page.0, heat);
+        }
+    }
+
+    let resident: Vec<(u64, u32, u16)> = (0..system.topology().clusters())
+        .map(ClusterId)
+        .filter_map(|c| system.cluster(c).pc.as_ref().map(|pc| (c, pc)))
+        .flat_map(|(c, pc)| {
+            pc.pages_with_hits()
+                .map(move |(p, h)| (p.0, h, c.0))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if !resident.is_empty() {
+        let mut frames = resident;
+        frames.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        frames.truncate(top);
+        println!("\n== hottest resident page frames ==");
+        for (page, hits, cluster) in frames {
+            println!("  page {page:>8}  cluster {cluster:>3}  {hits:>8} hits since reset");
+        }
+    }
+
+    let reloc = sink.relocation_timeline();
+    if !reloc.is_empty() {
+        println!("\n== relocation timeline ({} events) ==", reloc.len());
+        for &(at, cluster, page) in reloc.iter().take(top) {
+            println!("  ref {at:>12}  cluster {cluster:>3}  page {page}");
+        }
+        if reloc.len() > top {
+            println!("  ... {} more", reloc.len() - top);
+        }
+    }
+
+    let thresholds = sink.threshold_timeline();
+    if !thresholds.is_empty() {
+        println!(
+            "\n== threshold adaptations ({} events) ==",
+            thresholds.len()
+        );
+        for &(at, cluster, t) in thresholds.iter().take(top) {
+            println!("  ref {at:>12}  cluster {cluster:>3}  threshold -> {t}");
+        }
+        if thresholds.len() > top {
+            println!("  ... {} more", thresholds.len() - top);
+        }
+    }
+
+    let epochs = sink.epochs();
+    if !epochs.is_empty() {
+        println!("\n== epoch series ({} epochs) ==", epochs.len());
+        println!(
+            "  {:>5}  {:>12}  {:>9}  {:>9}  {:>8}  {:>6}",
+            "epoch", "refs", "rd-remote", "wr-remote", "nc-hits", "reloc"
+        );
+        for s in epochs {
+            let d = &s.delta;
+            println!(
+                "  {:>5}  {:>12}  {:>9}  {:>9}  {:>8}  {:>6}",
+                s.index,
+                s.len(),
+                d.remote_read_necessary + d.remote_read_capacity,
+                d.remote_write_necessary + d.remote_write_capacity,
+                d.nc_read_hits + d.nc_write_hits,
+                d.relocations,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let Some(o) = parse_args() else {
         return usage();
@@ -150,6 +338,26 @@ fn main() -> ExitCode {
         }
     };
 
+    if o.stats {
+        let mut system = match System::with_probe(spec, topo, geo, data_bytes, StatsSink::new()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(w) = o.epoch {
+            system.set_epoch_window(w);
+        }
+        let refs = trace.len() as u64;
+        system.run(trace.iter().copied());
+        system.finish();
+        let report = report_of(&system, &name, data_bytes, refs);
+        print_report(&report);
+        print_stats(&system, o.top.max(1));
+        return ExitCode::SUCCESS;
+    }
+
     let report = match run_trace(&spec, &name, data_bytes, &trace, topo, geo) {
         Ok(r) => r,
         Err(e) => {
@@ -157,21 +365,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-
-    println!("system:              {}", report.system);
-    println!("workload:            {}", report.workload);
-    println!("references:          {}", report.refs);
-    println!("read miss ratio:     {:.4} %", report.read_miss_ratio * 100.0);
-    println!("write miss ratio:    {:.4} %", report.write_miss_ratio * 100.0);
-    println!("relocation overhead: {:.4} %", report.relocation_overhead * 100.0);
-    println!("remote read stall:   {} cycles", report.remote_read_stall);
-    println!("remote traffic:      {} blocks", report.remote_traffic);
-    let m = &report.metrics;
-    println!("  necessary misses:  {} r / {} w", m.remote_read_necessary, m.remote_write_necessary);
-    println!("  capacity misses:   {} r / {} w", m.remote_read_capacity, m.remote_write_capacity);
-    println!("  NC hits:           {} r / {} w", m.nc_read_hits, m.nc_write_hits);
-    println!("  PC hits:           {} r / {} w", m.pc_read_hits, m.pc_write_hits);
-    println!("  relocations:       {}", m.relocations);
-    println!("  writebacks:        {}", m.remote_writebacks);
+    print_report(&report);
     ExitCode::SUCCESS
 }

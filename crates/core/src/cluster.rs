@@ -6,10 +6,10 @@ use dsm_protocol::BusCluster;
 use dsm_types::{ConfigError, Geometry, Topology};
 
 use crate::config::{CounterSource, NcSpec, SystemSpec, ThresholdPolicy};
+use crate::model::NcTechnology;
 use crate::nc::{InclusionNc, InfiniteNc, NcIndexing, NcUnit, VictimNc};
 use crate::page_cache::{AdaptiveThreshold, PageCache};
 use crate::relocation::VxpCounters;
-use crate::model::NcTechnology;
 
 /// The per-cluster simulation state.
 #[derive(Debug, Clone)]
@@ -93,9 +93,9 @@ impl ClusterUnit {
 
         let vxp = match spec.pc.as_ref().map(|p| p.counters) {
             Some(CounterSource::VictimSets) => {
-                let sets = nc.sets().ok_or_else(|| {
-                    ConfigError::new("victim-set counters require a victim NC")
-                })?;
+                let sets = nc
+                    .sets()
+                    .ok_or_else(|| ConfigError::new("victim-set counters require a victim NC"))?;
                 Some(VxpCounters::new(sets))
             }
             _ => None,
@@ -122,8 +122,13 @@ mod tests {
 
     #[test]
     fn base_has_no_nc_or_pc() {
-        let c = ClusterUnit::build(&SystemSpec::base(), &topo(), Geometry::paper_default(), None)
-            .unwrap();
+        let c = ClusterUnit::build(
+            &SystemSpec::base(),
+            &topo(),
+            Geometry::paper_default(),
+            None,
+        )
+        .unwrap();
         assert!(matches!(c.nc, NcUnit::None));
         assert!(c.pc.is_none());
         assert!(c.vxp.is_none());
@@ -152,9 +157,12 @@ mod tests {
     fn mismatched_pc_resolution_errors() {
         let spec = SystemSpec::ncp(PcSize::Bytes(512 * 1024));
         assert!(ClusterUnit::build(&spec, &topo(), Geometry::paper_default(), None).is_err());
-        assert!(
-            ClusterUnit::build(&SystemSpec::base(), &topo(), Geometry::paper_default(), Some(4))
-                .is_err()
-        );
+        assert!(ClusterUnit::build(
+            &SystemSpec::base(),
+            &topo(),
+            Geometry::paper_default(),
+            Some(4)
+        )
+        .is_err());
     }
 }

@@ -18,14 +18,12 @@
 //! `SystemSpec::ncp(PcSize::DataFraction(5))` (one fifth of the data set);
 //! the 512-KB points of Figures 9-10 are `PcSize::Bytes(512 * 1024)`.
 
-use dsm_types::{ConfigError, Geometry};
-use serde::{Deserialize, Serialize};
-
 use crate::model::NcTechnology;
 use crate::nc::NcIndexing;
+use dsm_types::{ConfigError, Geometry};
 
 /// Processor-cache geometry (per processor).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSpec {
     /// Capacity in bytes (paper: 16 KB).
     pub bytes: u64,
@@ -43,7 +41,7 @@ impl Default for CacheSpec {
 }
 
 /// Network-cache configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NcSpec {
     /// No network cache.
     None,
@@ -83,7 +81,7 @@ pub enum NcSpec {
 }
 
 /// Serializable mirror of [`NcIndexing`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NcIndexingSpec {
     /// Block-address bits (`vb`).
     Block,
@@ -101,7 +99,7 @@ impl From<NcIndexingSpec> for NcIndexing {
 }
 
 /// Page-cache size, absolute or relative to the application data set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PcSize {
     /// Absolute bytes (the 512-KB comparisons of Figures 9-10).
     Bytes(u64),
@@ -140,7 +138,7 @@ impl PcSize {
 }
 
 /// Which counters trigger page relocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterSource {
     /// R-NUMA: per-page per-cluster capacity-miss counters at the
     /// directory.
@@ -151,7 +149,7 @@ pub enum CounterSource {
 }
 
 /// The relocation-threshold policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThresholdPolicy {
     /// A fixed threshold (Figure 6's comparison point).
     Fixed(u32),
@@ -173,7 +171,7 @@ impl ThresholdPolicy {
 }
 
 /// Page-cache configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcSpec {
     /// Capacity.
     pub size: PcSize,
@@ -186,12 +184,11 @@ pub struct PcSpec {
     /// NC in the node holds the block (the next miss will be a coherence
     /// miss, so the earlier victimization should not push toward
     /// relocation). Off in the paper's base system.
-    #[serde(default)]
     pub decrement_on_invalidation: bool,
 }
 
 /// Inter-cluster directory organization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DirectorySpec {
     /// Full-map presence bits (the paper's base; required by R-NUMA's
     /// directory-controlled relocation counters).
@@ -208,7 +205,7 @@ pub enum DirectorySpec {
 /// OS-level page migration/replication (the SGI Origin approach the paper
 /// contrasts against: no network cache, "relying exclusively on page
 /// migration and replication").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigRepSpec {
     /// Remote misses from one cluster to one page before the OS acts.
     pub threshold: u32,
@@ -229,7 +226,7 @@ impl Default for MigRepSpec {
 }
 
 /// A complete system configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemSpec {
     /// Display name (the paper's configuration label).
     pub name: String,
@@ -242,14 +239,11 @@ pub struct SystemSpec {
     /// Use the MOESI-R protocol variant (dirty-shared `O` state) instead
     /// of plain MESIR — the option the paper evaluated and found of
     /// "very little benefit". Off by default.
-    #[serde(default)]
     pub dirty_shared: bool,
     /// OS page migration/replication (the SGI Origin alternative;
     /// mutually exclusive with a page cache).
-    #[serde(default)]
     pub migrep: Option<MigRepSpec>,
     /// Inter-cluster directory organization.
-    #[serde(default)]
     pub directory: DirectorySpec,
 }
 
@@ -563,9 +557,7 @@ impl SystemSpec {
             }
         }
         if let Some(pc) = &self.pc {
-            if pc.counters == CounterSource::Directory
-                && self.directory != DirectorySpec::FullMap
-            {
+            if pc.counters == CounterSource::Directory && self.directory != DirectorySpec::FullMap {
                 return Err(ConfigError::new(
                     "R-NUMA's directory relocation counters require a full-map directory                      (the paper's scalability critique); use vxp's victim-set counters",
                 ));
@@ -598,7 +590,10 @@ mod tests {
         assert_eq!(SystemSpec::ncd().name, "NCD");
         assert_eq!(SystemSpec::ncs().name, "NCS");
         assert_eq!(SystemSpec::ncp(PcSize::DataFraction(5)).name, "ncp5");
-        assert_eq!(SystemSpec::vxp(PcSize::DataFraction(5), 64).name, "vxp5(t64)");
+        assert_eq!(
+            SystemSpec::vxp(PcSize::DataFraction(5), 64).name,
+            "vxp5(t64)"
+        );
     }
 
     #[test]
@@ -613,10 +608,7 @@ mod tests {
     #[test]
     fn pc_size_resolution() {
         let geo = Geometry::paper_default();
-        assert_eq!(
-            PcSize::Bytes(512 * 1024).frames(0, &geo).unwrap(),
-            128
-        );
+        assert_eq!(PcSize::Bytes(512 * 1024).frames(0, &geo).unwrap(), 128);
         // 1/5 of 10 MB = 2 MB = 512 pages.
         assert_eq!(
             PcSize::DataFraction(5)
@@ -633,7 +625,9 @@ mod tests {
         let mut bad = SystemSpec::ncp(PcSize::DataFraction(5));
         bad.pc.as_mut().unwrap().counters = CounterSource::VictimSets;
         assert!(bad.validate().is_err());
-        assert!(SystemSpec::vxp(PcSize::DataFraction(5), 32).validate().is_ok());
+        assert!(SystemSpec::vxp(PcSize::DataFraction(5), 32)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -661,8 +655,7 @@ mod tests {
     fn with_cache_and_threshold() {
         let s = SystemSpec::vb().with_cache(16 * 1024, 4);
         assert_eq!(s.cache.ways, 4);
-        let s = SystemSpec::ncp(PcSize::DataFraction(5))
-            .with_threshold(ThresholdPolicy::Fixed(32));
+        let s = SystemSpec::ncp(PcSize::DataFraction(5)).with_threshold(ThresholdPolicy::Fixed(32));
         assert_eq!(s.pc.unwrap().threshold, ThresholdPolicy::Fixed(32));
     }
 

@@ -23,6 +23,39 @@
 //! * [`System`] — the trace-driven machine simulator;
 //! * [`runner`] — one-call experiment execution.
 //!
+//! # Observability
+//!
+//! [`System`] is generic over a [`Probe`] — `System<P: Probe = NoProbe>`
+//! — and emits a structured [`Event`] for every machine-level occurrence
+//! it counts. The emission hook is monomorphized and guarded by the
+//! associated constant `P::ENABLED`, so the default [`NoProbe`] system
+//! compiles to the exact uninstrumented code: observability is
+//! zero-overhead unless a probe is attached
+//! ([`System::with_probe`] / [`runner::run_trace_probed`]).
+//!
+//! The event taxonomy follows the machine's layers:
+//!
+//! * **processor caches / bus** — `CacheHit`, `LocalUpgrade`,
+//!   `PeerTransfer`, `LocalMiss` (plus per-cluster
+//!   [`dsm_protocol::BusStats`] transaction counters underneath);
+//! * **network cache** — `NcHit`, `NcCapture`, `AbsorbedDowngrade`,
+//!   `ForcedEviction`;
+//! * **page cache & relocation** — `PcHit`, `Relocation`,
+//!   `PageEviction`, `ThresholdAdapted`;
+//! * **directory / remote home** — `RemoteRead`, `RemoteWrite`,
+//!   `OwnershipRequest`, `Invalidation`, `RemoteWriteback`;
+//! * **OS page policies** — `Migration`, `Replication`,
+//!   `ReplicaCollapse`.
+//!
+//! [`System::set_epoch_window`] additionally samples the run into
+//! epochs: every N shared references the probe receives an
+//! [`EpochSample`] with the delta [`Metrics`] and per-cluster counts for
+//! that window (the samples sum back exactly to the final aggregates).
+//! Ready-made sinks live in [`obs`]: a counting/top-K [`obs::StatsSink`],
+//! a JSONL event-log [`obs::JsonlSink`], and JSON serialization for run
+//! reports ([`Report::to_json`]) built on the dependency-free
+//! [`obs::Json`] writer.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -44,7 +77,9 @@ pub mod config;
 pub mod metrics;
 pub mod model;
 pub mod nc;
+pub mod obs;
 pub mod page_cache;
+pub mod probe;
 pub mod relocation;
 pub mod runner;
 pub mod system;
@@ -55,5 +90,6 @@ pub use config::{
 };
 pub use metrics::Metrics;
 pub use model::{Latencies, LatencyModel, NcTechnology};
+pub use probe::{EpochSample, Event, NoProbe, Probe, Tee};
 pub use runner::{run_workload, Report};
 pub use system::System;

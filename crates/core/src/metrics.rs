@@ -1,7 +1,5 @@
 //! Event counters and the derived figures-of-merit.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::LatencyModel;
 
 /// Everything the simulator counts, machine-wide.
@@ -15,7 +13,7 @@ use crate::model::LatencyModel;
 /// * **remote read stall** (Figure 9, Equation 1);
 /// * **remote data traffic** (Figure 10): read misses + write misses +
 ///   write-backs crossing the network.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// All shared references processed.
     pub shared_refs: u64,
@@ -78,14 +76,51 @@ pub struct Metrics {
     /// by the network cache instead of updating the remote home.
     pub absorbed_downgrades: u64,
     /// Pages migrated to a new home (Origin-style OS policy).
-    #[serde(default)]
     pub migrations: u64,
     /// Read-only pages replicated into a cluster's local memory.
-    #[serde(default)]
     pub replications: u64,
     /// Replica sets collapsed by a write to a replicated page.
-    #[serde(default)]
     pub replica_collapses: u64,
+}
+
+/// Applies a callback macro to the complete `Metrics` field list.
+///
+/// Everything that must stay in sync with the struct — [`Metrics::merge`],
+/// [`Metrics::delta`], [`Metrics::fields`] — is generated from this one
+/// list. The generated code destructures `Metrics` exhaustively (no `..`),
+/// so adding a field to the struct without adding it here is a compile
+/// error, not a silently-dropped counter.
+macro_rules! for_each_metric_field {
+    ($with:ident) => {
+        $with!(
+            shared_refs,
+            reads,
+            writes,
+            read_hits,
+            write_hits,
+            local_upgrades,
+            peer_transfers,
+            nc_read_hits,
+            nc_write_hits,
+            pc_read_hits,
+            pc_write_hits,
+            remote_read_necessary,
+            remote_read_capacity,
+            remote_write_necessary,
+            remote_write_capacity,
+            remote_ownership_requests,
+            local_misses,
+            remote_writebacks,
+            relocations,
+            invalidations,
+            forced_evictions,
+            nc_captures,
+            absorbed_downgrades,
+            migrations,
+            replications,
+            replica_collapses
+        )
+    };
 }
 
 impl Metrics {
@@ -93,6 +128,50 @@ impl Metrics {
     #[must_use]
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// This is the inverse of splitting a run into parts (per-epoch deltas,
+    /// per-shard partial runs): merging the parts in any order reproduces
+    /// the whole-run aggregate exactly, since all fields are plain sums.
+    pub fn merge(&mut self, other: &Metrics) {
+        macro_rules! add_fields {
+            ($($f:ident),*) => {{
+                let Metrics { $($f),* } = other;
+                $(self.$f += *$f;)*
+            }};
+        }
+        for_each_metric_field!(add_fields);
+    }
+
+    /// The counters accumulated since `earlier` (a snapshot of the same
+    /// run): `self - earlier`, field-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is not an earlier snapshot of
+    /// the same monotonically-growing counters.
+    #[must_use]
+    pub fn delta(&self, earlier: &Metrics) -> Metrics {
+        macro_rules! sub_fields {
+            ($($f:ident),*) => {
+                Metrics { $($f: self.$f - earlier.$f),* }
+            };
+        }
+        for_each_metric_field!(sub_fields)
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order —
+    /// the single source for JSON export and tabular dumps.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! list_fields {
+            ($($f:ident),*) => {
+                vec![$((stringify!($f), self.$f)),*]
+            };
+        }
+        for_each_metric_field!(list_fields)
     }
 
     /// Read misses to remote data serviced by the home node (all classes).
@@ -164,7 +243,7 @@ impl Metrics {
 
 /// Per-cluster event counts, for locality/imbalance analysis (e.g. how
 /// well first-touch placement spread the remote-miss load).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClusterCounts {
     /// References issued by this cluster's processors.
     pub refs: u64,
@@ -186,6 +265,51 @@ impl ClusterCounts {
     #[must_use]
     pub fn remote_intensity(&self) -> f64 {
         ratio(self.remote_reads + self.remote_writes, self.refs)
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &ClusterCounts) {
+        let ClusterCounts {
+            refs,
+            remote_reads,
+            remote_writes,
+            nc_hits,
+            pc_hits,
+            relocations,
+        } = other;
+        self.refs += refs;
+        self.remote_reads += remote_reads;
+        self.remote_writes += remote_writes;
+        self.nc_hits += nc_hits;
+        self.pc_hits += pc_hits;
+        self.relocations += relocations;
+    }
+
+    /// The counters accumulated since `earlier` (an earlier snapshot of
+    /// this cluster's monotonically-growing counters).
+    #[must_use]
+    pub fn delta(&self, earlier: &ClusterCounts) -> ClusterCounts {
+        ClusterCounts {
+            refs: self.refs - earlier.refs,
+            remote_reads: self.remote_reads - earlier.remote_reads,
+            remote_writes: self.remote_writes - earlier.remote_writes,
+            nc_hits: self.nc_hits - earlier.nc_hits,
+            pc_hits: self.pc_hits - earlier.pc_hits,
+            relocations: self.relocations - earlier.relocations,
+        }
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("refs", self.refs),
+            ("remote_reads", self.remote_reads),
+            ("remote_writes", self.remote_writes),
+            ("nc_hits", self.nc_hits),
+            ("pc_hits", self.pc_hits),
+            ("relocations", self.relocations),
+        ]
     }
 }
 
@@ -235,6 +359,126 @@ mod tests {
         let model = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
         // 4/1000 * 7.5 = 0.03
         assert!((m.relocation_overhead_ratio(&model) - 0.03).abs() < 1e-12);
+    }
+
+    /// A metrics value with every field distinct and non-zero, so a merge
+    /// or delta that drops/duplicates any field is caught.
+    fn dense(offset: u64) -> Metrics {
+        let mut m = Metrics::new();
+        for (i, (_, _)) in Metrics::new().fields().iter().enumerate() {
+            let v = offset + i as u64 + 1;
+            set_field(&mut m, i, v);
+        }
+        m
+    }
+
+    fn set_field(m: &mut Metrics, index: usize, value: u64) {
+        // Round-trip through the field list: write by constructing a merge
+        // of a one-hot metrics value.
+        let names: Vec<&str> = m.fields().iter().map(|(n, _)| *n).collect();
+        let mut one = Metrics::new();
+        match names[index] {
+            "shared_refs" => one.shared_refs = value,
+            "reads" => one.reads = value,
+            "writes" => one.writes = value,
+            "read_hits" => one.read_hits = value,
+            "write_hits" => one.write_hits = value,
+            "local_upgrades" => one.local_upgrades = value,
+            "peer_transfers" => one.peer_transfers = value,
+            "nc_read_hits" => one.nc_read_hits = value,
+            "nc_write_hits" => one.nc_write_hits = value,
+            "pc_read_hits" => one.pc_read_hits = value,
+            "pc_write_hits" => one.pc_write_hits = value,
+            "remote_read_necessary" => one.remote_read_necessary = value,
+            "remote_read_capacity" => one.remote_read_capacity = value,
+            "remote_write_necessary" => one.remote_write_necessary = value,
+            "remote_write_capacity" => one.remote_write_capacity = value,
+            "remote_ownership_requests" => one.remote_ownership_requests = value,
+            "local_misses" => one.local_misses = value,
+            "remote_writebacks" => one.remote_writebacks = value,
+            "relocations" => one.relocations = value,
+            "invalidations" => one.invalidations = value,
+            "forced_evictions" => one.forced_evictions = value,
+            "nc_captures" => one.nc_captures = value,
+            "absorbed_downgrades" => one.absorbed_downgrades = value,
+            "migrations" => one.migrations = value,
+            "replications" => one.replications = value,
+            "replica_collapses" => one.replica_collapses = value,
+            other => panic!("unknown metrics field {other}"),
+        }
+        m.merge(&one);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = dense(0);
+        let b = dense(100);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for (i, (name, v)) in merged.fields().iter().enumerate() {
+            let expect = (i as u64 + 1) + (100 + i as u64 + 1);
+            assert_eq!(*v, expect, "field {name} mis-merged");
+        }
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let a = dense(7);
+        let mut merged = a.clone();
+        merged.merge(&Metrics::default());
+        assert_eq!(merged, a);
+        let mut from_zero = Metrics::default();
+        from_zero.merge(&a);
+        assert_eq!(from_zero, a);
+    }
+
+    #[test]
+    fn delta_inverts_merge() {
+        let earlier = dense(3);
+        let gained = dense(40);
+        let mut later = earlier.clone();
+        later.merge(&gained);
+        assert_eq!(later.delta(&earlier), gained);
+    }
+
+    #[test]
+    fn fields_cover_the_struct_distinctly() {
+        let m = dense(0);
+        let fields = m.fields();
+        // All names unique, all values the distinct ones `dense` wrote.
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len());
+        for (i, (name, v)) in fields.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1, "field {name} not covered");
+        }
+    }
+
+    #[test]
+    fn cluster_counts_merge_and_delta() {
+        let a = ClusterCounts {
+            refs: 10,
+            remote_reads: 2,
+            remote_writes: 3,
+            nc_hits: 4,
+            pc_hits: 5,
+            relocations: 6,
+        };
+        let b = ClusterCounts {
+            refs: 100,
+            remote_reads: 20,
+            remote_writes: 30,
+            nc_hits: 40,
+            pc_hits: 50,
+            relocations: 60,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.refs, 110);
+        assert_eq!(merged.relocations, 66);
+        assert_eq!(merged.delta(&a), b);
+        assert_eq!(merged.fields().len(), 6);
     }
 
     #[test]

@@ -5,10 +5,8 @@
 //! does not account for contention and uses a constant, average value for
 //! latencies". Every latency is in 10-ns cycles of the 100-MHz cluster bus.
 
-use serde::{Deserialize, Serialize};
-
 /// Event latencies in bus cycles — the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Latencies {
     /// A DRAM array access (page-cache data, or DRAM-NC data+tag fetch).
     pub dram_access: u64,
@@ -52,7 +50,7 @@ impl Default for Latencies {
 
 /// The memory technology of a network cache, which determines where its
 /// access time falls on the remote-miss critical path (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NcTechnology {
     /// No network cache at all.
     None,
@@ -66,7 +64,7 @@ pub enum NcTechnology {
 
 /// Per-event latencies for one system configuration — the rows of Table 1
 /// evaluated against Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     latencies: Latencies,
     nc: NcTechnology,

@@ -349,7 +349,7 @@ mod tests {
         nc.on_remote_fill(b, false);
         assert!(nc.on_local_write(b).is_empty());
         assert!(nc.read_lookup(b).is_none()); // shadowed
-        // Absent entry: allocated as shadow.
+                                              // Absent entry: allocated as shadow.
         let b2 = BlockAddr(6);
         nc.on_local_write(b2);
         assert!(nc.contains(b2));

@@ -87,7 +87,9 @@ impl VictimNc {
     /// removes the entry and reports its dirtiness.
     pub fn take(&mut self, block: BlockAddr) -> Option<NcHit> {
         let set = self.set_of(block);
-        self.frames.remove(set, block.0).map(|dirty| NcHit { dirty })
+        self.frames
+            .remove(set, block.0)
+            .map(|dirty| NcHit { dirty })
     }
 
     /// Drops `block` without a hit (stale copy after a local write, or an
@@ -251,7 +253,10 @@ mod tests {
         v.on_victim(BlockAddr(64 * 4), false);
         v.on_victim(BlockAddr(64 * 4 + 1), false);
         v.on_victim(BlockAddr(0), false);
-        assert_eq!(v.predominant_page(v.set_of(BlockAddr(0))), Some(PageAddr(4)));
+        assert_eq!(
+            v.predominant_page(v.set_of(BlockAddr(0))),
+            Some(PageAddr(4))
+        );
     }
 
     #[test]

@@ -169,8 +169,8 @@ mod tests {
     #[test]
     fn mixed_window_balances_at_break_even() {
         let mut t = AdaptiveThreshold::adaptive(32, 2); // window 4
-        // Two frames at 24, two at 0: indicator = 2*(24-12) + 2*(-12) = 0,
-        // not negative -> no bump.
+                                                        // Two frames at 24, two at 0: indicator = 2*(24-12) + 2*(-12) = 0,
+                                                        // not negative -> no bump.
         t.on_frame_reuse(24);
         t.on_frame_reuse(0);
         t.on_frame_reuse(24);

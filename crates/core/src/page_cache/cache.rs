@@ -267,6 +267,15 @@ impl PageCache {
     pub fn pages(&self) -> impl Iterator<Item = PageAddr> + '_ {
         self.pages.keys().map(|&p| PageAddr(p))
     }
+
+    /// Resident pages with their frame hit counters (unordered).
+    ///
+    /// The counters are the same ones the adaptive relocation threshold
+    /// inspects; the `--stats` profiling view ranks them to report the
+    /// hottest resident frames per cluster.
+    pub fn pages_with_hits(&self) -> impl Iterator<Item = (PageAddr, u32)> + '_ {
+        self.pages.iter().map(|(&p, e)| (PageAddr(p), e.hits))
+    }
 }
 
 #[cfg(test)]
@@ -284,7 +293,9 @@ mod tests {
     #[test]
     fn insert_and_lookup() {
         let mut pc = PageCache::new(2, geo());
-        assert!(pc.insert_page(PageAddr(1), |_| PcBlockState::Clean).is_none());
+        assert!(pc
+            .insert_page(PageAddr(1), |_| PcBlockState::Clean)
+            .is_none());
         assert_eq!(
             pc.lookup_block(block_of_page(1, 5)),
             Some(PcBlockState::Clean)
@@ -303,7 +314,10 @@ mod tests {
                 PcBlockState::Invalid
             }
         });
-        assert_eq!(pc.lookup_block(block_of_page(0, 0)), Some(PcBlockState::Clean));
+        assert_eq!(
+            pc.lookup_block(block_of_page(0, 0)),
+            Some(PcBlockState::Clean)
+        );
         assert_eq!(
             pc.lookup_block(block_of_page(0, 1)),
             Some(PcBlockState::Invalid)
@@ -317,7 +331,9 @@ mod tests {
         pc.insert_page(PageAddr(2), |_| PcBlockState::Clean);
         // Miss on page 1 -> page 2 becomes LRM.
         pc.lookup_block(block_of_page(1, 0));
-        let ev = pc.insert_page(PageAddr(3), |_| PcBlockState::Clean).unwrap();
+        let ev = pc
+            .insert_page(PageAddr(3), |_| PcBlockState::Clean)
+            .unwrap();
         assert_eq!(ev.page, PageAddr(2));
         assert!(pc.has_page(PageAddr(1)));
         assert!(pc.has_page(PageAddr(3)));
@@ -331,7 +347,9 @@ mod tests {
         pc.set_block(block_of_page(1, 7), PcBlockState::Dirty);
         pc.record_hit(PageAddr(1));
         pc.record_hit(PageAddr(1));
-        let ev = pc.insert_page(PageAddr(2), |_| PcBlockState::Clean).unwrap();
+        let ev = pc
+            .insert_page(PageAddr(2), |_| PcBlockState::Clean)
+            .unwrap();
         assert_eq!(ev.page, PageAddr(1));
         assert_eq!(
             ev.dirty_blocks,
@@ -345,21 +363,32 @@ mod tests {
         let mut pc = PageCache::new(1, geo());
         pc.insert_page(PageAddr(1), |_| PcBlockState::Clean);
         pc.set_block(block_of_page(1, 0), PcBlockState::Dirty);
-        assert!(pc.insert_page(PageAddr(1), |_| PcBlockState::Invalid).is_none());
+        assert!(pc
+            .insert_page(PageAddr(1), |_| PcBlockState::Invalid)
+            .is_none());
         // State preserved.
-        assert_eq!(pc.lookup_block(block_of_page(1, 0)), Some(PcBlockState::Dirty));
+        assert_eq!(
+            pc.lookup_block(block_of_page(1, 0)),
+            Some(PcBlockState::Dirty)
+        );
     }
 
     #[test]
     fn invalidate_block() {
         let mut pc = PageCache::new(1, geo());
         pc.insert_page(PageAddr(1), |_| PcBlockState::Clean);
-        assert_eq!(pc.invalidate_block(block_of_page(1, 0)), PcBlockState::Clean);
+        assert_eq!(
+            pc.invalidate_block(block_of_page(1, 0)),
+            PcBlockState::Clean
+        );
         assert_eq!(
             pc.invalidate_block(block_of_page(1, 0)),
             PcBlockState::Invalid
         );
-        assert_eq!(pc.invalidate_block(block_of_page(9, 0)), PcBlockState::Invalid);
+        assert_eq!(
+            pc.invalidate_block(block_of_page(9, 0)),
+            PcBlockState::Invalid
+        );
     }
 
     #[test]

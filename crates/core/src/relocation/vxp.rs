@@ -100,6 +100,12 @@ impl VxpCounters {
     pub fn counter_cost(&self) -> usize {
         self.counts.len()
     }
+
+    /// A snapshot of every per-set counter, for the profiling view.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
 }
 
 #[cfg(test)]

@@ -1,15 +1,15 @@
 //! Convenience harness: run a workload on a system, collect a report.
 
-use dsm_trace::{Scale, Workload};
-use dsm_types::{ConfigError, Geometry, Topology};
-use serde::{Deserialize, Serialize};
-
 use crate::config::SystemSpec;
 use crate::metrics::Metrics;
+use crate::obs::{json::Json, metrics_json};
+use crate::probe::Probe;
 use crate::system::System;
+use dsm_trace::{Scale, Workload};
+use dsm_types::{ConfigError, Geometry, Topology};
 
 /// The result of running one workload on one system configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// The configuration name (`base`, `vb16`, `ncp5`, ...).
     pub system: String,
@@ -31,6 +31,25 @@ pub struct Report {
     pub remote_read_stall: u64,
     /// Remote data traffic, block transfers.
     pub remote_traffic: u64,
+}
+
+impl Report {
+    /// Serializes the report — identity, figures of merit, and the full
+    /// metric breakdown — as a JSON object for `results/*.json` exports.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("system", self.system.as_str())
+            .set("workload", self.workload.as_str())
+            .set("data_bytes", self.data_bytes)
+            .set("refs", self.refs)
+            .set("read_miss_ratio", self.read_miss_ratio)
+            .set("write_miss_ratio", self.write_miss_ratio)
+            .set("relocation_overhead", self.relocation_overhead)
+            .set("remote_read_stall", self.remote_read_stall)
+            .set("remote_traffic", self.remote_traffic)
+            .set("metrics", metrics_json(&self.metrics))
+    }
 }
 
 /// Runs `workload` at `scale` on a system built from `spec` with the
@@ -99,10 +118,57 @@ pub fn run_trace(
 ) -> Result<Report, ConfigError> {
     let mut system = System::new(spec.clone(), topo, geo, data_bytes)?;
     system.run(trace.iter().copied());
-    Ok(report_of(&system, workload_name, data_bytes, trace.len() as u64))
+    Ok(report_of(
+        &system,
+        workload_name,
+        data_bytes,
+        trace.len() as u64,
+    ))
 }
 
-fn report_of(system: &System, workload: &str, data_bytes: u64, refs: u64) -> Report {
+/// [`run_trace`] with an attached [`Probe`]: the trace runs through an
+/// instrumented system and the probe is returned alongside the report for
+/// inspection (event counts, epoch series, a drained JSONL sink, ...).
+///
+/// `epoch_window` enables the epoch sampler: every `window` shared
+/// references the probe receives an [`crate::EpochSample`] carrying the
+/// delta [`Metrics`] and per-cluster counts for that window. The final
+/// partial epoch is flushed before the report is taken.
+///
+/// # Errors
+///
+/// As [`run_workload`].
+#[allow(clippy::too_many_arguments)] // run_trace's signature + (probe, window)
+pub fn run_trace_probed<P: Probe>(
+    spec: &SystemSpec,
+    workload_name: &str,
+    data_bytes: u64,
+    trace: &[dsm_types::MemRef],
+    topo: Topology,
+    geo: Geometry,
+    probe: P,
+    epoch_window: Option<u64>,
+) -> Result<(Report, P), ConfigError> {
+    let mut system = System::with_probe(spec.clone(), topo, geo, data_bytes, probe)?;
+    if let Some(window) = epoch_window {
+        system.set_epoch_window(window);
+    }
+    system.run(trace.iter().copied());
+    system.finish();
+    let report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
+    let (probe, _) = system.into_probe();
+    Ok((report, probe))
+}
+
+/// Builds a [`Report`] from a finished system (useful when the caller
+/// keeps the [`System`] alive to inspect per-cluster state afterwards).
+#[must_use]
+pub fn report_of<P: Probe>(
+    system: &System<P>,
+    workload: &str,
+    data_bytes: u64,
+    refs: u64,
+) -> Report {
     let m = system.metrics().clone();
     let model = system.model();
     Report {
@@ -143,12 +209,71 @@ mod tests {
         let topo = Topology::paper_default();
         let geo = Geometry::paper_default();
         let trace = fft.generate(&topo, Scale::full());
-        let a = run_trace(&SystemSpec::base(), "fft", fft.shared_bytes(), &trace, topo, geo)
-            .unwrap();
-        let b = run_trace(&SystemSpec::vb(), "fft", fft.shared_bytes(), &trace, topo, geo)
-            .unwrap();
+        let a = run_trace(
+            &SystemSpec::base(),
+            "fft",
+            fft.shared_bytes(),
+            &trace,
+            topo,
+            geo,
+        )
+        .unwrap();
+        let b = run_trace(
+            &SystemSpec::vb(),
+            "fft",
+            fft.shared_bytes(),
+            &trace,
+            topo,
+            geo,
+        )
+        .unwrap();
         assert_eq!(a.refs, b.refs);
         // A victim NC can only help the cluster miss ratio.
         assert!(b.read_miss_ratio <= a.read_miss_ratio + 1e-12);
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_and_collects_epochs() {
+        use crate::obs::StatsSink;
+        use dsm_types::{Geometry, Topology};
+        let fft = Fft::with_points(1 << 8);
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = fft.generate(&topo, Scale::full());
+        let plain = run_trace(
+            &SystemSpec::vb(),
+            "fft",
+            fft.shared_bytes(),
+            &trace,
+            topo,
+            geo,
+        )
+        .unwrap();
+        let (probed, sink) = run_trace_probed(
+            &SystemSpec::vb(),
+            "fft",
+            fft.shared_bytes(),
+            &trace,
+            topo,
+            geo,
+            StatsSink::new(),
+            Some(1000),
+        )
+        .unwrap();
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(plain, probed);
+        assert!(!sink.epochs().is_empty());
+        // Epoch deltas sum back to the final aggregate metrics.
+        assert_eq!(sink.epoch_total(), probed.metrics);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let fft = Fft::with_points(1 << 8);
+        let r = run_workload(&SystemSpec::base(), &fft, Scale::full()).unwrap();
+        let json = r.to_json().render();
+        assert!(json.starts_with(r#"{"system":"base","workload":"fft""#));
+        assert!(json.contains(r#""metrics":{"#));
+        assert!(json.contains(&format!(r#""refs":{}"#, r.refs)));
     }
 }

@@ -16,6 +16,7 @@ use crate::metrics::{ClusterCounts, Metrics};
 use crate::model::{Latencies, LatencyModel};
 use crate::nc::NcEviction;
 use crate::page_cache::PcBlockState;
+use crate::probe::{EpochSample, Event, NoProbe, Probe};
 
 /// A complete simulated machine under one [`SystemSpec`].
 ///
@@ -43,7 +44,7 @@ use crate::page_cache::PcBlockState;
 /// # Ok::<(), dsm_types::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct System {
+pub struct System<P: Probe = NoProbe> {
     spec: SystemSpec,
     topo: Topology,
     geo: Geometry,
@@ -55,6 +56,18 @@ pub struct System {
     per_cluster: Vec<ClusterCounts>,
     migrep: Option<MigRepState>,
     model: LatencyModel,
+    probe: P,
+    epoch: Option<EpochState>,
+}
+
+/// Live state of the epoch sampler (see [`System::set_epoch_window`]).
+#[derive(Debug, Clone)]
+struct EpochState {
+    window: u64,
+    index: u64,
+    start_ref: u64,
+    last_metrics: Metrics,
+    last_per_cluster: Vec<ClusterCounts>,
 }
 
 /// Runtime state of the Origin-style OS page policies.
@@ -72,9 +85,10 @@ struct MigRepState {
 }
 
 impl System {
-    /// Builds a system. `data_bytes` is the application's data-set size,
-    /// needed to resolve fraction-sized page caches (`ncp5` etc.); pass 0
-    /// for systems without one.
+    /// Builds an unobserved system (the [`NoProbe`] default: every
+    /// emission site compiles away). `data_bytes` is the application's
+    /// data-set size, needed to resolve fraction-sized page caches
+    /// (`ncp5` etc.); pass 0 for systems without one.
     ///
     /// # Errors
     ///
@@ -85,6 +99,26 @@ impl System {
         topo: Topology,
         geo: Geometry,
         data_bytes: u64,
+    ) -> Result<Self, ConfigError> {
+        System::with_probe(spec, topo, geo, data_bytes, NoProbe)
+    }
+}
+
+impl<P: Probe> System<P> {
+    /// Builds a system observed by `probe`. See [`System::new`] for the
+    /// other parameters; see [`System::set_epoch_window`] to also enable
+    /// epoch sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the spec is inconsistent or a
+    /// fraction-sized page cache resolves to zero frames.
+    pub fn with_probe(
+        spec: SystemSpec,
+        topo: Topology,
+        geo: Geometry,
+        data_bytes: u64,
+        probe: P,
     ) -> Result<Self, ConfigError> {
         spec.validate()?;
         let pc_frames = match &spec.pc {
@@ -118,7 +152,110 @@ impl System {
             spec,
             topo,
             geo,
+            probe,
+            epoch: None,
         })
+    }
+
+    /// Enables epoch sampling: every `window` shared references the
+    /// probe's [`Probe::epoch`] receives the counters gained since the
+    /// previous sample (plus per-cluster deltas and live thresholds).
+    /// Call [`System::finish`] after the trace to flush the partial tail.
+    ///
+    /// Sampling only fires for probes with `ENABLED = true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_epoch_window(&mut self, window: u64) {
+        assert!(window > 0, "epoch window must be positive");
+        self.epoch = Some(EpochState {
+            window,
+            index: 0,
+            start_ref: self.metrics.shared_refs,
+            last_metrics: self.metrics.clone(),
+            last_per_cluster: self.per_cluster.clone(),
+        });
+    }
+
+    /// Flushes the open (partial) epoch, if any. Idempotent; call once
+    /// after the last reference of a run.
+    pub fn finish(&mut self) {
+        if P::ENABLED {
+            self.flush_epoch();
+        }
+    }
+
+    /// The probe observing this system.
+    #[must_use]
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the probe (e.g. to flush a buffered sink).
+    #[must_use]
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the system, returning the probe and final metrics.
+    #[must_use]
+    pub fn into_probe(self) -> (P, Metrics) {
+        (self.probe, self.metrics)
+    }
+
+    /// Forwards one event to the probe. Compiles to nothing under
+    /// [`NoProbe`] — `P::ENABLED` is a constant the optimizer folds.
+    #[inline(always)]
+    fn emit(&mut self, event: Event) {
+        if P::ENABLED {
+            self.probe.event(self.metrics.shared_refs, &event);
+        }
+    }
+
+    /// Closes the current epoch if the window has elapsed.
+    #[inline]
+    fn maybe_epoch(&mut self) {
+        let due = match &self.epoch {
+            Some(st) => self.metrics.shared_refs - st.start_ref >= st.window,
+            None => false,
+        };
+        if due {
+            self.flush_epoch();
+        }
+    }
+
+    /// Emits the currently-open epoch (when non-empty) and starts the
+    /// next one.
+    fn flush_epoch(&mut self) {
+        let Some(mut st) = self.epoch.take() else {
+            return;
+        };
+        if self.metrics.shared_refs > st.start_ref {
+            let sample = EpochSample {
+                index: st.index,
+                start_ref: st.start_ref,
+                end_ref: self.metrics.shared_refs,
+                delta: self.metrics.delta(&st.last_metrics),
+                per_cluster: self
+                    .per_cluster
+                    .iter()
+                    .zip(&st.last_per_cluster)
+                    .map(|(now, was)| now.delta(was))
+                    .collect(),
+                thresholds: self
+                    .clusters
+                    .iter()
+                    .map(|c| c.threshold.threshold())
+                    .collect(),
+            };
+            st.index += 1;
+            st.start_ref = self.metrics.shared_refs;
+            st.last_metrics = self.metrics.clone();
+            st.last_per_cluster = self.per_cluster.clone();
+            self.probe.epoch(&sample);
+        }
+        self.epoch = Some(st);
     }
 
     /// The configuration this system was built from.
@@ -206,8 +343,7 @@ impl System {
                 // or another cluster currently holds (a block of) it.
                 // First-touch initialization writes stay invisible, as an
                 // OS policy driven by remote-miss counters would see them.
-                let shared_elsewhere =
-                    remote || self.dir.sharers(block).iter().any(|&c| c != cl);
+                let shared_elsewhere = remote || self.dir.sharers(block).iter().any(|&c| c != cl);
                 let mut collapsed = false;
                 if let Some(mr) = self.migrep.as_mut() {
                     collapsed = mr.replicas.remove(&page.0).is_some();
@@ -217,6 +353,7 @@ impl System {
                 }
                 if collapsed {
                     self.metrics.replica_collapses += 1;
+                    self.emit(Event::ReplicaCollapse { cluster: cl, page });
                 }
             }
         } else if remote {
@@ -243,6 +380,9 @@ impl System {
                 self.process_write(cl, lp, block, page, remote);
             }
         }
+        if P::ENABLED {
+            self.maybe_epoch();
+        }
     }
 
     fn process_read(
@@ -259,6 +399,10 @@ impl System {
         if self.clusters[ci].bus.state_of(lp, block).is_valid() {
             self.clusters[ci].bus.read_hit(lp, block);
             self.metrics.read_hits += 1;
+            self.emit(Event::CacheHit {
+                cluster: cl,
+                write: false,
+            });
             return;
         }
 
@@ -266,6 +410,11 @@ impl System {
         if let Some((supplier, _)) = self.clusters[ci].bus.find_supplier(lp, block) {
             let res = self.clusters[ci].bus.peer_read_supply(lp, supplier, block);
             self.metrics.peer_transfers += 1;
+            self.emit(Event::PeerTransfer {
+                cluster: cl,
+                block,
+                write: false,
+            });
             if res.dirty_downgrade {
                 self.handle_downgrade_writeback(ci, cl, block, remote);
             }
@@ -280,6 +429,12 @@ impl System {
             if let Some(hit) = self.clusters[ci].nc.read_lookup(block) {
                 self.metrics.nc_read_hits += 1;
                 self.per_cluster[ci].nc_hits += 1;
+                self.emit(Event::NcHit {
+                    cluster: cl,
+                    block,
+                    write: false,
+                    dirty: hit.dirty,
+                });
                 // A dirty NC copy means this cluster owns the block, so the
                 // cache may install it Modified without a directory
                 // transaction; a clean one installs the MESIR R state.
@@ -305,6 +460,12 @@ impl System {
                     if st.is_valid() {
                         self.metrics.pc_read_hits += 1;
                         self.per_cluster[ci].pc_hits += 1;
+                        self.emit(Event::PcHit {
+                            cluster: cl,
+                            page,
+                            block,
+                            write: false,
+                        });
                         let pc = self.clusters[ci].pc.as_mut().expect("checked");
                         pc.record_hit(page);
                         let fill = match st {
@@ -339,6 +500,11 @@ impl System {
             } else {
                 self.metrics.remote_read_necessary += 1;
             }
+            self.emit(Event::RemoteRead {
+                cluster: cl,
+                block,
+                capacity: grant.prior_presence,
+            });
             let nc_evictions = self.clusters[ci].nc.on_remote_fill(block, false);
             for e in nc_evictions {
                 self.handle_nc_eviction(ci, cl, e);
@@ -352,6 +518,7 @@ impl System {
             self.maybe_migrep(cl, page);
         } else {
             self.metrics.local_misses += 1;
+            self.emit(Event::LocalMiss { cluster: cl, block });
             if grant.exclusive {
                 // Local exclusive-clean (E) grants carry silent-write
                 // permission; the directory must treat the cluster as owner.
@@ -379,6 +546,10 @@ impl System {
             CacheState::Modified | CacheState::Exclusive => {
                 self.clusters[ci].bus.write_hit_exclusive(lp, block);
                 self.metrics.write_hits += 1;
+                self.emit(Event::CacheHit {
+                    cluster: cl,
+                    write: true,
+                });
             }
             CacheState::Shared | CacheState::RemoteMaster | CacheState::Owned => {
                 // Upgrade: the data is here, only ownership is needed (an
@@ -386,11 +557,12 @@ impl System {
                 if self.dir.is_owner(block, cl) {
                     self.clusters[ci].bus.upgrade(lp, block);
                     self.metrics.local_upgrades += 1;
+                    self.emit(Event::LocalUpgrade { cluster: cl, block });
                 } else {
                     let grant = self.dir.write(block, cl);
                     // An upgrade is a coherence transaction, never a
                     // capacity miss (the cluster still holds the block).
-                    self.count_remote_write(ci, remote, false);
+                    self.count_remote_write(ci, cl, block, remote, false);
                     self.apply_invalidations(&grant.invalidate, block);
                     self.clusters[ci].bus.upgrade(lp, block);
                 }
@@ -420,11 +592,17 @@ impl System {
                 if remote {
                     self.metrics.remote_ownership_requests += 1;
                     self.per_cluster[ci].remote_writes += 1;
+                    self.emit(Event::OwnershipRequest { cluster: cl, block });
                 }
                 self.apply_invalidations(&grant.invalidate, block);
             }
             let res = self.clusters[ci].bus.peer_write_supply(lp, block);
             self.metrics.peer_transfers += 1;
+            self.emit(Event::PeerTransfer {
+                cluster: cl,
+                block,
+                write: true,
+            });
             self.after_local_write(ci, cl, block, page);
             if let Some(ev) = res.eviction {
                 self.handle_cache_eviction(ci, cl, ev);
@@ -437,10 +615,17 @@ impl System {
             if let Some(hit) = self.clusters[ci].nc.write_lookup(block) {
                 self.metrics.nc_write_hits += 1;
                 self.per_cluster[ci].nc_hits += 1;
+                self.emit(Event::NcHit {
+                    cluster: cl,
+                    block,
+                    write: true,
+                    dirty: hit.dirty,
+                });
                 if !hit.dirty && !self.dir.is_owner(block, cl) {
                     let grant = self.dir.write(block, cl);
                     self.metrics.remote_ownership_requests += 1;
                     self.per_cluster[ci].remote_writes += 1;
+                    self.emit(Event::OwnershipRequest { cluster: cl, block });
                     self.apply_invalidations(&grant.invalidate, block);
                 }
                 if let Some(pc) = self.clusters[ci].pc.as_mut() {
@@ -463,6 +648,12 @@ impl System {
                     if st.is_valid() {
                         self.metrics.pc_write_hits += 1;
                         self.per_cluster[ci].pc_hits += 1;
+                        self.emit(Event::PcHit {
+                            cluster: cl,
+                            page,
+                            block,
+                            write: true,
+                        });
                         {
                             let pc = self.clusters[ci].pc.as_mut().expect("checked");
                             pc.record_hit(page);
@@ -472,6 +663,7 @@ impl System {
                             let grant = self.dir.write(block, cl);
                             self.metrics.remote_ownership_requests += 1;
                             self.per_cluster[ci].remote_writes += 1;
+                            self.emit(Event::OwnershipRequest { cluster: cl, block });
                             self.apply_invalidations(&grant.invalidate, block);
                         }
                         if let Some(ev) =
@@ -488,7 +680,7 @@ impl System {
         // 4. Home memory.
         let grant = self.dir.write(block, cl);
         if remote {
-            self.count_remote_write(ci, true, grant.prior_presence);
+            self.count_remote_write(ci, cl, block, true, grant.prior_presence);
             let nc_evictions = self.clusters[ci].nc.on_remote_fill(block, true);
             for e in nc_evictions {
                 self.handle_nc_eviction(ci, cl, e);
@@ -502,6 +694,7 @@ impl System {
             self.maybe_migrep(cl, page);
         } else {
             self.metrics.local_misses += 1;
+            self.emit(Event::LocalMiss { cluster: cl, block });
         }
         self.apply_invalidations(&grant.invalidate, block);
         if let Some(ev) = self.clusters[ci].bus.fill(lp, block, CacheState::Modified) {
@@ -509,9 +702,17 @@ impl System {
         }
     }
 
-    fn count_remote_write(&mut self, ci: usize, remote: bool, capacity: bool) {
+    fn count_remote_write(
+        &mut self,
+        ci: usize,
+        cl: ClusterId,
+        block: BlockAddr,
+        remote: bool,
+        capacity: bool,
+    ) {
         if !remote {
             self.metrics.local_misses += 1;
+            self.emit(Event::LocalMiss { cluster: cl, block });
             return;
         }
         self.per_cluster[ci].remote_writes += 1;
@@ -520,6 +721,11 @@ impl System {
         } else {
             self.metrics.remote_write_necessary += 1;
         }
+        self.emit(Event::RemoteWrite {
+            cluster: cl,
+            block,
+            capacity,
+        });
     }
 
     /// A local processor now holds `block` in `M`: scrub stale NC/PC
@@ -549,10 +755,19 @@ impl System {
             if had_nc_copy {
                 self.metrics.invalidations += 1;
             }
+            let mut had_pc_copy = false;
             if let Some(pc) = self.clusters[ti].pc.as_mut() {
                 if pc.invalidate_block(block).is_valid() {
                     self.metrics.invalidations += 1;
+                    had_pc_copy = true;
                 }
+            }
+            if inv.copies_invalidated > 0 || had_nc_copy || had_pc_copy {
+                self.emit(Event::Invalidation {
+                    cluster: t,
+                    block,
+                    copies: u32::try_from(inv.copies_invalidated).unwrap_or(u32::MAX),
+                });
             }
             // The paper's optional vxp refinement: a late invalidation with
             // no copy anywhere in the node means the earlier victimization
@@ -583,7 +798,13 @@ impl System {
 
     /// A dirty downgrade write-back (peer read of an `M` block) is on this
     /// cluster's bus.
-    fn handle_downgrade_writeback(&mut self, ci: usize, cl: ClusterId, block: BlockAddr, remote: bool) {
+    fn handle_downgrade_writeback(
+        &mut self,
+        ci: usize,
+        cl: ClusterId,
+        block: BlockAddr,
+        remote: bool,
+    ) {
         if !remote {
             // Local memory absorbs it at bus speed.
             self.dir.writeback(block, cl);
@@ -591,6 +812,7 @@ impl System {
         }
         if self.clusters[ci].nc.on_downgrade_writeback(block) {
             self.metrics.absorbed_downgrades += 1;
+            self.emit(Event::AbsorbedDowngrade { cluster: cl, block });
             return;
         }
         // No NC: try the page cache, else update the remote home.
@@ -599,10 +821,12 @@ impl System {
             if pc.has_page(page) {
                 pc.set_block(block, PcBlockState::Dirty);
                 self.metrics.absorbed_downgrades += 1;
+                self.emit(Event::AbsorbedDowngrade { cluster: cl, block });
                 return;
             }
         }
         self.metrics.remote_writebacks += 1;
+        self.emit(Event::RemoteWriteback { cluster: cl, block });
         self.dir.writeback(block, cl);
     }
 
@@ -619,6 +843,12 @@ impl System {
                 let out = self.clusters[ci].nc.on_victim(ev.block, true);
                 if out.accepted {
                     self.metrics.nc_captures += 1;
+                    self.emit(Event::NcCapture {
+                        cluster: cl,
+                        block: ev.block,
+                        dirty: true,
+                        set: out.set,
+                    });
                     self.record_vxp_victimization(ci, cl, out.set);
                     for e in out.evictions {
                         self.handle_nc_eviction(ci, cl, e);
@@ -636,6 +866,12 @@ impl System {
                 let out = self.clusters[ci].nc.on_victim(ev.block, false);
                 if out.accepted {
                     self.metrics.nc_captures += 1;
+                    self.emit(Event::NcCapture {
+                        cluster: cl,
+                        block: ev.block,
+                        dirty: false,
+                        set: out.set,
+                    });
                     self.record_vxp_victimization(ci, cl, out.set);
                     for e in out.evictions {
                         self.handle_nc_eviction(ci, cl, e);
@@ -656,6 +892,12 @@ impl System {
         if e.force_cache_eviction {
             let inv = self.clusters[ci].bus.invalidate_all(e.block);
             self.metrics.forced_evictions += inv.copies_invalidated as u64;
+            if inv.copies_invalidated > 0 {
+                self.emit(Event::ForcedEviction {
+                    cluster: cl,
+                    block: e.block,
+                });
+            }
         }
         if e.dirty {
             self.writeback_toward_home(ci, cl, e.block);
@@ -682,6 +924,7 @@ impl System {
             }
         }
         self.metrics.remote_writebacks += 1;
+        self.emit(Event::RemoteWriteback { cluster: cl, block });
         self.dir.writeback(block, cl);
     }
 
@@ -725,6 +968,7 @@ impl System {
         enum Action {
             None,
             Migrate,
+            Replicate,
         }
         let action = {
             let Some(mr) = self.migrep.as_mut() else {
@@ -738,8 +982,7 @@ impl System {
                 let read_only = !mr.written_pages.contains_key(&page.0);
                 if read_only && mr.spec.replication {
                     *mr.replicas.entry(page.0).or_insert(0) |= 1u64 << cl.0;
-                    self.metrics.replications += 1;
-                    Action::None
+                    Action::Replicate
                 } else if mr.spec.migration {
                     Action::Migrate
                 } else {
@@ -747,9 +990,17 @@ impl System {
                 }
             }
         };
-        if action == Action::Migrate {
-            self.home.preassign(page, cl);
-            self.metrics.migrations += 1;
+        match action {
+            Action::Migrate => {
+                self.home.preassign(page, cl);
+                self.metrics.migrations += 1;
+                self.emit(Event::Migration { cluster: cl, page });
+            }
+            Action::Replicate => {
+                self.metrics.replications += 1;
+                self.emit(Event::Replication { cluster: cl, page });
+            }
+            Action::None => {}
         }
     }
 
@@ -786,6 +1037,7 @@ impl System {
     fn relocate_page(&mut self, ci: usize, cl: ClusterId, page: PageAddr) {
         self.metrics.relocations += 1;
         self.per_cluster[ci].relocations += 1;
+        self.emit(Event::Relocation { cluster: cl, page });
         let first = self.geo.first_block_of_page(page);
         let n = self.geo.blocks_per_page();
         // Blocks dirty anywhere (including in this cluster's own caches)
@@ -819,17 +1071,32 @@ impl System {
         cl: ClusterId,
         ev: crate::page_cache::EvictedPage,
     ) {
+        self.emit(Event::PageEviction {
+            cluster: cl,
+            page: ev.page,
+            dirty_blocks: u32::try_from(ev.dirty_blocks.len()).unwrap_or(u32::MAX),
+            hits: ev.hits,
+        });
         if self.clusters[ci].threshold.on_frame_reuse(ev.hits) {
             self.clusters[ci]
                 .pc
                 .as_mut()
                 .expect("page cache present")
                 .reset_hit_counters();
+            let threshold = self.clusters[ci].threshold.threshold();
+            self.emit(Event::ThresholdAdapted {
+                cluster: cl,
+                threshold,
+            });
         }
         self.rnuma.reset(ev.page, cl);
-        for b in &ev.dirty_blocks {
+        for &b in &ev.dirty_blocks {
             self.metrics.remote_writebacks += 1;
-            self.dir.writeback(*b, cl);
+            self.emit(Event::RemoteWriteback {
+                cluster: cl,
+                block: b,
+            });
+            self.dir.writeback(b, cl);
         }
         let first = self.geo.first_block_of_page(ev.page);
         for i in 0..self.geo.blocks_per_page() {
@@ -837,15 +1104,31 @@ impl System {
             let inv = self.clusters[ci].bus.invalidate_all(b);
             if inv.copies_invalidated > 0 {
                 self.metrics.forced_evictions += inv.copies_invalidated as u64;
+                self.emit(Event::ForcedEviction {
+                    cluster: cl,
+                    block: b,
+                });
                 if inv.had_dirty {
                     self.metrics.remote_writebacks += 1;
+                    self.emit(Event::RemoteWriteback {
+                        cluster: cl,
+                        block: b,
+                    });
                     self.dir.writeback(b, cl);
                 }
             }
             if let Some(hit) = self.clusters[ci].nc.purge(b) {
                 self.metrics.forced_evictions += 1;
+                self.emit(Event::ForcedEviction {
+                    cluster: cl,
+                    block: b,
+                });
                 if hit.dirty {
                     self.metrics.remote_writebacks += 1;
+                    self.emit(Event::RemoteWriteback {
+                        cluster: cl,
+                        block: b,
+                    });
                     self.dir.writeback(b, cl);
                 }
             }
@@ -1058,7 +1341,10 @@ mod tests {
         mesir.process(read(5, 0x1000)); // peer read: M -> S + write-back
         assert_eq!(mesir.metrics().absorbed_downgrades, 1);
         let block = BlockAddr(0x1000 / 64);
-        assert!(mesir.cluster(ClusterId(1)).nc.contains(block), "pollution copy");
+        assert!(
+            mesir.cluster(ClusterId(1)).nc.contains(block),
+            "pollution copy"
+        );
 
         // MOESI-R: the supplier keeps the dirty data in state O; nothing
         // reaches the NC or the network.
@@ -1070,7 +1356,10 @@ mod tests {
         assert_eq!(moesi.metrics().remote_writebacks, 0);
         assert!(!moesi.cluster(ClusterId(1)).nc.contains(block));
         assert_eq!(
-            moesi.cluster(ClusterId(1)).bus.state_of(LocalProcId(0), block),
+            moesi
+                .cluster(ClusterId(1))
+                .bus
+                .state_of(LocalProcId(0), block),
             CacheState::Owned
         );
     }
@@ -1081,7 +1370,7 @@ mod tests {
         s.process(read(0, 0x1000));
         s.process(write(4, 0x1000)); // M at P4
         s.process(read(5, 0x1000)); // P4 -> O, P5 -> S
-        // Conflict-evict P4's O copy (8-KB aliases, locally homed).
+                                    // Conflict-evict P4's O copy (8-KB aliases, locally homed).
         s.process(write(4, 0x1000 + 8 * 1024));
         s.process(write(4, 0x1000 + 16 * 1024));
         let block = BlockAddr(0x1000 / 64);
@@ -1094,8 +1383,7 @@ mod tests {
 
     #[test]
     fn vxp_invalidation_decrement_corrects_counters() {
-        let spec = SystemSpec::vxp(PcSize::Bytes(64 * 4096), 1000)
-            .with_invalidation_decrement();
+        let spec = SystemSpec::vxp(PcSize::Bytes(64 * 4096), 1000).with_invalidation_decrement();
         let mut s = sys(spec);
         // Cluster 0 homes page 1; cluster 1 victimizes block 0x1000 into
         // its NC (capture), then loses even the NC copy to set overflow.
@@ -1188,7 +1476,7 @@ mod tests {
         spec.migrep.as_mut().unwrap().threshold = 3;
         let mut s = sys(spec);
         s.process(read(0, 0x1000)); // homed at cluster 0
-        // Cluster 1 suffers repeated conflict misses to the read-only page.
+                                    // Cluster 1 suffers repeated conflict misses to the read-only page.
         for _ in 0..4 {
             s.process(read(4, 0x1000));
             s.process(read(4, 0x1000 + 8 * 1024));

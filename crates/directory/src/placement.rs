@@ -154,10 +154,7 @@ mod tests {
         v.sort_by_key(|(pg, _)| pg.0);
         assert_eq!(
             v,
-            vec![
-                (PageAddr(1), ClusterId(0)),
-                (PageAddr(2), ClusterId(1))
-            ]
+            vec![(PageAddr(1), ClusterId(0)), (PageAddr(2), ClusterId(1))]
         );
     }
 

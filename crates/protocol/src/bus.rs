@@ -18,6 +18,51 @@ use crate::transaction::{InvalidationResult, PeerReadSupply, PeerWriteSupply};
 pub struct BusCluster {
     caches: Vec<ProcCache>,
     dirty_shared: bool,
+    stats: BusStats,
+}
+
+/// Per-bus transaction counters, maintained by every snooping operation.
+///
+/// These are the cluster-bus component of the observability layer: the
+/// system simulator's probes count *machine* events (misses, relocations);
+/// these count the *bus transactions* underneath them, per cluster, so a
+/// stats view can show which cluster's bus is hot and what kind of traffic
+/// loads it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Read hits serviced within one cache (LRU refresh only).
+    pub read_hits: u64,
+    /// Silent write hits in `M`/`E`.
+    pub write_hits: u64,
+    /// Cache-to-cache read supplies over the bus.
+    pub peer_read_supplies: u64,
+    /// Cache-to-cache write supplies (with peer invalidation).
+    pub peer_write_supplies: u64,
+    /// Write upgrades broadcast on the bus.
+    pub upgrades: u64,
+    /// Block fills from outside the processor caches (NC, PC, home).
+    pub fills: u64,
+    /// External (directory-ordered) invalidation broadcasts.
+    pub external_invalidations: u64,
+    /// External downgrades of a dirty owner.
+    pub downgrades: u64,
+    /// MESIR replacement hand-offs (`S -> R` promotions).
+    pub promotions: u64,
+}
+
+impl BusStats {
+    /// Total bus transactions (everything except in-cache read/write hits,
+    /// which never arbitrate for the bus).
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.peer_read_supplies
+            + self.peer_write_supplies
+            + self.upgrades
+            + self.fills
+            + self.external_invalidations
+            + self.downgrades
+            + self.promotions
+    }
 }
 
 impl BusCluster {
@@ -33,6 +78,7 @@ impl BusCluster {
         BusCluster {
             caches: (0..procs).map(|_| ProcCache::new(shape)).collect(),
             dirty_shared: false,
+            stats: BusStats::default(),
         }
     }
 
@@ -82,6 +128,7 @@ impl BusCluster {
     ///
     /// Panics (debug) if the block is not resident.
     pub fn read_hit(&mut self, proc: LocalProcId, block: BlockAddr) {
+        self.stats.read_hits += 1;
         let s = self.cache_mut(proc).touch(block);
         debug_assert!(s.is_valid(), "read_hit on absent block {block}");
     }
@@ -94,6 +141,7 @@ impl BusCluster {
     /// Panics if the block is not resident in a state allowing a silent
     /// write.
     pub fn write_hit_exclusive(&mut self, proc: LocalProcId, block: BlockAddr) {
+        self.stats.write_hits += 1;
         let cache = self.cache_mut(proc);
         let s = cache.touch(block);
         assert!(
@@ -143,8 +191,12 @@ impl BusCluster {
         supplier: LocalProcId,
         block: BlockAddr,
     ) -> PeerReadSupply {
+        self.stats.peer_read_supplies += 1;
         let current = self.cache(supplier).state_of(block);
-        assert!(current.is_valid(), "supplier {supplier} lacks block {block}");
+        assert!(
+            current.is_valid(),
+            "supplier {supplier} lacks block {block}"
+        );
         let (next, dirty_downgrade) = if self.dirty_shared {
             mesir::supplier_next_state_dirty_shared(current)
         } else {
@@ -174,6 +226,7 @@ impl BusCluster {
         requester: LocalProcId,
         block: BlockAddr,
     ) -> PeerWriteSupply {
+        self.stats.peer_write_supplies += 1;
         let mut took_dirty_data = false;
         let mut peers_invalidated = 0;
         for (i, cache) in self.caches.iter_mut().enumerate() {
@@ -207,6 +260,7 @@ impl BusCluster {
     ///
     /// Panics if `proc` does not hold the block in a valid state.
     pub fn upgrade(&mut self, proc: LocalProcId, block: BlockAddr) -> usize {
+        self.stats.upgrades += 1;
         let s = self.cache(proc).state_of(block);
         assert!(s.is_valid(), "upgrade on absent block {block}");
         let mut invalidated = 0;
@@ -233,12 +287,14 @@ impl BusCluster {
         block: BlockAddr,
         state: CacheState,
     ) -> Option<Eviction> {
+        self.stats.fills += 1;
         self.cache_mut(proc).fill(block, state)
     }
 
     /// Invalidates every processor-cache copy of `block` (an external,
     /// directory-initiated invalidation).
     pub fn invalidate_all(&mut self, block: BlockAddr) -> InvalidationResult {
+        self.stats.external_invalidations += 1;
         let mut result = InvalidationResult::default();
         for cache in &mut self.caches {
             let s = cache.invalidate(block);
@@ -259,6 +315,7 @@ impl BusCluster {
     /// been silently replaced, in which case the home memory is already
     /// current. Clean (`E`) copies are downgraded to `Shared` as well.
     pub fn downgrade_to_shared(&mut self, block: BlockAddr) -> bool {
+        self.stats.downgrades += 1;
         for cache in &mut self.caches {
             match cache.state_of(block) {
                 CacheState::Modified | CacheState::Owned => {
@@ -283,6 +340,7 @@ impl BusCluster {
         for cache in &mut self.caches {
             if cache.state_of(block) == CacheState::Shared {
                 cache.set_state(block, CacheState::RemoteMaster);
+                self.stats.promotions += 1;
                 return true;
             }
         }
@@ -299,6 +357,17 @@ impl BusCluster {
     #[must_use]
     pub fn copies(&self, block: BlockAddr) -> usize {
         self.caches.iter().filter(|c| c.contains(block)).count()
+    }
+
+    /// Accumulated bus-transaction counters.
+    #[must_use]
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// Resets the transaction counters (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = BusStats::default();
     }
 
     /// Empties every cache (between-phase reset in experiments).
@@ -472,5 +541,29 @@ mod tests {
         c.fill(P0, B, CacheState::Modified);
         c.clear();
         assert!(!c.any_valid(B));
+    }
+
+    #[test]
+    fn stats_count_bus_transactions() {
+        let mut c = cluster().unwrap();
+        c.fill(P0, B, CacheState::Shared); // fill
+        c.read_hit(P0, B); // hit: not a transaction
+        c.upgrade(P0, B); // upgrade
+        c.write_hit_exclusive(P0, B); // hit: not a transaction
+        c.peer_read_supply(P1, P0, B); // supply
+        c.invalidate_all(B); // external invalidation
+
+        let s = *c.stats();
+        assert_eq!(s.fills, 1);
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.upgrades, 1);
+        assert_eq!(s.write_hits, 1);
+        assert_eq!(s.peer_read_supplies, 1);
+        assert_eq!(s.external_invalidations, 1);
+        // Transactions exclude the two in-cache hits.
+        assert_eq!(s.transactions(), 4);
+
+        c.reset_stats();
+        assert_eq!(*c.stats(), BusStats::default());
     }
 }

@@ -14,7 +14,7 @@ use dsm_types::{Geometry, MemRef, Topology};
 /// Per-block accounting used during analysis.
 #[derive(Debug, Clone, Copy, Default)]
 struct BlockInfo {
-    readers: u64,  // bitmask over 64 processors (the paper's 32 fit)
+    readers: u64, // bitmask over 64 processors (the paper's 32 fit)
     writers: u64,
     refs: u32,
 }
@@ -231,10 +231,6 @@ mod tests {
             raytrace.read_only_page_fraction
         );
         // Radix histogram rows are written by many processors.
-        assert!(
-            radix.write_shared_block_fraction > 0.0,
-            "radix {:?}",
-            radix
-        );
+        assert!(radix.write_shared_block_fraction > 0.0, "radix {:?}", radix);
     }
 }

@@ -97,8 +97,14 @@ fn main() -> ExitCode {
         println!("pages touched:         {}", a.pages);
         println!("avg block sharers:     {:.2}", a.avg_block_sharers);
         println!("avg page sharers:      {:.2}", a.avg_page_sharers);
-        println!("read-only pages:       {:.1} %", a.read_only_page_fraction * 100.0);
-        println!("write-shared blocks:   {:.1} %", a.write_shared_block_fraction * 100.0);
+        println!(
+            "read-only pages:       {:.1} %",
+            a.read_only_page_fraction * 100.0
+        );
+        println!(
+            "write-shared blocks:   {:.1} %",
+            a.write_shared_block_fraction * 100.0
+        );
         println!("sequentiality:         {:.3}", a.sequentiality);
         if !stats {
             return ExitCode::SUCCESS;
@@ -113,7 +119,10 @@ fn main() -> ExitCode {
         println!("write fraction:  {:.4}", s.write_fraction());
         println!("blocks touched:  {}", s.blocks_touched);
         println!("pages touched:   {}", s.pages_touched);
-        println!("footprint:       {:.2} MB", s.footprint_bytes(&geo) as f64 / (1024.0 * 1024.0));
+        println!(
+            "footprint:       {:.2} MB",
+            s.footprint_bytes(&geo) as f64 / (1024.0 * 1024.0)
+        );
         println!("refs per block:  {:.2}", s.refs_per_block());
         return ExitCode::SUCCESS;
     }

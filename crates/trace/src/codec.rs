@@ -115,9 +115,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<(Topology, Vec<MemRef>), CodecErr
     }
     let version = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
     if version != VERSION {
-        return Err(CodecError::Format(format!(
-            "unsupported version {version}"
-        )));
+        return Err(CodecError::Format(format!("unsupported version {version}")));
     }
     let clusters = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
     let procs = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);

@@ -1,7 +1,9 @@
 //! Deterministic random numbers for workload generation.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Implemented locally (xoshiro256++ seeded through splitmix64) so the
+//! crate carries no external dependencies and trace bytes are stable
+//! across toolchains forever — the generator is part of the experimental
+//! record.
 
 /// A deterministic pseudo-random source for trace kernels.
 ///
@@ -21,7 +23,17 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step: expands one 64-bit seed into a well-mixed stream,
+/// the recommended way to initialize xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl TraceRng {
@@ -35,9 +47,33 @@ impl TraceRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TraceRng {
-            inner: SmallRng::seed_from_u64(seed ^ h),
-        }
+        let mut sm = seed ^ h;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        TraceRng { state }
+    }
+
+    /// One xoshiro256++ step: full-period 64-bit output.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)` from the high 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform value in `0..bound`.
@@ -47,7 +83,20 @@ impl TraceRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.random_range(0..bound)
+        // Lemire's widening-multiply rejection method: unbiased without
+        // division on the common path.
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(bound);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(bound);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// A uniform value in `lo..hi`.
@@ -57,12 +106,12 @@ impl TraceRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.random_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// `true` with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.random_bool(p.clamp(0.0, 1.0))
+        self.next_f64() < p.clamp(0.0, 1.0)
     }
 
     /// A geometrically-decaying "distance" sample: returns a value in
@@ -74,8 +123,8 @@ impl TraceRng {
     /// Panics if `bound` is zero.
     pub fn near(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        // Sum of two uniforms squared concentrates near zero.
-        let u: f64 = self.inner.random();
+        // A uniform cubed concentrates near zero.
+        let u: f64 = self.next_f64();
         let v = u * u * u;
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let d = (v * bound as f64) as u64;

@@ -4,8 +4,8 @@ use core::fmt;
 
 use dsm_types::{MemRef, Topology};
 
-use crate::Scale;
 use crate::workloads::{Barnes, Cholesky, Fft, Fmm, Lu, Ocean, Radix, Raytrace};
+use crate::Scale;
 
 /// A shared-memory trace kernel: a deterministic generator of the
 /// interleaved reference stream of one parallel program.

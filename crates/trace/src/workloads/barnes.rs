@@ -206,7 +206,11 @@ mod tests {
         let stats = TraceStats::compute(&trace, &geo, &topo);
         // Irregular walks revisit blocks via temporal, not spatial, reuse.
         // (The dev-size instance concentrates reuse; the bound is loose.)
-        assert!(stats.refs_per_block() < 120.0, "refs/block {}", stats.refs_per_block());
+        assert!(
+            stats.refs_per_block() < 120.0,
+            "refs/block {}",
+            stats.refs_per_block()
+        );
     }
 
     #[test]

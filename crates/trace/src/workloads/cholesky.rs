@@ -126,8 +126,18 @@ impl Workload for Cholesky {
             let own_bytes = self.panel_bytes(s);
             let run = OWN_BYTES.min(own_bytes);
             for _ in 0..passes {
-                phase.read_run(owner, factor.at(offsets[s as usize]), run / ELEM_BYTES, ELEM_BYTES);
-                phase.write_run(owner, factor.at(offsets[s as usize]), run / ELEM_BYTES, ELEM_BYTES);
+                phase.read_run(
+                    owner,
+                    factor.at(offsets[s as usize]),
+                    run / ELEM_BYTES,
+                    ELEM_BYTES,
+                );
+                phase.write_run(
+                    owner,
+                    factor.at(offsets[s as usize]),
+                    run / ELEM_BYTES,
+                    ELEM_BYTES,
+                );
             }
             // Tasks between supernodes are barrier-free in reality, but the
             // elimination order is a serialization point per panel.
@@ -168,7 +178,11 @@ mod tests {
         let c = Cholesky::default();
         let sizes: std::collections::HashSet<u64> =
             (0..c.supernodes).map(|s| c.panel_bytes(s)).collect();
-        assert!(sizes.len() > 50, "only {} distinct panel sizes", sizes.len());
+        assert!(
+            sizes.len() > 50,
+            "only {} distinct panel sizes",
+            sizes.len()
+        );
     }
 
     #[test]
@@ -178,7 +192,11 @@ mod tests {
         let trace = Cholesky::with_supernodes(64).generate(&topo, Scale::full());
         let stats = TraceStats::compute(&trace, &geo, &topo);
         // Streams are element-granularity over 64-byte blocks.
-        assert!(stats.refs_per_block() > 5.0, "refs/block {}", stats.refs_per_block());
+        assert!(
+            stats.refs_per_block() > 5.0,
+            "refs/block {}",
+            stats.refs_per_block()
+        );
     }
 
     #[test]

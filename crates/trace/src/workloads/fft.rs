@@ -103,11 +103,21 @@ impl Fft {
             for tj in (0..m).step_by(TILE as usize) {
                 // Read source tile rows tj..tj+TILE, columns ti..ti+TILE.
                 for r in tj..tj + TILE {
-                    phase.read_run(owner, from.elem(r * m + ti, COMPLEX_BYTES), TILE, COMPLEX_BYTES);
+                    phase.read_run(
+                        owner,
+                        from.elem(r * m + ti, COMPLEX_BYTES),
+                        TILE,
+                        COMPLEX_BYTES,
+                    );
                 }
                 // Write destination tile rows ti..ti+TILE, columns tj..tj+TILE.
                 for r in ti..ti + TILE {
-                    phase.write_run(owner, to.elem(r * m + tj, COMPLEX_BYTES), TILE, COMPLEX_BYTES);
+                    phase.write_run(
+                        owner,
+                        to.elem(r * m + tj, COMPLEX_BYTES),
+                        TILE,
+                        COMPLEX_BYTES,
+                    );
                 }
             }
         }
@@ -129,7 +139,12 @@ impl Fft {
             let owner = self.owner_of_row(topo, row);
             for stage in 0..stages {
                 if stage == 0 {
-                    phase.read_run(owner, twiddle.elem(row * m, COMPLEX_BYTES), m, COMPLEX_BYTES);
+                    phase.read_run(
+                        owner,
+                        twiddle.elem(row * m, COMPLEX_BYTES),
+                        m,
+                        COMPLEX_BYTES,
+                    );
                 }
                 phase.read_run(owner, data.elem(row * m, COMPLEX_BYTES), m, COMPLEX_BYTES);
                 phase.write_run(owner, data.elem(row * m, COMPLEX_BYTES), m, COMPLEX_BYTES);

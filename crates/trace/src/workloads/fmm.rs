@@ -192,7 +192,11 @@ mod tests {
             w.shared_bytes()
         );
         // ...but each block is revisited only a handful of times.
-        assert!(stats.refs_per_block() < 25.0, "refs/block {}", stats.refs_per_block());
+        assert!(
+            stats.refs_per_block() < 25.0,
+            "refs/block {}",
+            stats.refs_per_block()
+        );
     }
 
     #[test]

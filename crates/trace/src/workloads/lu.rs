@@ -36,7 +36,10 @@ impl Lu {
     /// Panics if `n` is not a positive multiple of 16.
     #[must_use]
     pub fn with_matrix(n: u64) -> Self {
-        assert!(n > 0 && n.is_multiple_of(16), "matrix size {n} must be a multiple of 16");
+        assert!(
+            n > 0 && n.is_multiple_of(16),
+            "matrix size {n} must be a multiple of 16"
+        );
         Lu { n, block: 16 }
     }
 
@@ -109,7 +112,9 @@ impl Workload for Lu {
 
     fn generate(&self, topo: &Topology, scale: Scale) -> Vec<MemRef> {
         let mut l = Layout::new(4096);
-        let matrix = l.region("matrix", self.n * self.n * ELEM_BYTES).expect("nonzero");
+        let matrix = l
+            .region("matrix", self.n * self.n * ELEM_BYTES)
+            .expect("nonzero");
         let globals = l.region("globals", GLOBALS_BYTES).expect("nonzero");
         let nb = self.blocks_per_edge();
         // Interior-update decimation factor: scale < 1 processes every
@@ -221,7 +226,11 @@ mod tests {
         let geo = Geometry::paper_default();
         let trace = Lu::with_matrix(128).generate(&topo, Scale::full());
         let stats = TraceStats::compute(&trace, &geo, &topo);
-        assert!(stats.refs_per_block() > 6.0, "refs/block = {}", stats.refs_per_block());
+        assert!(
+            stats.refs_per_block() > 6.0,
+            "refs/block = {}",
+            stats.refs_per_block()
+        );
     }
 
     #[test]
@@ -236,6 +245,10 @@ mod tests {
             .filter(|r| !r.op.is_write() && r.addr.0 < b00_end)
             .map(|r| r.proc)
             .collect();
-        assert!(readers.len() > 4, "only {} readers of the pivot block", readers.len());
+        assert!(
+            readers.len() > 4,
+            "only {} readers of the pivot block",
+            readers.len()
+        );
     }
 }

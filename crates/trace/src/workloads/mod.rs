@@ -54,7 +54,11 @@ pub(crate) mod test_support {
         );
 
         // Both reads and writes occur.
-        assert!(stats.reads > 0 && stats.writes > 0, "{}: degenerate mix", w.name());
+        assert!(
+            stats.reads > 0 && stats.writes > 0,
+            "{}: degenerate mix",
+            w.name()
+        );
     }
 
     /// Checks that scaling down shortens the trace without shrinking the

@@ -49,7 +49,14 @@ impl Ocean {
 
     /// One red-black half-sweep of grid `gi`: each interior point of the
     /// given parity reads its 4 neighbours and itself, then writes itself.
-    fn half_sweep(&self, topo: &Topology, phase: &mut PhaseBuilder, grid: &Region, gi: u64, color: u64) {
+    fn half_sweep(
+        &self,
+        topo: &Topology,
+        phase: &mut PhaseBuilder,
+        grid: &Region,
+        gi: u64,
+        color: u64,
+    ) {
         for i in 1..self.g - 1 {
             let owner = self.owner_of_row(topo, i);
             for j in 1..self.g - 1 {
@@ -184,6 +191,10 @@ mod tests {
         let geo = Geometry::paper_default();
         let trace = Ocean::with_grid(66).generate(&topo, Scale::full());
         let stats = TraceStats::compute(&trace, &geo, &topo);
-        assert!(stats.refs_per_block() > 5.0, "refs/block = {}", stats.refs_per_block());
+        assert!(
+            stats.refs_per_block() > 5.0,
+            "refs/block = {}",
+            stats.refs_per_block()
+        );
     }
 }

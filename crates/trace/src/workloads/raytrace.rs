@@ -169,7 +169,11 @@ mod tests {
             stats.write_fraction()
         );
         // Compute-phase reads revisit scene blocks only a few times.
-        assert!(stats.refs_per_block() < 30.0, "refs/block {}", stats.refs_per_block());
+        assert!(
+            stats.refs_per_block() < 30.0,
+            "refs/block {}",
+            stats.refs_per_block()
+        );
     }
 
     #[test]
@@ -179,7 +183,10 @@ mod tests {
         let trace = w.generate(&topo, Scale::full());
         let fb_base = w.shared_bytes() - FRAMEBUFFER_BYTES.div_ceil(4096) * 4096;
         let fchunk = FRAMEBUFFER_BYTES / 32;
-        for r in trace.iter().filter(|r| r.op.is_write() && r.addr.0 >= fb_base) {
+        for r in trace
+            .iter()
+            .filter(|r| r.op.is_write() && r.addr.0 >= fb_base)
+        {
             let tile = ((r.addr.0 - fb_base) / fchunk).min(31) as u16;
             assert_eq!(tile, r.proc.0, "foreign framebuffer write {r}");
         }

@@ -8,8 +8,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A byte address in the shared data space.
 ///
 /// # Example
@@ -19,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let a = Addr(0x40);
 /// assert_eq!(a.offset(8).0, 0x48);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -60,9 +56,7 @@ impl From<Addr> for u64 {
 ///
 /// Coherence state — in processor caches, network caches, page caches and
 /// the directory — is kept at this granularity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockAddr(pub u64);
 
 impl fmt::Display for BlockAddr {
@@ -87,9 +81,7 @@ impl From<BlockAddr> for u64 {
 ///
 /// Page caches allocate at this granularity, and first-touch placement
 /// assigns home clusters page by page.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageAddr(pub u64);
 
 impl fmt::Display for PageAddr {

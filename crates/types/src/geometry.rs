@@ -1,7 +1,5 @@
 //! Address-space geometry: block and page sizes and the derived mappings.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Addr, BlockAddr, ConfigError, PageAddr};
 
 /// Block/page geometry of the shared address space.
@@ -19,7 +17,7 @@ use crate::{Addr, BlockAddr, ConfigError, PageAddr};
 /// assert_eq!(geo.page_of_block(geo.block_of(Addr(4096 + 65))).0, 1);
 /// # Ok::<(), dsm_types::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Geometry {
     block_bytes: u64,
     page_bytes: u64,

@@ -2,16 +2,12 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ConfigError;
 
 /// A cluster (node) identifier, `0..Topology::clusters()`.
 ///
 /// A cluster is a small bus-based SMP; the paper's machine has eight.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClusterId(pub u16);
 
 impl fmt::Display for ClusterId {
@@ -21,9 +17,7 @@ impl fmt::Display for ClusterId {
 }
 
 /// A processor's index within its cluster, `0..Topology::procs_per_cluster()`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LocalProcId(pub u16);
 
 impl fmt::Display for LocalProcId {
@@ -37,9 +31,7 @@ impl fmt::Display for LocalProcId {
 /// The mapping to `(cluster, local)` pairs is owned by [`Topology`]:
 /// processors are numbered cluster-major, so cluster `c` holds processors
 /// `c*P .. (c+1)*P` where `P` is the per-cluster processor count.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcId(pub u16);
 
 impl ProcId {
@@ -73,7 +65,7 @@ impl fmt::Display for ProcId {
 /// assert_eq!(t.cluster_of(ProcId(13)).0, 3);
 /// assert_eq!(t.local_of(ProcId(13)).0, 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Topology {
     clusters: u16,
     procs_per_cluster: u16,

@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Addr, ProcId};
 
 /// The kind of a shared-memory access.
@@ -11,7 +9,7 @@ use crate::{Addr, ProcId};
 /// The simulator is trace-driven over *shared data* references only
 /// (instruction fetches and private/stack data never leave the processor
 /// cache model in the paper's methodology).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOp {
     /// A load from shared data.
     Read,
@@ -46,7 +44,7 @@ impl fmt::Display for MemOp {
 /// assert!(!r.op.is_write());
 /// assert_eq!(r.to_string(), "P3 R 0x100");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRef {
     /// The issuing processor.
     pub proc: ProcId,

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full verification gate: what CI (and the driver) runs.
+#
+#   scripts/verify.sh          # tier-1 + lints
+#   scripts/verify.sh --fast   # skip the release build (debug tests + lints)
+#
+# Everything must pass offline — the workspace has no external
+# dependencies by design.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "== cargo build --release =="
+  cargo build --release
+fi
+
+echo "== cargo test =="
+cargo test -q
+
+echo "verify: all checks passed"

@@ -47,7 +47,10 @@ fn assert_single_writer(sys: &System, blocks: &[u64]) {
         }
         assert!(writable <= 1, "block {b:#x}: {writable} writable copies");
         if writable == 1 {
-            assert_eq!(valid, 1, "block {b:#x}: writable copy coexists with sharers");
+            assert_eq!(
+                valid, 1,
+                "block {b:#x}: writable copy coexists with sharers"
+            );
         }
     }
 }
@@ -71,7 +74,10 @@ fn local_exclusive_fill_takes_e_state() {
     sys.process(read(0, 0x1000));
     let block = sys.geometry().block_of(Addr(0x1000));
     assert_eq!(
-        sys.cluster(ClusterId(0)).bus.cache(LocalProcId(0)).state_of(block),
+        sys.cluster(ClusterId(0))
+            .bus
+            .cache(LocalProcId(0))
+            .state_of(block),
         CacheState::Exclusive
     );
     // Silent E -> M write: no new directory transaction.
@@ -109,13 +115,13 @@ fn write_invalidates_every_other_cluster() {
     let block = sys.geometry().block_of(Addr(0x2000));
     for c in 0..3u16 {
         let unit = sys.cluster(ClusterId(c));
-        assert!(
-            !unit.bus.any_valid(block),
-            "cluster {c} kept a stale copy"
-        );
+        assert!(!unit.bus.any_valid(block), "cluster {c} kept a stale copy");
     }
     assert_eq!(
-        sys.cluster(ClusterId(3)).bus.cache(LocalProcId(0)).state_of(block),
+        sys.cluster(ClusterId(3))
+            .bus
+            .cache(LocalProcId(0))
+            .state_of(block),
         CacheState::Modified
     );
     assert_single_writer(&sys, &[0x2000]);
@@ -201,7 +207,7 @@ fn capacity_miss_classification_via_presence_bits() {
     let mut sys = system(SystemSpec::base());
     sys.process(read(0, 0x6000));
     sys.process(read(4, 0x6000)); // necessary (cold)
-    // Evict cluster 1's copy by conflict.
+                                  // Evict cluster 1's copy by conflict.
     sys.process(read(0, 0x6000 + 8 * 1024));
     sys.process(read(0, 0x6000 + 16 * 1024));
     sys.process(read(4, 0x6000 + 8 * 1024));

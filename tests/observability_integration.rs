@@ -1,0 +1,228 @@
+//! Integration tests for the observability layer: the probe must not
+//! perturb the simulation, epoch samples must partition the run exactly,
+//! event streams must agree with the aggregate counters, and the figures
+//! of merit must match hand-computed values (Equation 1, the x225/30
+//! relocation overhead, Figure 10's traffic definition).
+
+use dsm_core::obs::{JsonlSink, StatsSink};
+use dsm_core::runner::{run_trace, run_trace_probed};
+use dsm_core::{Latencies, LatencyModel, Metrics, NcTechnology, PcSize, System, SystemSpec, Tee};
+use dsm_trace::{workloads::Lu, Scale, Workload};
+use dsm_types::{ClusterId, Geometry, Topology};
+
+fn lu_trace() -> (Topology, Geometry, u64, Vec<dsm_types::MemRef>) {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let w = Lu::with_matrix(128); // small instance: ~fast, still remote-heavy
+    let trace = w.generate(&topo, Scale::full());
+    (topo, geo, w.shared_bytes(), trace)
+}
+
+fn vxp_spec() -> SystemSpec {
+    SystemSpec::vxp(PcSize::DataFraction(5), 32)
+}
+
+#[test]
+fn epoch_samples_partition_the_run_exactly() {
+    let (topo, geo, data_bytes, trace) = lu_trace();
+    let mut system =
+        System::with_probe(vxp_spec(), topo, geo, data_bytes, StatsSink::new()).unwrap();
+    system.set_epoch_window(10_000);
+    system.run(trace.iter().copied());
+    system.finish();
+
+    let sink = system.probe();
+    let epochs = sink.epochs();
+    assert!(epochs.len() >= 2, "trace too short for the epoch window");
+
+    // Epoch boundaries are contiguous and cover every reference.
+    let mut expected_start = 0;
+    for (i, s) in epochs.iter().enumerate() {
+        assert_eq!(s.index, i as u64);
+        assert_eq!(s.start_ref, expected_start);
+        assert!(s.end_ref > s.start_ref);
+        expected_start = s.end_ref;
+    }
+    assert_eq!(expected_start, system.metrics().shared_refs);
+
+    // The sum of the per-epoch deltas is the whole run.
+    assert_eq!(&sink.epoch_total(), system.metrics());
+
+    // And the per-cluster series sums to the per-cluster aggregates.
+    let totals = sink.epoch_cluster_totals();
+    assert_eq!(totals.len(), usize::from(topo.clusters()));
+    for (i, total) in totals.iter().enumerate() {
+        assert_eq!(total, system.cluster_counts(ClusterId(i as u16)));
+    }
+    let refs: u64 = totals.iter().map(|c| c.refs).sum();
+    assert_eq!(refs, system.metrics().shared_refs);
+}
+
+#[test]
+fn probe_does_not_perturb_any_system() {
+    let (topo, geo, data_bytes, trace) = lu_trace();
+    for spec in [SystemSpec::base(), SystemSpec::vb(), vxp_spec()] {
+        let plain = run_trace(&spec, "lu", data_bytes, &trace, topo, geo).unwrap();
+        let (probed, _) = run_trace_probed(
+            &spec,
+            "lu",
+            data_bytes,
+            &trace,
+            topo,
+            geo,
+            StatsSink::new(),
+            Some(25_000),
+        )
+        .unwrap();
+        assert_eq!(plain, probed, "probe changed {}'s result", spec.name);
+    }
+}
+
+#[test]
+fn event_stream_agrees_with_aggregate_metrics() {
+    let (topo, geo, data_bytes, trace) = lu_trace();
+    let (report, sink) = run_trace_probed(
+        &vxp_spec(),
+        "lu",
+        data_bytes,
+        &trace,
+        topo,
+        geo,
+        StatsSink::new(),
+        None,
+    )
+    .unwrap();
+    let m = &report.metrics;
+    assert_eq!(sink.count("cache_hit"), m.read_hits + m.write_hits);
+    assert_eq!(sink.count("peer_transfer"), m.peer_transfers);
+    assert_eq!(sink.count("nc_hit"), m.nc_read_hits + m.nc_write_hits);
+    assert_eq!(sink.count("pc_hit"), m.pc_read_hits + m.pc_write_hits);
+    assert_eq!(
+        sink.count("remote_read"),
+        m.remote_read_necessary + m.remote_read_capacity
+    );
+    assert_eq!(
+        sink.count("remote_write"),
+        m.remote_write_necessary + m.remote_write_capacity
+    );
+    assert_eq!(sink.count("ownership_request"), m.remote_ownership_requests);
+    assert_eq!(sink.count("relocation"), m.relocations);
+    assert_eq!(sink.count("nc_capture"), m.nc_captures);
+    assert_eq!(sink.count("local_upgrade"), m.local_upgrades);
+    assert_eq!(sink.count("migration"), m.migrations);
+    assert_eq!(sink.count("replication"), m.replications);
+
+    // Per-cluster event attribution covers every cluster that issued refs.
+    let per_cluster = sink.per_cluster_events();
+    assert!(per_cluster.iter().any(|&n| n > 0));
+    assert!(per_cluster.len() <= usize::from(topo.clusters()));
+}
+
+#[test]
+fn jsonl_sink_streams_the_whole_run() {
+    let (topo, geo, data_bytes, trace) = lu_trace();
+    let probe = Tee(StatsSink::new(), JsonlSink::new(Vec::new()));
+    let (_, Tee(stats, jsonl)) = run_trace_probed(
+        &vxp_spec(),
+        "lu",
+        data_bytes,
+        &trace,
+        topo,
+        geo,
+        probe,
+        Some(50_000),
+    )
+    .unwrap();
+    let lines_written = jsonl.lines();
+    let buf = jsonl.finish().unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64, lines_written);
+    assert_eq!(
+        lines.len() as u64,
+        stats.events_seen() + stats.epochs().len() as u64
+    );
+    // Every line is a single JSON object.
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line {line}"
+        );
+    }
+    // Epoch records are tagged and interleaved after their events.
+    assert!(text.contains(r#""ev":"epoch""#));
+}
+
+/// Hand-computed counter set used by the golden figure-of-merit tests.
+fn golden_metrics() -> Metrics {
+    let mut m = Metrics::new();
+    m.shared_refs = 1000;
+    m.nc_read_hits = 7;
+    m.pc_read_hits = 5;
+    m.remote_read_necessary = 11;
+    m.remote_read_capacity = 4; // 15 remote read misses in total
+    m.remote_write_necessary = 3;
+    m.remote_ownership_requests = 2; // 5 remote write transactions in total
+    m.remote_writebacks = 6;
+    m.relocations = 2;
+    m
+}
+
+#[test]
+#[allow(clippy::identity_op)] // keep the 1-cycle SRAM term visible
+fn golden_equation_1_remote_read_stall() {
+    let m = golden_metrics();
+    // SRAM NC (Table 1): NC hit 1, PC hit 10, remote miss 30, reloc 225.
+    let sram = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
+    assert_eq!(
+        m.remote_read_stall(&sram),
+        7 * 1 + 5 * 10 + 15 * 30 + 2 * 225 // = 957
+    );
+    // DRAM NC: hits cost 10+3, and the tag check penalizes misses too.
+    let dram = LatencyModel::new(Latencies::paper_default(), NcTechnology::Dram);
+    assert_eq!(
+        m.remote_read_stall(&dram),
+        7 * 13 + 5 * 10 + 15 * 33 + 2 * 225 // = 1086
+    );
+}
+
+#[test]
+fn golden_os_page_ops_enter_equation_1() {
+    let mut m = golden_metrics();
+    m.migrations = 1;
+    m.replications = 2; // os_page_ops = 2 + 1 + 2 = 5
+    let sram = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
+    assert_eq!(m.remote_read_stall(&sram), 7 + 50 + 450 + 5 * 225);
+}
+
+#[test]
+fn golden_relocation_overhead_is_225_over_30() {
+    let m = golden_metrics();
+    let model = LatencyModel::new(Latencies::paper_default(), NcTechnology::Sram);
+    // 2 relocations / 1000 refs, scaled by 225/30 = 7.5.
+    let expected = (2.0 / 1000.0) * 7.5;
+    assert!((m.relocation_overhead_ratio(&model) - expected).abs() < 1e-15);
+    assert!((m.relocation_overhead_ratio(&model) - 0.015).abs() < 1e-15);
+}
+
+#[test]
+fn golden_remote_traffic_counts_block_transfers() {
+    let m = golden_metrics();
+    // Figure 10: read misses + write transactions + write-backs.
+    assert_eq!(m.remote_traffic(), 15 + 5 + 6);
+    assert_eq!(m.read_miss_ratio(), 15.0 / 1000.0);
+    assert_eq!(m.write_miss_ratio(), 5.0 / 1000.0);
+}
+
+#[test]
+fn report_figures_of_merit_match_metrics_methods() {
+    let (topo, geo, data_bytes, trace) = lu_trace();
+    let spec = vxp_spec();
+    let report = run_trace(&spec, "lu", data_bytes, &trace, topo, geo).unwrap();
+    let model = LatencyModel::new(Latencies::paper_default(), spec.technology());
+    let m = &report.metrics;
+    assert_eq!(report.remote_read_stall, m.remote_read_stall(&model));
+    assert_eq!(report.remote_traffic, m.remote_traffic());
+    assert!((report.relocation_overhead - m.relocation_overhead_ratio(&model)).abs() < 1e-15);
+    assert!((report.read_miss_ratio - m.read_miss_ratio()).abs() < 1e-15);
+}

@@ -62,7 +62,12 @@ fn relocation_triggers_and_serves() {
     assert!(m.pc_read_hits >= 5, "{m:?}");
     // Page 1 is resident in cluster 1's PC.
     let page = sys.geometry().page_of(Addr(0x1000));
-    assert!(sys.cluster(ClusterId(1)).pc.as_ref().unwrap().has_page(page));
+    assert!(sys
+        .cluster(ClusterId(1))
+        .pc
+        .as_ref()
+        .unwrap()
+        .has_page(page));
 }
 
 #[test]
@@ -150,12 +155,14 @@ fn vxp_counters_drive_relocation_without_directory() {
     }
     let m = sys.metrics();
     assert!(m.nc_captures > 0, "{m:?}");
-    assert!(
-        m.relocations >= 1,
-        "vxp counters never relocated: {m:?}"
-    );
+    assert!(m.relocations >= 1, "vxp counters never relocated: {m:?}");
     let page = sys.geometry().page_of(Addr(0x1000));
-    assert!(sys.cluster(ClusterId(1)).pc.as_ref().unwrap().has_page(page));
+    assert!(sys
+        .cluster(ClusterId(1))
+        .pc
+        .as_ref()
+        .unwrap()
+        .has_page(page));
 }
 
 #[test]

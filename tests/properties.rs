@@ -1,13 +1,20 @@
-//! Property-based tests on the core data structures and on the full
-//! system under random reference streams.
+//! Randomized model-checking tests on the core data structures and on the
+//! full system under pseudo-random reference streams.
+//!
+//! These were property-based (proptest) tests in spirit; they are driven
+//! by the workspace's own deterministic [`TraceRng`] so the test suite
+//! carries no external dependencies and every failure is reproducible from
+//! the printed case seed.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 use dsm_cache::{CacheShape, SetAssoc};
 use dsm_core::{PcSize, System, SystemSpec};
 use dsm_directory::FullMapDirectory;
-use dsm_types::{Addr, BlockAddr, ClusterId, Geometry, LocalProcId, MemOp, MemRef, ProcId, Topology};
+use dsm_trace::rng::TraceRng;
+use dsm_types::{
+    Addr, BlockAddr, ClusterId, Geometry, LocalProcId, MemOp, MemRef, ProcId, Topology,
+};
 
 // ---------------------------------------------------------------------
 // SetAssoc vs a reference model (per-set LRU list).
@@ -20,15 +27,15 @@ enum ArrayOp {
     Remove(u64),
 }
 
-fn array_ops() -> impl Strategy<Value = Vec<ArrayOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..32, any::<u32>()).prop_map(|(t, v)| ArrayOp::Insert(t, v)),
-            (0u64..32).prop_map(ArrayOp::Get),
-            (0u64..32).prop_map(ArrayOp::Remove),
-        ],
-        0..200,
-    )
+fn array_ops(rng: &mut TraceRng) -> Vec<ArrayOp> {
+    let n = rng.below(200) as usize;
+    (0..n)
+        .map(|_| match rng.below(3) {
+            0 => ArrayOp::Insert(rng.below(32), rng.below(u64::from(u32::MAX)) as u32),
+            1 => ArrayOp::Get(rng.below(32)),
+            _ => ArrayOp::Remove(rng.below(32)),
+        })
+        .collect()
 }
 
 /// Reference model: per set, an MRU-ordered list of (tag, value).
@@ -37,13 +44,13 @@ struct ModelSet {
     entries: VecDeque<(u64, u32)>, // front = MRU
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn set_assoc_matches_lru_model(ops in array_ops()) {
-        const SETS: usize = 2;
-        const WAYS: usize = 3;
+#[test]
+fn set_assoc_matches_lru_model() {
+    const SETS: usize = 2;
+    const WAYS: usize = 3;
+    for case in 0..64u64 {
+        let mut rng = TraceRng::for_workload("set_assoc", case);
+        let ops = array_ops(&mut rng);
         let shape = CacheShape::from_sets_ways(SETS, WAYS, 64).unwrap();
         let mut sut: SetAssoc<u32> = SetAssoc::new(shape);
         let mut model: Vec<ModelSet> = (0..SETS).map(|_| ModelSet::default()).collect();
@@ -57,14 +64,14 @@ proptest! {
                     if let Some(pos) = m.entries.iter().position(|e| e.0 == tag) {
                         m.entries.remove(pos);
                         m.entries.push_front((tag, value));
-                        prop_assert!(evicted.is_none());
+                        assert!(evicted.is_none(), "case {case}");
                     } else {
                         m.entries.push_front((tag, value));
                         if m.entries.len() > WAYS {
                             let lru = m.entries.pop_back().unwrap();
-                            prop_assert_eq!(evicted, Some(lru));
+                            assert_eq!(evicted, Some(lru), "case {case}");
                         } else {
-                            prop_assert!(evicted.is_none());
+                            assert!(evicted.is_none(), "case {case}");
                         }
                     }
                 }
@@ -77,7 +84,7 @@ proptest! {
                         m.entries.push_front(e);
                         e.1
                     });
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect, "case {case}");
                 }
                 ArrayOp::Remove(tag) => {
                     let set = (tag as usize) % SETS;
@@ -88,13 +95,13 @@ proptest! {
                         .iter()
                         .position(|e| e.0 == tag)
                         .map(|pos| m.entries.remove(pos).unwrap().1);
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect, "case {case}");
                 }
             }
         }
         // Final occupancy agrees.
         let total: usize = model.iter().map(|m| m.entries.len()).sum();
-        prop_assert_eq!(sut.len(), total);
+        assert_eq!(sut.len(), total, "case {case}");
     }
 }
 
@@ -102,45 +109,57 @@ proptest! {
 // Trace codec: roundtrip over arbitrary traces.
 // ---------------------------------------------------------------------
 
-fn arbitrary_trace() -> impl Strategy<Value = Vec<MemRef>> {
-    prop::collection::vec(
-        (0u16..32, prop::bool::ANY, any::<u64>()).prop_map(|(p, w, a)| {
+fn arbitrary_trace(rng: &mut TraceRng, max_len: u64) -> Vec<MemRef> {
+    let n = rng.below(max_len) as usize;
+    (0..n)
+        .map(|_| {
             MemRef::new(
-                ProcId(p),
-                if w { MemOp::Write } else { MemOp::Read },
-                Addr(a),
+                ProcId(rng.below(32) as u16),
+                if rng.chance(0.5) {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                },
+                Addr(rng.below(u64::MAX)),
             )
-        }),
-        0..300,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn codec_roundtrips_any_trace(trace in arbitrary_trace()) {
+#[test]
+fn codec_roundtrips_any_trace() {
+    for case in 0..64u64 {
+        let mut rng = TraceRng::for_workload("codec_rt", case);
+        let trace = arbitrary_trace(&mut rng, 300);
         let topo = Topology::paper_default();
         let mut bytes = Vec::new();
         dsm_trace::write_trace(&mut bytes, &topo, &trace).unwrap();
         let (topo2, trace2) = dsm_trace::read_trace(bytes.as_slice()).unwrap();
-        prop_assert_eq!(topo, topo2);
-        prop_assert_eq!(trace, trace2);
+        assert_eq!(topo, topo2, "case {case}");
+        assert_eq!(trace, trace2, "case {case}");
     }
+}
 
-    #[test]
-    fn codec_rejects_any_truncation(trace in arbitrary_trace(), cut in 0usize..100) {
-        prop_assume!(!trace.is_empty());
+#[test]
+fn codec_rejects_any_truncation() {
+    for case in 0..64u64 {
+        let mut rng = TraceRng::for_workload("codec_trunc", case);
+        let trace = arbitrary_trace(&mut rng, 100);
+        if trace.is_empty() {
+            continue;
+        }
         let topo = Topology::paper_default();
         let mut bytes = Vec::new();
         dsm_trace::write_trace(&mut bytes, &topo, &trace).unwrap();
-        let cut = cut % bytes.len();
+        let cut = (rng.below(100) as usize) % bytes.len();
         if cut == 0 {
-            return Ok(()); // empty prefix of the magic: still an error, but
-                            // exercised by unit tests
+            continue; // empty prefix: exercised by unit tests
         }
         bytes.truncate(cut);
-        prop_assert!(dsm_trace::read_trace(bytes.as_slice()).is_err());
+        assert!(
+            dsm_trace::read_trace(bytes.as_slice()).is_err(),
+            "case {case}: truncation at {cut} accepted"
+        );
     }
 }
 
@@ -155,24 +174,24 @@ enum PcOp {
     InvalidateBlock(u8, u8),
 }
 
-fn pc_ops() -> impl Strategy<Value = Vec<PcOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..12).prop_map(PcOp::Insert),
-            (0u8..12, 0u8..64).prop_map(|(p, b)| PcOp::Lookup(p, b)),
-            (0u8..12, 0u8..64).prop_map(|(p, b)| PcOp::InvalidateBlock(p, b)),
-        ],
-        0..150,
-    )
+fn pc_ops(rng: &mut TraceRng) -> Vec<PcOp> {
+    let n = rng.below(150) as usize;
+    (0..n)
+        .map(|_| match rng.below(3) {
+            0 => PcOp::Insert(rng.below(12) as u8),
+            1 => PcOp::Lookup(rng.below(12) as u8, rng.below(64) as u8),
+            _ => PcOp::InvalidateBlock(rng.below(12) as u8, rng.below(64) as u8),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn page_cache_matches_lrm_model(ops in pc_ops()) {
-        use dsm_core::page_cache::{PageCache, PcBlockState};
-        const CAP: usize = 3;
+#[test]
+fn page_cache_matches_lrm_model() {
+    use dsm_core::page_cache::{PageCache, PcBlockState};
+    const CAP: usize = 3;
+    for case in 0..64u64 {
+        let mut rng = TraceRng::for_workload("page_cache", case);
+        let ops = pc_ops(&mut rng);
         let geo = Geometry::paper_default();
         let mut pc = PageCache::new(CAP, geo);
         // Model: pages ordered by last miss-touch, front = most recent.
@@ -184,16 +203,17 @@ proptest! {
                     let page = dsm_types::PageAddr(u64::from(p));
                     let evicted = pc.insert_page(page, |_| PcBlockState::Clean);
                     if model.contains(&u64::from(p)) {
-                        prop_assert!(evicted.is_none());
+                        assert!(evicted.is_none(), "case {case}");
                     } else {
                         if model.len() >= CAP {
                             let lrm = model.pop_back().unwrap();
-                            prop_assert_eq!(
+                            assert_eq!(
                                 evicted.as_ref().map(|e| e.page.0),
-                                Some(lrm)
+                                Some(lrm),
+                                "case {case}"
                             );
                         } else {
-                            prop_assert!(evicted.is_none());
+                            assert!(evicted.is_none(), "case {case}");
                         }
                         model.push_front(u64::from(p));
                     }
@@ -202,7 +222,7 @@ proptest! {
                     let block = BlockAddr(u64::from(p) * 64 + u64::from(b));
                     let hit = pc.lookup_block(block);
                     let in_model = model.contains(&u64::from(p));
-                    prop_assert_eq!(hit.is_some(), in_model);
+                    assert_eq!(hit.is_some(), in_model, "case {case}");
                     if let Some(pos) = model.iter().position(|&x| x == u64::from(p)) {
                         let v = model.remove(pos).unwrap();
                         model.push_front(v);
@@ -214,8 +234,8 @@ proptest! {
                     // Invalidation does not change residency or LRM order.
                 }
             }
-            prop_assert_eq!(pc.len(), model.len());
-            prop_assert!(pc.len() <= CAP);
+            assert_eq!(pc.len(), model.len(), "case {case}");
+            assert!(pc.len() <= CAP, "case {case}");
         }
     }
 }
@@ -224,53 +244,37 @@ proptest! {
 // Directory invariants under random request sequences.
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum DirOp {
-    Read(u8, u8),
-    Write(u8, u8),
-    Writeback(u8, u8),
-}
-
-fn dir_ops() -> impl Strategy<Value = Vec<DirOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..4, 0u8..3).prop_map(|(c, b)| DirOp::Read(c, b)),
-            (0u8..4, 0u8..3).prop_map(|(c, b)| DirOp::Write(c, b)),
-            (0u8..4, 0u8..3).prop_map(|(c, b)| DirOp::Writeback(c, b)),
-        ],
-        0..120,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn directory_owner_is_always_a_sharer(ops in dir_ops()) {
+#[test]
+fn directory_owner_is_always_a_sharer() {
+    for case in 0..64u64 {
+        let mut rng = TraceRng::for_workload("directory", case);
         let mut dir = FullMapDirectory::new(4);
-        for op in ops {
-            match op {
-                DirOp::Read(c, b) => {
-                    dir.read(BlockAddr(u64::from(b)), ClusterId(u16::from(c)));
+        let n = rng.below(120) as usize;
+        for _ in 0..n {
+            let c = ClusterId(rng.below(4) as u16);
+            let b = BlockAddr(rng.below(3));
+            match rng.below(3) {
+                0 => {
+                    dir.read(b, c);
                 }
-                DirOp::Write(c, b) => {
-                    let g = dir.write(BlockAddr(u64::from(b)), ClusterId(u16::from(c)));
+                1 => {
+                    let g = dir.write(b, c);
                     // The writer is never asked to invalidate itself.
-                    prop_assert!(!g.invalidate.contains(&ClusterId(u16::from(c))));
+                    assert!(!g.invalidate.contains(&c), "case {case}");
                 }
-                DirOp::Writeback(c, b) => {
-                    dir.writeback(BlockAddr(u64::from(b)), ClusterId(u16::from(c)));
+                _ => {
+                    dir.writeback(b, c);
                 }
             }
             for b in 0u64..3 {
                 let block = BlockAddr(b);
                 if let Some(owner) = dir.owner_of(block) {
-                    prop_assert!(
+                    assert!(
                         dir.has_presence(block, owner),
-                        "owner {owner} of {block} lacks a presence bit"
+                        "case {case}: owner {owner} of {block} lacks a presence bit"
                     );
                     // An owned block has exactly one sharer.
-                    prop_assert_eq!(dir.sharers(block), vec![owner]);
+                    assert_eq!(dir.sharers(block), vec![owner], "case {case}");
                 }
             }
         }
@@ -281,20 +285,24 @@ proptest! {
 // Full-system invariants under random reference streams.
 // ---------------------------------------------------------------------
 
-fn ref_stream() -> impl Strategy<Value = Vec<MemRef>> {
-    prop::collection::vec(
-        (0u16..32, prop::bool::ANY, 0u64..64 * 1024).prop_map(|(p, w, a)| {
+fn ref_stream(rng: &mut TraceRng) -> Vec<MemRef> {
+    let n = 1 + rng.below(399) as usize;
+    (0..n)
+        .map(|_| {
             MemRef::new(
-                ProcId(p),
-                if w { MemOp::Write } else { MemOp::Read },
-                Addr(a),
+                ProcId(rng.below(32) as u16),
+                if rng.chance(0.5) {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                },
+                Addr(rng.below(64 * 1024)),
             )
-        }),
-        1..400,
-    )
+        })
+        .collect()
 }
 
-fn check_system_invariants(spec: SystemSpec, refs: &[MemRef]) -> Result<(), TestCaseError> {
+fn check_system_invariants(spec: SystemSpec, refs: &[MemRef], case: u64) {
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
     let mut sys = System::new(spec, topo, geo, 1024 * 1024).unwrap();
@@ -302,7 +310,7 @@ fn check_system_invariants(spec: SystemSpec, refs: &[MemRef]) -> Result<(), Test
 
     // Conservation: every reference classified exactly once.
     let m = sys.metrics();
-    prop_assert_eq!(m.shared_refs, refs.len() as u64);
+    assert_eq!(m.shared_refs, refs.len() as u64, "case {case}");
     let classified = m.read_hits
         + m.write_hits
         + m.local_upgrades
@@ -316,7 +324,10 @@ fn check_system_invariants(spec: SystemSpec, refs: &[MemRef]) -> Result<(), Test
         + m.remote_write_necessary
         + m.remote_write_capacity
         + m.local_misses;
-    prop_assert_eq!(classified, m.shared_refs, "unclassified refs: {:#?}", m);
+    assert_eq!(
+        classified, m.shared_refs,
+        "case {case}: unclassified refs: {m:#?}"
+    );
 
     // Single-writer invariant over every touched block.
     let mut blocks: Vec<u64> = refs.iter().map(|r| geo.block_of(r.addr).0).collect();
@@ -338,79 +349,105 @@ fn check_system_invariants(spec: SystemSpec, refs: &[MemRef]) -> Result<(), Test
                 }
             }
         }
-        prop_assert!(writable <= 1, "block {b:#x}: {writable} writable copies");
+        assert!(
+            writable <= 1,
+            "case {case}: block {b:#x}: {writable} writable copies"
+        );
         if writable == 1 {
-            prop_assert_eq!(valid, 1, "block {:#x}: M/E coexists with sharers", b);
+            assert_eq!(
+                valid, 1,
+                "case {case}: block {b:#x}: M/E coexists with sharers"
+            );
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn base_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::base(), &refs)?;
+/// Runs the invariant check over `cases` random streams per spec.
+fn invariant_cases(name: &str, spec: impl Fn() -> SystemSpec) {
+    for case in 0..24u64 {
+        let mut rng = TraceRng::for_workload(name, case);
+        let refs = ref_stream(&mut rng);
+        check_system_invariants(spec(), &refs, case);
     }
+}
 
-    #[test]
-    fn victim_nc_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::vb(), &refs)?;
-    }
+#[test]
+fn base_system_invariants() {
+    invariant_cases("base", SystemSpec::base);
+}
 
-    #[test]
-    fn page_indexed_victim_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::vp(), &refs)?;
-    }
+#[test]
+fn victim_nc_system_invariants() {
+    invariant_cases("vb", SystemSpec::vb);
+}
 
-    #[test]
-    fn inclusion_nc_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::nc(), &refs)?;
-    }
+#[test]
+fn page_indexed_victim_system_invariants() {
+    invariant_cases("vp", SystemSpec::vp);
+}
 
-    #[test]
-    fn dram_nc_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::ncd(), &refs)?;
-    }
+#[test]
+fn inclusion_nc_system_invariants() {
+    invariant_cases("nc", SystemSpec::nc);
+}
 
-    #[test]
-    fn page_cache_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::ncp(PcSize::Bytes(16 * 4096)), &refs)?;
-    }
+#[test]
+fn dram_nc_system_invariants() {
+    invariant_cases("ncd", SystemSpec::ncd);
+}
 
-    #[test]
-    fn vxp_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::vxp(PcSize::Bytes(16 * 4096), 4), &refs)?;
-    }
+#[test]
+fn page_cache_system_invariants() {
+    invariant_cases("ncp", || SystemSpec::ncp(PcSize::Bytes(16 * 4096)));
+}
 
-    #[test]
-    fn limited_directory_system_invariants(refs in ref_stream()) {
-        check_system_invariants(SystemSpec::vb().with_limited_directory(2), &refs)?;
-    }
+#[test]
+fn vxp_system_invariants() {
+    invariant_cases("vxp", || SystemSpec::vxp(PcSize::Bytes(16 * 4096), 4));
+}
 
-    #[test]
-    fn origin_system_invariants(refs in ref_stream()) {
+#[test]
+fn limited_directory_system_invariants() {
+    invariant_cases("dir2b", || SystemSpec::vb().with_limited_directory(2));
+}
+
+#[test]
+fn origin_system_invariants() {
+    invariant_cases("origin", || {
         let mut spec = SystemSpec::origin();
         spec.migrep.as_mut().unwrap().threshold = 4;
-        check_system_invariants(spec, &refs)?;
-    }
+        spec
+    });
+}
 
-    #[test]
-    fn system_is_deterministic(refs in ref_stream()) {
+#[test]
+fn system_is_deterministic() {
+    for case in 0..24u64 {
+        let mut rng = TraceRng::for_workload("determinism", case);
+        let refs = ref_stream(&mut rng);
         let topo = Topology::paper_default();
         let geo = Geometry::paper_default();
         let run = || {
-            let mut sys = System::new(SystemSpec::vbp(PcSize::Bytes(16 * 4096)), topo, geo, 1024 * 1024).unwrap();
+            let mut sys = System::new(
+                SystemSpec::vbp(PcSize::Bytes(16 * 4096)),
+                topo,
+                geo,
+                1024 * 1024,
+            )
+            .unwrap();
             sys.run(refs.iter().copied());
             sys.metrics().clone()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    #[test]
-    fn victim_nc_dominates_base_on_any_stream(refs in ref_stream()) {
-        // The paper's "cannot be worse than no NC" claim, adversarially.
+#[test]
+fn victim_nc_dominates_base_on_any_stream() {
+    // The paper's "cannot be worse than no NC" claim, adversarially.
+    for case in 0..24u64 {
+        let mut rng = TraceRng::for_workload("dominance", case);
+        let refs = ref_stream(&mut rng);
         let topo = Topology::paper_default();
         let geo = Geometry::paper_default();
         let run = |spec: SystemSpec| {
@@ -420,6 +457,9 @@ proptest! {
         };
         let base = run(SystemSpec::base());
         let vb = run(SystemSpec::vb());
-        prop_assert!(vb <= base, "victim NC increased cluster misses: {vb} > {base}");
+        assert!(
+            vb <= base,
+            "case {case}: victim NC increased cluster misses: {vb} > {base}"
+        );
     }
 }

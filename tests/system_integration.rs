@@ -43,7 +43,12 @@ fn infinite_sram_nc_is_a_lower_bound_on_stall() {
     for kind in [WorkloadKind::Fft, WorkloadKind::Radix, WorkloadKind::Barnes] {
         let r = dev_reports(
             kind,
-            &[SystemSpec::ncs(), SystemSpec::base(), SystemSpec::vb(), SystemSpec::nc()],
+            &[
+                SystemSpec::ncs(),
+                SystemSpec::base(),
+                SystemSpec::vb(),
+                SystemSpec::nc(),
+            ],
         );
         for other in &r[1..] {
             assert!(
@@ -99,10 +104,8 @@ fn event_counts_are_conserved() {
             let r = dev_reports(kind, &[spec])[0].clone();
             let m = &r.metrics;
             assert_eq!(m.shared_refs, m.reads + m.writes, "{kind}/{}", r.system);
-            let read_events = m.read_hits
-                + m.nc_read_hits
-                + m.pc_read_hits
-                + m.remote_read_misses();
+            let read_events =
+                m.read_hits + m.nc_read_hits + m.pc_read_hits + m.remote_read_misses();
             // Peer transfers and local misses cover both reads and writes,
             // so reads are bounded, not equal.
             assert!(
@@ -120,11 +123,7 @@ fn event_counts_are_conserved() {
                 + m.remote_write_capacity
                 + m.peer_transfers
                 + m.local_misses;
-            assert_eq!(
-                classified, m.shared_refs,
-                "{kind}/{}: {m:#?}",
-                r.system
-            );
+            assert_eq!(classified, m.shared_refs, "{kind}/{}: {m:#?}", r.system);
         }
     }
 }
@@ -157,13 +156,13 @@ fn miss_ratios_are_probabilities() {
 #[test]
 fn stall_equation_matches_metrics() {
     // Recompute Equation 1 by hand from the counters.
-    let r = dev_reports(WorkloadKind::Raytrace, &[SystemSpec::vbp(PcSize::Bytes(512 * 1024))])
-        [0]
+    let r = dev_reports(
+        WorkloadKind::Raytrace,
+        &[SystemSpec::vbp(PcSize::Bytes(512 * 1024))],
+    )[0]
     .clone();
     let m = &r.metrics;
-    let by_hand = m.nc_read_hits
-        + m.pc_read_hits * 10
-        + m.remote_read_misses() * 30
-        + m.relocations * 225;
+    let by_hand =
+        m.nc_read_hits + m.pc_read_hits * 10 + m.remote_read_misses() * 30 + m.relocations * 225;
     assert_eq!(r.remote_read_stall, by_hand);
 }

@@ -119,8 +119,13 @@ fn per_cluster_counts_sum_to_global() {
     let w = WorkloadKind::Fft.dev_instance();
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
-    let mut sys = System::new(SystemSpec::vbp(PcSize::DataFraction(5)), topo, geo, w.shared_bytes())
-        .unwrap();
+    let mut sys = System::new(
+        SystemSpec::vbp(PcSize::DataFraction(5)),
+        topo,
+        geo,
+        w.shared_bytes(),
+    )
+    .unwrap();
     sys.run(w.generate(&topo, Scale::new(0.3).unwrap()));
     let m = sys.metrics();
     let mut refs = 0;
