@@ -1,11 +1,12 @@
-//! Regenerates Figure 4 of the paper. `--scale <f>` shortens traces.
+//! Regenerates Figure 4 of the paper. `--scale <f>` shortens
+//! traces; `--jobs <n>` sizes the sweep worker pool.
 
 use dsm_bench::figures::{all_workloads, fig4};
-use dsm_bench::{parse_scale_arg, TraceSet};
+use dsm_bench::{parse_run_args, TraceSet};
 
 fn main() {
-    let scale = parse_scale_arg();
-    let mut ts = TraceSet::new(scale);
+    let args = parse_run_args("fig4 [--scale <f>] [--jobs <n>]");
+    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
     let table = fig4::run(&mut ts, &all_workloads());
     println!("{}", table.render());
 }

@@ -1,15 +1,15 @@
 //! Regenerates Figure 6 of the paper (fixed vs adaptive relocation
 //! threshold), plus a supplementary run with a tighter (1/16) page cache
 //! where the synthetic traces actually thrash. `--scale <f>` shortens
-//! traces.
+//! traces; `--jobs <n>` sizes the sweep worker pool.
 
 use dsm_bench::figures::{all_workloads, fig6};
-use dsm_bench::{parse_scale_arg, TraceSet};
+use dsm_bench::{parse_run_args, TraceSet};
 
 fn main() {
-    let scale = parse_scale_arg();
-    let mut ts = TraceSet::new(scale);
+    let args = parse_run_args("fig6 [--scale <f>] [--jobs <n>]");
+    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
     println!("{}", fig6::run(&mut ts, &all_workloads()).render());
-    let mut ts = TraceSet::new(scale);
+    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
     println!("{}", fig6::run_tight(&mut ts, &all_workloads()).render());
 }

@@ -1,12 +1,13 @@
 //! Supplementary experiment: SGI-Origin-style page migration/replication
 //! vs network caches, including the paper's concluding hypothesis
-//! (`origin+vb`). `--scale <f>` shortens traces.
+//! (`origin+vb`). `--scale <f>` shortens traces; `--jobs <n>` sizes the
+//! sweep worker pool.
 
 use dsm_bench::figures::{all_workloads, origin};
-use dsm_bench::{parse_scale_arg, TraceSet};
+use dsm_bench::{parse_run_args, TraceSet};
 
 fn main() {
-    let scale = parse_scale_arg();
-    let mut ts = TraceSet::new(scale);
+    let args = parse_run_args("origin [--scale <f>] [--jobs <n>]");
+    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
     println!("{}", origin::run(&mut ts, &all_workloads()).render());
 }

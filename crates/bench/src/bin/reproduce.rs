@@ -5,12 +5,20 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [--scale <f>] [--markdown] [--out <dir>]
+//! reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>]
 //! reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]
 //! ```
 //!
 //! The first form reproduces the figures; with `--out` it also writes the
-//! full machine-readable dataset to `<dir>/reproduce_full.json`.
+//! full machine-readable dataset to `<dir>/reproduce_full.json` plus the
+//! wall-clock timings to `<dir>/timings.json`. The dataset file carries
+//! no timestamps or wall times, so two runs at the same scale are
+//! byte-identical regardless of `--jobs` — the determinism CI job diffs
+//! exactly that file (and stdout).
+//!
+//! Every figure executes through the parallel sweep engine
+//! (`dsm_bench::sweep`) on `--jobs <n>` workers (default: all hardware
+//! threads; env `DSM_JOBS`); `--jobs 1` is the exact legacy serial path.
 //!
 //! The second form runs the *instrumented* reproduction instead: each
 //! workload runs on the key system configurations (`base`, `vb`, `ncd`,
@@ -28,11 +36,15 @@ use std::path::{Path, PathBuf};
 use dsm_bench::figures::{
     all_workloads, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9, origin, tables,
 };
-use dsm_bench::{parse_scale_arg, FigureTable, TraceSet};
+use dsm_bench::harness::{parse_argv, usage_exit, RunArgs};
+use dsm_bench::{FigureTable, TraceSet};
 use dsm_core::obs::{Json, JsonlSink, StatsSink};
 use dsm_core::{PcSize, SystemSpec, Tee};
 
+const USAGE: &str = "reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>]\n       reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]";
+
 struct Flags {
+    run: RunArgs,
     markdown: bool,
     epoch: Option<u64>,
     trace_events: bool,
@@ -40,38 +52,48 @@ struct Flags {
 }
 
 fn parse_flags() -> Flags {
-    let mut f = Flags {
-        markdown: false,
-        epoch: None,
-        trace_events: false,
-        out: None,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--markdown" => f.markdown = true,
-            "--trace-events" => f.trace_events = true,
-            "--epoch" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| panic!("--epoch requires a value"));
-                let w: u64 = v.parse().unwrap_or_else(|_| panic!("bad epoch '{v}'"));
-                assert!(w > 0, "--epoch must be positive");
-                f.epoch = Some(w);
-            }
-            "--out" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| panic!("--out requires a value"));
-                f.out = Some(PathBuf::from(v));
-            }
-            "--scale" => {
-                args.next(); // parsed by parse_scale_arg
-            }
-            other => panic!("unknown flag '{other}'"),
+    let mut markdown = false;
+    let mut epoch = None;
+    let mut trace_events = false;
+    let mut out = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let run = parse_argv(&argv, |args, i| match args[i].as_str() {
+        "--markdown" => {
+            markdown = true;
+            Ok(1)
         }
+        "--trace-events" => {
+            trace_events = true;
+            Ok(1)
+        }
+        "--epoch" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--epoch requires a value".to_owned())?;
+            let w: u64 = v.parse().map_err(|_| format!("bad epoch '{v}'"))?;
+            if w == 0 {
+                return Err("--epoch must be positive".to_owned());
+            }
+            epoch = Some(w);
+            Ok(2)
+        }
+        "--out" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--out requires a value".to_owned())?;
+            out = Some(PathBuf::from(v));
+            Ok(2)
+        }
+        _ => Ok(0),
+    })
+    .unwrap_or_else(|msg| usage_exit(USAGE, &msg));
+    Flags {
+        run,
+        markdown,
+        epoch,
+        trace_events,
+        out,
     }
-    f
 }
 
 /// Makes a spec name filesystem-friendly (`vxp5(t32)` -> `vxp5-t32`).
@@ -96,9 +118,11 @@ fn write_json(path: &Path, json: &Json) {
 }
 
 /// The instrumented reproduction: probed runs of every workload on the
-/// key configurations, exported as JSON run reports.
+/// key configurations, exported as JSON run reports. This path runs
+/// serially regardless of `--jobs`: each run streams its own event log
+/// and progress lines, which must stay ordered.
 fn run_instrumented(flags: &Flags) {
-    let scale = parse_scale_arg();
+    let scale = flags.run.scale;
     let out = flags
         .out
         .clone()
@@ -173,8 +197,13 @@ fn main() {
         return;
     }
 
-    let scale = parse_scale_arg();
-    eprintln!("reproduce: scale factor {}", scale.factor());
+    let scale = flags.run.scale;
+    let jobs = flags.run.jobs;
+    eprintln!(
+        "reproduce: scale factor {}, {} sweep worker(s)",
+        scale.factor(),
+        jobs.get()
+    );
 
     println!("{}", tables::table1());
     println!("{}", tables::table2());
@@ -197,16 +226,17 @@ fn main() {
     ];
 
     let mut exported: Vec<Json> = Vec::new();
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let t_all = std::time::Instant::now();
     for (name, runner) in figures {
         eprintln!("reproduce: running {name} ...");
         let t0 = std::time::Instant::now();
         // A fresh trace set per figure keeps peak memory to one trace.
-        let mut ts = TraceSet::new(scale);
+        let mut ts = TraceSet::with_jobs(scale, jobs);
         let table = runner(&mut ts, &kinds);
-        eprintln!(
-            "reproduce: {name} done in {:.1}s",
-            t0.elapsed().as_secs_f64()
-        );
+        let wall_s = t0.elapsed().as_secs_f64();
+        eprintln!("reproduce: {name} done in {wall_s:.1}s");
+        timings.push((name.to_owned(), wall_s));
         if flags.markdown {
             println!("## {}\n\n{}", table.caption, table.render_markdown());
         } else {
@@ -216,15 +246,33 @@ fn main() {
             exported.push(table.to_json().set("figure", name));
         }
     }
+    let total_s = t_all.elapsed().as_secs_f64();
+    eprintln!("reproduce: all figures done in {total_s:.1}s");
 
     if let Some(out) = &flags.out {
         std::fs::create_dir_all(out)
             .unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
+        // The dataset: everything *but* wall clock, so any two runs at
+        // one scale are byte-identical whatever the worker count.
         let path = out.join("reproduce_full.json");
         let json = Json::obj()
             .set("scale", scale.factor())
             .set("figures", exported);
         write_json(&path, &json);
         eprintln!("reproduce: wrote {}", path.display());
+        // The timings, separately, so the sweep-engine speedup is
+        // visible in results/ without polluting the diffable dataset.
+        let t_path = out.join("timings.json");
+        let figures_json: Vec<Json> = timings
+            .into_iter()
+            .map(|(name, wall_s)| Json::obj().set("figure", name).set("wall_s", wall_s))
+            .collect();
+        let t_json = Json::obj()
+            .set("scale", scale.factor())
+            .set("jobs", jobs.get())
+            .set("total_wall_s", total_s)
+            .set("figures", figures_json);
+        write_json(&t_path, &t_json);
+        eprintln!("reproduce: wrote {}", t_path.display());
     }
 }

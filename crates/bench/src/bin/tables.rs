@@ -1,8 +1,16 @@
-//! Regenerates Tables 1-3 of the paper.
+//! Regenerates Tables 1-3 of the paper. The tables are analytic (latency
+//! constants and workload footprints — no simulation), so no flags apply;
+//! any argument is rejected.
 
 use dsm_bench::figures::tables;
 
 fn main() {
+    if let Some(arg) = std::env::args().nth(1) {
+        eprintln!("error: unexpected argument '{arg}'");
+        eprintln!("usage: tables");
+        eprintln!("(Tables 1-3 are analytic; the binary takes no flags)");
+        std::process::exit(2);
+    }
     println!("{}", tables::table1());
     println!("{}", tables::table2());
     println!("{}", tables::table3());

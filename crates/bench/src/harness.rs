@@ -1,5 +1,5 @@
-//! Shared experiment machinery: trace caching, fair comparison, and table
-//! rendering.
+//! Shared experiment machinery: strict CLI parsing, trace caching, fair
+//! comparison, and table rendering.
 
 use std::collections::HashMap;
 
@@ -9,49 +9,130 @@ use dsm_core::{Probe, Report, SystemSpec};
 use dsm_trace::{Scale, WorkloadKind};
 use dsm_types::{Geometry, MemRef, Topology};
 
-/// Parses `--scale <f>` from argv, falling back to the `DSM_SCALE`
-/// environment variable and then to 1.0.
+use crate::sweep::{run_sweep, Jobs, SweepPoint};
+
+/// The flags every figure binary accepts — one usage text shared by all
+/// of them (and embedded in `reproduce`'s extended usage).
+pub const COMMON_FLAGS_USAGE: &str = "\
+common flags:
+  --scale <f>  trace-length scale factor in (0, 1] (env DSM_SCALE; default 1.0)
+  --jobs <n>   sweep worker threads (env DSM_JOBS; default: available
+               parallelism; 1 = the serial legacy path)";
+
+/// The common CLI arguments of every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunArgs {
+    /// Trace-length scale factor.
+    pub scale: Scale,
+    /// Sweep-engine worker count.
+    pub jobs: Jobs,
+}
+
+/// Parses `argv` (without the program name), accepting `--scale <f>` and
+/// `--jobs <n>`. Any other argument is first offered to `extra`, which
+/// returns how many argv items it consumed (`Ok(0)` = unrecognized).
+/// Unknown or malformed flags are an `Err` — nothing is silently
+/// swallowed. Missing values fall back to `DSM_SCALE` / `DSM_JOBS`, then
+/// to scale 1.0 / all available hardware threads.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with a usage message on malformed input.
-#[must_use]
-pub fn parse_scale_arg() -> Scale {
-    let mut args = std::env::args().skip(1);
-    let mut value: Option<f64> = None;
-    while let Some(a) = args.next() {
-        if a == "--scale" {
-            let v = args
-                .next()
-                .unwrap_or_else(|| panic!("--scale requires a value"));
-            value = Some(v.parse().unwrap_or_else(|_| panic!("bad scale '{v}'")));
+/// Returns the message to print above the usage text.
+pub fn parse_argv(
+    argv: &[String],
+    mut extra: impl FnMut(&[String], usize) -> Result<usize, String>,
+) -> Result<RunArgs, String> {
+    let mut scale: Option<f64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                let v = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "--scale requires a value".to_owned())?;
+                scale = Some(v.parse().map_err(|_| format!("bad scale '{v}'"))?);
+                i += 2;
+            }
+            "--jobs" => {
+                let v = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "--jobs requires a value".to_owned())?;
+                jobs = Some(v.parse().map_err(|_| format!("bad job count '{v}'"))?);
+                i += 2;
+            }
+            other => match extra(argv, i)? {
+                0 => return Err(format!("unknown flag '{other}'")),
+                n => i += n,
+            },
         }
     }
-    if value.is_none() {
+    if scale.is_none() {
         if let Ok(v) = std::env::var("DSM_SCALE") {
-            value = Some(v.parse().unwrap_or_else(|_| panic!("bad DSM_SCALE '{v}'")));
+            scale = Some(v.parse().map_err(|_| format!("bad DSM_SCALE '{v}'"))?);
         }
     }
-    Scale::new(value.unwrap_or(1.0)).unwrap_or_else(|e| panic!("{e}"))
+    if jobs.is_none() {
+        if let Ok(v) = std::env::var("DSM_JOBS") {
+            jobs = Some(v.parse().map_err(|_| format!("bad DSM_JOBS '{v}'"))?);
+        }
+    }
+    Ok(RunArgs {
+        scale: Scale::new(scale.unwrap_or(1.0)).map_err(|e| e.to_string())?,
+        jobs: match jobs {
+            Some(n) => Jobs::new(n)?,
+            None => Jobs::available(),
+        },
+    })
+}
+
+/// Prints `error: <msg>`, the binary's usage line, and the shared flag
+/// reference, then exits with status 2.
+pub fn usage_exit(usage_line: &str, msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: {usage_line}\n{COMMON_FLAGS_USAGE}");
+    std::process::exit(2);
+}
+
+/// Parses the process arguments of a figure binary (only the common
+/// flags), exiting with `usage_line` on anything unrecognized.
+#[must_use]
+pub fn parse_run_args(usage_line: &str) -> RunArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_argv(&argv, |_, _| Ok(0)).unwrap_or_else(|msg| usage_exit(usage_line, &msg))
 }
 
 /// A cache of generated traces, one per workload, shared by every system
 /// configuration of a figure (the paper's same-trace methodology).
+///
+/// The set also carries the sweep-engine worker count ([`Jobs`]): every
+/// grid built from this set ([`run_grid`]) executes its points on that
+/// many workers, all reading the same immutable trace. Generation happens
+/// in [`TraceSet::prepare`] (or lazily in [`TraceSet::run`]) — never
+/// inside the parallel region.
 pub struct TraceSet {
     topo: Topology,
     geo: Geometry,
     scale: Scale,
+    jobs: Jobs,
     traces: HashMap<WorkloadKind, (u64, Vec<MemRef>)>,
 }
 
 impl TraceSet {
-    /// Creates an empty set generating paper-parameter traces at `scale`.
+    /// Creates an empty set generating paper-parameter traces at `scale`,
+    /// sweeping on all available hardware threads.
     #[must_use]
     pub fn new(scale: Scale) -> Self {
+        TraceSet::with_jobs(scale, Jobs::available())
+    }
+
+    /// [`TraceSet::new`] with an explicit sweep worker count.
+    #[must_use]
+    pub fn with_jobs(scale: Scale, jobs: Jobs) -> Self {
         TraceSet {
             topo: Topology::paper_default(),
             geo: Geometry::paper_default(),
             scale,
+            jobs,
             traces: HashMap::new(),
         }
     }
@@ -62,7 +143,16 @@ impl TraceSet {
         &self.topo
     }
 
-    fn ensure(&mut self, kind: WorkloadKind) {
+    /// The sweep worker count grids built from this set run on.
+    #[must_use]
+    pub fn jobs(&self) -> Jobs {
+        self.jobs
+    }
+
+    /// Generates (once) the trace for `kind`; afterwards the trace is
+    /// immutable and [`TraceSet::run_prepared`] can run on `&self` from
+    /// any number of threads.
+    pub fn prepare(&mut self, kind: WorkloadKind) {
         if !self.traces.contains_key(&kind) {
             let w = kind.paper_instance();
             let trace = w.generate(&self.topo, self.scale);
@@ -76,8 +166,22 @@ impl TraceSet {
     ///
     /// Panics if the system spec is invalid for this workload.
     pub fn run(&mut self, spec: &SystemSpec, kind: WorkloadKind) -> Report {
-        self.ensure(kind);
-        let (data_bytes, trace) = &self.traces[&kind];
+        self.prepare(kind);
+        self.run_prepared(spec, kind)
+    }
+
+    /// Runs `spec` on `kind`'s already-generated trace, without mutating
+    /// the set — the shared read-only path the sweep workers use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not [`TraceSet::prepare`]d, or if the system
+    /// spec is invalid for this workload.
+    pub fn run_prepared(&self, spec: &SystemSpec, kind: WorkloadKind) -> Report {
+        let (data_bytes, trace) = self
+            .traces
+            .get(&kind)
+            .unwrap_or_else(|| panic!("trace for {kind} not prepared"));
         run_trace(
             spec,
             &kind.display_name().to_lowercase(),
@@ -103,7 +207,7 @@ impl TraceSet {
         probe: P,
         epoch_window: Option<u64>,
     ) -> (Report, P) {
-        self.ensure(kind);
+        self.prepare(kind);
         let (data_bytes, trace) = &self.traces[&kind];
         run_trace_probed(
             spec,
@@ -242,15 +346,36 @@ impl FigureTable {
 
 /// Runs each spec on each workload (sharing traces) and returns
 /// `(workload, reports-in-spec-order)` rows.
+///
+/// Each workload's points are enumerated as [`SweepPoint`]s and executed
+/// through the parallel sweep engine on [`TraceSet::jobs`] workers — one
+/// workload at a time, so peak memory stays at a single trace while all
+/// configurations of that workload run concurrently over it. Row order
+/// (and therefore every table and JSON export) is identical to the serial
+/// run by the engine's submission-order guarantee.
+///
+/// # Panics
+///
+/// Panics with the first failed point's label and message if any point
+/// panicked (after the whole grid has been attempted).
 pub fn run_grid(
     ts: &mut TraceSet,
     specs: &[SystemSpec],
     kinds: &[WorkloadKind],
 ) -> Vec<(WorkloadKind, Vec<Report>)> {
+    let jobs = ts.jobs();
     let mut rows = Vec::new();
     for &kind in kinds {
-        let reports = specs.iter().map(|s| ts.run(s, kind)).collect();
+        let points: Vec<SweepPoint> = specs
+            .iter()
+            .map(|s| SweepPoint::new(s.clone(), kind))
+            .collect();
+        let outcomes = run_sweep(ts, &points, jobs);
         ts.evict(kind);
+        let reports = outcomes
+            .into_iter()
+            .map(crate::sweep::SweepOutcome::into_report)
+            .collect();
         rows.push((kind, reports));
     }
     rows
@@ -321,6 +446,47 @@ mod tests {
     fn row_width_checked() {
         let mut t = FigureTable::new("Test", vec!["a".into()]);
         t.push_row("x", vec![1.0, 2.0]);
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_argv_accepts_common_flags() {
+        let a = parse_argv(&argv(&["--scale", "0.25", "--jobs", "3"]), |_, _| Ok(0)).unwrap();
+        assert_eq!(a.scale.factor(), 0.25);
+        assert_eq!(a.jobs.get(), 3);
+    }
+
+    #[test]
+    fn parse_argv_rejects_unknown_and_malformed_flags() {
+        let unknown = parse_argv(&argv(&["--scael", "0.1"]), |_, _| Ok(0)).unwrap_err();
+        assert!(unknown.contains("--scael"), "{unknown}");
+        // Regression: a stray flag *after* --scale <f> used to be
+        // silently swallowed by the old scanner.
+        let trailing = parse_argv(&argv(&["--scale", "0.1", "--bogus"]), |_, _| Ok(0)).unwrap_err();
+        assert!(trailing.contains("--bogus"), "{trailing}");
+        assert!(parse_argv(&argv(&["--scale"]), |_, _| Ok(0)).is_err());
+        assert!(parse_argv(&argv(&["--scale", "two"]), |_, _| Ok(0)).is_err());
+        assert!(parse_argv(&argv(&["--jobs", "0"]), |_, _| Ok(0)).is_err());
+        assert!(parse_argv(&argv(&["--scale", "7"]), |_, _| Ok(0)).is_err());
+    }
+
+    #[test]
+    fn parse_argv_lets_callers_claim_extra_flags() {
+        let mut markdown = false;
+        let a = parse_argv(&argv(&["--markdown", "--jobs", "2"]), |args, i| {
+            if args[i] == "--markdown" {
+                markdown = true;
+                Ok(1)
+            } else {
+                Ok(0)
+            }
+        })
+        .unwrap();
+        assert!(markdown);
+        assert_eq!(a.jobs.get(), 2);
     }
 
     #[test]

@@ -14,12 +14,22 @@
 //! `dsm_trace::Scale`), settable with `--scale <f>` on every binary or the
 //! `DSM_SCALE` environment variable; the default is 1.0 (full-length
 //! traces, minutes of runtime in release mode).
+//!
+//! Sweeps execute on the parallel engine in [`sweep`]: every (system,
+//! workload) point of a figure is enumerated as a [`sweep::SweepPoint`]
+//! and run on a scoped-thread worker pool sharing the workload's
+//! immutable trace, with results returned in submission order so the
+//! output is byte-identical to a serial run. `--jobs <n>` (or `DSM_JOBS`)
+//! sizes the pool on every binary; `--jobs 1` is the exact legacy serial
+//! path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod harness;
+pub mod sweep;
 pub mod tinybench;
 
-pub use harness::{parse_scale_arg, FigureTable, TraceSet};
+pub use harness::{parse_run_args, FigureTable, RunArgs, TraceSet};
+pub use sweep::{run_sweep, Jobs, SweepOutcome, SweepPoint};

@@ -1,0 +1,280 @@
+//! Dependency-free parallel execution engine for design-space sweeps.
+//!
+//! Every figure of the paper is a sweep: a grid of (system configuration,
+//! workload) points where all points of one workload are read-only over
+//! the *same* generated trace (the paper's same-trace methodology). That
+//! makes the points embarrassingly parallel: [`run_sweep`] hoists trace
+//! generation out of the parallel region (generate-once, then immutable),
+//! shares the [`TraceSet`] across a scoped [`std::thread`] worker pool by
+//! reference, and hands each worker points from an atomic work queue.
+//!
+//! Determinism guarantees:
+//!
+//! * results come back **in submission order**, regardless of which
+//!   worker finished first, so tables and JSON exports are byte-identical
+//!   to the serial run;
+//! * each point is a pure function of `(spec, trace)` — workers share
+//!   only the immutable trace, never simulator state;
+//! * `jobs = 1` is the exact legacy path: the calling thread runs the
+//!   queue serially and no worker threads are spawned.
+//!
+//! A panicking point (e.g. a spec invalid for its workload) is captured
+//! with [`std::panic::catch_unwind`] and reported as a failed
+//! [`SweepOutcome`] row; the remaining points still run. The default
+//! panic hook still prints the panic message to stderr — stdout (tables,
+//! JSON) stays clean.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dsm_core::{Report, SystemSpec};
+use dsm_trace::WorkloadKind;
+
+use crate::harness::TraceSet;
+
+/// A validated worker count for the sweep engine (at least 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jobs(usize);
+
+impl Jobs {
+    /// A worker count; `n` must be positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message for `n == 0`.
+    pub fn new(n: usize) -> Result<Self, String> {
+        if n == 0 {
+            return Err("--jobs must be at least 1".to_owned());
+        }
+        Ok(Jobs(n))
+    }
+
+    /// The serial engine: no worker threads, the legacy execution path.
+    #[must_use]
+    pub fn serial() -> Self {
+        Jobs(1)
+    }
+
+    /// One worker per available hardware thread (the default when neither
+    /// `--jobs` nor `DSM_JOBS` is given).
+    #[must_use]
+    pub fn available() -> Self {
+        Jobs(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Jobs {
+    fn default() -> Self {
+        Jobs::available()
+    }
+}
+
+/// One unit of sweep work: run `spec` on `workload`'s shared trace.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Row label carried through to the outcome (e.g. `"vb16/Radix"`).
+    pub label: String,
+    /// The system configuration to simulate.
+    pub spec: SystemSpec,
+    /// The workload whose cached trace drives the run.
+    pub workload: WorkloadKind,
+}
+
+impl SweepPoint {
+    /// A point labelled `"<spec name>/<workload>"`.
+    #[must_use]
+    pub fn new(spec: SystemSpec, workload: WorkloadKind) -> Self {
+        SweepPoint {
+            label: format!("{}/{}", spec.name, workload.display_name()),
+            spec,
+            workload,
+        }
+    }
+}
+
+/// The result of one sweep point, in submission order.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The submitted point's label.
+    pub label: String,
+    /// The report, or the captured panic message of a failed point.
+    pub result: Result<Report, String>,
+    /// Wall-clock seconds this point took inside its worker (simulation
+    /// only; trace generation is hoisted and not attributed to points).
+    pub wall_s: f64,
+}
+
+impl SweepOutcome {
+    /// The report of a succeeded point.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the point's label and captured message if it failed.
+    #[must_use]
+    pub fn into_report(self) -> Report {
+        match self.result {
+            Ok(r) => r,
+            Err(e) => panic!("sweep point {}: {e}", self.label),
+        }
+    }
+}
+
+/// Renders a captured panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "point panicked (non-string payload)".to_owned()
+    }
+}
+
+/// Runs one prepared point under panic capture, timing it.
+fn run_point(ts: &TraceSet, point: &SweepPoint) -> SweepOutcome {
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        ts.run_prepared(&point.spec, point.workload)
+    }))
+    .map_err(panic_message);
+    SweepOutcome {
+        label: point.label.clone(),
+        result,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Executes `points` on `jobs` workers sharing `ts`'s traces, returning
+/// outcomes in submission order.
+///
+/// Traces for every workload appearing in `points` are generated first,
+/// serially, before any worker starts (`ts` is then only read). With
+/// `jobs == 1` the calling thread runs the points in order and no threads
+/// are spawned — the exact legacy path.
+pub fn run_sweep(ts: &mut TraceSet, points: &[SweepPoint], jobs: Jobs) -> Vec<SweepOutcome> {
+    // Hoist trace generation out of the parallel region: generate once,
+    // then the set is immutable and shared by reference.
+    for p in points {
+        ts.prepare(p.workload);
+    }
+    let ts: &TraceSet = ts;
+
+    if jobs.get() == 1 || points.len() <= 1 {
+        return points.iter().map(|p| run_point(ts, p)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepOutcome>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let workers = jobs.get().min(points.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                let outcome = run_point(ts, point);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every queue index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::PcSize;
+    use dsm_trace::Scale;
+
+    fn small_ts() -> TraceSet {
+        TraceSet::new(Scale::new(0.05).unwrap())
+    }
+
+    #[test]
+    fn jobs_rejects_zero() {
+        assert!(Jobs::new(0).is_err());
+        assert_eq!(Jobs::new(3).unwrap().get(), 3);
+        assert_eq!(Jobs::serial().get(), 1);
+        assert!(Jobs::available().get() >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let mut ts = small_ts();
+        let points: Vec<SweepPoint> = [
+            SystemSpec::vb(),
+            SystemSpec::base(),
+            SystemSpec::nc(),
+            SystemSpec::vp(),
+            SystemSpec::ncd(),
+            SystemSpec::ncs(),
+        ]
+        .into_iter()
+        .map(|s| SweepPoint::new(s, WorkloadKind::Lu))
+        .collect();
+        let labels: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
+        let outcomes = run_sweep(&mut ts, &points, Jobs::new(4).unwrap());
+        let got: Vec<String> = outcomes.iter().map(|o| o.label.clone()).collect();
+        assert_eq!(got, labels);
+        for o in &outcomes {
+            assert!(o.result.is_ok(), "{}: {:?}", o.label, o.result);
+            assert!(o.wall_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn panicking_point_becomes_failed_row_without_aborting() {
+        let mut ts = small_ts();
+        // A page cache of 1/10^6 of LU's ~2 MB data set cannot hold one
+        // page: System::new fails, the point panics inside the worker.
+        let mut bad = SystemSpec::ncp(PcSize::DataFraction(1_000_000));
+        bad.name = "ncp-too-small".into();
+        let points = vec![
+            SweepPoint::new(SystemSpec::base(), WorkloadKind::Lu),
+            SweepPoint::new(bad, WorkloadKind::Lu),
+            SweepPoint::new(SystemSpec::vb(), WorkloadKind::Lu),
+        ];
+        let outcomes = run_sweep(&mut ts, &points, Jobs::new(4).unwrap());
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].result.is_ok());
+        assert!(outcomes[2].result.is_ok(), "sweep aborted after a panic");
+        let err = outcomes[1].result.as_ref().unwrap_err();
+        assert!(
+            err.contains("ncp-too-small"),
+            "captured message should identify the point: {err}"
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_are_identical() {
+        let points: Vec<SweepPoint> = [SystemSpec::base(), SystemSpec::vb(), SystemSpec::nc()]
+            .into_iter()
+            .map(|s| SweepPoint::new(s, WorkloadKind::Lu))
+            .collect();
+        let serial = run_sweep(&mut small_ts(), &points, Jobs::serial());
+        let parallel = run_sweep(&mut small_ts(), &points, Jobs::new(3).unwrap());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            // Report equality ignores wall time by design.
+            assert_eq!(a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end determinism of the parallel sweep engine: a figure built on
+//! N workers must be *identical* — row order, labels, and every f64 bit —
+//! to the serial legacy run, because each sweep point is a pure function
+//! of (spec, shared trace) and the engine returns results in submission
+//! order.
+
+use dsm_bench::figures::{all_workloads, fig3, fig9};
+use dsm_bench::{Jobs, TraceSet};
+use dsm_trace::{Scale, WorkloadKind};
+
+fn scale() -> Scale {
+    Scale::new(0.05).unwrap()
+}
+
+#[test]
+fn fig3_parallel_equals_serial() {
+    let kinds = [WorkloadKind::Lu, WorkloadKind::Fft, WorkloadKind::Radix];
+    let mut serial_ts = TraceSet::with_jobs(scale(), Jobs::serial());
+    let serial = fig3::run(&mut serial_ts, &kinds);
+    let mut parallel_ts = TraceSet::with_jobs(scale(), Jobs::new(4).unwrap());
+    let parallel = fig3::run(&mut parallel_ts, &kinds);
+
+    assert_eq!(serial.caption, parallel.caption);
+    assert_eq!(serial.columns, parallel.columns);
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for ((n1, v1), (n2, v2)) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(n1, n2, "row order must match the serial run");
+        // Bit-exact, not approximately equal: the rendered tables and
+        // the JSON export must be byte-identical.
+        let b1: Vec<u64> = v1.iter().map(|v| v.to_bits()).collect();
+        let b2: Vec<u64> = v2.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(b1, b2, "{n1}: parallel metrics diverged from serial");
+    }
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+}
+
+#[test]
+fn normalized_figure_parallel_equals_serial() {
+    // Figure 9 normalizes every column to the first spec's report, so it
+    // also exercises cross-point data flow after the parallel region.
+    let kinds = [WorkloadKind::Lu];
+    let serial = fig9::run(&mut TraceSet::with_jobs(scale(), Jobs::serial()), &kinds);
+    let parallel = fig9::run(
+        &mut TraceSet::with_jobs(scale(), Jobs::new(4).unwrap()),
+        &kinds,
+    );
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn all_workloads_matches_paper_count() {
+    // The sweep tests above subsample workloads for speed; make sure the
+    // full enumeration the binaries sweep over is still the paper's 8.
+    assert_eq!(all_workloads().len(), 8);
+}

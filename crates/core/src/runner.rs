@@ -9,7 +9,11 @@ use dsm_trace::{Scale, Workload};
 use dsm_types::{ConfigError, Geometry, Topology};
 
 /// The result of running one workload on one system configuration.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only the simulation outcome: [`Report::wall_s`] is
+/// host timing, not simulated state, and is excluded so that repeated
+/// (or parallel) runs of the same point compare equal.
+#[derive(Debug, Clone)]
 pub struct Report {
     /// The configuration name (`base`, `vb16`, `ncp5`, ...).
     pub system: String,
@@ -31,6 +35,39 @@ pub struct Report {
     pub remote_read_stall: u64,
     /// Remote data traffic, block transfers.
     pub remote_traffic: u64,
+    /// Wall-clock seconds spent simulating this point (0.0 when the
+    /// report was assembled by [`report_of`] outside a timed runner).
+    pub wall_s: f64,
+}
+
+impl PartialEq for Report {
+    fn eq(&self, other: &Report) -> bool {
+        // Exhaustive destructuring so a new field cannot silently escape
+        // the comparison; `wall_s` is deliberately ignored (see above).
+        let Report {
+            system,
+            workload,
+            data_bytes,
+            refs,
+            metrics,
+            read_miss_ratio,
+            write_miss_ratio,
+            relocation_overhead,
+            remote_read_stall,
+            remote_traffic,
+            wall_s: _,
+        } = self;
+        *system == other.system
+            && *workload == other.workload
+            && *data_bytes == other.data_bytes
+            && *refs == other.refs
+            && *metrics == other.metrics
+            && *read_miss_ratio == other.read_miss_ratio
+            && *write_miss_ratio == other.write_miss_ratio
+            && *relocation_overhead == other.relocation_overhead
+            && *remote_read_stall == other.remote_read_stall
+            && *remote_traffic == other.remote_traffic
+    }
 }
 
 impl Report {
@@ -49,8 +86,15 @@ impl Report {
             .set("remote_read_stall", self.remote_read_stall)
             .set("remote_traffic", self.remote_traffic)
             .set("metrics", metrics_json(&self.metrics))
+            .set("wall_s", self.wall_s)
     }
 }
+
+// Reports cross sweep-worker boundaries by value; keep them thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Report>();
+};
 
 /// Runs `workload` at `scale` on a system built from `spec` with the
 /// paper's topology and geometry.
@@ -98,8 +142,11 @@ pub fn run_workload_on(
     let mut system = System::new(spec.clone(), topo, geo, data_bytes)?;
     let trace = workload.generate(&topo, scale);
     let refs = trace.len() as u64;
+    let t0 = std::time::Instant::now();
     system.run(trace);
-    Ok(report_of(&system, workload.name(), data_bytes, refs))
+    let mut report = report_of(&system, workload.name(), data_bytes, refs);
+    report.wall_s = t0.elapsed().as_secs_f64();
+    Ok(report)
 }
 
 /// Runs a pre-generated trace (so several systems can share one trace —
@@ -117,13 +164,11 @@ pub fn run_trace(
     geo: Geometry,
 ) -> Result<Report, ConfigError> {
     let mut system = System::new(spec.clone(), topo, geo, data_bytes)?;
+    let t0 = std::time::Instant::now();
     system.run(trace.iter().copied());
-    Ok(report_of(
-        &system,
-        workload_name,
-        data_bytes,
-        trace.len() as u64,
-    ))
+    let mut report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
+    report.wall_s = t0.elapsed().as_secs_f64();
+    Ok(report)
 }
 
 /// [`run_trace`] with an attached [`Probe`]: the trace runs through an
@@ -153,15 +198,18 @@ pub fn run_trace_probed<P: Probe>(
     if let Some(window) = epoch_window {
         system.set_epoch_window(window);
     }
+    let t0 = std::time::Instant::now();
     system.run(trace.iter().copied());
     system.finish();
-    let report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
+    let mut report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
+    report.wall_s = t0.elapsed().as_secs_f64();
     let (probe, _) = system.into_probe();
     Ok((report, probe))
 }
 
 /// Builds a [`Report`] from a finished system (useful when the caller
 /// keeps the [`System`] alive to inspect per-cluster state afterwards).
+/// The caller owns timing, so [`Report::wall_s`] is left at 0.0.
 #[must_use]
 pub fn report_of<P: Probe>(
     system: &System<P>,
@@ -182,6 +230,7 @@ pub fn report_of<P: Probe>(
         remote_read_stall: m.remote_read_stall(model),
         remote_traffic: m.remote_traffic(),
         metrics: m,
+        wall_s: 0.0,
     }
 }
 
@@ -265,6 +314,20 @@ mod tests {
         assert!(!sink.epochs().is_empty());
         // Epoch deltas sum back to the final aggregate metrics.
         assert_eq!(sink.epoch_total(), probed.metrics);
+    }
+
+    #[test]
+    fn wall_time_is_recorded_but_not_compared() {
+        let fft = Fft::with_points(1 << 8);
+        let a = run_workload(&SystemSpec::base(), &fft, Scale::full()).unwrap();
+        let b = run_workload(&SystemSpec::base(), &fft, Scale::full()).unwrap();
+        assert!(a.wall_s > 0.0, "runner must time the simulation");
+        // Two timed runs almost surely differ in wall clock, yet the
+        // reports — the simulation outcome — must compare equal.
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.wall_s = a.wall_s + 1.0;
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -1136,6 +1136,23 @@ impl<P: Probe> System<P> {
     }
 }
 
+// Thread-safety audit for the parallel sweep engine: a `System` owns no
+// shared-mutable or thread-affine state, so `System<P>` is `Send`/`Sync`
+// exactly when its probe is, and specs/reports move freely between
+// workers. Compile-time assertions so a future field (e.g. an `Rc` or a
+// raw pointer) cannot silently make sweeps unbuildable.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<System>();
+    assert_sync::<System>();
+    assert_send::<System<crate::obs::StatsSink>>();
+    assert_send::<SystemSpec>();
+    assert_sync::<SystemSpec>();
+    assert_send::<Metrics>();
+    assert_sync::<Metrics>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
