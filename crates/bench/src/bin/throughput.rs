@@ -1,0 +1,152 @@
+//! Measures simulator throughput (trace references per second) on
+//! representative system configurations and records the numbers in
+//! `BENCH_perf.json`, so the per-reference cost of the hot path is a
+//! tracked quantity rather than an anecdote.
+//!
+//! Usage:
+//!
+//! ```text
+//! throughput [--scale <f>] [--out <path>] \
+//!            [--baseline <name>=<refs_per_s>]... [--baseline-commit <sha>]
+//! ```
+//!
+//! Three configurations replay the same canned FFT trace through the
+//! tinybench harness (median of 12 samples): the CC-NUMA base machine
+//! (full-map directory, no NC), the SRAM victim network cache, and the
+//! integrated NC + page-cache system. Each benchmark prints a tinybench
+//! line; with `--out` the measured refs/sec land in a JSON file whose
+//! schema is documented in the README ("Throughput benchmark").
+//!
+//! `--baseline` attaches reference numbers measured at an earlier commit
+//! (`--baseline-commit`) so the file records the before/after pair; the
+//! CI `bench-smoke` job compares a fresh run against the committed file
+//! and fails on a >30% regression. Machine info (arch, OS, hardware
+//! threads) is recorded so cross-machine numbers are never compared
+//! blindly.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+
+use dsm_bench::harness::{parse_argv, usage_exit};
+use dsm_bench::tinybench::{consume, Tiny};
+use dsm_bench::TraceSet;
+use dsm_core::obs::Json;
+use dsm_core::{PcSize, SystemSpec};
+use dsm_trace::WorkloadKind;
+
+const USAGE: &str = "throughput [--scale <f>] [--out <path>] [--baseline <name>=<refs_per_s>]... [--baseline-commit <sha>]";
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut baseline: HashMap<String, f64> = HashMap::new();
+    let mut baseline_commit: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let run = parse_argv(&argv, |args, i| match args[i].as_str() {
+        "--out" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--out requires a value".to_owned())?;
+            out = Some(PathBuf::from(v));
+            Ok(2)
+        }
+        "--baseline" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--baseline requires <name>=<refs_per_s>".to_owned())?;
+            let (name, value) = v
+                .split_once('=')
+                .ok_or_else(|| format!("bad baseline '{v}' (want <name>=<refs_per_s>)"))?;
+            let value: f64 = value
+                .parse()
+                .map_err(|_| format!("bad baseline value '{v}'"))?;
+            baseline.insert(name.to_owned(), value);
+            Ok(2)
+        }
+        "--baseline-commit" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--baseline-commit requires a value".to_owned())?;
+            baseline_commit = Some(v.clone());
+            Ok(2)
+        }
+        _ => Ok(0),
+    })
+    .unwrap_or_else(|msg| usage_exit(USAGE, &msg));
+
+    let scale = run.scale;
+    // The paper's three interesting design points: no NC, SRAM victim
+    // NC, and the integrated NC + PC hierarchy.
+    let specs = [
+        SystemSpec::base(),
+        SystemSpec::vb(),
+        SystemSpec::vpp(PcSize::DataFraction(5)),
+    ];
+
+    let mut ts = TraceSet::new(scale);
+    ts.prepare(WorkloadKind::Fft);
+    // One untimed run per spec up front: validates the configs and
+    // yields the reference count for the throughput denominator.
+    let refs = ts.run_prepared(&specs[0], WorkloadKind::Fft).refs;
+    eprintln!(
+        "throughput: fft trace, scale {}, {refs} refs per replay",
+        scale.factor()
+    );
+
+    let mut tiny = Tiny::unfiltered();
+    tiny.group("sim_throughput");
+    let mut measured: Vec<(String, f64)> = Vec::new();
+    for spec in &specs {
+        let eps = tiny.bench_value(&spec.name, refs, || {
+            consume(ts.run_prepared(spec, WorkloadKind::Fft));
+        });
+        if let Some(eps) = eps {
+            measured.push((spec.name.clone(), eps));
+        }
+    }
+
+    let Some(out) = out else { return };
+    let configs: Vec<Json> = measured
+        .iter()
+        .map(|(name, eps)| {
+            let mut j = Json::obj()
+                .set("name", name.as_str())
+                .set("refs_per_s", *eps);
+            if let Some(base) = baseline.get(name) {
+                j = j
+                    .set("baseline_refs_per_s", *base)
+                    .set("speedup", *eps / *base);
+            }
+            j
+        })
+        .collect();
+    let machine = Json::obj()
+        .set("arch", std::env::consts::ARCH)
+        .set("os", std::env::consts::OS)
+        .set(
+            "parallelism",
+            std::thread::available_parallelism().map_or(0, |n| n.get() as u64),
+        );
+    let json = Json::obj()
+        .set("schema", "dsm-bench-throughput/v1")
+        .set("workload", "fft")
+        .set("scale", scale.factor())
+        .set("refs", refs)
+        .set("machine", machine)
+        .set(
+            "baseline_commit",
+            match &baseline_commit {
+                Some(sha) => Json::Str(sha.clone()),
+                None => Json::Null,
+            },
+        )
+        .set("configs", configs);
+    let mut f = BufWriter::new(
+        File::create(&out).unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display())),
+    );
+    writeln!(f, "{}", json.render())
+        .and_then(|()| f.flush())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    eprintln!("throughput: wrote {}", out.display());
+}

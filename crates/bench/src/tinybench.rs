@@ -52,6 +52,16 @@ impl Tiny {
         }
     }
 
+    /// Builds a harness with no name filter — for binaries that own
+    /// their command line (whose flags must not be misread as filters).
+    #[must_use]
+    pub fn unfiltered() -> Self {
+        Tiny {
+            filter: Vec::new(),
+            group: String::new(),
+        }
+    }
+
     /// Sets a group prefix for subsequent benchmark names.
     pub fn group(&mut self, name: &str) {
         self.group = name.to_owned();
@@ -76,10 +86,18 @@ impl Tiny {
 
     /// Benchmarks `f` which processes `elements` items per call, printing
     /// time per iteration and element throughput.
-    pub fn bench_elements(&mut self, name: &str, elements: u64, mut f: impl FnMut()) {
+    pub fn bench_elements(&mut self, name: &str, elements: u64, f: impl FnMut()) {
+        self.bench_value(name, elements, f);
+    }
+
+    /// [`Tiny::bench_elements`], additionally returning the measured
+    /// element throughput in elements/second (the `throughput` binary
+    /// records it in `BENCH_perf.json`). Returns `None` when the
+    /// benchmark is filtered out or `elements` is zero.
+    pub fn bench_value(&mut self, name: &str, elements: u64, mut f: impl FnMut()) -> Option<f64> {
         let full = self.full_name(name);
         if !self.selected(&full) {
-            return;
+            return None;
         }
         // Warm-up and iteration-count calibration: run once, then scale so
         // one sample takes roughly TARGET / SAMPLES.
@@ -104,8 +122,10 @@ impl Tiny {
         if elements > 0 {
             let eps = elements as f64 / (median * 1e-9);
             println!("{line}   {}", fmt_throughput(eps));
+            Some(eps)
         } else {
             println!("{line}");
+            None
         }
     }
 }

@@ -57,12 +57,14 @@ impl ProcCache {
         self.frames.shape()
     }
 
+    #[inline]
     fn set_of(&self, block: BlockAddr) -> usize {
         self.frames.shape().set_of_block(block)
     }
 
     /// The state of `block`, `Invalid` if not present. Does not touch LRU.
     #[must_use]
+    #[inline]
     pub fn state_of(&self, block: BlockAddr) -> CacheState {
         self.frames
             .peek(self.set_of(block), block.0)
@@ -78,12 +80,33 @@ impl ProcCache {
 
     /// Records a processor access hit on `block`: refreshes LRU and returns
     /// the current state. Returns `Invalid` without LRU effect on a miss.
+    #[inline]
     pub fn touch(&mut self, block: BlockAddr) -> CacheState {
         let set = self.set_of(block);
         self.frames
             .get(set, block.0)
             .copied()
             .unwrap_or(CacheState::Invalid)
+    }
+
+    /// Single-scan write probe: returns the state `block` was in before
+    /// the probe (`Invalid` on a miss), refreshing LRU on a hit and
+    /// applying the silent `E -> M` transition when the prior state allows
+    /// a silent write. Equivalent to `state_of` + `touch` + `set_state` on
+    /// the write-hit path, with one tag-array scan instead of three.
+    #[inline]
+    pub fn write_probe(&mut self, block: BlockAddr) -> CacheState {
+        let set = self.set_of(block);
+        match self.frames.get_mut(set, block.0) {
+            Some(s) => {
+                let old = *s;
+                if old == CacheState::Exclusive {
+                    *s = CacheState::Modified;
+                }
+                old
+            }
+            None => CacheState::Invalid,
+        }
     }
 
     /// Changes the state of a resident block without an LRU refresh (used

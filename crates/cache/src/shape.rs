@@ -85,12 +85,14 @@ impl CacheShape {
 
     /// Number of sets.
     #[must_use]
+    #[inline]
     pub fn sets(&self) -> usize {
         self.sets
     }
 
     /// Number of ways (associativity).
     #[must_use]
+    #[inline]
     pub fn ways(&self) -> usize {
         self.ways
     }
@@ -116,6 +118,7 @@ impl CacheShape {
     /// Set index for a block address, using the least significant bits of
     /// the block number (the conventional indexing, `vb` in the paper).
     #[must_use]
+    #[inline]
     pub fn set_of_block(&self, block: BlockAddr) -> usize {
         (block.0 as usize) & (self.sets - 1)
     }
@@ -124,6 +127,7 @@ impl CacheShape {
     /// number (the paper's `vp` indexing: all blocks of a page map to the
     /// same set, so a set acts as intermediate storage for one remote page).
     #[must_use]
+    #[inline]
     pub fn set_of_page(&self, geo: &Geometry, block: BlockAddr) -> usize {
         let page: PageAddr = geo.page_of_block(block);
         (page.0 as usize) & (self.sets - 1)

@@ -110,18 +110,16 @@ impl InclusionNc {
         }
     }
 
-    fn insert(&mut self, block: BlockAddr, entry: Entry) -> Vec<NcEviction> {
+    fn insert(&mut self, block: BlockAddr, entry: Entry) -> Option<NcEviction> {
         let set = self.set_of(block);
         self.frames
             .insert(set, block.0, entry)
             .and_then(|(tag, old)| self.eviction_of(tag, old))
-            .into_iter()
-            .collect()
     }
 
     /// Allocates on a completed remote fill (`write` fills shadow the
-    /// cache's `M` copy).
-    pub fn on_remote_fill(&mut self, block: BlockAddr, write: bool) -> Vec<NcEviction> {
+    /// cache's `M` copy). Displaces at most one block.
+    pub fn on_remote_fill(&mut self, block: BlockAddr, write: bool) -> Option<NcEviction> {
         let entry = if write { Entry::Shadow } else { Entry::Clean };
         self.insert(block, entry)
     }
@@ -165,7 +163,7 @@ impl InclusionNc {
             *e = Entry::Dirty;
             VictimOutcome {
                 accepted: true,
-                evictions: Vec::new(),
+                eviction: None,
                 set: None,
             }
         } else {
@@ -173,7 +171,7 @@ impl InclusionNc {
             // permissive and allocate if it is somehow gone.
             VictimOutcome {
                 accepted: true,
-                evictions: self.insert(block, Entry::Dirty),
+                eviction: self.insert(block, Entry::Dirty),
                 set: None,
             }
         }
@@ -181,11 +179,11 @@ impl InclusionNc {
 
     /// A local processor took `M` ownership: the entry becomes a shadow
     /// (allocating one if needed — inclusion for dirty blocks).
-    pub fn on_local_write(&mut self, block: BlockAddr) -> Vec<NcEviction> {
+    pub fn on_local_write(&mut self, block: BlockAddr) -> Option<NcEviction> {
         let set = self.set_of(block);
         if let Some(e) = self.frames.peek_mut(set, block.0) {
             *e = Entry::Shadow;
-            Vec::new()
+            None
         } else {
             self.insert(block, Entry::Shadow)
         }
@@ -269,7 +267,7 @@ mod tests {
     fn fills_allocate_and_hit() {
         let mut nc = relaxed();
         let b = BlockAddr(7);
-        assert!(nc.on_remote_fill(b, false).is_empty());
+        assert!(nc.on_remote_fill(b, false).is_none());
         assert_eq!(nc.read_lookup(b), Some(NcHit { dirty: false }));
         // Entry stays after a read hit.
         assert!(nc.contains(b));
@@ -280,27 +278,25 @@ mod tests {
         let mut nc = InclusionNc::sram_relaxed(CacheShape::from_sets_ways(1, 1, 64).unwrap());
         nc.on_remote_fill(BlockAddr(1), false);
         let ev = nc.on_remote_fill(BlockAddr(2), false);
-        assert!(ev.is_empty(), "clean eviction must not reach the caches");
+        assert!(ev.is_none(), "clean eviction must not reach the caches");
     }
 
     #[test]
     fn full_inclusion_clean_eviction_forces_caches() {
         let mut nc = tiny_full();
         nc.on_remote_fill(BlockAddr(1), false);
-        let ev = nc.on_remote_fill(BlockAddr(2), false);
-        assert_eq!(ev.len(), 1);
-        assert!(ev[0].force_cache_eviction);
-        assert!(!ev[0].dirty);
+        let ev = nc.on_remote_fill(BlockAddr(2), false).expect("displaced");
+        assert!(ev.force_cache_eviction);
+        assert!(!ev.dirty);
     }
 
     #[test]
     fn shadow_eviction_forces_and_writes_back() {
         let mut nc = InclusionNc::sram_relaxed(CacheShape::from_sets_ways(1, 1, 64).unwrap());
         nc.on_remote_fill(BlockAddr(1), true); // write fill -> shadow
-        let ev = nc.on_remote_fill(BlockAddr(2), false);
-        assert_eq!(ev.len(), 1);
-        assert!(ev[0].dirty);
-        assert!(ev[0].force_cache_eviction);
+        let ev = nc.on_remote_fill(BlockAddr(2), false).expect("displaced");
+        assert!(ev.dirty);
+        assert!(ev.force_cache_eviction);
     }
 
     #[test]
@@ -347,7 +343,7 @@ mod tests {
         let mut nc = relaxed();
         let b = BlockAddr(5);
         nc.on_remote_fill(b, false);
-        assert!(nc.on_local_write(b).is_empty());
+        assert!(nc.on_local_write(b).is_none());
         assert!(nc.read_lookup(b).is_none()); // shadowed
                                               // Absent entry: allocated as shadow.
         let b2 = BlockAddr(6);
@@ -368,10 +364,9 @@ mod tests {
         let mut nc = InclusionNc::sram_relaxed(CacheShape::from_sets_ways(1, 1, 64).unwrap());
         nc.on_remote_fill(BlockAddr(1), false);
         nc.on_victim(BlockAddr(1), true); // entry -> dirty
-        let ev = nc.on_remote_fill(BlockAddr(2), false);
-        assert_eq!(ev.len(), 1);
-        assert!(ev[0].dirty);
-        assert!(!ev[0].force_cache_eviction);
+        let ev = nc.on_remote_fill(BlockAddr(2), false).expect("displaced");
+        assert!(ev.dirty);
+        assert!(!ev.force_cache_eviction);
     }
 
     #[test]

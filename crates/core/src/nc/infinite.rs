@@ -1,9 +1,7 @@
 //! Unbounded network caches: the `NCS` ideal and the infinite-DRAM
 //! normalization baseline.
 
-use std::collections::HashMap;
-
-use dsm_types::BlockAddr;
+use dsm_types::{BlockAddr, DenseMap};
 
 use super::NcHit;
 use crate::model::NcTechnology;
@@ -25,7 +23,7 @@ enum Entry {
 /// against.
 #[derive(Debug, Clone)]
 pub struct InfiniteNc {
-    entries: HashMap<u64, Entry>,
+    entries: DenseMap<Entry>,
     technology: NcTechnology,
 }
 
@@ -42,7 +40,7 @@ impl InfiniteNc {
             "an infinite NC needs a memory technology"
         );
         InfiniteNc {
-            entries: HashMap::new(),
+            entries: DenseMap::new(),
             technology,
         }
     }
@@ -61,7 +59,7 @@ impl InfiniteNc {
 
     /// Read-miss lookup; the entry stays.
     pub fn read_lookup(&mut self, block: BlockAddr) -> Option<NcHit> {
-        match self.entries.get(&block.0) {
+        match self.entries.get(block.0) {
             Some(Entry::Clean) => Some(NcHit { dirty: false }),
             Some(Entry::Dirty) => Some(NcHit { dirty: true }),
             Some(Entry::Shadow) | None => None,
@@ -70,7 +68,7 @@ impl InfiniteNc {
 
     /// Write-miss lookup; a hit shadows the entry behind the cache's `M`.
     pub fn write_lookup(&mut self, block: BlockAddr) -> Option<NcHit> {
-        match self.entries.get(&block.0).copied() {
+        match self.entries.get(block.0).copied() {
             Some(e @ (Entry::Clean | Entry::Dirty)) => {
                 self.entries.insert(block.0, Entry::Shadow);
                 Some(NcHit {
@@ -88,7 +86,7 @@ impl InfiniteNc {
         self.entries.insert(block.0, entry);
         super::VictimOutcome {
             accepted: true,
-            evictions: Vec::new(),
+            eviction: None,
             set: None,
         }
     }
@@ -106,27 +104,27 @@ impl InfiniteNc {
     /// Removes the entry for a page re-mapping, reporting whether it held
     /// dirty data.
     pub fn purge(&mut self, block: BlockAddr) -> Option<NcHit> {
-        self.entries.remove(&block.0).map(|e| NcHit {
+        self.entries.remove(block.0).map(|e| NcHit {
             dirty: e == Entry::Dirty,
         })
     }
 
     /// An external downgrade: dirty/shadow entries become clean.
     pub fn on_external_downgrade(&mut self, block: BlockAddr) {
-        if let Some(e) = self.entries.get_mut(&block.0) {
+        if let Some(e) = self.entries.get_mut(block.0) {
             *e = Entry::Clean;
         }
     }
 
     /// External invalidation.
     pub fn invalidate(&mut self, block: BlockAddr) -> bool {
-        self.entries.remove(&block.0).is_some()
+        self.entries.remove(block.0).is_some()
     }
 
     /// Whether `block` has an entry.
     #[must_use]
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.contains_key(&block.0)
+        self.entries.contains_key(block.0)
     }
 
     /// Number of blocks held.

@@ -53,13 +53,15 @@ pub struct NcEviction {
 }
 
 /// Outcome of offering a victimized block to the NC.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct VictimOutcome {
     /// The NC took the block (victim organizations always accept remote
     /// victims; inclusion NCs fold write-backs into their existing entry).
     pub accepted: bool,
-    /// Entries displaced to make room.
-    pub evictions: Vec<NcEviction>,
+    /// The entry displaced to make room, if any. Set-associative
+    /// replacement displaces at most one block per insertion, so this is
+    /// an `Option`, not a list — the coherence path stays allocation-free.
+    pub eviction: Option<NcEviction>,
     /// The NC set the block landed in (victim organizations only) — the
     /// hook for `vxp`'s per-set victimization counters.
     pub set: Option<usize>,
@@ -115,15 +117,15 @@ impl NcUnit {
     }
 
     /// A remote fill (from the home node) completed; inclusion
-    /// organizations allocate. `write` marks a write fill (the cache
-    /// installs `M`).
-    pub fn on_remote_fill(&mut self, block: BlockAddr, write: bool) -> Vec<NcEviction> {
+    /// organizations allocate, displacing at most one block. `write`
+    /// marks a write fill (the cache installs `M`).
+    pub fn on_remote_fill(&mut self, block: BlockAddr, write: bool) -> Option<NcEviction> {
         match self {
-            NcUnit::None | NcUnit::Victim(_) => Vec::new(),
+            NcUnit::None | NcUnit::Victim(_) => None,
             NcUnit::Inclusion(nc) => nc.on_remote_fill(block, write),
             NcUnit::Infinite(nc) => {
                 nc.on_remote_fill(block, write);
-                Vec::new()
+                None
             }
         }
     }
@@ -141,17 +143,17 @@ impl NcUnit {
 
     /// A local processor took `M` ownership of `block` (upgrade or
     /// peer-supplied write): NC copies are stale.
-    pub fn on_local_write(&mut self, block: BlockAddr) -> Vec<NcEviction> {
+    pub fn on_local_write(&mut self, block: BlockAddr) -> Option<NcEviction> {
         match self {
-            NcUnit::None => Vec::new(),
+            NcUnit::None => None,
             NcUnit::Victim(nc) => {
                 nc.remove(block);
-                Vec::new()
+                None
             }
             NcUnit::Inclusion(nc) => nc.on_local_write(block),
             NcUnit::Infinite(nc) => {
                 nc.on_local_write(block);
-                Vec::new()
+                None
             }
         }
     }
@@ -292,7 +294,7 @@ mod tests {
     fn inclusion_dispatch_keeps_entries_on_read_hits() {
         let mut nc = inclusion_unit();
         let b = BlockAddr(5);
-        assert!(nc.on_remote_fill(b, false).is_empty());
+        assert!(nc.on_remote_fill(b, false).is_none());
         assert_eq!(nc.read_lookup(b), Some(NcHit { dirty: false }));
         assert!(nc.contains(b));
         assert!(nc.sets().is_none());
@@ -382,7 +384,7 @@ mod tests {
         assert_eq!(nc.technology(), NcTechnology::None);
         assert!(nc.read_lookup(b).is_none());
         assert!(nc.write_lookup(b).is_none());
-        assert!(nc.on_remote_fill(b, false).is_empty());
+        assert!(nc.on_remote_fill(b, false).is_none());
         let out = nc.on_victim(b, true);
         assert!(!out.accepted);
         assert!(!nc.on_downgrade_writeback(b));

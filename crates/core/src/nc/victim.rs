@@ -1,7 +1,5 @@
 //! The network victim cache (`vb` / `vp`), the paper's proposal.
 
-use std::collections::HashMap;
-
 use dsm_cache::{CacheShape, SetAssoc};
 use dsm_types::{BlockAddr, Geometry, PageAddr};
 
@@ -118,19 +116,17 @@ impl VictimNc {
             return VictimOutcome::default();
         }
         let set = self.set_of(block);
-        let evictions = self
+        let eviction = self
             .frames
             .insert(set, block.0, dirty)
             .map(|(tag, was_dirty)| NcEviction {
                 block: BlockAddr(tag),
                 dirty: was_dirty,
                 force_cache_eviction: false,
-            })
-            .into_iter()
-            .collect();
+            });
         VictimOutcome {
             accepted: true,
-            evictions,
+            eviction,
             set: Some(set),
         }
     }
@@ -157,20 +153,48 @@ impl VictimNc {
     /// relocation handler would pick when the set's victimization counter
     /// trips (`vxp`). Ties break toward the lower page number.
     ///
+    /// Runs a single pass over the set's tags (at most the associativity,
+    /// typically 4-16) keeping a running argmax, with no per-call map
+    /// allocation. The running comparison `count > best || (count == best
+    /// && page < best_page)` picks the same winner as sorting by
+    /// `(count desc, page asc)`: counts only ever grow, so the first page
+    /// to reach the winning count with the lowest number wins the tie.
+    ///
     /// # Panics
     ///
     /// Panics if `set` is out of range.
     #[must_use]
     pub fn predominant_page(&self, set: usize) -> Option<PageAddr> {
-        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut counts: [(u64, usize); 2] = [(0, 0); 2];
+        let mut used = 0usize;
+        let mut overflow = dsm_types::DenseMap::new();
+        let mut best: Option<(u64, usize)> = None;
         for (tag, _) in self.frames.iter_set(set) {
-            let page = self.geo.page_of_block(BlockAddr(tag));
-            *counts.entry(page.0).or_insert(0) += 1;
+            let page = self.geo.page_of_block(BlockAddr(tag)).0;
+            // Count in a tiny inline array first (sets rarely straddle
+            // more than two pages under page indexing); spill to a map
+            // only when a set genuinely mixes many pages.
+            let count = if let Some(slot) = counts[..used].iter_mut().find(|(p, _)| *p == page) {
+                slot.1 += 1;
+                slot.1
+            } else if used < counts.len() {
+                counts[used] = (page, 1);
+                used += 1;
+                1
+            } else {
+                let c = overflow.entry_or_default(page);
+                *c += 1usize;
+                *c
+            };
+            let better = match best {
+                None => true,
+                Some((bp, bc)) => count > bc || (count == bc && page < bp),
+            };
+            if better {
+                best = Some((page, count));
+            }
         }
-        counts
-            .into_iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .map(|(page, _)| PageAddr(page))
+        best.map(|(page, _)| PageAddr(page))
     }
 }
 
@@ -206,7 +230,7 @@ mod tests {
         for i in 0..5 {
             let out = v.on_victim(BlockAddr(i * 4), false);
             assert!(out.accepted);
-            for e in out.evictions {
+            if let Some(e) = out.eviction {
                 assert!(!e.force_cache_eviction);
             }
         }
@@ -222,9 +246,9 @@ mod tests {
         );
         v.on_victim(BlockAddr(1), true);
         let out = v.on_victim(BlockAddr(2), false);
-        assert_eq!(out.evictions.len(), 1);
-        assert_eq!(out.evictions[0].block, BlockAddr(1));
-        assert!(out.evictions[0].dirty);
+        let e = out.eviction.expect("full set must displace");
+        assert_eq!(e.block, BlockAddr(1));
+        assert!(e.dirty);
     }
 
     #[test]
@@ -263,6 +287,21 @@ mod tests {
     fn predominant_page_empty_set() {
         let v = nc(NcIndexing::Page);
         assert_eq!(v.predominant_page(0), None);
+    }
+
+    #[test]
+    fn predominant_page_many_distinct_pages() {
+        // Pages 0, 4, 8, 12 all map to set 0 (4 sets, page indexing), so
+        // the count spills past the inline pair into the overflow map.
+        let mut v = nc(NcIndexing::Page);
+        for p in [0u64, 4, 8, 12] {
+            v.on_victim(BlockAddr(p * 64), false);
+        }
+        // All counts are 1: the tie breaks toward the lowest page.
+        assert_eq!(v.predominant_page(0), Some(PageAddr(0)));
+        // A second block of page 12 makes it the clear winner.
+        v.on_victim(BlockAddr(12 * 64 + 1), false);
+        assert_eq!(v.predominant_page(0), Some(PageAddr(12)));
     }
 
     #[test]

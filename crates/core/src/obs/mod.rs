@@ -15,10 +15,9 @@
 
 pub mod json;
 
-use std::collections::HashMap;
 use std::io::{self, Write};
 
-use dsm_types::PageAddr;
+use dsm_types::{DenseMap, FxHashMap, PageAddr};
 
 use crate::metrics::{ClusterCounts, Metrics};
 use crate::probe::{EpochSample, Event, Probe};
@@ -160,11 +159,11 @@ pub fn event_json(at: u64, e: &Event) -> Json {
 #[derive(Debug, Clone, Default)]
 pub struct StatsSink {
     events_seen: u64,
-    by_kind: HashMap<&'static str, u64>,
+    by_kind: FxHashMap<&'static str, u64>,
     per_cluster: Vec<u64>,
     /// Remote-service heat per page: PC hits + NC hits attributed to the
     /// page, plus relocations (each weighted once).
-    page_heat: HashMap<u64, u64>,
+    page_heat: DenseMap<u64>,
     /// `(at, cluster, page)` for every relocation, in trace order.
     relocations: Vec<(u64, u16, u64)>,
     /// `(at, cluster, new_threshold)` for every adaptive adjustment.
@@ -211,7 +210,7 @@ impl StatsSink {
         let mut v: Vec<_> = self
             .page_heat
             .iter()
-            .map(|(&p, &n)| (PageAddr(p), n))
+            .map(|(p, &n)| (PageAddr(p), n))
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
         v.truncate(k);
@@ -336,7 +335,7 @@ impl Probe for StatsSink {
         self.per_cluster[ci] += 1;
         match *event {
             Event::PcHit { page, .. } | Event::Relocation { page, .. } => {
-                *self.page_heat.entry(page.0).or_insert(0) += 1;
+                *self.page_heat.entry_or_default(page.0) += 1;
             }
             _ => {}
         }

@@ -1,8 +1,6 @@
 //! The page-cache frame store with least-recently-missed replacement.
 
-use std::collections::HashMap;
-
-use dsm_types::{BlockAddr, Geometry, PageAddr};
+use dsm_types::{BlockAddr, DenseMap, Geometry, PageAddr};
 
 /// Fine-grain (block-level) state inside a resident page-cache page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,7 +68,7 @@ pub struct EvictedPage {
 pub struct PageCache {
     capacity: usize,
     geo: Geometry,
-    pages: HashMap<u64, PageEntry>,
+    pages: DenseMap<PageEntry>,
     tick: u64,
 }
 
@@ -86,7 +84,7 @@ impl PageCache {
         PageCache {
             capacity,
             geo,
-            pages: HashMap::new(),
+            pages: DenseMap::new(),
             tick: 0,
         }
     }
@@ -112,7 +110,7 @@ impl PageCache {
     /// Whether `page` is resident.
     #[must_use]
     pub fn has_page(&self, page: PageAddr) -> bool {
-        self.pages.contains_key(&page.0)
+        self.pages.contains_key(page.0)
     }
 
     fn block_slot(&self, block: BlockAddr) -> (PageAddr, usize) {
@@ -130,7 +128,7 @@ impl PageCache {
         self.tick += 1;
         let (page, idx) = self.block_slot(block);
         let tick = self.tick;
-        self.pages.get_mut(&page.0).map(|e| {
+        self.pages.get_mut(page.0).map(|e| {
             e.last_miss = tick;
             e.blocks[idx]
         })
@@ -141,7 +139,7 @@ impl PageCache {
     #[must_use]
     pub fn block_state(&self, block: BlockAddr) -> Option<PcBlockState> {
         let (page, idx) = self.block_slot(block);
-        self.pages.get(&page.0).map(|e| e.blocks[idx])
+        self.pages.get(page.0).map(|e| e.blocks[idx])
     }
 
     /// Counts a data supply from the page cache toward the frame's hit
@@ -153,7 +151,7 @@ impl PageCache {
     pub fn record_hit(&mut self, page: PageAddr) {
         let e = self
             .pages
-            .get_mut(&page.0)
+            .get_mut(page.0)
             .unwrap_or_else(|| panic!("record_hit on absent {page}"));
         e.hits = e.hits.saturating_add(1);
     }
@@ -163,7 +161,7 @@ impl PageCache {
     /// page is not resident.
     pub fn set_block(&mut self, block: BlockAddr, state: PcBlockState) {
         let (page, idx) = self.block_slot(block);
-        if let Some(e) = self.pages.get_mut(&page.0) {
+        if let Some(e) = self.pages.get_mut(page.0) {
             e.blocks[idx] = state;
         }
     }
@@ -171,7 +169,7 @@ impl PageCache {
     /// Invalidates one block (remote write); returns the previous state.
     pub fn invalidate_block(&mut self, block: BlockAddr) -> PcBlockState {
         let (page, idx) = self.block_slot(block);
-        match self.pages.get_mut(&page.0) {
+        match self.pages.get_mut(page.0) {
             Some(e) => std::mem::replace(&mut e.blocks[idx], PcBlockState::Invalid),
             None => PcBlockState::Invalid,
         }
@@ -192,15 +190,17 @@ impl PageCache {
         page: PageAddr,
         initial: impl Fn(u64) -> PcBlockState,
     ) -> Option<EvictedPage> {
-        if self.pages.contains_key(&page.0) {
+        if self.pages.contains_key(page.0) {
             return None;
         }
         let evicted = if self.pages.len() >= self.capacity {
+            // Miss ticks are unique, so the minimum is unique and the
+            // result does not depend on iteration order.
             let victim = self
                 .pages
                 .iter()
                 .min_by_key(|(_, e)| e.last_miss)
-                .map(|(&p, _)| p)
+                .map(|(p, _)| p)
                 .expect("cache is full, therefore nonempty");
             self.remove_page(PageAddr(victim))
         } else {
@@ -224,7 +224,7 @@ impl PageCache {
     /// Removes `page` outright (used by tests and explicit shrinking),
     /// returning its eviction record.
     pub fn remove_page(&mut self, page: PageAddr) -> Option<EvictedPage> {
-        let entry = self.pages.remove(&page.0)?;
+        let entry = self.pages.remove(page.0)?;
         let first = self.geo.first_block_of_page(page);
         let dirty_blocks = entry
             .blocks
@@ -243,7 +243,7 @@ impl PageCache {
     /// All blocks of resident `page`, with their states.
     #[must_use]
     pub fn page_blocks(&self, page: PageAddr) -> Vec<(BlockAddr, PcBlockState)> {
-        let Some(entry) = self.pages.get(&page.0) else {
+        let Some(entry) = self.pages.get(page.0) else {
             return Vec::new();
         };
         let first = self.geo.first_block_of_page(page);
@@ -265,7 +265,7 @@ impl PageCache {
 
     /// Resident pages (unordered).
     pub fn pages(&self) -> impl Iterator<Item = PageAddr> + '_ {
-        self.pages.keys().map(|&p| PageAddr(p))
+        self.pages.keys().map(PageAddr)
     }
 
     /// Resident pages with their frame hit counters (unordered).
@@ -274,7 +274,7 @@ impl PageCache {
     /// inspects; the `--stats` profiling view ranks them to report the
     /// hottest resident frames per cluster.
     pub fn pages_with_hits(&self) -> impl Iterator<Item = (PageAddr, u32)> + '_ {
-        self.pages.iter().map(|(&p, e)| (PageAddr(p), e.hits))
+        self.pages.iter().map(|(p, e)| (PageAddr(p), e.hits))
     }
 }
 

@@ -5,10 +5,9 @@ use dsm_cache::{CacheState, Eviction};
 use dsm_directory::{DirectoryUnit, HomeMap, RnumaCounters};
 use dsm_protocol::mesir;
 use dsm_types::{
-    BlockAddr, ClusterId, ConfigError, Geometry, LocalProcId, MemOp, MemRef, PageAddr, Topology,
+    AddrParts, BlockAddr, ClusterId, ClusterSet, ConfigError, DenseMap, Geometry, LocalProcId,
+    MemOp, MemRef, PageAddr, Topology,
 };
-
-use std::collections::HashMap;
 
 use crate::cluster::ClusterUnit;
 use crate::config::{CounterSource, MigRepSpec, SystemSpec};
@@ -79,9 +78,9 @@ struct MigRepState {
     counters: RnumaCounters,
     /// Pages that have ever been written (not read-only; replication is
     /// withheld and migration applies instead).
-    written_pages: HashMap<u64, u32>,
-    /// Replicated pages: cluster bitmask of replica holders.
-    replicas: HashMap<u64, u64>,
+    written_pages: DenseMap<u32>,
+    /// Replicated pages: the set of clusters holding a replica.
+    replicas: DenseMap<ClusterSet>,
 }
 
 impl System {
@@ -132,8 +131,8 @@ impl<P: Probe> System<P> {
         let migrep = spec.migrep.map(|spec| MigRepState {
             spec,
             counters: RnumaCounters::new(),
-            written_pages: HashMap::new(),
-            replicas: HashMap::new(),
+            written_pages: DenseMap::new(),
+            replicas: DenseMap::new(),
         });
         Ok(System {
             home: HomeMap::new(geo),
@@ -327,11 +326,9 @@ impl<P: Probe> System<P> {
     ///
     /// Panics if the reference's processor is outside the topology.
     pub fn process(&mut self, r: MemRef) {
-        let block = self.geo.block_of(r.addr);
-        let page = self.geo.page_of(r.addr);
-        let cl = self.topo.cluster_of(r.proc);
-        let lp = self.topo.local_of(r.proc);
-        let home = self.home.home_of_block(block, cl);
+        let AddrParts { block, page, .. } = self.geo.decompose(r.addr);
+        let (cl, lp) = self.topo.split_of(r.proc);
+        let home = self.home.home_of_page(page, cl);
         let mut remote = home != cl;
 
         // Origin-style OS policies: local replicas serve remote reads;
@@ -343,12 +340,12 @@ impl<P: Probe> System<P> {
                 // or another cluster currently holds (a block of) it.
                 // First-touch initialization writes stay invisible, as an
                 // OS policy driven by remote-miss counters would see them.
-                let shared_elsewhere = remote || self.dir.sharers(block).iter().any(|&c| c != cl);
+                let shared_elsewhere = remote || self.dir.has_sharer_other_than(block, cl);
                 let mut collapsed = false;
                 if let Some(mr) = self.migrep.as_mut() {
-                    collapsed = mr.replicas.remove(&page.0).is_some();
+                    collapsed = mr.replicas.remove(page.0).is_some();
                     if shared_elsewhere {
-                        *mr.written_pages.entry(page.0).or_insert(0) += 1;
+                        *mr.written_pages.entry_or_default(page.0) += 1;
                     }
                 }
                 if collapsed {
@@ -358,11 +355,7 @@ impl<P: Probe> System<P> {
             }
         } else if remote {
             if let Some(mr) = self.migrep.as_ref() {
-                if mr
-                    .replicas
-                    .get(&page.0)
-                    .is_some_and(|mask| mask & (1u64 << cl.0) != 0)
-                {
+                if mr.replicas.get(page.0).is_some_and(|set| set.contains(cl)) {
                     remote = false;
                 }
             }
@@ -395,9 +388,8 @@ impl<P: Probe> System<P> {
     ) {
         let ci = usize::from(cl.0);
 
-        // 1. Own cache.
-        if self.clusters[ci].bus.state_of(lp, block).is_valid() {
-            self.clusters[ci].bus.read_hit(lp, block);
+        // 1. Own cache (single tag-array scan: probe + LRU refresh).
+        if self.clusters[ci].bus.try_read_hit(lp, block) {
             self.metrics.read_hits += 1;
             self.emit(Event::CacheHit {
                 cluster: cl,
@@ -505,8 +497,7 @@ impl<P: Probe> System<P> {
                 block,
                 capacity: grant.prior_presence,
             });
-            let nc_evictions = self.clusters[ci].nc.on_remote_fill(block, false);
-            for e in nc_evictions {
+            if let Some(e) = self.clusters[ci].nc.on_remote_fill(block, false) {
                 self.handle_nc_eviction(ci, cl, e);
             }
             if let Some(pc) = self.clusters[ci].pc.as_mut() {
@@ -540,11 +531,14 @@ impl<P: Probe> System<P> {
         remote: bool,
     ) {
         let ci = usize::from(cl.0);
-        let own = self.clusters[ci].bus.state_of(lp, block);
+        // Single tag-array scan: probes the writer's cache, refreshes LRU
+        // on a hit and applies the silent E -> M transition inline. The
+        // extra LRU refresh before an upgrade is invisible to replacement
+        // order (the upgrade refreshes again with a later tick).
+        let own = self.clusters[ci].bus.write_probe(lp, block);
 
         match own {
             CacheState::Modified | CacheState::Exclusive => {
-                self.clusters[ci].bus.write_hit_exclusive(lp, block);
                 self.metrics.write_hits += 1;
                 self.emit(Event::CacheHit {
                     cluster: cl,
@@ -563,7 +557,7 @@ impl<P: Probe> System<P> {
                     // An upgrade is a coherence transaction, never a
                     // capacity miss (the cluster still holds the block).
                     self.count_remote_write(ci, cl, block, remote, false);
-                    self.apply_invalidations(&grant.invalidate, block);
+                    self.apply_invalidations(grant.invalidate, block);
                     self.clusters[ci].bus.upgrade(lp, block);
                 }
                 self.after_local_write(ci, cl, block, page);
@@ -594,7 +588,7 @@ impl<P: Probe> System<P> {
                     self.per_cluster[ci].remote_writes += 1;
                     self.emit(Event::OwnershipRequest { cluster: cl, block });
                 }
-                self.apply_invalidations(&grant.invalidate, block);
+                self.apply_invalidations(grant.invalidate, block);
             }
             let res = self.clusters[ci].bus.peer_write_supply(lp, block);
             self.metrics.peer_transfers += 1;
@@ -626,7 +620,7 @@ impl<P: Probe> System<P> {
                     self.metrics.remote_ownership_requests += 1;
                     self.per_cluster[ci].remote_writes += 1;
                     self.emit(Event::OwnershipRequest { cluster: cl, block });
-                    self.apply_invalidations(&grant.invalidate, block);
+                    self.apply_invalidations(grant.invalidate, block);
                 }
                 if let Some(pc) = self.clusters[ci].pc.as_mut() {
                     pc.invalidate_block(block);
@@ -664,7 +658,7 @@ impl<P: Probe> System<P> {
                             self.metrics.remote_ownership_requests += 1;
                             self.per_cluster[ci].remote_writes += 1;
                             self.emit(Event::OwnershipRequest { cluster: cl, block });
-                            self.apply_invalidations(&grant.invalidate, block);
+                            self.apply_invalidations(grant.invalidate, block);
                         }
                         if let Some(ev) =
                             self.clusters[ci].bus.fill(lp, block, CacheState::Modified)
@@ -681,8 +675,7 @@ impl<P: Probe> System<P> {
         let grant = self.dir.write(block, cl);
         if remote {
             self.count_remote_write(ci, cl, block, true, grant.prior_presence);
-            let nc_evictions = self.clusters[ci].nc.on_remote_fill(block, true);
-            for e in nc_evictions {
+            if let Some(e) = self.clusters[ci].nc.on_remote_fill(block, true) {
                 self.handle_nc_eviction(ci, cl, e);
             }
             if let Some(pc) = self.clusters[ci].pc.as_mut() {
@@ -696,7 +689,7 @@ impl<P: Probe> System<P> {
             self.metrics.local_misses += 1;
             self.emit(Event::LocalMiss { cluster: cl, block });
         }
-        self.apply_invalidations(&grant.invalidate, block);
+        self.apply_invalidations(grant.invalidate, block);
         if let Some(ev) = self.clusters[ci].bus.fill(lp, block, CacheState::Modified) {
             self.handle_cache_eviction(ci, cl, ev);
         }
@@ -731,8 +724,7 @@ impl<P: Probe> System<P> {
     /// A local processor now holds `block` in `M`: scrub stale NC/PC
     /// copies.
     fn after_local_write(&mut self, ci: usize, cl: ClusterId, block: BlockAddr, _page: PageAddr) {
-        let nc_evictions = self.clusters[ci].nc.on_local_write(block);
-        for e in nc_evictions {
+        if let Some(e) = self.clusters[ci].nc.on_local_write(block) {
             self.handle_nc_eviction(ci, cl, e);
         }
         if let Some(pc) = self.clusters[ci].pc.as_mut() {
@@ -740,14 +732,15 @@ impl<P: Probe> System<P> {
         }
     }
 
-    /// Directory-ordered invalidations at other clusters.
-    fn apply_invalidations(&mut self, targets: &[ClusterId], block: BlockAddr) {
+    /// Directory-ordered invalidations at other clusters, delivered in
+    /// ascending cluster order straight from the presence mask.
+    fn apply_invalidations(&mut self, targets: ClusterSet, block: BlockAddr) {
         let decrement = self
             .spec
             .pc
             .as_ref()
             .is_some_and(|p| p.decrement_on_invalidation);
-        for &t in targets {
+        for t in targets {
             let ti = usize::from(t.0);
             let inv = self.clusters[ti].bus.invalidate_all(block);
             self.metrics.invalidations += inv.copies_invalidated as u64;
@@ -850,7 +843,7 @@ impl<P: Probe> System<P> {
                         set: out.set,
                     });
                     self.record_vxp_victimization(ci, cl, out.set);
-                    for e in out.evictions {
+                    if let Some(e) = out.eviction {
                         self.handle_nc_eviction(ci, cl, e);
                     }
                 } else {
@@ -873,7 +866,7 @@ impl<P: Probe> System<P> {
                         set: out.set,
                     });
                     self.record_vxp_victimization(ci, cl, out.set);
-                    for e in out.evictions {
+                    if let Some(e) = out.eviction {
                         self.handle_nc_eviction(ci, cl, e);
                     }
                 }
@@ -979,9 +972,9 @@ impl<P: Probe> System<P> {
                 Action::None
             } else {
                 mr.counters.reset(page, cl);
-                let read_only = !mr.written_pages.contains_key(&page.0);
+                let read_only = !mr.written_pages.contains_key(page.0);
                 if read_only && mr.spec.replication {
-                    *mr.replicas.entry(page.0).or_insert(0) |= 1u64 << cl.0;
+                    mr.replicas.entry_or_default(page.0).insert(cl);
                     Action::Replicate
                 } else if mr.spec.migration {
                     Action::Migrate

@@ -1,8 +1,6 @@
 //! The full-map, non-notifying inter-cluster directory.
 
-use std::collections::HashMap;
-
-use dsm_types::{BlockAddr, ClusterId};
+use dsm_types::{BlockAddr, ClusterId, ClusterSet, DenseMap};
 
 /// The directory's answer to an inter-cluster read request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,24 +20,64 @@ pub struct ReadGrant {
 }
 
 /// The directory's answer to an inter-cluster write(-ownership) request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteGrant {
     /// Same capacity-miss signal as [`ReadGrant::prior_presence`].
     pub prior_presence: bool,
-    /// Clusters whose copies must be invalidated (excludes the requester).
-    pub invalidate: Vec<ClusterId>,
+    /// Clusters whose copies must be invalidated (excludes the requester),
+    /// as the presence mask itself — expanded lazily, in ascending cluster
+    /// order, by [`ClusterSet::iter`]. No per-write allocation.
+    pub invalidate: ClusterSet,
     /// The previous dirty owner, if the block was dirty elsewhere (its data
     /// is forwarded to the requester; also listed in `invalidate`).
     pub previous_owner: Option<ClusterId>,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+/// Sentinel for "no dirty owner" in [`Entry::owner`]. Valid owners are
+/// cluster ids `0..64`, so `u8::MAX` can never collide.
+const NO_OWNER: u8 = u8::MAX;
+
+/// Hardware-shaped directory entry: a presence word plus the dirty owner
+/// packed into one sentinel-encoded byte (9 bytes of state instead of the
+/// 12 an `Option<ClusterId>` padded alongside a `u64` used to take).
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     /// One bit per cluster. In a non-notifying protocol bits persist across
     /// clean replacements.
     presence: u64,
-    /// The cluster holding the block dirty, if any.
-    owner: Option<ClusterId>,
+    /// The cluster holding the block dirty ([`NO_OWNER`] if none).
+    owner: u8,
+}
+
+impl Default for Entry {
+    fn default() -> Self {
+        Entry {
+            presence: 0,
+            owner: NO_OWNER,
+        }
+    }
+}
+
+impl Entry {
+    #[inline]
+    fn owner(self) -> Option<ClusterId> {
+        if self.owner == NO_OWNER {
+            None
+        } else {
+            Some(ClusterId(u16::from(self.owner)))
+        }
+    }
+
+    #[inline]
+    fn set_owner(&mut self, owner: Option<ClusterId>) {
+        self.owner = match owner {
+            // Cluster ids are bounded by the 64-bit presence word, so the
+            // cast cannot truncate.
+            #[allow(clippy::cast_possible_truncation)]
+            Some(c) => c.0 as u8,
+            None => NO_OWNER,
+        };
+    }
 }
 
 /// A full-map directory with per-cluster presence bits and a dirty-owner
@@ -61,7 +99,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct FullMapDirectory {
     clusters: u16,
-    entries: HashMap<u64, Entry>,
+    entries: DenseMap<Entry>,
     keep_presence_on_writeback: bool,
 }
 
@@ -80,7 +118,7 @@ impl FullMapDirectory {
         );
         FullMapDirectory {
             clusters,
-            entries: HashMap::new(),
+            entries: DenseMap::new(),
             keep_presence_on_writeback: true,
         }
     }
@@ -109,16 +147,16 @@ impl FullMapDirectory {
     /// Processes a read request from `requester` for `block`.
     pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {
         let bit = self.bit(requester);
-        let entry = self.entries.entry(block.0).or_default();
+        let entry = self.entries.entry_or_default(block.0);
         let prior_presence = entry.presence & bit != 0;
         let mut downgraded_owner = None;
-        if let Some(owner) = entry.owner {
+        if let Some(owner) = entry.owner() {
             if owner != requester {
                 // Owner supplies data and is downgraded to a clean sharer;
                 // its presence bit stays set.
                 downgraded_owner = Some(owner);
             }
-            entry.owner = None;
+            entry.set_owner(None);
         }
         entry.presence |= bit;
         let exclusive = entry.presence == bit;
@@ -135,18 +173,12 @@ impl FullMapDirectory {
     /// the dirty owner and the only cluster with a presence bit.
     pub fn write(&mut self, block: BlockAddr, requester: ClusterId) -> WriteGrant {
         let bit = self.bit(requester);
-        let entry = self.entries.entry(block.0).or_default();
+        let entry = self.entries.entry_or_default(block.0);
         let prior_presence = entry.presence & bit != 0;
-        let previous_owner = entry.owner.filter(|&o| o != requester);
-        let mut invalidate = Vec::new();
-        let others = entry.presence & !bit;
-        for c in 0..self.clusters {
-            if others & (1u64 << c) != 0 {
-                invalidate.push(ClusterId(c));
-            }
-        }
+        let previous_owner = entry.owner().filter(|&o| o != requester);
+        let invalidate = ClusterSet::from_mask(entry.presence & !bit);
         entry.presence = bit;
-        entry.owner = Some(requester);
+        entry.set_owner(Some(requester));
         WriteGrant {
             prior_presence,
             invalidate,
@@ -163,10 +195,11 @@ impl FullMapDirectory {
     /// ignored, as in real directories.
     pub fn writeback(&mut self, block: BlockAddr, cluster: ClusterId) {
         let bit = self.bit(cluster);
-        if let Some(entry) = self.entries.get_mut(&block.0) {
-            if entry.owner == Some(cluster) {
-                entry.owner = None;
-                if !self.keep_presence_on_writeback {
+        let keep = self.keep_presence_on_writeback;
+        if let Some(entry) = self.entries.get_mut(block.0) {
+            if entry.owner() == Some(cluster) {
+                entry.set_owner(None);
+                if !keep {
                     entry.presence &= !bit;
                 }
             }
@@ -178,14 +211,14 @@ impl FullMapDirectory {
     #[must_use]
     pub fn is_owner(&self, block: BlockAddr, cluster: ClusterId) -> bool {
         self.entries
-            .get(&block.0)
-            .is_some_and(|e| e.owner == Some(cluster))
+            .get(block.0)
+            .is_some_and(|e| e.owner() == Some(cluster))
     }
 
     /// The cluster holding `block` dirty, if any.
     #[must_use]
     pub fn owner_of(&self, block: BlockAddr) -> Option<ClusterId> {
-        self.entries.get(&block.0).and_then(|e| e.owner)
+        self.entries.get(block.0).and_then(|e| e.owner())
     }
 
     /// Records an exclusive-clean (`E`) grant: `cluster` received the only
@@ -200,13 +233,13 @@ impl FullMapDirectory {
     /// would be incoherent).
     pub fn grant_exclusive(&mut self, block: BlockAddr, cluster: ClusterId) {
         let bit = self.bit(cluster);
-        let entry = self.entries.entry(block.0).or_default();
+        let entry = self.entries.entry_or_default(block.0);
         assert!(
             entry.presence & !bit == 0,
             "exclusive grant of {block} to {cluster} with other sharers present"
         );
         entry.presence = bit;
-        entry.owner = Some(cluster);
+        entry.set_owner(Some(cluster));
     }
 
     /// Whether `cluster`'s presence bit is set (possibly stale).
@@ -214,20 +247,31 @@ impl FullMapDirectory {
     pub fn has_presence(&self, block: BlockAddr, cluster: ClusterId) -> bool {
         let bit = self.bit(cluster);
         self.entries
-            .get(&block.0)
+            .get(block.0)
             .is_some_and(|e| e.presence & bit != 0)
+    }
+
+    /// Clusters whose presence bit is set for `block`, as the presence
+    /// mask itself (no allocation).
+    #[must_use]
+    pub fn sharer_set(&self, block: BlockAddr) -> ClusterSet {
+        self.entries
+            .get(block.0)
+            .map_or_else(ClusterSet::new, |e| ClusterSet::from_mask(e.presence))
+    }
+
+    /// Whether any cluster other than `cluster` has a presence bit for
+    /// `block` — the per-write sharing question, answered with two mask
+    /// operations instead of materializing a sharer list.
+    #[must_use]
+    pub fn has_sharer_other_than(&self, block: BlockAddr, cluster: ClusterId) -> bool {
+        self.sharer_set(block).contains_other_than(cluster)
     }
 
     /// Clusters whose presence bit is set for `block`.
     #[must_use]
     pub fn sharers(&self, block: BlockAddr) -> Vec<ClusterId> {
-        let Some(entry) = self.entries.get(&block.0) else {
-            return Vec::new();
-        };
-        (0..self.clusters)
-            .filter(|c| entry.presence & (1u64 << c) != 0)
-            .map(ClusterId)
-            .collect()
+        self.sharer_set(block).iter().collect()
     }
 
     /// Explicitly clears `cluster`'s presence bit (a *notifying* protocol's
@@ -235,7 +279,7 @@ impl FullMapDirectory {
     /// experimentation).
     pub fn drop_presence(&mut self, block: BlockAddr, cluster: ClusterId) {
         let bit = self.bit(cluster);
-        if let Some(entry) = self.entries.get_mut(&block.0) {
+        if let Some(entry) = self.entries.get_mut(block.0) {
             entry.presence &= !bit;
         }
     }
@@ -290,7 +334,8 @@ mod tests {
         d.read(B, C0);
         d.read(B, C1);
         let g = d.write(B, C2);
-        assert_eq!(g.invalidate, vec![C0, C1]);
+        assert_eq!(g.invalidate, [C0, C1].into_iter().collect::<ClusterSet>());
+        assert_eq!(g.invalidate.iter().collect::<Vec<_>>(), vec![C0, C1]);
         assert!(g.previous_owner.is_none());
         assert!(d.is_owner(B, C2));
         assert_eq!(d.sharers(B), vec![C2]);
@@ -324,7 +369,7 @@ mod tests {
         d.write(B, C0);
         let g = d.write(B, C1);
         assert_eq!(g.previous_owner, Some(C0));
-        assert_eq!(g.invalidate, vec![C0]);
+        assert_eq!(g.invalidate, ClusterSet::from_mask(1));
         assert!(d.is_owner(B, C1));
     }
 
@@ -399,5 +444,74 @@ mod tests {
     #[should_panic(expected = "must be in 1..=64")]
     fn too_many_clusters_panics() {
         let _ = FullMapDirectory::new(65);
+    }
+
+    #[test]
+    fn sharer_set_and_other_than_match_sharers() {
+        let mut d = FullMapDirectory::new(8);
+        d.read(B, C0);
+        d.read(B, C2);
+        assert_eq!(d.sharer_set(B).iter().collect::<Vec<_>>(), d.sharers(B));
+        assert!(d.has_sharer_other_than(B, C0));
+        assert!(d.has_sharer_other_than(B, C1));
+        let lone = BlockAddr(7);
+        d.read(lone, C1);
+        assert!(!d.has_sharer_other_than(lone, C1));
+        assert!(!d.has_sharer_other_than(BlockAddr(99), C0));
+    }
+
+    /// The sentinel-packed `owner: u8` must round-trip every legal owner
+    /// value exactly as the old `Option<ClusterId>` field did.
+    #[test]
+    fn packed_owner_roundtrips_all_cluster_ids() {
+        let mut e = Entry::default();
+        assert_eq!(e.owner(), None);
+        for c in 0..64u16 {
+            e.set_owner(Some(ClusterId(c)));
+            assert_eq!(e.owner(), Some(ClusterId(c)));
+        }
+        e.set_owner(None);
+        assert_eq!(e.owner(), None);
+        // The packing buys real space: presence word + sentinel byte.
+        assert!(std::mem::size_of::<Entry>() <= 16);
+        assert_eq!(std::mem::size_of::<Option<ClusterId>>(), 4);
+    }
+
+    /// Directory-level equivalence of the packed-owner representation:
+    /// drive the same request sequence and check owner visibility at every
+    /// step against a shadow `Option<ClusterId>`.
+    #[test]
+    fn packed_owner_tracks_shadow_option_through_protocol() {
+        let mut d = FullMapDirectory::new(4);
+        let mut shadow: Option<ClusterId> = None;
+        let steps: [(u8, ClusterId); 8] = [
+            (b'w', C0),
+            (b'r', C1),
+            (b'w', C2),
+            (b'w', C1),
+            (b'b', C1),
+            (b'r', C0),
+            (b'w', C0),
+            (b'b', C0),
+        ];
+        for (op, c) in steps {
+            match op {
+                b'w' => {
+                    d.write(B, c);
+                    shadow = Some(c);
+                }
+                b'r' => {
+                    d.read(B, c);
+                    shadow = None;
+                }
+                _ => {
+                    if shadow == Some(c) {
+                        shadow = None;
+                    }
+                    d.writeback(B, c);
+                }
+            }
+            assert_eq!(d.owner_of(B), shadow, "after {} {c}", op as char);
+        }
     }
 }

@@ -13,16 +13,15 @@
 //! systems based on limited pointer or linked lists protocols (like
 //! NUMA-Q) could make efficient use of the page caches."
 
-use std::collections::HashMap;
-
-use dsm_types::{BlockAddr, ClusterId};
+use dsm_types::{BlockAddr, ClusterId, ClusterSet, DenseMap};
 
 use crate::full_map::{ReadGrant, WriteGrant};
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Entry {
-    /// Up to `pointers` sharer ids; meaningless once `broadcast` is set.
-    sharers: Vec<ClusterId>,
+    /// Up to `pointers` sharer ids (the set's population count is the
+    /// number of pointers in use); meaningless once `broadcast` is set.
+    sharers: ClusterSet,
     /// Pointer overflow: identity lost, invalidations must broadcast.
     broadcast: bool,
     owner: Option<ClusterId>,
@@ -42,7 +41,7 @@ struct Entry {
 pub struct LimitedPointerDirectory {
     clusters: u16,
     pointers: usize,
-    entries: HashMap<u64, Entry>,
+    entries: DenseMap<Entry>,
     keep_presence_on_writeback: bool,
 }
 
@@ -62,7 +61,7 @@ impl LimitedPointerDirectory {
         LimitedPointerDirectory {
             clusters,
             pointers,
-            entries: HashMap::new(),
+            entries: DenseMap::new(),
             keep_presence_on_writeback: true,
         }
     }
@@ -92,10 +91,10 @@ impl LimitedPointerDirectory {
     pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {
         self.check(requester);
         let pointers = self.pointers;
-        let entry = self.entries.entry(block.0).or_default();
+        let entry = self.entries.entry_or_default(block.0);
         // After overflow the entry cannot say who shared: presence
         // information is lost (the R-NUMA degradation).
-        let prior_presence = !entry.broadcast && entry.sharers.contains(&requester);
+        let prior_presence = !entry.broadcast && entry.sharers.contains(requester);
         let mut downgraded_owner = None;
         if let Some(owner) = entry.owner {
             if owner != requester {
@@ -103,15 +102,15 @@ impl LimitedPointerDirectory {
             }
             entry.owner = None;
         }
-        if !entry.broadcast && !entry.sharers.contains(&requester) {
+        if !entry.broadcast && !entry.sharers.contains(requester) {
             if entry.sharers.len() < pointers {
-                entry.sharers.push(requester);
+                entry.sharers.insert(requester);
             } else {
                 entry.broadcast = true;
-                entry.sharers.clear();
+                entry.sharers = ClusterSet::new();
             }
         }
-        let exclusive = !entry.broadcast && entry.sharers == [requester];
+        let exclusive = !entry.broadcast && entry.sharers.mask() == 1u64 << requester.0;
         ReadGrant {
             prior_presence,
             downgraded_owner,
@@ -123,26 +122,19 @@ impl LimitedPointerDirectory {
     /// [`crate::FullMapDirectory::write`]).
     pub fn write(&mut self, block: BlockAddr, requester: ClusterId) -> WriteGrant {
         self.check(requester);
-        let entry = self.entries.entry(block.0).or_default();
-        let prior_presence = !entry.broadcast && entry.sharers.contains(&requester);
+        let clusters = self.clusters;
+        let entry = self.entries.entry_or_default(block.0);
+        let prior_presence = !entry.broadcast && entry.sharers.contains(requester);
         let previous_owner = entry.owner.filter(|&o| o != requester);
-        let invalidate: Vec<ClusterId> = if entry.broadcast {
+        let invalidate = if entry.broadcast {
             // Identity lost: broadcast to everyone else (false
             // invalidations included).
-            (0..self.clusters)
-                .map(ClusterId)
-                .filter(|&c| c != requester)
-                .collect()
+            ClusterSet::all(clusters).without(requester)
         } else {
-            entry
-                .sharers
-                .iter()
-                .copied()
-                .filter(|&c| c != requester)
-                .collect()
+            entry.sharers.without(requester)
         };
         entry.broadcast = false;
-        entry.sharers = vec![requester];
+        entry.sharers = ClusterSet::from_mask(1u64 << requester.0);
         entry.owner = Some(requester);
         WriteGrant {
             prior_presence,
@@ -155,11 +147,12 @@ impl LimitedPointerDirectory {
     /// [`crate::FullMapDirectory::writeback`]).
     pub fn writeback(&mut self, block: BlockAddr, cluster: ClusterId) {
         self.check(cluster);
-        if let Some(entry) = self.entries.get_mut(&block.0) {
+        let keep = self.keep_presence_on_writeback;
+        if let Some(entry) = self.entries.get_mut(block.0) {
             if entry.owner == Some(cluster) {
                 entry.owner = None;
-                if !self.keep_presence_on_writeback {
-                    entry.sharers.retain(|&c| c != cluster);
+                if !keep {
+                    entry.sharers.remove(cluster);
                 }
             }
         }
@@ -169,29 +162,40 @@ impl LimitedPointerDirectory {
     #[must_use]
     pub fn is_owner(&self, block: BlockAddr, cluster: ClusterId) -> bool {
         self.entries
-            .get(&block.0)
+            .get(block.0)
             .is_some_and(|e| e.owner == Some(cluster))
     }
 
     /// The dirty owner, if any.
     #[must_use]
     pub fn owner_of(&self, block: BlockAddr) -> Option<ClusterId> {
-        self.entries.get(&block.0).and_then(|e| e.owner)
+        self.entries.get(block.0).and_then(|e| e.owner)
+    }
+
+    /// The set of clusters the directory would invalidate for `block`
+    /// (every cluster under broadcast), without allocating.
+    #[must_use]
+    pub fn sharer_set(&self, block: BlockAddr) -> ClusterSet {
+        match self.entries.get(block.0) {
+            None => ClusterSet::new(),
+            Some(e) if e.broadcast => ClusterSet::all(self.clusters),
+            Some(e) => e.sharers,
+        }
+    }
+
+    /// Whether any cluster besides `cluster` would receive an
+    /// invalidation for `block`. Under broadcast this is conservative —
+    /// identity is lost, so everyone else counts.
+    #[must_use]
+    pub fn has_sharer_other_than(&self, block: BlockAddr, cluster: ClusterId) -> bool {
+        self.sharer_set(block).contains_other_than(cluster)
     }
 
     /// Clusters the directory would invalidate for `block` (all of them
     /// under broadcast).
     #[must_use]
     pub fn sharers(&self, block: BlockAddr) -> Vec<ClusterId> {
-        match self.entries.get(&block.0) {
-            None => Vec::new(),
-            Some(e) if e.broadcast => (0..self.clusters).map(ClusterId).collect(),
-            Some(e) => {
-                let mut v = e.sharers.clone();
-                v.sort_unstable();
-                v
-            }
-        }
+        self.sharer_set(block).iter().collect()
     }
 
     /// Records an exclusive-clean grant (compare
@@ -202,19 +206,19 @@ impl LimitedPointerDirectory {
     /// Panics if other sharers are tracked.
     pub fn grant_exclusive(&mut self, block: BlockAddr, cluster: ClusterId) {
         self.check(cluster);
-        let entry = self.entries.entry(block.0).or_default();
+        let entry = self.entries.entry_or_default(block.0);
         assert!(
-            !entry.broadcast && entry.sharers.iter().all(|&c| c == cluster),
+            !entry.broadcast && entry.sharers.without(cluster).is_empty(),
             "exclusive grant of {block} to {cluster} with other sharers tracked"
         );
-        entry.sharers = vec![cluster];
+        entry.sharers = ClusterSet::from_mask(1u64 << cluster.0);
         entry.owner = Some(cluster);
     }
 
     /// Whether the entry has overflowed to broadcast mode.
     #[must_use]
     pub fn is_broadcast(&self, block: BlockAddr) -> bool {
-        self.entries.get(&block.0).is_some_and(|e| e.broadcast)
+        self.entries.get(block.0).is_some_and(|e| e.broadcast)
     }
 }
 
@@ -265,7 +269,7 @@ mod tests {
         d.read(B, ClusterId(2));
         let g = d.write(B, ClusterId(3));
         assert_eq!(g.invalidate.len(), 7, "{:?}", g.invalidate);
-        assert!(!g.invalidate.contains(&ClusterId(3)));
+        assert!(!g.invalidate.contains(ClusterId(3)));
         // Write resets the entry to a precise single pointer.
         assert!(!d.is_broadcast(B));
         assert_eq!(d.sharers(B), vec![ClusterId(3)]);
@@ -278,8 +282,7 @@ mod tests {
         d.read(B, ClusterId(0));
         d.read(B, ClusterId(1));
         let g = d.write(B, ClusterId(5));
-        let mut inv = g.invalidate;
-        inv.sort_unstable();
+        let inv: Vec<ClusterId> = g.invalidate.iter().collect();
         assert_eq!(inv, vec![ClusterId(0), ClusterId(1)]);
     }
 

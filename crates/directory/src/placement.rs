@@ -1,8 +1,6 @@
 //! First-touch page placement and the block -> home-cluster map.
 
-use std::collections::HashMap;
-
-use dsm_types::{BlockAddr, ClusterId, Geometry, PageAddr};
+use dsm_types::{BlockAddr, ClusterId, DenseMap, Geometry, PageAddr};
 
 /// First-touch page placement: each page's home memory is the cluster of
 /// the first processor that references it.
@@ -27,7 +25,7 @@ use dsm_types::{BlockAddr, ClusterId, Geometry, PageAddr};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FirstTouchPlacement {
-    homes: HashMap<u64, ClusterId>,
+    homes: DenseMap<ClusterId>,
 }
 
 impl FirstTouchPlacement {
@@ -39,13 +37,13 @@ impl FirstTouchPlacement {
 
     /// Returns the home of `page`, assigning it to `toucher` on first touch.
     pub fn home_of(&mut self, page: PageAddr, toucher: ClusterId) -> ClusterId {
-        *self.homes.entry(page.0).or_insert(toucher)
+        *self.homes.entry_or_insert_with(page.0, || toucher)
     }
 
     /// The home of `page` if already assigned.
     #[must_use]
     pub fn peek_home(&self, page: PageAddr) -> Option<ClusterId> {
-        self.homes.get(&page.0).copied()
+        self.homes.get(page.0).copied()
     }
 
     /// Pins `page`'s home to `cluster` regardless of who touches it first
@@ -60,9 +58,9 @@ impl FirstTouchPlacement {
         self.homes.len()
     }
 
-    /// Iterates over `(page, home)` assignments.
+    /// Iterates over `(page, home)` assignments (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (PageAddr, ClusterId)> + '_ {
-        self.homes.iter().map(|(&p, &c)| (PageAddr(p), c))
+        self.homes.iter().map(|(p, &c)| (PageAddr(p), c))
     }
 }
 
@@ -95,6 +93,12 @@ impl HomeMap {
     /// it to `toucher` if unplaced.
     pub fn home_of_block(&mut self, block: BlockAddr, toucher: ClusterId) -> ClusterId {
         let page = self.geometry.page_of_block(block);
+        self.placement.home_of(page, toucher)
+    }
+
+    /// Home cluster of `page`, first-touch assigning it to `toucher` if
+    /// unplaced — for callers that already decomposed the address.
+    pub fn home_of_page(&mut self, page: PageAddr, toucher: ClusterId) -> ClusterId {
         self.placement.home_of(page, toucher)
     }
 

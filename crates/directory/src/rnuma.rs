@@ -1,8 +1,6 @@
 //! R-NUMA's directory-controlled page relocation counters.
 
-use std::collections::HashMap;
-
-use dsm_types::{ClusterId, PageAddr};
+use dsm_types::{ClusterId, FxHashMap, PageAddr};
 
 /// Per-page, per-cluster **capacity-miss counters**, as proposed by R-NUMA
 /// (Falsafi & Wood) and used by the paper's `ncp`/`vbp`/`vpp` systems.
@@ -35,7 +33,7 @@ use dsm_types::{ClusterId, PageAddr};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RnumaCounters {
-    counts: HashMap<(u64, u16), u32>,
+    counts: FxHashMap<(u64, u16), u32>,
 }
 
 impl RnumaCounters {

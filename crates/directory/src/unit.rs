@@ -1,6 +1,6 @@
 //! A directory of either organization, behind one dispatch type.
 
-use dsm_types::{BlockAddr, ClusterId};
+use dsm_types::{BlockAddr, ClusterId, ClusterSet};
 
 use crate::full_map::{FullMapDirectory, ReadGrant, WriteGrant};
 use crate::limited::LimitedPointerDirectory;
@@ -88,6 +88,26 @@ impl DirectoryUnit {
         }
     }
 
+    /// The sharer set for `block` as a presence mask (no allocation).
+    #[must_use]
+    pub fn sharer_set(&self, block: BlockAddr) -> ClusterSet {
+        match self {
+            DirectoryUnit::FullMap(d) => d.sharer_set(block),
+            DirectoryUnit::LimitedPointer(d) => d.sharer_set(block),
+        }
+    }
+
+    /// Whether any cluster other than `cluster` shares `block` — the
+    /// per-write question on the migration/replication path, answered
+    /// without materializing a sharer list.
+    #[must_use]
+    pub fn has_sharer_other_than(&self, block: BlockAddr, cluster: ClusterId) -> bool {
+        match self {
+            DirectoryUnit::FullMap(d) => d.has_sharer_other_than(block, cluster),
+            DirectoryUnit::LimitedPointer(d) => d.has_sharer_other_than(block, cluster),
+        }
+    }
+
     /// Records an exclusive-clean grant.
     pub fn grant_exclusive(&mut self, block: BlockAddr, cluster: ClusterId) {
         match self {
@@ -113,11 +133,12 @@ mod tests {
             assert_eq!(a, x, "read by C{c}");
         }
         let a = fm.write(b, ClusterId(3));
-        let mut x = lp.write(b, ClusterId(3));
-        x.invalidate.sort_unstable();
+        let x = lp.write(b, ClusterId(3));
         assert_eq!(a, x);
         assert_eq!(fm.sharers(b), lp.sharers(b));
         assert_eq!(fm.owner_of(b), lp.owner_of(b));
+        assert!(fm.has_sharer_other_than(b, ClusterId(0)));
+        assert!(!fm.has_sharer_other_than(b, ClusterId(3)));
     }
 
     #[test]

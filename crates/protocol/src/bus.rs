@@ -118,6 +118,7 @@ impl BusCluster {
     /// The state `proc` holds `block` in (`Invalid` if absent); no LRU
     /// effect.
     #[must_use]
+    #[inline]
     pub fn state_of(&self, proc: LocalProcId, block: BlockAddr) -> CacheState {
         self.cache(proc).state_of(block)
     }
@@ -131,6 +132,37 @@ impl BusCluster {
         self.stats.read_hits += 1;
         let s = self.cache_mut(proc).touch(block);
         debug_assert!(s.is_valid(), "read_hit on absent block {block}");
+    }
+
+    /// Single-scan read-hit attempt: if `proc` holds `block` in a valid
+    /// state, refreshes its LRU position, counts a read hit and returns
+    /// `true`; on a miss returns `false` with no state change. Equivalent
+    /// to `state_of` followed by `read_hit`, with one tag-array scan
+    /// instead of two.
+    #[inline]
+    pub fn try_read_hit(&mut self, proc: LocalProcId, block: BlockAddr) -> bool {
+        if self.cache_mut(proc).touch(block).is_valid() {
+            self.stats.read_hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Single-scan write probe: returns the state `proc` held `block` in
+    /// before the probe (`Invalid` on a miss), refreshing LRU on a hit. If
+    /// that state allows a silent write (`M`/`E`) the `E -> M` transition
+    /// is applied and a write hit is counted; for `S`/`R`/`O` the caller
+    /// follows up with an upgrade, for `Invalid` with the miss path.
+    /// Equivalent to `state_of` + `write_hit_exclusive` on the silent-write
+    /// path, with one tag-array scan instead of three.
+    #[inline]
+    pub fn write_probe(&mut self, proc: LocalProcId, block: BlockAddr) -> CacheState {
+        let s = self.cache_mut(proc).write_probe(block);
+        if s.allows_silent_write() {
+            self.stats.write_hits += 1;
+        }
+        s
     }
 
     /// Records a write hit in `M`/`E` (silent `E -> M` transition, LRU

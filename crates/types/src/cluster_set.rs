@@ -1,0 +1,241 @@
+//! A set of clusters as a single presence word.
+
+use std::fmt;
+
+use crate::ClusterId;
+
+/// A set of [`ClusterId`]s packed into one `u64` presence mask (the
+/// machine has at most 64 clusters — the directory's presence-word
+/// width).
+///
+/// This is the allocation-free form of the `Vec<ClusterId>` lists the
+/// coherence path used to build per write miss: the directory already
+/// holds presence as a bitmask, so invalidation targets travel as the
+/// mask itself and are expanded lazily by [`ClusterSet::iter`], in
+/// ascending cluster order.
+///
+/// # Example
+///
+/// ```
+/// use dsm_types::{ClusterId, ClusterSet};
+///
+/// let mut s = ClusterSet::new();
+/// s.insert(ClusterId(3));
+/// s.insert(ClusterId(0));
+/// assert_eq!(s.len(), 2);
+/// let ids: Vec<ClusterId> = s.iter().collect();
+/// assert_eq!(ids, vec![ClusterId(0), ClusterId(3)]); // ascending
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ClusterSet(u64);
+
+impl ClusterSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ClusterSet(0)
+    }
+
+    /// A set from a raw presence mask (bit `i` = cluster `i`).
+    #[must_use]
+    pub fn from_mask(mask: u64) -> Self {
+        ClusterSet(mask)
+    }
+
+    /// The set of all clusters `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` (wider than the presence word).
+    #[must_use]
+    pub fn all(n: u16) -> Self {
+        assert!(n <= 64, "cluster count {n} exceeds the presence word");
+        if n == 64 {
+            ClusterSet(u64::MAX)
+        } else {
+            ClusterSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The raw presence mask.
+    #[must_use]
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Number of clusters in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `cluster` is in the set.
+    #[must_use]
+    pub fn contains(self, cluster: ClusterId) -> bool {
+        debug_assert!(cluster.0 < 64);
+        self.0 & (1u64 << cluster.0) != 0
+    }
+
+    /// Adds `cluster`; returns whether it was newly inserted.
+    pub fn insert(&mut self, cluster: ClusterId) -> bool {
+        debug_assert!(cluster.0 < 64);
+        let bit = 1u64 << cluster.0;
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes `cluster`; returns whether it was present.
+    pub fn remove(&mut self, cluster: ClusterId) -> bool {
+        debug_assert!(cluster.0 < 64);
+        let bit = 1u64 << cluster.0;
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// This set with `cluster` removed.
+    #[must_use]
+    pub fn without(self, cluster: ClusterId) -> Self {
+        debug_assert!(cluster.0 < 64);
+        ClusterSet(self.0 & !(1u64 << cluster.0))
+    }
+
+    /// Whether the set contains any cluster other than `cluster` — the
+    /// "is anyone else sharing this?" question the migration/replication
+    /// policy asks per write, answered without materializing a list.
+    #[must_use]
+    pub fn contains_other_than(self, cluster: ClusterId) -> bool {
+        !self.without(cluster).is_empty()
+    }
+
+    /// Iterates the members in ascending cluster order.
+    #[must_use]
+    pub fn iter(self) -> ClusterSetIter {
+        ClusterSetIter(self.0)
+    }
+}
+
+impl IntoIterator for ClusterSet {
+    type Item = ClusterId;
+    type IntoIter = ClusterSetIter;
+
+    fn into_iter(self) -> ClusterSetIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ClusterId> for ClusterSet {
+    fn from_iter<I: IntoIterator<Item = ClusterId>>(iter: I) -> Self {
+        let mut s = ClusterSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Display for ClusterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Ascending iterator over a [`ClusterSet`] (one `trailing_zeros` per
+/// member, no allocation).
+#[derive(Debug, Clone)]
+pub struct ClusterSetIter(u64);
+
+impl Iterator for ClusterSetIter {
+    type Item = ClusterId;
+
+    fn next(&mut self) -> Option<ClusterId> {
+        if self.0 == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let c = self.0.trailing_zeros() as u16;
+        self.0 &= self.0 - 1; // clear lowest set bit
+        Some(ClusterId(c))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ClusterSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ClusterSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(ClusterId(5)));
+        assert!(!s.insert(ClusterId(5)));
+        assert!(s.contains(ClusterId(5)));
+        assert!(!s.contains(ClusterId(4)));
+        assert!(s.remove(ClusterId(5)));
+        assert!(!s.remove(ClusterId(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iterates_ascending() {
+        let s = ClusterSet::from_mask(0b1010_0101);
+        let v: Vec<ClusterId> = s.iter().collect();
+        assert_eq!(
+            v,
+            vec![ClusterId(0), ClusterId(2), ClusterId(5), ClusterId(7)]
+        );
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn all_and_edge_widths() {
+        assert_eq!(ClusterSet::all(0).len(), 0);
+        assert_eq!(ClusterSet::all(8).mask(), 0xff);
+        assert_eq!(ClusterSet::all(64).len(), 64);
+        assert!(ClusterSet::all(64).contains(ClusterId(63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the presence word")]
+    fn all_rejects_over_64() {
+        let _ = ClusterSet::all(65);
+    }
+
+    #[test]
+    fn without_and_other_than() {
+        let s = ClusterSet::from_mask(0b110);
+        assert!(s.contains_other_than(ClusterId(1)));
+        assert!(s.contains_other_than(ClusterId(0)));
+        let only = ClusterSet::from_mask(0b010);
+        assert!(!only.contains_other_than(ClusterId(1)));
+        assert_eq!(s.without(ClusterId(1)).mask(), 0b100);
+    }
+
+    #[test]
+    fn from_iterator_and_display() {
+        let s: ClusterSet = [ClusterId(3), ClusterId(1)].into_iter().collect();
+        assert_eq!(s.to_string(), "{C1, C3}");
+        assert_eq!(ClusterSet::new().to_string(), "{}");
+    }
+}

@@ -1,0 +1,476 @@
+//! Dependency-free fast hashing for the simulator's hot path.
+//!
+//! Every trace reference walks a chain of map lookups (home placement,
+//! directory entry, network-cache entry, page-cache frame). The std
+//! `HashMap` default hasher (SipHash-1-3) is DoS-resistant but costs tens
+//! of cycles per lookup — wasted work for a simulator hashing its own
+//! block numbers. This module provides the two replacements:
+//!
+//! * [`FxHasher`] / [`FxBuildHasher`] — the FxHash multiply-rotate mix
+//!   (from the Firefox/rustc hasher) for `HashMap`s with non-`u64` keys
+//!   (see [`FxHashMap`]);
+//! * [`DenseMap`] — a small open-addressing table keyed directly by
+//!   `u64` block/page numbers, the common case on the per-reference
+//!   path: one multiply, one probe, no per-entry allocation.
+//!
+//! Neither is DoS-resistant; keys here are simulator-internal addresses,
+//! never attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (a 64-bit number close to the golden ratio,
+/// as used by rustc's `FxHasher`).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] (FxHash): one rotate, one XOR and
+/// one multiply per word of input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `std::collections::HashMap` hashed with [`FxHasher`] — for hot maps
+/// whose keys are not plain `u64` (e.g. `(page, cluster)` tuples).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Mixes a `u64` key to a table index using the high bits of a single
+/// multiply (the low bits of `key * K` are poorly distributed).
+#[inline]
+fn mix(key: u64) -> u64 {
+    key.wrapping_mul(K)
+}
+
+/// An open-addressing hash table keyed by `u64`, tuned for the
+/// simulator's per-reference path: block and page numbers in, small
+/// `Copy`-ish values out.
+///
+/// Compared to `HashMap<u64, V>` with the default hasher:
+///
+/// * hashing is one multiply instead of a SipHash round;
+/// * probing is linear over a flat slot array (cache-friendly);
+/// * removal back-shifts displaced entries, so no tombstones accumulate.
+///
+/// Iteration order is unspecified (as with `HashMap`) — callers that
+/// need determinism must sort or use unique extrema, exactly as before.
+///
+/// # Example
+///
+/// ```
+/// use dsm_types::DenseMap;
+///
+/// let mut m: DenseMap<u32> = DenseMap::new();
+/// m.insert(42, 7);
+/// *m.entry_or_default(42) += 1;
+/// assert_eq!(m.get(42), Some(&8));
+/// assert_eq!(m.remove(42), Some(8));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseMap<V> {
+    /// Power-of-two slot array; `None` is an empty slot.
+    slots: Vec<Option<(u64, V)>>,
+    len: usize,
+}
+
+impl<V> Default for DenseMap<V> {
+    fn default() -> Self {
+        DenseMap::new()
+    }
+}
+
+enum Probe {
+    Found(usize),
+    Vacant(usize),
+}
+
+impl<V> DenseMap<V> {
+    /// Creates an empty map (no allocation until the first insert).
+    #[must_use]
+    pub fn new() -> Self {
+        DenseMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates a map that can hold `n` entries without rehashing.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        let mut m = DenseMap::new();
+        if n > 0 {
+            m.allocate((n * 4 / 3 + 1).next_power_of_two().max(8));
+        }
+        m
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    #[inline]
+    fn home_slot(&self, key: u64) -> usize {
+        // slots.len() is a power of two; take the high bits of the mix.
+        let shift = 64 - self.slots.len().trailing_zeros();
+        #[allow(clippy::cast_possible_truncation)]
+        let i = (mix(key) >> shift) as usize;
+        i
+    }
+
+    fn probe(&self, key: u64) -> Probe {
+        debug_assert!(!self.slots.is_empty());
+        let mask = self.slots.len() - 1;
+        let mut i = self.home_slot(key);
+        loop {
+            match &self.slots[i] {
+                None => return Probe::Vacant(i),
+                Some((k, _)) if *k == key => return Probe::Found(i),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn allocate(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(capacity, || None);
+        for (k, v) in old.into_iter().flatten() {
+            match self.probe(k) {
+                Probe::Vacant(i) => self.slots[i] = Some((k, v)),
+                Probe::Found(_) => unreachable!("duplicate key during rehash"),
+            }
+        }
+    }
+
+    /// Grows if adding one entry would exceed the 3/4 load factor.
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.allocate(8);
+        } else if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.allocate(self.slots.len() * 2);
+        }
+    }
+
+    /// The value for `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(key) {
+            Probe::Found(i) => self.slots[i].as_ref().map(|(_, v)| v),
+            Probe::Vacant(_) => None,
+        }
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.probe(key) {
+            Probe::Found(i) => self.slots[i].as_mut().map(|(_, v)| v),
+            Probe::Vacant(_) => None,
+        }
+    }
+
+    /// Whether `key` has an entry.
+    #[must_use]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` for `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        self.reserve_one();
+        match self.probe(key) {
+            Probe::Found(i) => {
+                let slot = self.slots[i].as_mut().expect("found slot is occupied");
+                Some(std::mem::replace(&mut slot.1, value))
+            }
+            Probe::Vacant(i) => {
+                self.slots[i] = Some((key, value));
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// The value for `key`, inserting `make()` first if absent.
+    pub fn entry_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
+        self.reserve_one();
+        let i = match self.probe(key) {
+            Probe::Found(i) => i,
+            Probe::Vacant(i) => {
+                self.slots[i] = Some((key, make()));
+                self.len += 1;
+                i
+            }
+        };
+        &mut self.slots[i].as_mut().expect("slot just filled").1
+    }
+
+    /// Removes `key`, returning its value. Back-shifts displaced entries
+    /// so later probes stay short (no tombstones).
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let i = match self.probe(key) {
+            Probe::Found(i) => i,
+            Probe::Vacant(_) => return None,
+        };
+        let (_, value) = self.slots[i].take().expect("found slot is occupied");
+        self.len -= 1;
+        // Back-shift: any entry probing through the hole moves into it.
+        let mask = self.slots.len() - 1;
+        let mut hole = i;
+        let mut j = (i + 1) & mask;
+        while let Some((k, _)) = &self.slots[j] {
+            let home = self.home_slot(*k);
+            // `j`'s entry belongs in the hole iff its home position does
+            // not lie strictly between the hole and `j` (cyclically).
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = self.slots[j].take();
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        Some(value)
+    }
+
+    /// Iterates over `(key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    /// Iterates over keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Iterates over mutable values in unspecified order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut().map(|(_, v)| v))
+    }
+}
+
+impl<V: Default> DenseMap<V> {
+    /// The value for `key`, inserting `V::default()` first if absent.
+    pub fn entry_or_default(&mut self, key: u64) -> &mut V {
+        self.entry_or_insert_with(key, V::default)
+    }
+}
+
+impl<V> FromIterator<(u64, V)> for DenseMap<V> {
+    fn from_iter<I: IntoIterator<Item = (u64, V)>>(iter: I) -> Self {
+        let mut m = DenseMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: DenseMap<String> = DenseMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(m.get(1).map(String::as_str), Some("b"));
+        assert_eq!(m.remove(1), Some("b".into()));
+        assert_eq!(m.remove(1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: DenseMap<u64> = DenseMap::new();
+        for i in 0..10_000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000 {
+            assert_eq!(m.get(i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn entry_or_default_counts() {
+        let mut m: DenseMap<u64> = DenseMap::new();
+        for _ in 0..3 {
+            *m.entry_or_default(9) += 1;
+        }
+        assert_eq!(m.get(9), Some(&3));
+    }
+
+    #[test]
+    fn backshift_removal_keeps_colliders_reachable() {
+        // Sequential keys stress the probe chains; remove every other
+        // entry and verify the rest stay findable.
+        let mut m: DenseMap<u64> = DenseMap::new();
+        for i in 0..1000 {
+            m.insert(i, i);
+        }
+        for i in (0..1000).step_by(2) {
+            assert_eq!(m.remove(i), Some(i));
+        }
+        for i in 0..1000 {
+            if i % 2 == 0 {
+                assert_eq!(m.get(i), None);
+            } else {
+                assert_eq!(m.get(i), Some(&i));
+            }
+        }
+        assert_eq!(m.len(), 500);
+    }
+
+    #[test]
+    fn with_capacity_avoids_rehash() {
+        let mut m: DenseMap<u8> = DenseMap::with_capacity(100);
+        let cap = m.slots.len();
+        for i in 0..100 {
+            m.insert(i, 0);
+        }
+        assert_eq!(m.slots.len(), cap, "no growth within stated capacity");
+    }
+
+    #[test]
+    fn iteration_visits_every_entry_once() {
+        let mut m: DenseMap<u64> = DenseMap::new();
+        for i in 0..64 {
+            m.insert(i << 32, i);
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..64).map(|i| i << 32).collect();
+        assert_eq!(seen, expect);
+        assert_eq!(m.values().count(), 64);
+        assert_eq!(m.keys().count(), 64);
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut m: DenseMap<u64> = DenseMap::new();
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        let cap = m.slots.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.slots.len(), cap);
+        m.insert(5, 5);
+        assert_eq!(m.get(5), Some(&5));
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_word_consistent() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+        // Byte-stream writes chunk to the same words as write_u64.
+        let mut h1 = FxHasher::default();
+        h1.write(&7u64.to_le_bytes());
+        let mut h2 = FxHasher::default();
+        h2.write_u64(7);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn fx_hash_map_works_with_tuple_keys() {
+        let mut m: FxHashMap<(u64, u16), u32> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), None);
+    }
+}

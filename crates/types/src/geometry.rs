@@ -25,6 +25,20 @@ pub struct Geometry {
     page_shift: u32,
 }
 
+/// One reference's address decomposed once — block, page and the block's
+/// index within the page — so the per-reference path derives all three
+/// with two shifts and a mask up front instead of re-deriving them in
+/// every layer (directory, NC, page cache) it passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrParts {
+    /// The block containing the address.
+    pub block: BlockAddr,
+    /// The page containing the address.
+    pub page: PageAddr,
+    /// The block's index within its page, in `0..blocks_per_page()`.
+    pub block_in_page: u64,
+}
+
 impl Geometry {
     /// Creates a geometry with the given block and page sizes in bytes.
     ///
@@ -82,6 +96,7 @@ impl Geometry {
 
     /// The block containing byte address `addr`.
     #[must_use]
+    #[inline]
     pub fn block_of(&self, addr: Addr) -> BlockAddr {
         BlockAddr(addr.0 >> self.block_shift)
     }
@@ -92,8 +107,33 @@ impl Geometry {
         PageAddr(addr.0 >> self.page_shift)
     }
 
+    /// Decomposes `addr` into block, page and block-within-page in one
+    /// step (see [`AddrParts`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dsm_types::{Addr, Geometry};
+    /// let geo = Geometry::paper_default();
+    /// let p = geo.decompose(Addr(4096 + 65));
+    /// assert_eq!(p.block, geo.block_of(Addr(4096 + 65)));
+    /// assert_eq!(p.page.0, 1);
+    /// assert_eq!(p.block_in_page, 1);
+    /// ```
+    #[must_use]
+    #[inline]
+    pub fn decompose(&self, addr: Addr) -> AddrParts {
+        let block = BlockAddr(addr.0 >> self.block_shift);
+        AddrParts {
+            block,
+            page: PageAddr(addr.0 >> self.page_shift),
+            block_in_page: block.0 & (self.blocks_per_page() - 1),
+        }
+    }
+
     /// The page containing block `block`.
     #[must_use]
+    #[inline]
     pub fn page_of_block(&self, block: BlockAddr) -> PageAddr {
         PageAddr(block.0 >> (self.page_shift - self.block_shift))
     }

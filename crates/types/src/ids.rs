@@ -116,6 +116,7 @@ impl Topology {
 
     /// Total processor count across the machine.
     #[must_use]
+    #[inline]
     pub fn total_procs(&self) -> u16 {
         self.clusters * self.procs_per_cluster
     }
@@ -146,6 +147,30 @@ impl Topology {
             "processor {proc} out of range for {self}"
         );
         LocalProcId(proc.0 % self.procs_per_cluster)
+    }
+
+    /// Splits a global processor id into `(cluster, local)` in one step —
+    /// the per-reference form of [`Topology::cluster_of`] +
+    /// [`Topology::local_of`], with a single range check and a shift/mask
+    /// fast path when the cluster width is a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range for this topology.
+    #[must_use]
+    #[inline]
+    pub fn split_of(&self, proc: ProcId) -> (ClusterId, LocalProcId) {
+        assert!(
+            proc.0 < self.total_procs(),
+            "processor {proc} out of range for {self}"
+        );
+        let ppc = self.procs_per_cluster;
+        if ppc.is_power_of_two() {
+            let shift = ppc.trailing_zeros();
+            (ClusterId(proc.0 >> shift), LocalProcId(proc.0 & (ppc - 1)))
+        } else {
+            (ClusterId(proc.0 / ppc), LocalProcId(proc.0 % ppc))
+        }
     }
 
     /// The global processor id for `(cluster, local)`.

@@ -23,13 +23,17 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod cluster_set;
 pub mod error;
+pub mod fastmap;
 pub mod geometry;
 pub mod ids;
 pub mod op;
 
 pub use addr::{Addr, BlockAddr, PageAddr};
+pub use cluster_set::{ClusterSet, ClusterSetIter};
 pub use error::ConfigError;
-pub use geometry::Geometry;
+pub use fastmap::{DenseMap, FxBuildHasher, FxHashMap, FxHasher};
+pub use geometry::{AddrParts, Geometry};
 pub use ids::{ClusterId, LocalProcId, ProcId, Topology};
 pub use op::{MemOp, MemRef};

@@ -13,6 +13,26 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
+echo "== hot-path hash gate =="
+# The per-reference simulation path must stay on dsm_types::DenseMap /
+# FxHashMap: a default-hasher std HashMap re-introduced here would undo
+# the hot-path overhaul (SipHash + per-lookup overhead) without failing
+# any functional test. Test modules are exempt.
+hot_paths=(
+  crates/directory/src/full_map.rs
+  crates/directory/src/limited.rs
+  crates/directory/src/placement.rs
+  crates/directory/src/rnuma.rs
+  crates/core/src/system.rs
+  crates/core/src/nc
+  crates/core/src/page_cache
+  crates/core/src/obs/mod.rs
+)
+if grep -rn "std::collections::HashMap" "${hot_paths[@]}" | grep -v "^[^:]*:[0-9]*: *//"; then
+  echo "error: default-hasher std HashMap on a per-reference path (use DenseMap/FxHashMap)"
+  exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

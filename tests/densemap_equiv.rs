@@ -1,0 +1,185 @@
+//! Equivalence and determinism gates for the hot-path data structures.
+//!
+//! The hot-path overhaul swapped every per-reference table onto
+//! [`dsm_types::DenseMap`] (open addressing over `u64` keys, FxHash).
+//! These tests pin the map to `std::collections::HashMap` semantics under
+//! randomized operation sequences — including tombstone churn and extreme
+//! keys — and pin the simulator's end-to-end output with golden metrics,
+//! so a future map change that alters simulation results fails loudly
+//! rather than silently shifting figures.
+
+use std::collections::HashMap;
+
+use dsm_core::runner::run_trace;
+use dsm_core::SystemSpec;
+use dsm_trace::{Scale, WorkloadKind};
+use dsm_types::{DenseMap, Geometry, Topology};
+
+/// Deterministic xorshift64* generator — no external crates, fixed seeds.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Replays one random operation sequence against both maps and checks
+/// every observable result matches.
+fn check_equiv(seed: u64, ops: usize, key_space: u64) {
+    let mut rng = Rng(seed);
+    let mut dense: DenseMap<u64> = DenseMap::new();
+    let mut reference: HashMap<u64, u64> = HashMap::new();
+
+    for i in 0..ops {
+        let r = rng.next();
+        // Mostly a small key space (forces collisions, overwrites and
+        // tombstone reuse), with occasional extreme keys.
+        let key = match r % 16 {
+            0 => 0,
+            1 => u64::MAX - (r >> 32) % 4,
+            _ => (r >> 8) % key_space,
+        };
+        let val = i as u64;
+        match (r >> 4) % 6 {
+            0 | 1 => {
+                assert_eq!(
+                    dense.insert(key, val),
+                    reference.insert(key, val),
+                    "insert({key}) seed {seed} op {i}"
+                );
+            }
+            2 => {
+                assert_eq!(
+                    dense.remove(key),
+                    reference.remove(&key),
+                    "remove({key}) seed {seed} op {i}"
+                );
+            }
+            3 => {
+                assert_eq!(
+                    dense.get(key),
+                    reference.get(&key),
+                    "get({key}) seed {seed} op {i}"
+                );
+                assert_eq!(
+                    dense.contains_key(key),
+                    reference.contains_key(&key),
+                    "contains({key}) seed {seed} op {i}"
+                );
+            }
+            4 => {
+                let d = dense.entry_or_default(key);
+                let h = reference.entry(key).or_default();
+                assert_eq!(d, h, "entry_or_default({key}) seed {seed} op {i}");
+                *d += 1;
+                *h += 1;
+            }
+            _ => {
+                if let Some(d) = dense.get_mut(key) {
+                    *d ^= r;
+                }
+                if let Some(h) = reference.get_mut(&key) {
+                    *h ^= r;
+                }
+            }
+        }
+        assert_eq!(dense.len(), reference.len(), "len seed {seed} op {i}");
+    }
+
+    // Full-content comparison at the end, in both directions.
+    let mut dense_pairs: Vec<(u64, u64)> = dense.iter().map(|(k, &v)| (k, v)).collect();
+    let mut ref_pairs: Vec<(u64, u64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
+    dense_pairs.sort_unstable();
+    ref_pairs.sort_unstable();
+    assert_eq!(dense_pairs, ref_pairs, "final contents, seed {seed}");
+}
+
+#[test]
+fn densemap_matches_std_hashmap_small_keyspace() {
+    // A small key space maximizes overwrite/remove/reinsert churn.
+    for seed in [1, 0xDEAD_BEEF, 0x1234_5678_9ABC_DEF0] {
+        check_equiv(seed, 4000, 17);
+    }
+}
+
+#[test]
+fn densemap_matches_std_hashmap_wide_keyspace() {
+    // A wide key space exercises growth and long probe distances.
+    for seed in [7, 0xCAFE_F00D, 0x0F0F_0F0F_0F0F_0F0F] {
+        check_equiv(seed, 4000, 1 << 40);
+    }
+}
+
+#[test]
+fn densemap_tombstone_reuse_keeps_lookups_correct() {
+    // Insert/remove waves over the same keys: every lookup must keep
+    // probing past tombstones rather than stopping early.
+    let mut m: DenseMap<u32> = DenseMap::new();
+    for wave in 0u32..8 {
+        for k in 0u64..64 {
+            m.insert(k, wave);
+        }
+        for k in (0u64..64).step_by(2) {
+            assert_eq!(m.remove(k), Some(wave), "wave {wave} key {k}");
+        }
+        for k in 0u64..64 {
+            let expect = if k % 2 == 0 { None } else { Some(&wave) };
+            assert_eq!(m.get(k), expect, "wave {wave} key {k}");
+        }
+        assert_eq!(m.len(), 32);
+    }
+}
+
+/// Golden end-to-end run: the dev FFT trace on the base CC-NUMA machine
+/// must keep producing these exact counters. The values were captured
+/// from the pre-overhaul simulator (verified byte-identical through the
+/// refactor), so this test is the in-tree guard for the reproduce
+/// pipeline's output identity.
+#[test]
+fn golden_fft_base_metrics_are_stable() {
+    let w = WorkloadKind::Fft.dev_instance();
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let trace = w.generate(&topo, Scale::new(0.25).unwrap());
+    let r = run_trace(
+        &SystemSpec::base(),
+        w.name(),
+        w.shared_bytes(),
+        &trace,
+        topo,
+        geo,
+    )
+    .unwrap();
+
+    // Two replays of the same trace must agree exactly (determinism).
+    let r2 = run_trace(
+        &SystemSpec::base(),
+        w.name(),
+        w.shared_bytes(),
+        &trace,
+        topo,
+        geo,
+    )
+    .unwrap();
+    assert_eq!(
+        r.metrics, r2.metrics,
+        "same trace, same system, same metrics"
+    );
+
+    assert_eq!(r.refs, 13056);
+    assert_eq!(r.metrics.reads, 7168);
+    assert_eq!(r.metrics.writes, 5888);
+    assert_eq!(r.metrics.read_hits, 5952);
+    assert_eq!(r.metrics.write_hits, 4020);
+    assert_eq!(r.metrics.remote_read_necessary, 624);
+    assert_eq!(r.metrics.remote_read_capacity, 56);
+    assert_eq!(r.metrics.peer_transfers, 624);
+    assert_eq!(r.metrics.local_upgrades, 0);
+    assert_eq!(r.metrics.invalidations, 192);
+}

@@ -260,7 +260,7 @@ fn directory_owner_is_always_a_sharer() {
                 1 => {
                     let g = dir.write(b, c);
                     // The writer is never asked to invalidate itself.
-                    assert!(!g.invalidate.contains(&c), "case {case}");
+                    assert!(!g.invalidate.contains(c), "case {case}");
                 }
                 _ => {
                     dir.writeback(b, c);
