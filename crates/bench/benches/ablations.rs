@@ -28,8 +28,8 @@ use std::hint::black_box;
 use dsm_bench::tinybench::Tiny;
 use dsm_core::runner::run_trace;
 use dsm_core::{NcSpec, PcSize, Report, SystemSpec, ThresholdPolicy};
-use dsm_trace::{Scale, WorkloadKind};
-use dsm_types::{Geometry, MemRef, Topology};
+use dsm_trace::{Scale, SharedTrace, WorkloadKind};
+use dsm_types::{Geometry, Topology};
 
 const SCALE: f64 = 0.1;
 
@@ -155,16 +155,10 @@ fn print_comparison(ab: &Ablation, reports: &[Report]) {
     println!();
 }
 
-fn run_all(
-    specs: &[SystemSpec],
-    data_bytes: u64,
-    trace: &[MemRef],
-    topo: Topology,
-    geo: Geometry,
-) -> Vec<Report> {
+fn run_all(specs: &[SystemSpec], data_bytes: u64, trace: &SharedTrace) -> Vec<Report> {
     specs
         .iter()
-        .map(|s| run_trace(s, "ablation", data_bytes, trace, topo, geo).unwrap())
+        .map(|s| run_trace(s, "ablation", data_bytes, trace).unwrap())
         .collect()
 }
 
@@ -175,11 +169,12 @@ fn main() {
     t.group("ablations");
     for ab in ablations() {
         let w = ab.kind.paper_instance();
-        let trace = w.generate(&topo, Scale::new(ab.scale).unwrap());
-        let reports = run_all(&ab.specs, w.shared_bytes(), &trace, topo, geo);
+        let refs = w.generate(&topo, Scale::new(ab.scale).unwrap());
+        let trace = SharedTrace::from_refs(topo, geo, &refs);
+        let reports = run_all(&ab.specs, w.shared_bytes(), &trace);
         print_comparison(&ab, &reports);
         t.bench(ab.name, || {
-            black_box(run_all(&ab.specs, w.shared_bytes(), &trace, topo, geo));
+            black_box(run_all(&ab.specs, w.shared_bytes(), &trace));
         });
     }
 }

@@ -8,7 +8,7 @@ use dsm_cache::{CacheShape, CacheState, ProcCache, SetAssoc};
 use dsm_core::{runner::run_trace, SystemSpec};
 use dsm_directory::FullMapDirectory;
 use dsm_protocol::BusCluster;
-use dsm_trace::{Scale, WorkloadKind};
+use dsm_trace::{Scale, SharedTrace, WorkloadKind};
 use dsm_types::{BlockAddr, ClusterId, Geometry, LocalProcId, Topology};
 
 fn bench_set_assoc(t: &mut Tiny) {
@@ -98,11 +98,12 @@ fn bench_simulation_throughput(t: &mut Tiny) {
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
     let w = WorkloadKind::Lu.dev_instance();
-    let trace = w.generate(&topo, Scale::new(0.3).unwrap());
+    let refs = w.generate(&topo, Scale::new(0.3).unwrap());
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
     t.group("sim_throughput");
     for spec in [SystemSpec::base(), SystemSpec::vb(), SystemSpec::ncd()] {
         t.bench_elements(&spec.name.clone(), trace.len() as u64, || {
-            black_box(run_trace(&spec, "lu", w.shared_bytes(), &trace, topo, geo).unwrap());
+            black_box(run_trace(&spec, "lu", w.shared_bytes(), &trace).unwrap());
         });
     }
 }

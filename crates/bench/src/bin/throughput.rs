@@ -7,22 +7,24 @@
 //!
 //! ```text
 //! throughput [--scale <f>] [--out <path>] \
-//!            [--baseline <name>=<refs_per_s>]... [--baseline-commit <sha>]
+//!            [--baseline <workload>/<name>=<refs_per_s>]... [--baseline-commit <sha>]
 //! ```
 //!
-//! Three configurations replay the same canned FFT trace through the
-//! tinybench harness (median of 12 samples): the CC-NUMA base machine
-//! (full-map directory, no NC), the SRAM victim network cache, and the
-//! integrated NC + page-cache system. Each benchmark prints a tinybench
-//! line; with `--out` the measured refs/sec land in a JSON file whose
-//! schema is documented in the README ("Throughput benchmark").
+//! Two canned workload traces — FFT (regular, high locality) and Radix
+//! (irregular, permutation-heavy) — each replay through three
+//! configurations under the tinybench harness (median of 12 samples):
+//! the CC-NUMA base machine (full-map directory, no NC), the SRAM victim
+//! network cache, and the integrated NC + page-cache system. Each
+//! benchmark prints a tinybench line; with `--out` the measured refs/sec
+//! land in a JSON file whose schema (`dsm-bench-throughput/v2`) is
+//! documented in the README ("Throughput benchmark").
 //!
 //! `--baseline` attaches reference numbers measured at an earlier commit
-//! (`--baseline-commit`) so the file records the before/after pair; the
-//! CI `bench-smoke` job compares a fresh run against the committed file
-//! and fails on a >30% regression. Machine info (arch, OS, hardware
-//! threads) is recorded so cross-machine numbers are never compared
-//! blindly.
+//! (`--baseline-commit`), keyed `<workload>/<config>` (e.g. `fft/base`),
+//! so the file records the before/after pair; the CI `bench-smoke` job
+//! compares a fresh run against the committed file and fails on a >30%
+//! regression. Machine info (arch, OS, hardware threads) is recorded so
+//! cross-machine numbers are never compared blindly.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -36,7 +38,13 @@ use dsm_core::obs::Json;
 use dsm_core::{PcSize, SystemSpec};
 use dsm_trace::WorkloadKind;
 
-const USAGE: &str = "throughput [--scale <f>] [--out <path>] [--baseline <name>=<refs_per_s>]... [--baseline-commit <sha>]";
+const USAGE: &str = "throughput [--scale <f>] [--out <path>] [--baseline <workload>/<name>=<refs_per_s>]... [--baseline-commit <sha>]";
+
+/// The benchmarked workloads: one regular, one irregular kernel, so the
+/// replay cost is tracked under both friendly and hostile access
+/// patterns.
+const WORKLOADS: [(WorkloadKind, &str); 2] =
+    [(WorkloadKind::Fft, "fft"), (WorkloadKind::Radix, "radix")];
 
 fn main() {
     let mut out: Option<PathBuf> = None;
@@ -54,10 +62,10 @@ fn main() {
         "--baseline" => {
             let v = args
                 .get(i + 1)
-                .ok_or_else(|| "--baseline requires <name>=<refs_per_s>".to_owned())?;
-            let (name, value) = v
-                .split_once('=')
-                .ok_or_else(|| format!("bad baseline '{v}' (want <name>=<refs_per_s>)"))?;
+                .ok_or_else(|| "--baseline requires <workload>/<name>=<refs_per_s>".to_owned())?;
+            let (name, value) = v.split_once('=').ok_or_else(|| {
+                format!("bad baseline '{v}' (want <workload>/<name>=<refs_per_s>)")
+            })?;
             let value: f64 = value
                 .parse()
                 .map_err(|_| format!("bad baseline value '{v}'"))?;
@@ -85,42 +93,48 @@ fn main() {
     ];
 
     let mut ts = TraceSet::new(scale);
-    ts.prepare(WorkloadKind::Fft);
-    // One untimed run per spec up front: validates the configs and
-    // yields the reference count for the throughput denominator.
-    let refs = ts.run_prepared(&specs[0], WorkloadKind::Fft).refs;
-    eprintln!(
-        "throughput: fft trace, scale {}, {refs} refs per replay",
-        scale.factor()
-    );
+    for (kind, _) in WORKLOADS {
+        ts.prepare(kind);
+    }
 
     let mut tiny = Tiny::unfiltered();
     tiny.group("sim_throughput");
-    let mut measured: Vec<(String, f64)> = Vec::new();
-    for spec in &specs {
-        let eps = tiny.bench_value(&spec.name, refs, || {
-            consume(ts.run_prepared(spec, WorkloadKind::Fft));
-        });
-        if let Some(eps) = eps {
-            measured.push((spec.name.clone(), eps));
+    let mut workload_reports: Vec<Json> = Vec::new();
+    for (kind, wname) in WORKLOADS {
+        // One untimed run per workload up front: validates the configs
+        // and yields the reference count for the throughput denominator.
+        let refs = ts.run_prepared(&specs[0], kind).refs;
+        eprintln!(
+            "throughput: {wname} trace, scale {}, {refs} refs per replay",
+            scale.factor()
+        );
+
+        let mut configs: Vec<Json> = Vec::new();
+        for spec in &specs {
+            let label = format!("{wname}/{}", spec.name);
+            let eps = tiny.bench_value(&label, refs, || {
+                consume(ts.run_prepared(spec, kind));
+            });
+            let Some(eps) = eps else { continue };
+            let mut j = Json::obj()
+                .set("name", spec.name.as_str())
+                .set("refs_per_s", eps);
+            if let Some(base) = baseline.get(&label) {
+                j = j
+                    .set("baseline_refs_per_s", *base)
+                    .set("speedup", eps / *base);
+            }
+            configs.push(j);
         }
+        workload_reports.push(
+            Json::obj()
+                .set("workload", wname)
+                .set("refs", refs)
+                .set("configs", configs),
+        );
     }
 
     let Some(out) = out else { return };
-    let configs: Vec<Json> = measured
-        .iter()
-        .map(|(name, eps)| {
-            let mut j = Json::obj()
-                .set("name", name.as_str())
-                .set("refs_per_s", *eps);
-            if let Some(base) = baseline.get(name) {
-                j = j
-                    .set("baseline_refs_per_s", *base)
-                    .set("speedup", *eps / *base);
-            }
-            j
-        })
-        .collect();
     let machine = Json::obj()
         .set("arch", std::env::consts::ARCH)
         .set("os", std::env::consts::OS)
@@ -129,10 +143,8 @@ fn main() {
             std::thread::available_parallelism().map_or(0, |n| n.get() as u64),
         );
     let json = Json::obj()
-        .set("schema", "dsm-bench-throughput/v1")
-        .set("workload", "fft")
+        .set("schema", "dsm-bench-throughput/v2")
         .set("scale", scale.factor())
-        .set("refs", refs)
         .set("machine", machine)
         .set(
             "baseline_commit",
@@ -141,7 +153,7 @@ fn main() {
                 None => Json::Null,
             },
         )
-        .set("configs", configs);
+        .set("workloads", workload_reports);
     let mut f = BufWriter::new(
         File::create(&out).unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display())),
     );

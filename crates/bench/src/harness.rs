@@ -6,8 +6,8 @@ use std::collections::HashMap;
 use dsm_core::obs::Json;
 use dsm_core::runner::{run_trace, run_trace_probed};
 use dsm_core::{Probe, Report, SystemSpec};
-use dsm_trace::{Scale, WorkloadKind};
-use dsm_types::{Geometry, MemRef, Topology};
+use dsm_trace::{Scale, SharedTrace, WorkloadKind};
+use dsm_types::{Geometry, Topology};
 
 use crate::sweep::{run_sweep, Jobs, SweepPoint};
 
@@ -114,7 +114,10 @@ pub struct TraceSet {
     geo: Geometry,
     scale: Scale,
     jobs: Jobs,
-    traces: HashMap<WorkloadKind, (u64, Vec<MemRef>)>,
+    /// One columnar trace per workload: the decomposition columns are
+    /// computed here, once, and shared read-only by every configuration
+    /// (and every sweep worker) that replays the workload.
+    traces: HashMap<WorkloadKind, (u64, SharedTrace)>,
 }
 
 impl TraceSet {
@@ -155,7 +158,8 @@ impl TraceSet {
     pub fn prepare(&mut self, kind: WorkloadKind) {
         if !self.traces.contains_key(&kind) {
             let w = kind.paper_instance();
-            let trace = w.generate(&self.topo, self.scale);
+            let refs = w.generate(&self.topo, self.scale);
+            let trace = SharedTrace::from_refs(self.topo, self.geo, &refs);
             self.traces.insert(kind, (w.shared_bytes(), trace));
         }
     }
@@ -187,8 +191,6 @@ impl TraceSet {
             &kind.display_name().to_lowercase(),
             *data_bytes,
             trace,
-            self.topo,
-            self.geo,
         )
         .unwrap_or_else(|e| panic!("{}/{kind}: {e}", spec.name))
     }
@@ -214,8 +216,6 @@ impl TraceSet {
             &kind.display_name().to_lowercase(),
             *data_bytes,
             trace,
-            self.topo,
-            self.geo,
             probe,
             epoch_window,
         )

@@ -2,12 +2,12 @@
 
 use crate::CacheShape;
 
-#[derive(Debug, Clone)]
-struct Frame<T> {
-    tag: u64,
-    value: T,
-    last_use: u64,
-}
+/// The tag value marking an unoccupied frame.
+///
+/// Tags are block or page numbers, i.e. addresses shifted right by at
+/// least the block-offset width, so a real tag can never reach
+/// `u64::MAX`; [`SetAssoc::insert`] asserts this.
+const EMPTY: u64 = u64::MAX;
 
 /// A set-associative array mapping `tag -> T` within externally-computed
 /// sets, with true-LRU victim selection.
@@ -18,6 +18,12 @@ struct Frame<T> {
 /// via [`CacheShape::set_of_block`] or [`CacheShape::set_of_page`]. The tag
 /// stored here is the full block (or page) number, so distinct keys can
 /// never alias.
+///
+/// Storage is struct-of-arrays: the tags of all frames live in one dense
+/// `u64` vector (unoccupied frames hold a sentinel), with values and LRU
+/// timestamps in parallel vectors. A lookup therefore scans 8 bytes per
+/// way — one cache line covers an 8-way set — instead of pulling each
+/// frame's value and timestamp through the cache alongside its tag.
 ///
 /// # Example
 ///
@@ -35,20 +41,26 @@ struct Frame<T> {
 #[derive(Debug, Clone)]
 pub struct SetAssoc<T> {
     shape: CacheShape,
-    frames: Vec<Option<Frame<T>>>,
+    /// Frame tags, [`EMPTY`] where unoccupied.
+    tags: Vec<u64>,
+    /// Frame payloads; meaningless (default) where the tag is [`EMPTY`].
+    values: Vec<T>,
+    /// LRU timestamps; meaningless where the tag is [`EMPTY`].
+    last_use: Vec<u64>,
     tick: u64,
     len: usize,
 }
 
-impl<T> SetAssoc<T> {
+impl<T: Copy + Default> SetAssoc<T> {
     /// Creates an empty array of the given shape.
     #[must_use]
     pub fn new(shape: CacheShape) -> Self {
-        let mut frames = Vec::with_capacity(shape.total_blocks());
-        frames.resize_with(shape.total_blocks(), || None);
+        let n = shape.total_blocks();
         SetAssoc {
             shape,
-            frames,
+            tags: vec![EMPTY; n],
+            values: vec![T::default(); n],
+            last_use: vec![0; n],
             tick: 0,
             len: 0,
         }
@@ -83,18 +95,29 @@ impl<T> SetAssoc<T> {
         self.tick
     }
 
+    /// Index of the frame holding `tag` in `set`, if any. The sentinel
+    /// never matches a caller-supplied tag, so unoccupied frames need no
+    /// separate occupancy test on this, the hottest path in the simulator.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        debug_assert!(tag != EMPTY, "lookup of the reserved empty tag");
+        let ways = self.shape.ways();
+        let base = set * ways;
+        self.tags[base..base + ways]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|i| base + i)
+    }
+
     /// Looks up `tag` in `set` without touching LRU state.
     ///
     /// # Panics
     ///
     /// Panics if `set` is out of range.
     #[must_use]
+    #[inline]
     pub fn peek(&self, set: usize, tag: u64) -> Option<&T> {
-        self.frames[self.set_range(set)]
-            .iter()
-            .flatten()
-            .find(|f| f.tag == tag)
-            .map(|f| &f.value)
+        self.find(set, tag).map(|i| &self.values[i])
     }
 
     /// Looks up `tag` in `set`, marking it most-recently-used on a hit.
@@ -102,17 +125,16 @@ impl<T> SetAssoc<T> {
     /// # Panics
     ///
     /// Panics if `set` is out of range.
+    #[inline]
     pub fn get(&mut self, set: usize, tag: u64) -> Option<&T> {
         let tick = self.bump();
-        let range = self.set_range(set);
-        self.frames[range]
-            .iter_mut()
-            .flatten()
-            .find(|f| f.tag == tag)
-            .map(|f| {
-                f.last_use = tick;
-                &f.value
-            })
+        match self.find(set, tag) {
+            Some(i) => {
+                self.last_use[i] = tick;
+                Some(&self.values[i])
+            }
+            None => None,
+        }
     }
 
     /// Mutable variant of [`SetAssoc::get`]; also refreshes LRU.
@@ -120,17 +142,16 @@ impl<T> SetAssoc<T> {
     /// # Panics
     ///
     /// Panics if `set` is out of range.
+    #[inline]
     pub fn get_mut(&mut self, set: usize, tag: u64) -> Option<&mut T> {
         let tick = self.bump();
-        let range = self.set_range(set);
-        self.frames[range]
-            .iter_mut()
-            .flatten()
-            .find(|f| f.tag == tag)
-            .map(|f| {
-                f.last_use = tick;
-                &mut f.value
-            })
+        match self.find(set, tag) {
+            Some(i) => {
+                self.last_use[i] = tick;
+                Some(&mut self.values[i])
+            }
+            None => None,
+        }
     }
 
     /// Mutable lookup without refreshing LRU (for state maintenance that
@@ -139,13 +160,9 @@ impl<T> SetAssoc<T> {
     /// # Panics
     ///
     /// Panics if `set` is out of range.
+    #[inline]
     pub fn peek_mut(&mut self, set: usize, tag: u64) -> Option<&mut T> {
-        let range = self.set_range(set);
-        self.frames[range]
-            .iter_mut()
-            .flatten()
-            .find(|f| f.tag == tag)
-            .map(|f| &mut f.value)
+        self.find(set, tag).map(|i| &mut self.values[i])
     }
 
     /// Inserts `tag -> value` into `set`, evicting the LRU occupant if the
@@ -155,50 +172,46 @@ impl<T> SetAssoc<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `set` is out of range.
+    /// Panics if `set` is out of range or `tag` is the reserved sentinel
+    /// (`u64::MAX`, unreachable for real block/page numbers).
     pub fn insert(&mut self, set: usize, tag: u64, value: T) -> Option<(u64, T)> {
+        assert!(tag != EMPTY, "insert of the reserved empty tag");
         let tick = self.bump();
         let range = self.set_range(set);
 
-        // Already present: replace in place.
-        if let Some(f) = self.frames[range.clone()]
-            .iter_mut()
-            .flatten()
-            .find(|f| f.tag == tag)
-        {
-            f.value = value;
-            f.last_use = tick;
-            return None;
+        // Already present: replace in place. A free way doubles as the
+        // eviction victim search: one pass tracks both.
+        let mut victim = range.start;
+        let mut victim_use = u64::MAX;
+        for i in range {
+            if self.tags[i] == tag {
+                self.values[i] = value;
+                self.last_use[i] = tick;
+                return None;
+            }
+            // An empty frame sorts before any occupied one, so a free way
+            // always wins the victim slot when one exists.
+            let use_key = if self.tags[i] == EMPTY {
+                0
+            } else {
+                self.last_use[i]
+            };
+            if use_key < victim_use {
+                victim = i;
+                victim_use = use_key;
+            }
         }
 
-        // Free way available.
-        if let Some(slot) = self.frames[range.clone()].iter().position(Option::is_none) {
-            let idx = range.start + slot;
-            self.frames[idx] = Some(Frame {
-                tag,
-                value,
-                last_use: tick,
-            });
+        let evicted = if self.tags[victim] == EMPTY {
             self.len += 1;
-            return None;
-        }
-
-        // Evict the LRU way.
-        let victim_off = self.frames[range.clone()]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, f)| f.as_ref().map_or(u64::MAX, |f| f.last_use))
-            .map(|(i, _)| i)
-            .expect("set has at least one way");
-        let idx = range.start + victim_off;
-        let old = self.frames[idx]
-            .replace(Frame {
-                tag,
-                value,
-                last_use: tick,
-            })
-            .expect("victim frame is occupied");
-        Some((old.tag, old.value))
+            None
+        } else {
+            Some((self.tags[victim], self.values[victim]))
+        };
+        self.tags[victim] = tag;
+        self.values[victim] = value;
+        self.last_use[victim] = tick;
+        evicted
     }
 
     /// Removes `tag` from `set`, returning its value if present.
@@ -207,14 +220,10 @@ impl<T> SetAssoc<T> {
     ///
     /// Panics if `set` is out of range.
     pub fn remove(&mut self, set: usize, tag: u64) -> Option<T> {
-        let range = self.set_range(set);
-        for idx in range {
-            if self.frames[idx].as_ref().is_some_and(|f| f.tag == tag) {
-                self.len -= 1;
-                return self.frames[idx].take().map(|f| f.value);
-            }
-        }
-        None
+        let i = self.find(set, tag)?;
+        self.len -= 1;
+        self.tags[i] = EMPTY;
+        Some(self.values[i])
     }
 
     /// The tag/value that [`SetAssoc::insert`] would evict from a full
@@ -226,15 +235,16 @@ impl<T> SetAssoc<T> {
     #[must_use]
     pub fn victim_of(&self, set: usize) -> Option<(u64, &T)> {
         let range = self.set_range(set);
-        let slice = &self.frames[range];
-        if slice.iter().any(Option::is_none) {
-            return None;
+        let mut victim: Option<usize> = None;
+        for i in range {
+            if self.tags[i] == EMPTY {
+                return None;
+            }
+            if victim.is_none_or(|v| self.last_use[i] < self.last_use[v]) {
+                victim = Some(i);
+            }
         }
-        slice
-            .iter()
-            .flatten()
-            .min_by_key(|f| f.last_use)
-            .map(|f| (f.tag, &f.value))
+        victim.map(|i| (self.tags[i], &self.values[i]))
     }
 
     /// Iterates over the occupants of `set` as `(tag, &value)` pairs.
@@ -243,24 +253,25 @@ impl<T> SetAssoc<T> {
     ///
     /// Panics if `set` is out of range.
     pub fn iter_set(&self, set: usize) -> impl Iterator<Item = (u64, &T)> {
-        self.frames[self.set_range(set)]
-            .iter()
-            .flatten()
-            .map(|f| (f.tag, &f.value))
+        let range = self.set_range(set);
+        range
+            .filter(|&i| self.tags[i] != EMPTY)
+            .map(|i| (self.tags[i], &self.values[i]))
     }
 
     /// Iterates over all occupants as `(set, tag, &value)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &T)> {
         let ways = self.shape.ways();
-        self.frames
+        self.tags
             .iter()
             .enumerate()
-            .filter_map(move |(i, f)| f.as_ref().map(|f| (i / ways, f.tag, &f.value)))
+            .filter(|&(_, &t)| t != EMPTY)
+            .map(move |(i, &t)| (i / ways, t, &self.values[i]))
     }
 
     /// Removes every entry.
     pub fn clear(&mut self) {
-        self.frames.iter_mut().for_each(|f| *f = None);
+        self.tags.iter_mut().for_each(|t| *t = EMPTY);
         self.len = 0;
     }
 }

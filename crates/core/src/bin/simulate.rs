@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use dsm_core::obs::StatsSink;
 use dsm_core::runner::{report_of, run_trace};
 use dsm_core::{PcSize, Report, System, SystemSpec};
-use dsm_trace::{read_trace, Scale, WorkloadKind};
+use dsm_trace::{read_shared, Scale, SharedTrace, WorkloadKind};
 use dsm_types::{ClusterId, Geometry, Topology};
 
 fn usage() -> ExitCode {
@@ -300,8 +300,7 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let geo = Geometry::paper_default();
-    let (topo, trace, data_bytes, name) = if let Some(kind) = o.workload {
+    let (trace, data_bytes, name) = if let Some(kind) = o.workload {
         let scale = match Scale::new(o.scale) {
             Ok(s) => s,
             Err(e) => {
@@ -315,8 +314,9 @@ fn main() -> ExitCode {
             kind.paper_instance()
         };
         let topo = Topology::paper_default();
-        let trace = w.generate(&topo, scale);
-        (topo, trace, w.shared_bytes(), w.name().to_owned())
+        let refs = w.generate(&topo, scale);
+        let trace = SharedTrace::from_refs(topo, Geometry::paper_default(), &refs);
+        (trace, w.shared_bytes(), w.name().to_owned())
     } else {
         let path = o.trace.as_deref().expect("checked by parse_args");
         let file = match File::open(path) {
@@ -326,10 +326,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match read_trace(BufReader::new(file)) {
-            Ok((topo, trace)) => {
+        // v2 trace files carry their geometry; v1 files replay under the
+        // paper default.
+        match read_shared(BufReader::new(file)) {
+            Ok(trace) => {
                 let data_bytes = o.data_mb.unwrap_or(32) * 1024 * 1024;
-                (topo, trace, data_bytes, path.to_owned())
+                (trace, data_bytes, path.to_owned())
             }
             Err(e) => {
                 eprintln!("{e}");
@@ -339,6 +341,7 @@ fn main() -> ExitCode {
     };
 
     if o.stats {
+        let (topo, geo) = (*trace.topology(), *trace.geometry());
         let mut system = match System::with_probe(spec, topo, geo, data_bytes, StatsSink::new()) {
             Ok(s) => s,
             Err(e) => {
@@ -349,16 +352,15 @@ fn main() -> ExitCode {
         if let Some(w) = o.epoch {
             system.set_epoch_window(w);
         }
-        let refs = trace.len() as u64;
-        system.run(trace.iter().copied());
+        system.run_shared(&trace);
         system.finish();
-        let report = report_of(&system, &name, data_bytes, refs);
+        let report = report_of(&system, &name, data_bytes, trace.len() as u64);
         print_report(&report);
         print_stats(&system, o.top.max(1));
         return ExitCode::SUCCESS;
     }
 
-    let report = match run_trace(&spec, &name, data_bytes, &trace, topo, geo) {
+    let report = match run_trace(&spec, &name, data_bytes, &trace) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");

@@ -8,9 +8,10 @@ use super::{NcEviction, NcHit, VictimOutcome};
 use crate::model::NcTechnology;
 
 /// The state of an inclusion-NC entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 enum Entry {
     /// Valid clean copy (caches may hold additional clean copies).
+    #[default]
     Clean,
     /// Valid dirty copy; the processor caches no longer hold the block
     /// dirty (its write-back landed here). Eviction requires a write-back.

@@ -5,7 +5,7 @@ use crate::metrics::Metrics;
 use crate::obs::{json::Json, metrics_json};
 use crate::probe::Probe;
 use crate::system::System;
-use dsm_trace::{Scale, Workload};
+use dsm_trace::{Scale, SharedTrace, Workload};
 use dsm_types::{ConfigError, Geometry, Topology};
 
 /// The result of running one workload on one system configuration.
@@ -35,6 +35,9 @@ pub struct Report {
     pub remote_read_stall: u64,
     /// Remote data traffic, block transfers.
     pub remote_traffic: u64,
+    /// Directory storage cost per block in bits (full map: O(clusters);
+    /// Dir-i-B: O(pointers)).
+    pub directory_bits_per_block: u32,
     /// Wall-clock seconds spent simulating this point (0.0 when the
     /// report was assembled by [`report_of`] outside a timed runner).
     pub wall_s: f64,
@@ -55,6 +58,7 @@ impl PartialEq for Report {
             relocation_overhead,
             remote_read_stall,
             remote_traffic,
+            directory_bits_per_block,
             wall_s: _,
         } = self;
         *system == other.system
@@ -67,6 +71,7 @@ impl PartialEq for Report {
             && *relocation_overhead == other.relocation_overhead
             && *remote_read_stall == other.remote_read_stall
             && *remote_traffic == other.remote_traffic
+            && *directory_bits_per_block == other.directory_bits_per_block
     }
 }
 
@@ -85,6 +90,7 @@ impl Report {
             .set("relocation_overhead", self.relocation_overhead)
             .set("remote_read_stall", self.remote_read_stall)
             .set("remote_traffic", self.remote_traffic)
+            .set("directory_bits_per_block", self.directory_bits_per_block)
             .set("metrics", metrics_json(&self.metrics))
             .set("wall_s", self.wall_s)
     }
@@ -140,17 +146,19 @@ pub fn run_workload_on(
 ) -> Result<Report, ConfigError> {
     let data_bytes = workload.shared_bytes();
     let mut system = System::new(spec.clone(), topo, geo, data_bytes)?;
-    let trace = workload.generate(&topo, scale);
-    let refs = trace.len() as u64;
+    let refs = workload.generate(&topo, scale);
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
     let t0 = std::time::Instant::now();
-    system.run(trace);
-    let mut report = report_of(&system, workload.name(), data_bytes, refs);
+    system.run_shared(&trace);
+    let mut report = report_of(&system, workload.name(), data_bytes, trace.len() as u64);
     report.wall_s = t0.elapsed().as_secs_f64();
     Ok(report)
 }
 
-/// Runs a pre-generated trace (so several systems can share one trace —
-/// how the paper compares configurations).
+/// Runs a pre-built columnar trace (so several systems can share one
+/// trace and its precomputed decomposition — how the paper compares
+/// configurations). The system is built for the trace's topology and
+/// geometry.
 ///
 /// # Errors
 ///
@@ -159,13 +167,16 @@ pub fn run_trace(
     spec: &SystemSpec,
     workload_name: &str,
     data_bytes: u64,
-    trace: &[dsm_types::MemRef],
-    topo: Topology,
-    geo: Geometry,
+    trace: &SharedTrace,
 ) -> Result<Report, ConfigError> {
-    let mut system = System::new(spec.clone(), topo, geo, data_bytes)?;
+    let mut system = System::new(
+        spec.clone(),
+        *trace.topology(),
+        *trace.geometry(),
+        data_bytes,
+    )?;
     let t0 = std::time::Instant::now();
-    system.run(trace.iter().copied());
+    system.run_shared(trace);
     let mut report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
     report.wall_s = t0.elapsed().as_secs_f64();
     Ok(report)
@@ -183,23 +194,26 @@ pub fn run_trace(
 /// # Errors
 ///
 /// As [`run_workload`].
-#[allow(clippy::too_many_arguments)] // run_trace's signature + (probe, window)
 pub fn run_trace_probed<P: Probe>(
     spec: &SystemSpec,
     workload_name: &str,
     data_bytes: u64,
-    trace: &[dsm_types::MemRef],
-    topo: Topology,
-    geo: Geometry,
+    trace: &SharedTrace,
     probe: P,
     epoch_window: Option<u64>,
 ) -> Result<(Report, P), ConfigError> {
-    let mut system = System::with_probe(spec.clone(), topo, geo, data_bytes, probe)?;
+    let mut system = System::with_probe(
+        spec.clone(),
+        *trace.topology(),
+        *trace.geometry(),
+        data_bytes,
+        probe,
+    )?;
     if let Some(window) = epoch_window {
         system.set_epoch_window(window);
     }
     let t0 = std::time::Instant::now();
-    system.run(trace.iter().copied());
+    system.run_shared(trace);
     system.finish();
     let mut report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
     report.wall_s = t0.elapsed().as_secs_f64();
@@ -229,6 +243,7 @@ pub fn report_of<P: Probe>(
         relocation_overhead: m.relocation_overhead_ratio(model),
         remote_read_stall: m.remote_read_stall(model),
         remote_traffic: m.remote_traffic(),
+        directory_bits_per_block: system.directory_bits_per_block(),
         metrics: m,
         wall_s: 0.0,
     }
@@ -249,6 +264,17 @@ mod tests {
         assert_eq!(r.refs, r.metrics.shared_refs);
         assert!(r.read_miss_ratio >= 0.0);
         assert_eq!(r.relocation_overhead, 0.0);
+        // Full map on the paper's 8 clusters: 8 presence bits + owner.
+        assert_eq!(r.directory_bits_per_block, 8 + 7);
+    }
+
+    #[test]
+    fn report_carries_directory_cost() {
+        let fft = Fft::with_points(1 << 8);
+        let spec = SystemSpec::base().with_limited_directory(4);
+        let r = run_workload(&spec, &fft, Scale::full()).unwrap();
+        // Dir-4-B: four 6-bit pointers + count + broadcast + owner.
+        assert_eq!(r.directory_bits_per_block, 4 * 6 + 12);
     }
 
     #[test]
@@ -257,25 +283,9 @@ mod tests {
         let fft = Fft::with_points(1 << 8);
         let topo = Topology::paper_default();
         let geo = Geometry::paper_default();
-        let trace = fft.generate(&topo, Scale::full());
-        let a = run_trace(
-            &SystemSpec::base(),
-            "fft",
-            fft.shared_bytes(),
-            &trace,
-            topo,
-            geo,
-        )
-        .unwrap();
-        let b = run_trace(
-            &SystemSpec::vb(),
-            "fft",
-            fft.shared_bytes(),
-            &trace,
-            topo,
-            geo,
-        )
-        .unwrap();
+        let trace = SharedTrace::from_refs(topo, geo, &fft.generate(&topo, Scale::full()));
+        let a = run_trace(&SystemSpec::base(), "fft", fft.shared_bytes(), &trace).unwrap();
+        let b = run_trace(&SystemSpec::vb(), "fft", fft.shared_bytes(), &trace).unwrap();
         assert_eq!(a.refs, b.refs);
         // A victim NC can only help the cluster miss ratio.
         assert!(b.read_miss_ratio <= a.read_miss_ratio + 1e-12);
@@ -288,23 +298,13 @@ mod tests {
         let fft = Fft::with_points(1 << 8);
         let topo = Topology::paper_default();
         let geo = Geometry::paper_default();
-        let trace = fft.generate(&topo, Scale::full());
-        let plain = run_trace(
-            &SystemSpec::vb(),
-            "fft",
-            fft.shared_bytes(),
-            &trace,
-            topo,
-            geo,
-        )
-        .unwrap();
+        let trace = SharedTrace::from_refs(topo, geo, &fft.generate(&topo, Scale::full()));
+        let plain = run_trace(&SystemSpec::vb(), "fft", fft.shared_bytes(), &trace).unwrap();
         let (probed, sink) = run_trace_probed(
             &SystemSpec::vb(),
             "fft",
             fft.shared_bytes(),
             &trace,
-            topo,
-            geo,
             StatsSink::new(),
             Some(1000),
         )

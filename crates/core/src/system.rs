@@ -4,9 +4,10 @@
 use dsm_cache::{CacheState, Eviction};
 use dsm_directory::{DirectoryUnit, HomeMap, RnumaCounters};
 use dsm_protocol::mesir;
+use dsm_trace::{SharedTrace, BATCH};
 use dsm_types::{
-    AddrParts, BlockAddr, ClusterId, ClusterSet, ConfigError, DenseMap, Geometry, LocalProcId,
-    MemOp, MemRef, PageAddr, Topology,
+    AddrParts, BlockAddr, ClusterId, ClusterSet, ConfigError, DecodedRef, DenseMap, Geometry,
+    LocalProcId, MemOp, MemRef, PageAddr, Topology,
 };
 
 use crate::cluster::ClusterUnit;
@@ -293,6 +294,14 @@ impl<P: Probe> System<P> {
         &self.geo
     }
 
+    /// Directory storage cost per block in bits under this system's
+    /// directory organization (full map: O(clusters); Dir-i-B:
+    /// O(pointers)).
+    #[must_use]
+    pub fn directory_bits_per_block(&self) -> u32 {
+        self.dir.bits_per_block()
+    }
+
     /// Read-only view of one cluster (tests and diagnostics).
     ///
     /// # Panics
@@ -314,9 +323,92 @@ impl<P: Probe> System<P> {
     }
 
     /// Processes an entire trace.
+    ///
+    /// Compatibility shim over [`System::run_shared`]: collects the
+    /// references and builds a [`SharedTrace`] internally. Callers
+    /// replaying a trace more than once (sweeps) should build the
+    /// `SharedTrace` themselves and call [`System::run_shared`] so the
+    /// decomposition columns are computed once, not per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reference's processor is outside the topology.
     pub fn run<I: IntoIterator<Item = MemRef>>(&mut self, trace: I) {
-        for r in trace {
-            self.process(r);
+        let refs: Vec<MemRef> = trace.into_iter().collect();
+        let shared = SharedTrace::from_refs(self.topo, self.geo, &refs);
+        self.run_shared(&shared);
+    }
+
+    /// Replays a columnar trace, consuming the precomputed decomposition
+    /// columns in batches of [`BATCH`] [`DecodedRef`]s — no per-reference
+    /// address arithmetic, processor splitting, or page-table hashing.
+    ///
+    /// The precomputed `home` column encodes pure first-touch placement,
+    /// so the batched path requires page homes to be static: a system
+    /// running OS migration/replication policies, or one whose placement
+    /// map is already populated (a prior `run` on the same system),
+    /// falls back to the per-reference path with live home lookups. The
+    /// two paths are metric-identical (see `tests/sharedtrace_equiv.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` was built under a different topology or
+    /// geometry than this system.
+    pub fn run_shared(&mut self, trace: &SharedTrace) {
+        assert_eq!(
+            trace.topology(),
+            &self.topo,
+            "trace topology does not match system topology"
+        );
+        assert_eq!(
+            trace.geometry(),
+            &self.geo,
+            "trace geometry does not match system geometry"
+        );
+        let static_homes = self.migrep.is_none() && self.home.placement().placed_pages() == 0;
+        if !static_homes {
+            for r in trace.iter() {
+                self.process(r);
+            }
+            return;
+        }
+        let mut batch = [DecodedRef::default(); BATCH];
+        let mut start = 0;
+        loop {
+            let n = trace.decode_batch(start, &mut batch);
+            if n == 0 {
+                break;
+            }
+            for d in &batch[..n] {
+                self.process_decoded(*d);
+            }
+            start += n;
+        }
+    }
+
+    /// Processes one pre-decoded reference on the static-home fast path
+    /// (no OS page policies, placement driven purely by first touch).
+    /// Mirrors [`System::process`] with the derivations and the
+    /// migration branches removed; the first-touch flag keeps the live
+    /// placement map populated for eviction home lookups and
+    /// victimization accounting.
+    #[inline]
+    fn process_decoded(&mut self, d: DecodedRef) {
+        debug_assert!(self.migrep.is_none());
+        if d.first_touch {
+            self.home.preassign(d.page, d.home);
+        }
+        self.metrics.shared_refs += 1;
+        self.per_cluster[usize::from(d.cluster.0)].refs += 1;
+        if d.write {
+            self.metrics.writes += 1;
+            self.process_write(d.cluster, d.lproc, d.block, d.page, d.remote());
+        } else {
+            self.metrics.reads += 1;
+            self.process_read(d.cluster, d.lproc, d.block, d.page, d.remote());
+        }
+        if P::ENABLED {
+            self.maybe_epoch();
         }
     }
 

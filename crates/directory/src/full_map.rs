@@ -1,6 +1,6 @@
 //! The full-map, non-notifying inter-cluster directory.
 
-use dsm_types::{BlockAddr, ClusterId, ClusterSet, DenseMap};
+use dsm_types::{BlockAddr, ClusterId, ClusterSet};
 
 /// The directory's answer to an inter-cluster read request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,7 +99,12 @@ impl Entry {
 #[derive(Debug, Clone)]
 pub struct FullMapDirectory {
     clusters: u16,
-    entries: DenseMap<Entry>,
+    /// Directory state indexed directly by block number. Workload address
+    /// spaces are dense (bounded by the shared segment), so a flat array
+    /// is both smaller than a hash table at full occupancy and turns the
+    /// two-to-three directory probes on every miss into single indexed
+    /// loads — the directory is the hottest map in the simulator.
+    entries: Vec<Entry>,
     keep_presence_on_writeback: bool,
 }
 
@@ -118,9 +123,28 @@ impl FullMapDirectory {
         );
         FullMapDirectory {
             clusters,
-            entries: DenseMap::new(),
+            entries: Vec::new(),
             keep_presence_on_writeback: true,
         }
+    }
+
+    /// The entry for `block`, growing the table as needed (amortized by
+    /// power-of-two doubling; block numbers are dense, so the table tops
+    /// out near the shared footprint in blocks).
+    #[inline]
+    fn entry_mut(&mut self, block: BlockAddr) -> &mut Entry {
+        let i = usize::try_from(block.0).expect("block index fits usize");
+        if i >= self.entries.len() {
+            let target = (i + 1).next_power_of_two().max(1024);
+            self.entries.resize(target, Entry::default());
+        }
+        &mut self.entries[i]
+    }
+
+    /// Read-only entry lookup (no growth); absent blocks read as default.
+    #[inline]
+    fn entry(&self, block: BlockAddr) -> Option<Entry> {
+        self.entries.get(usize::try_from(block.0).ok()?).copied()
     }
 
     /// Controls whether presence bits survive a dirty write-back (default
@@ -135,6 +159,14 @@ impl FullMapDirectory {
         self.clusters
     }
 
+    /// Directory storage cost per block in bits: one presence bit per
+    /// cluster plus the 6-bit owner + valid bit — the O(N) scaling the
+    /// limited-pointer organization avoids.
+    #[must_use]
+    pub fn bits_per_block(&self) -> u32 {
+        u32::from(self.clusters) + 7
+    }
+
     fn bit(&self, cluster: ClusterId) -> u64 {
         assert!(
             cluster.0 < self.clusters,
@@ -147,7 +179,7 @@ impl FullMapDirectory {
     /// Processes a read request from `requester` for `block`.
     pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {
         let bit = self.bit(requester);
-        let entry = self.entries.entry_or_default(block.0);
+        let entry = self.entry_mut(block);
         let prior_presence = entry.presence & bit != 0;
         let mut downgraded_owner = None;
         if let Some(owner) = entry.owner() {
@@ -173,7 +205,7 @@ impl FullMapDirectory {
     /// the dirty owner and the only cluster with a presence bit.
     pub fn write(&mut self, block: BlockAddr, requester: ClusterId) -> WriteGrant {
         let bit = self.bit(requester);
-        let entry = self.entries.entry_or_default(block.0);
+        let entry = self.entry_mut(block);
         let prior_presence = entry.presence & bit != 0;
         let previous_owner = entry.owner().filter(|&o| o != requester);
         let invalidate = ClusterSet::from_mask(entry.presence & !bit);
@@ -196,7 +228,10 @@ impl FullMapDirectory {
     pub fn writeback(&mut self, block: BlockAddr, cluster: ClusterId) {
         let bit = self.bit(cluster);
         let keep = self.keep_presence_on_writeback;
-        if let Some(entry) = self.entries.get_mut(block.0) {
+        if let Some(entry) = self
+            .entries
+            .get_mut(usize::try_from(block.0).unwrap_or(usize::MAX))
+        {
             if entry.owner() == Some(cluster) {
                 entry.set_owner(None);
                 if !keep {
@@ -210,15 +245,14 @@ impl FullMapDirectory {
     /// write without a directory transaction).
     #[must_use]
     pub fn is_owner(&self, block: BlockAddr, cluster: ClusterId) -> bool {
-        self.entries
-            .get(block.0)
+        self.entry(block)
             .is_some_and(|e| e.owner() == Some(cluster))
     }
 
     /// The cluster holding `block` dirty, if any.
     #[must_use]
     pub fn owner_of(&self, block: BlockAddr) -> Option<ClusterId> {
-        self.entries.get(block.0).and_then(|e| e.owner())
+        self.entry(block).and_then(Entry::owner)
     }
 
     /// Records an exclusive-clean (`E`) grant: `cluster` received the only
@@ -233,7 +267,7 @@ impl FullMapDirectory {
     /// would be incoherent).
     pub fn grant_exclusive(&mut self, block: BlockAddr, cluster: ClusterId) {
         let bit = self.bit(cluster);
-        let entry = self.entries.entry_or_default(block.0);
+        let entry = self.entry_mut(block);
         assert!(
             entry.presence & !bit == 0,
             "exclusive grant of {block} to {cluster} with other sharers present"
@@ -246,17 +280,14 @@ impl FullMapDirectory {
     #[must_use]
     pub fn has_presence(&self, block: BlockAddr, cluster: ClusterId) -> bool {
         let bit = self.bit(cluster);
-        self.entries
-            .get(block.0)
-            .is_some_and(|e| e.presence & bit != 0)
+        self.entry(block).is_some_and(|e| e.presence & bit != 0)
     }
 
     /// Clusters whose presence bit is set for `block`, as the presence
     /// mask itself (no allocation).
     #[must_use]
     pub fn sharer_set(&self, block: BlockAddr) -> ClusterSet {
-        self.entries
-            .get(block.0)
+        self.entry(block)
             .map_or_else(ClusterSet::new, |e| ClusterSet::from_mask(e.presence))
     }
 
@@ -279,15 +310,22 @@ impl FullMapDirectory {
     /// experimentation).
     pub fn drop_presence(&mut self, block: BlockAddr, cluster: ClusterId) {
         let bit = self.bit(cluster);
-        if let Some(entry) = self.entries.get_mut(block.0) {
+        if let Some(entry) = self
+            .entries
+            .get_mut(usize::try_from(block.0).unwrap_or(usize::MAX))
+        {
             entry.presence &= !bit;
         }
     }
 
-    /// Number of blocks with directory state allocated.
+    /// Number of blocks with live directory state (a presence bit or a
+    /// dirty owner). O(blocks); diagnostics only, never on the hot path.
     #[must_use]
     pub fn tracked_blocks(&self) -> usize {
-        self.entries.len()
+        self.entries
+            .iter()
+            .filter(|e| e.presence != 0 || e.owner != NO_OWNER)
+            .count()
     }
 }
 

@@ -1,6 +1,6 @@
 //! First-touch page placement and the block -> home-cluster map.
 
-use dsm_types::{BlockAddr, ClusterId, DenseMap, Geometry, PageAddr};
+use dsm_types::{BlockAddr, ClusterId, Geometry, PageAddr};
 
 /// First-touch page placement: each page's home memory is the cluster of
 /// the first processor that references it.
@@ -25,8 +25,18 @@ use dsm_types::{BlockAddr, ClusterId, DenseMap, Geometry, PageAddr};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FirstTouchPlacement {
-    homes: DenseMap<ClusterId>,
+    /// Home cluster per page, indexed directly by page number
+    /// ([`NO_HOME`] = unplaced). Page spaces are dense and small
+    /// (shared footprint / page size), and the eviction path consults
+    /// this map on every dirty victim — a flat byte array keeps that
+    /// lookup to one indexed load.
+    homes: Vec<u8>,
+    placed: usize,
 }
+
+/// Sentinel for an unplaced page. Cluster ids are bounded by the 64-bit
+/// directory presence word, so `u8::MAX` can never collide.
+const NO_HOME: u8 = u8::MAX;
 
 impl FirstTouchPlacement {
     /// Creates an empty placement map.
@@ -35,32 +45,70 @@ impl FirstTouchPlacement {
         FirstTouchPlacement::default()
     }
 
+    #[inline]
+    fn slot_mut(&mut self, page: PageAddr) -> &mut u8 {
+        let i = usize::try_from(page.0).expect("page index fits usize");
+        if i >= self.homes.len() {
+            let target = (i + 1).next_power_of_two().max(1024);
+            self.homes.resize(target, NO_HOME);
+        }
+        &mut self.homes[i]
+    }
+
     /// Returns the home of `page`, assigning it to `toucher` on first touch.
     pub fn home_of(&mut self, page: PageAddr, toucher: ClusterId) -> ClusterId {
-        *self.homes.entry_or_insert_with(page.0, || toucher)
+        let slot = self.slot_mut(page);
+        if *slot == NO_HOME {
+            // Cluster ids are bounded by the 64-bit presence word, so the
+            // cast cannot truncate.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                *slot = toucher.0 as u8;
+            }
+            self.placed += 1;
+            return toucher;
+        }
+        ClusterId(u16::from(*slot))
     }
 
     /// The home of `page` if already assigned.
     #[must_use]
     pub fn peek_home(&self, page: PageAddr) -> Option<ClusterId> {
-        self.homes.get(page.0).copied()
+        let i = usize::try_from(page.0).ok()?;
+        match self.homes.get(i) {
+            Some(&c) if c != NO_HOME => Some(ClusterId(u16::from(c))),
+            _ => None,
+        }
     }
 
     /// Pins `page`'s home to `cluster` regardless of who touches it first
     /// (overwrites any existing assignment).
     pub fn preassign(&mut self, page: PageAddr, cluster: ClusterId) {
-        self.homes.insert(page.0, cluster);
+        let slot = self.slot_mut(page);
+        let fresh = *slot == NO_HOME;
+        // Cluster ids are bounded by the 64-bit presence word.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            *slot = cluster.0 as u8;
+        }
+        if fresh {
+            self.placed += 1;
+        }
     }
 
     /// Number of pages placed so far.
     #[must_use]
     pub fn placed_pages(&self) -> usize {
-        self.homes.len()
+        self.placed
     }
 
-    /// Iterates over `(page, home)` assignments (unspecified order).
+    /// Iterates over `(page, home)` assignments (ascending page order).
     pub fn iter(&self) -> impl Iterator<Item = (PageAddr, ClusterId)> + '_ {
-        self.homes.iter().map(|(p, &c)| (PageAddr(p), c))
+        self.homes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != NO_HOME)
+            .map(|(p, &c)| (PageAddr(p as u64), ClusterId(u16::from(c))))
     }
 }
 

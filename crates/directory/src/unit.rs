@@ -37,6 +37,16 @@ impl DirectoryUnit {
         matches!(self, DirectoryUnit::FullMap(_))
     }
 
+    /// Directory storage cost per block in bits under this organization
+    /// (full map: O(clusters); Dir-i-B: O(pointers)).
+    #[must_use]
+    pub fn bits_per_block(&self) -> u32 {
+        match self {
+            DirectoryUnit::FullMap(d) => d.bits_per_block(),
+            DirectoryUnit::LimitedPointer(d) => d.bits_per_block(),
+        }
+    }
+
     /// Processes a read request.
     pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {
         match self {

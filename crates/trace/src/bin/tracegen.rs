@@ -10,18 +10,20 @@
 //! * `--scale <f>` — trace-length factor in (0, 1], default 1.0
 //! * `--dev` — use the reduced development-size instance
 //! * `--out <file>` — write the trace (default: `<benchmark>.dsmt`)
+//! * `--format <1|2>` — on-disk format: 1 = record-oriented v1,
+//!   2 = columnar v2 (default)
 //! * `--stats` — print trace statistics instead of writing a file
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use dsm_trace::{analyze, write_trace, Scale, TraceStats, WorkloadKind};
+use dsm_trace::{analyze, write_shared, write_trace, Scale, SharedTrace, TraceStats, WorkloadKind};
 use dsm_types::{Geometry, Topology};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tracegen <benchmark> [--scale <f>] [--dev] [--out <file>] [--stats] [--analyze]\n\
+        "usage: tracegen <benchmark> [--scale <f>] [--dev] [--out <file>] [--format <1|2>] [--stats] [--analyze]\n\
          benchmarks: barnes cholesky fft fmm lu ocean radix raytrace"
     );
     ExitCode::FAILURE
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut stats = false;
     let mut analyze_flag = false;
+    let mut format = 2u32;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => match args.next().map(|v| v.parse::<f64>()) {
@@ -58,6 +61,11 @@ fn main() -> ExitCode {
             "--out" => match args.next() {
                 Some(v) => out = Some(v),
                 None => return usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("1") => format = 1,
+                Some("2") => format = 2,
+                _ => return usage(),
             },
             "--stats" => stats = true,
             "--analyze" => analyze_flag = true,
@@ -135,10 +143,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = write_trace(BufWriter::new(file), &topo, &trace) {
+    let result = if format == 2 {
+        let shared = SharedTrace::from_refs(topo, Geometry::paper_default(), &trace);
+        write_shared(BufWriter::new(file), &shared)
+    } else {
+        write_trace(BufWriter::new(file), &topo, &trace)
+    };
+    if let Err(e) = result {
         eprintln!("write failed: {e}");
         return ExitCode::FAILURE;
     }
-    eprintln!("tracegen: wrote {} references to {path}", trace.len());
+    eprintln!(
+        "tracegen: wrote {} references to {path} (format v{format})",
+        trace.len()
+    );
     ExitCode::SUCCESS
 }

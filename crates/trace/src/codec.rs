@@ -6,25 +6,47 @@
 //! workflow — generate once with the `tracegen` binary, replay many times
 //! with `simulate` — and makes traces portable between machines.
 //!
-//! # Format (`DSMT`, version 1)
+//! # Format (`DSMT`)
 //!
-//! All integers little-endian:
+//! All integers little-endian. Version 2 is the current columnar format,
+//! mirroring [`SharedTrace`]'s struct-of-arrays layout; version 1 files
+//! (row-oriented 11-byte records) remain readable.
 //!
 //! ```text
-//! magic      4 bytes  "DSMT"
-//! version    u16      1
-//! clusters   u16
-//! procs/cl   u16
-//! refs       u64      record count
-//! records    refs x { proc: u16, op: u8 (0 = read, 1 = write), addr: u64 }
+//! version 2 (columnar):
+//! magic        4 bytes  "DSMT"
+//! version      u16      2
+//! clusters     u16
+//! procs/cl     u16
+//! block bytes  u64      geometry the trace was generated under
+//! page bytes   u64
+//! refs         u64      reference count
+//! proc column  refs x u16
+//! op bitmap    ceil(refs / 8) bytes, bit i set = reference i is a write
+//! addr column  refs x u64
+//!
+//! version 1 (row-oriented, read-only compatibility):
+//! magic        4 bytes  "DSMT"
+//! version      u16      1
+//! clusters     u16
+//! procs/cl     u16
+//! refs         u64      record count
+//! records      refs x { proc: u16, op: u8 (0 = read, 1 = write), addr: u64 }
 //! ```
+//!
+//! Version 1 carries no geometry; readers that need one
+//! ([`read_shared`]) decompose v1 traces under
+//! [`Geometry::paper_default`].
 
 use std::io::{self, Read, Write};
 
-use dsm_types::{Addr, ConfigError, MemOp, MemRef, ProcId, Topology};
+use dsm_types::{Addr, ConfigError, Geometry, MemOp, MemRef, ProcId, Topology};
+
+use crate::shared::SharedTrace;
 
 const MAGIC: &[u8; 4] = b"DSMT";
-const VERSION: u16 = 1;
+const VERSION_V1: u16 = 1;
+const VERSION_V2: u16 = 2;
 
 /// Errors produced while reading a trace file.
 #[derive(Debug)]
@@ -33,7 +55,7 @@ pub enum CodecError {
     Io(io::Error),
     /// The bytes are not a trace file, or an unsupported version.
     Format(String),
-    /// The header's topology is invalid.
+    /// The header's topology or geometry is invalid.
     Config(ConfigError),
 }
 
@@ -42,7 +64,7 @@ impl core::fmt::Display for CodecError {
         match self {
             CodecError::Io(e) => write!(f, "i/o error: {e}"),
             CodecError::Format(m) => write!(f, "malformed trace: {m}"),
-            CodecError::Config(e) => write!(f, "invalid topology in trace: {e}"),
+            CodecError::Config(e) => write!(f, "invalid configuration in trace: {e}"),
         }
     }
 }
@@ -63,7 +85,9 @@ impl From<io::Error> for CodecError {
     }
 }
 
-/// Writes `trace` (generated for `topo`) to `w` in `DSMT` format.
+/// Writes `trace` (generated for `topo`) to `w` in the version 1
+/// row-oriented format. Kept for producing compatibility fixtures; new
+/// traces should use [`write_shared`].
 ///
 /// # Errors
 ///
@@ -74,7 +98,7 @@ pub fn write_trace<W: Write>(
     trace: &[MemRef],
 ) -> Result<(), CodecError> {
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&VERSION_V1.to_le_bytes())?;
     w.write_all(&topo.clusters().to_le_bytes())?;
     w.write_all(&topo.procs_per_cluster().to_le_bytes())?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
@@ -93,42 +117,121 @@ pub fn write_trace<W: Write>(
     Ok(())
 }
 
+/// Writes `trace` to `w` in the version 2 columnar format, preserving the
+/// topology and geometry it was decomposed under.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_shared<W: Write>(mut w: W, trace: &SharedTrace) -> Result<(), CodecError> {
+    let topo = trace.topology();
+    let geo = trace.geometry();
+    let n = trace.len();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
+    w.write_all(&topo.clusters().to_le_bytes())?;
+    w.write_all(&topo.procs_per_cluster().to_le_bytes())?;
+    w.write_all(&geo.block_bytes().to_le_bytes())?;
+    w.write_all(&geo.page_bytes().to_le_bytes())?;
+    w.write_all(&(n as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(64 * 1024);
+    let flush_at = 64 * 1024 - 16;
+    for i in 0..n {
+        buf.extend_from_slice(&trace.get(i).proc.0.to_le_bytes());
+        if buf.len() >= flush_at {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    let mut bits = 0u8;
+    for i in 0..n {
+        if trace.get(i).op.is_write() {
+            bits |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.push(bits);
+            bits = 0;
+            if buf.len() >= flush_at {
+                w.write_all(&buf)?;
+                buf.clear();
+            }
+        }
+    }
+    if !n.is_multiple_of(8) {
+        buf.push(bits);
+    }
+    for i in 0..n {
+        buf.extend_from_slice(&trace.get(i).addr.0.to_le_bytes());
+        if buf.len() >= flush_at {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
 fn read_exact<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N], CodecError> {
     let mut b = [0u8; N];
     r.read_exact(&mut b)?;
     Ok(b)
 }
 
-/// Reads a `DSMT` trace from `r`, returning the topology it was generated
-/// for and the reference stream.
-///
-/// # Errors
-///
-/// Returns [`CodecError`] on I/O failure, bad magic/version, an invalid
-/// topology, or a reference naming a processor outside the topology.
-pub fn read_trace<R: Read>(mut r: R) -> Result<(Topology, Vec<MemRef>), CodecError> {
-    let magic = read_exact::<_, 4>(&mut r)?;
+/// A parsed `DSMT` header: the version-specific metadata preceding the
+/// reference data.
+enum Header {
+    V1 {
+        topo: Topology,
+        count: usize,
+    },
+    V2 {
+        topo: Topology,
+        geo: Geometry,
+        count: usize,
+    },
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<Header, CodecError> {
+    let magic = read_exact::<_, 4>(r)?;
     if &magic != MAGIC {
         return Err(CodecError::Format(format!(
             "bad magic {magic:?}, expected {MAGIC:?}"
         )));
     }
-    let version = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
-    if version != VERSION {
+    let version = u16::from_le_bytes(read_exact::<_, 2>(r)?);
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(CodecError::Format(format!("unsupported version {version}")));
     }
-    let clusters = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
-    let procs = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
+    let clusters = u16::from_le_bytes(read_exact::<_, 2>(r)?);
+    let procs = u16::from_le_bytes(read_exact::<_, 2>(r)?);
     let topo = Topology::new(clusters, procs).map_err(CodecError::Config)?;
-    let count = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+    let geo = if version == VERSION_V2 {
+        let block = u64::from_le_bytes(read_exact::<_, 8>(r)?);
+        let page = u64::from_le_bytes(read_exact::<_, 8>(r)?);
+        Some(Geometry::new(block, page).map_err(CodecError::Config)?)
+    } else {
+        None
+    };
+    let count = u64::from_le_bytes(read_exact::<_, 8>(r)?);
     let count = usize::try_from(count)
         .map_err(|_| CodecError::Format("trace too large for this platform".into()))?;
+    Ok(match geo {
+        Some(geo) => Header::V2 { topo, geo, count },
+        None => Header::V1 { topo, count },
+    })
+}
 
+fn read_records_v1<R: Read>(
+    r: &mut R,
+    topo: &Topology,
+    count: usize,
+) -> Result<Vec<MemRef>, CodecError> {
     let mut trace = Vec::with_capacity(count.min(1 << 24));
     for i in 0..count {
-        let proc = u16::from_le_bytes(read_exact::<_, 2>(&mut r)?);
-        let op = read_exact::<_, 1>(&mut r)?[0];
-        let addr = u64::from_le_bytes(read_exact::<_, 8>(&mut r)?);
+        let proc = u16::from_le_bytes(read_exact::<_, 2>(r)?);
+        let op = read_exact::<_, 1>(r)?[0];
+        let addr = u64::from_le_bytes(read_exact::<_, 8>(r)?);
         if proc >= topo.total_procs() {
             return Err(CodecError::Format(format!(
                 "record {i}: processor {proc} outside topology {topo}"
@@ -145,13 +248,97 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<(Topology, Vec<MemRef>), CodecErr
         };
         trace.push(MemRef::new(ProcId(proc), op, Addr(addr)));
     }
+    Ok(trace)
+}
+
+fn read_columns_v2<R: Read>(
+    r: &mut R,
+    topo: &Topology,
+    count: usize,
+) -> Result<Vec<MemRef>, CodecError> {
+    let cap = count.min(1 << 24);
+    let mut procs = Vec::with_capacity(cap);
+    for i in 0..count {
+        let proc = u16::from_le_bytes(read_exact::<_, 2>(r)?);
+        if proc >= topo.total_procs() {
+            return Err(CodecError::Format(format!(
+                "record {i}: processor {proc} outside topology {topo}"
+            )));
+        }
+        procs.push(proc);
+    }
+    let mut writes = Vec::with_capacity(count.div_ceil(8).min(1 << 24));
+    for _ in 0..count.div_ceil(8) {
+        writes.push(read_exact::<_, 1>(r)?[0]);
+    }
+    let mut trace = Vec::with_capacity(cap);
+    for (i, &proc) in procs.iter().enumerate() {
+        let addr = u64::from_le_bytes(read_exact::<_, 8>(r)?);
+        let op = if writes[i / 8] & (1 << (i % 8)) != 0 {
+            MemOp::Write
+        } else {
+            MemOp::Read
+        };
+        trace.push(MemRef::new(ProcId(proc), op, Addr(addr)));
+    }
+    Ok(trace)
+}
+
+fn expect_eof<R: Read>(r: &mut R) -> Result<(), CodecError> {
     // Trailing garbage is an error: it usually means a truncated header
     // count or a concatenated file.
     let mut probe = [0u8; 1];
     match r.read(&mut probe)? {
-        0 => Ok((topo, trace)),
+        0 => Ok(()),
         _ => Err(CodecError::Format("trailing bytes after trace".into())),
     }
+}
+
+/// Reads a `DSMT` trace (version 1 or 2) from `r`, returning the topology
+/// it was generated for and the reference stream. Version 2's geometry is
+/// discarded; use [`read_shared`] to keep it.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on I/O failure, bad magic/version, an invalid
+/// topology or geometry, or a reference naming a processor outside the
+/// topology.
+pub fn read_trace<R: Read>(mut r: R) -> Result<(Topology, Vec<MemRef>), CodecError> {
+    let trace = match read_header(&mut r)? {
+        Header::V1 { topo, count } => {
+            let t = read_records_v1(&mut r, &topo, count)?;
+            (topo, t)
+        }
+        Header::V2 { topo, count, .. } => {
+            let t = read_columns_v2(&mut r, &topo, count)?;
+            (topo, t)
+        }
+    };
+    expect_eof(&mut r)?;
+    Ok(trace)
+}
+
+/// Reads a `DSMT` trace (version 1 or 2) from `r` directly into the
+/// columnar [`SharedTrace`] replay form. Version 1 files carry no
+/// geometry and are decomposed under [`Geometry::paper_default`].
+///
+/// # Errors
+///
+/// As [`read_trace`], plus a configuration error if the topology exceeds
+/// [`SharedTrace`]'s 256-cluster column width.
+pub fn read_shared<R: Read>(mut r: R) -> Result<SharedTrace, CodecError> {
+    let (topo, geo, refs) = match read_header(&mut r)? {
+        Header::V1 { topo, count } => {
+            let t = read_records_v1(&mut r, &topo, count)?;
+            (topo, Geometry::paper_default(), t)
+        }
+        Header::V2 { topo, geo, count } => {
+            let t = read_columns_v2(&mut r, &topo, count)?;
+            (topo, geo, t)
+        }
+    };
+    expect_eof(&mut r)?;
+    SharedTrace::try_from_refs(topo, geo, &refs).map_err(CodecError::Config)
 }
 
 #[cfg(test)]
@@ -168,6 +355,11 @@ mod tests {
         (topo, trace)
     }
 
+    fn sample_shared() -> SharedTrace {
+        let (topo, trace) = sample();
+        SharedTrace::from_refs(topo, Geometry::paper_default(), &trace)
+    }
+
     #[test]
     fn roundtrip() {
         let (topo, trace) = sample();
@@ -179,12 +371,62 @@ mod tests {
     }
 
     #[test]
+    fn v2_roundtrip() {
+        let shared = sample_shared();
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &shared).unwrap();
+        let back = read_shared(bytes.as_slice()).unwrap();
+        assert_eq!(back.topology(), shared.topology());
+        assert_eq!(back.geometry(), shared.geometry());
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            shared.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn v2_reads_as_memrefs_too() {
+        let shared = sample_shared();
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &shared).unwrap();
+        let (topo, trace) = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(&topo, shared.topology());
+        assert_eq!(trace, sample().1);
+    }
+
+    #[test]
+    fn v1_reads_into_shared_with_default_geometry() {
+        let (topo, trace) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &trace).unwrap();
+        let shared = read_shared(bytes.as_slice()).unwrap();
+        assert_eq!(shared.geometry(), &Geometry::paper_default());
+        assert_eq!(shared.iter().collect::<Vec<_>>(), trace);
+    }
+
+    #[test]
+    fn v2_preserves_nondefault_geometry() {
+        let (topo, trace) = sample();
+        let geo = Geometry::new(128, 8192).unwrap();
+        let shared = SharedTrace::from_refs(topo, geo, &trace);
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &shared).unwrap();
+        let back = read_shared(bytes.as_slice()).unwrap();
+        assert_eq!(back.geometry(), &geo);
+    }
+
+    #[test]
     fn empty_trace_roundtrips() {
         let topo = Topology::paper_default();
         let mut bytes = Vec::new();
         write_trace(&mut bytes, &topo, &[]).unwrap();
         let (_, trace) = read_trace(bytes.as_slice()).unwrap();
         assert!(trace.is_empty());
+
+        let shared = SharedTrace::from_refs(topo, Geometry::paper_default(), &[]);
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &shared).unwrap();
+        assert!(read_shared(bytes.as_slice()).unwrap().is_empty());
     }
 
     #[test]
@@ -193,6 +435,22 @@ mod tests {
         let mut bytes = Vec::new();
         write_trace(&mut bytes, &topo, &trace).unwrap();
         assert_eq!(bytes.len(), 4 + 2 + 2 + 2 + 8 + trace.len() * 11);
+    }
+
+    #[test]
+    fn v2_layout_is_columnar() {
+        let shared = sample_shared();
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &shared).unwrap();
+        let n = shared.len();
+        // header + proc column + op bitmap + addr column
+        assert_eq!(
+            bytes.len(),
+            (4 + 2 + 2 + 2 + 8 + 8 + 8) + n * 2 + n.div_ceil(8) + n * 8
+        );
+        assert_eq!(&bytes[4..6], &2u16.to_le_bytes());
+        // op bitmap: only reference 1 is a write.
+        assert_eq!(bytes[34 + n * 2], 0b010);
     }
 
     #[test]
@@ -225,6 +483,18 @@ mod tests {
     }
 
     #[test]
+    fn rejects_truncated_v2_columns() {
+        let shared = sample_shared();
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &shared).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(
+            read_shared(bytes.as_slice()).unwrap_err(),
+            CodecError::Io(_)
+        ));
+    }
+
+    #[test]
     fn rejects_out_of_range_processor() {
         let topo = Topology::new(1, 1).unwrap();
         // Hand-craft: valid header but proc 7.
@@ -240,6 +510,23 @@ mod tests {
         let err = read_trace(bytes.as_slice()).unwrap_err();
         assert!(err.to_string().contains("outside topology"), "{err}");
         let _ = topo;
+    }
+
+    #[test]
+    fn rejects_out_of_range_processor_v2() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"DSMT");
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes()); // 1 cluster
+        bytes.extend_from_slice(&1u16.to_le_bytes()); // 1 proc
+        bytes.extend_from_slice(&64u64.to_le_bytes());
+        bytes.extend_from_slice(&4096u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&7u16.to_le_bytes()); // proc column: proc 7
+        bytes.push(0); // op bitmap
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // addr column
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("outside topology"), "{err}");
     }
 
     #[test]
@@ -265,18 +552,52 @@ mod tests {
         bytes.push(0);
         let err = read_trace(bytes.as_slice()).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");
+
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &sample_shared()).unwrap();
+        bytes.push(0);
+        let err = read_shared(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_geometry_v2() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"DSMT");
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&63u64.to_le_bytes()); // not a power of two
+        bytes.extend_from_slice(&4096u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_trace(bytes.as_slice()).unwrap_err(),
+            CodecError::Config(_)
+        ));
     }
 
     #[test]
     fn large_trace_roundtrips_through_buffering() {
-        // Exercise the 64-KiB internal buffer boundary.
+        // Exercise the 64-KiB internal buffer boundary in both formats.
         let topo = Topology::paper_default();
         let trace: Vec<MemRef> = (0..10_000u64)
-            .map(|i| MemRef::read(ProcId((i % 32) as u16), Addr(i * 64)))
+            .map(|i| {
+                if i % 3 == 0 {
+                    MemRef::write(ProcId((i % 32) as u16), Addr(i * 64))
+                } else {
+                    MemRef::read(ProcId((i % 32) as u16), Addr(i * 64))
+                }
+            })
             .collect();
         let mut bytes = Vec::new();
         write_trace(&mut bytes, &topo, &trace).unwrap();
         let (_, back) = read_trace(bytes.as_slice()).unwrap();
         assert_eq!(trace, back);
+
+        let shared = SharedTrace::from_refs(topo, Geometry::paper_default(), &trace);
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &shared).unwrap();
+        let back = read_shared(bytes.as_slice()).unwrap();
+        assert_eq!(back.iter().collect::<Vec<_>>(), trace);
     }
 }

@@ -7,24 +7,31 @@ use dsm_types::{Addr, MemOp, MemRef, ProcId, Topology};
 /// lock-step progress a trace-driven simulator assumes between
 /// synchronization points.
 #[must_use]
-pub fn round_robin(mut streams: Vec<Vec<MemRef>>) -> Vec<MemRef> {
+pub fn round_robin(streams: Vec<Vec<MemRef>>) -> Vec<MemRef> {
     let total: usize = streams.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
-    let mut cursors = vec![0usize; streams.len()];
-    let mut remaining = total;
-    while remaining > 0 {
-        for (stream, cursor) in streams.iter().zip(cursors.iter_mut()) {
-            if *cursor < stream.len() {
-                out.push(stream[*cursor]);
-                *cursor += 1;
-                remaining -= 1;
-            }
-        }
-    }
-    for s in &mut streams {
-        s.clear();
-    }
+    round_robin_into(streams, &mut out);
     out
+}
+
+/// [`round_robin`], appending into an existing trace instead of
+/// allocating. Exhausted streams are dropped from the scan set after
+/// every pass, so skewed stream lengths (one long stream, many short
+/// ones) cost O(total references), not O(streams × longest).
+pub fn round_robin_into(streams: Vec<Vec<MemRef>>, out: &mut Vec<MemRef>) {
+    let mut cursors = vec![0usize; streams.len()];
+    let mut active: Vec<usize> = (0..streams.len())
+        .filter(|&i| !streams[i].is_empty())
+        .collect();
+    while !active.is_empty() {
+        // One reference from each live stream in processor order, then
+        // drain the streams this pass exhausted.
+        active.retain(|&i| {
+            out.push(streams[i][cursors[i]]);
+            cursors[i] += 1;
+            cursors[i] < streams[i].len()
+        });
+    }
 }
 
 /// Collects one *phase* of a parallel program: every processor's references
@@ -115,7 +122,8 @@ impl PhaseBuilder {
     pub fn interleave_into(&mut self, trace: &mut Vec<MemRef>) {
         let streams = std::mem::take(&mut self.streams);
         let n = streams.len();
-        trace.extend(round_robin(streams));
+        trace.reserve_exact(streams.iter().map(Vec::len).sum());
+        round_robin_into(streams, trace);
         self.streams = vec![Vec::new(); n];
     }
 }
@@ -140,6 +148,31 @@ mod tests {
         let out = round_robin(vec![vec![r(0, 0)], vec![r(1, 10), r(1, 11), r(1, 12)]]);
         let addrs: Vec<u64> = out.iter().map(|m| m.addr.0).collect();
         assert_eq!(addrs, vec![0, 10, 11, 12]);
+    }
+
+    #[test]
+    fn round_robin_skewed_streams_preserve_order() {
+        // Many short streams around one long one: exhausted streams must
+        // drop out without disturbing the processor-order interleave.
+        let streams = vec![
+            vec![r(0, 0)],
+            (0..100).map(|i| r(1, 100 + i)).collect(),
+            vec![],
+            vec![r(3, 300), r(3, 301)],
+        ];
+        let out = round_robin(streams);
+        assert_eq!(out.len(), 103);
+        let addrs: Vec<u64> = out.iter().map(|m| m.addr.0).collect();
+        assert_eq!(&addrs[..5], &[0, 100, 300, 101, 301]);
+        assert_eq!(addrs[5..], (102..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn round_robin_into_appends() {
+        let mut out = vec![r(9, 999)];
+        round_robin_into(vec![vec![r(0, 0)], vec![r(1, 10)]], &mut out);
+        let addrs: Vec<u64> = out.iter().map(|m| m.addr.0).collect();
+        assert_eq!(addrs, vec![999, 0, 10]);
     }
 
     #[test]

@@ -44,14 +44,16 @@ pub mod interleave;
 pub mod layout;
 pub mod rng;
 pub mod scale;
+pub mod shared;
 pub mod stats;
 pub mod workload;
 pub mod workloads;
 
 pub use analysis::{analyze, SharingAnalysis};
-pub use codec::{read_trace, write_trace, CodecError};
+pub use codec::{read_shared, read_trace, write_shared, write_trace, CodecError};
 pub use interleave::PhaseBuilder;
 pub use layout::{Layout, Region};
 pub use scale::Scale;
+pub use shared::{SharedTrace, BATCH};
 pub use stats::TraceStats;
 pub use workload::{Workload, WorkloadKind};

@@ -1,0 +1,475 @@
+//! The columnar (struct-of-arrays) replay buffer: one trace, shared by
+//! every system configuration of a sweep.
+//!
+//! The paper's methodology replays the *same* trace against every
+//! configuration (§4), which makes the trace read-mostly and shared —
+//! exactly the shape where a columnar layout with precomputed columns
+//! pays off. [`SharedTrace`] splits the padded array-of-structs
+//! `Vec<MemRef>` (16 bytes per reference after alignment) into parallel
+//! columns and, at construction, precomputes everything `System::process`
+//! used to derive per reference per replay:
+//!
+//! * `block` / `page` — [`Geometry::decompose`], done once instead of
+//!   once per (reference × configuration);
+//! * `issuing_cluster` / the packed local processor —
+//!   [`Topology::split_of`];
+//! * `home_cluster` — the page's home under pure first-touch placement
+//!   (the issuing cluster of the trace's first reference to the page),
+//!   plus a *first-touch* flag on that reference. This removes the
+//!   per-reference page-table hash lookup from replay entirely; a system
+//!   running OS page-migration policies ignores the column and falls
+//!   back to its live placement map.
+//!
+//! Replay consumes the columns in batches of [`BATCH`] decoded
+//! references ([`SharedTrace::decode_batch`]), streaming 19 bytes per
+//! reference through the hot loop (block 8 + page 8 + packed proc/op 1 +
+//! two cluster bytes) with no address arithmetic and no hashing.
+//!
+//! The decomposition columns also make partitioning a trace by home
+//! cluster — the unit of the planned per-cluster sharded simulator — a
+//! single column scan ([`SharedTrace::shard_by_home`]).
+
+use dsm_types::{
+    Addr, ClusterId, ConfigError, DecodedRef, DenseMap, Geometry, LocalProcId, MemOp, MemRef,
+    ProcId, Topology,
+};
+
+/// Number of references decoded per [`SharedTrace::decode_batch`] call —
+/// a small power of two so the decode loop unrolls and the batch buffer
+/// lives on the stack.
+pub const BATCH: usize = 16;
+
+/// Bit 6 of the packed `proc_op` column: the reference is a write.
+const OP_BIT: u8 = 1 << 6;
+/// Bit 7 of the packed `proc_op` column: first reference to its page.
+const FIRST_TOUCH_BIT: u8 = 1 << 7;
+/// Bits 0..6 of the packed `proc_op` column: the global processor id
+/// (machines up to 64 processors; wider machines use the side column).
+const PROC_MASK: u8 = OP_BIT - 1;
+
+/// A reference trace in columnar (struct-of-arrays) form with
+/// precomputed address decomposition, bound to the [`Topology`] and
+/// [`Geometry`] it was decomposed under.
+///
+/// # Example
+///
+/// ```
+/// use dsm_trace::SharedTrace;
+/// use dsm_types::{Addr, Geometry, MemRef, ProcId, Topology};
+///
+/// let topo = Topology::paper_default();
+/// let geo = Geometry::paper_default();
+/// let refs = vec![
+///     MemRef::read(ProcId(4), Addr(0x1000)),
+///     MemRef::write(ProcId(0), Addr(0x1040)),
+/// ];
+/// let shared = SharedTrace::from_refs(topo, geo, &refs);
+/// assert_eq!(shared.len(), 2);
+/// // Lossless round-trip back to the AoS form.
+/// let back: Vec<MemRef> = shared.iter().collect();
+/// assert_eq!(back, refs);
+/// // Page 1 was first touched by P4 (cluster 1): both refs share home 1.
+/// let mut batch = [dsm_types::DecodedRef::default(); dsm_trace::BATCH];
+/// let n = shared.decode_batch(0, &mut batch);
+/// assert_eq!(n, 2);
+/// assert!(batch[0].first_touch && !batch[1].first_touch);
+/// assert_eq!(batch[0].home, batch[1].home);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    topo: Topology,
+    geo: Geometry,
+    /// Byte address column (kept for round-trips and the on-disk codec;
+    /// not streamed during replay).
+    addr: Vec<u64>,
+    /// Packed per-reference byte: bits 0..6 processor id (machines up to
+    /// 64 processors), bit 6 write, bit 7 first touch of the page.
+    proc_op: Vec<u8>,
+    /// Full-width processor ids, populated only when the machine has more
+    /// than 64 processors (the packed field cannot hold the id).
+    wide_proc: Vec<u16>,
+    /// Precomputed block addresses (`addr >> block_shift`).
+    block: Vec<u64>,
+    /// Precomputed page addresses (`addr >> page_shift`).
+    page: Vec<u64>,
+    /// Precomputed first-touch home cluster of each reference's page.
+    home_cluster: Vec<u8>,
+    /// Precomputed issuing cluster of each reference.
+    issuing_cluster: Vec<u8>,
+}
+
+impl SharedTrace {
+    /// Builds the columnar form of `refs`, decomposing every address
+    /// under `geo` and splitting every processor under `topo` once, and
+    /// precomputing each page's first-touch home.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the topology has more than 256 clusters
+    /// (the cluster columns are one byte wide; the coherence layer's
+    /// presence words cap real machines at 64 anyway), or if any
+    /// reference names a processor outside `topo`.
+    pub fn try_from_refs(
+        topo: Topology,
+        geo: Geometry,
+        refs: &[MemRef],
+    ) -> Result<Self, ConfigError> {
+        if topo.clusters() > 256 {
+            return Err(ConfigError::new(format!(
+                "SharedTrace cluster columns are one byte: {} clusters exceed 256",
+                topo.clusters()
+            )));
+        }
+        let total = topo.total_procs();
+        let wide = total > 64;
+        let n = refs.len();
+        let mut addr = Vec::with_capacity(n);
+        let mut proc_op = Vec::with_capacity(n);
+        let mut wide_proc = Vec::with_capacity(if wide { n } else { 0 });
+        let mut block = Vec::with_capacity(n);
+        let mut page = Vec::with_capacity(n);
+        let mut home_cluster = Vec::with_capacity(n);
+        let mut issuing_cluster = Vec::with_capacity(n);
+        // Page -> first-touch home, filled in trace order: exactly the
+        // assignments a first-touch placement map makes during replay.
+        let mut homes: DenseMap<u8> = DenseMap::new();
+        for r in refs {
+            if r.proc.0 >= total {
+                return Err(ConfigError::new(format!(
+                    "reference names processor {} outside topology {topo}",
+                    r.proc
+                )));
+            }
+            let (cl, _) = topo.split_of(r.proc);
+            let parts = geo.decompose(r.addr);
+            #[allow(clippy::cast_possible_truncation)] // clusters <= 256 checked above
+            let cl8 = cl.0 as u8;
+            let mut packed = if wide {
+                wide_proc.push(r.proc.0);
+                0
+            } else {
+                #[allow(clippy::cast_possible_truncation)] // total <= 64 in this arm
+                {
+                    r.proc.0 as u8
+                }
+            };
+            if r.op.is_write() {
+                packed |= OP_BIT;
+            }
+            let home = match homes.get(parts.page.0) {
+                Some(&h) => h,
+                None => {
+                    homes.insert(parts.page.0, cl8);
+                    packed |= FIRST_TOUCH_BIT;
+                    cl8
+                }
+            };
+            addr.push(r.addr.0);
+            proc_op.push(packed);
+            block.push(parts.block.0);
+            page.push(parts.page.0);
+            home_cluster.push(home);
+            issuing_cluster.push(cl8);
+        }
+        Ok(SharedTrace {
+            topo,
+            geo,
+            addr,
+            proc_op,
+            wide_proc,
+            block,
+            page,
+            home_cluster,
+            issuing_cluster,
+        })
+    }
+
+    /// [`SharedTrace::try_from_refs`], panicking on invalid input — the
+    /// form trace-generation pipelines use (their references are by
+    /// construction inside the topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`SharedTrace::try_from_refs`] errors.
+    #[must_use]
+    pub fn from_refs(topo: Topology, geo: Geometry, refs: &[MemRef]) -> Self {
+        SharedTrace::try_from_refs(topo, geo, refs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The topology the processor columns were split under.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The geometry the decomposition columns were derived under.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Number of references.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addr.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addr.is_empty()
+    }
+
+    /// The reference at `i` in its original array-of-structs form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> MemRef {
+        let packed = self.proc_op[i];
+        let proc = if self.wide_proc.is_empty() {
+            u16::from(packed & PROC_MASK)
+        } else {
+            self.wide_proc[i]
+        };
+        let op = if packed & OP_BIT != 0 {
+            MemOp::Write
+        } else {
+            MemOp::Read
+        };
+        MemRef::new(ProcId(proc), op, Addr(self.addr[i]))
+    }
+
+    /// Iterates the references in trace order as [`MemRef`]s — the
+    /// lossless round-trip back to the array-of-structs form.
+    pub fn iter(&self) -> impl Iterator<Item = MemRef> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Decodes up to `out.len()` references starting at `start` into
+    /// `out`, returning how many were decoded (0 at end of trace). The
+    /// replay hot loop calls this with a stack buffer of [`BATCH`]
+    /// entries; all address arithmetic, processor splitting and
+    /// first-touch home resolution happened at construction.
+    #[inline]
+    pub fn decode_batch(&self, start: usize, out: &mut [DecodedRef]) -> usize {
+        let n = out.len().min(self.len().saturating_sub(start));
+        if n == 0 {
+            return 0;
+        }
+        let end = start + n;
+        let proc_op = &self.proc_op[start..end];
+        let block = &self.block[start..end];
+        let page = &self.page[start..end];
+        let home = &self.home_cluster[start..end];
+        let issuing = &self.issuing_cluster[start..end];
+        let ppc = self.topo.procs_per_cluster();
+        for k in 0..n {
+            let packed = proc_op[k];
+            let cl = ClusterId(u16::from(issuing[k]));
+            let lp = if self.wide_proc.is_empty() {
+                LocalProcId(u16::from(packed & PROC_MASK) - cl.0 * ppc)
+            } else {
+                LocalProcId(self.wide_proc[start + k] - cl.0 * ppc)
+            };
+            out[k] = DecodedRef {
+                cluster: cl,
+                lproc: lp,
+                write: packed & OP_BIT != 0,
+                first_touch: packed & FIRST_TOUCH_BIT != 0,
+                block: dsm_types::BlockAddr(block[k]),
+                page: dsm_types::PageAddr(page[k]),
+                home: ClusterId(u16::from(home[k])),
+            };
+        }
+        n
+    }
+
+    /// Partitions the trace by home cluster: `result[c]` lists the
+    /// indices of every reference whose page is homed at cluster `c`, in
+    /// trace order — one scan of the precomputed `home_cluster` column.
+    /// This is the work split of the planned per-cluster sharded
+    /// simulator (each shard owns the directory state of its home
+    /// cluster's pages).
+    #[must_use]
+    pub fn shard_by_home(&self) -> Vec<Vec<u32>> {
+        let mut shards = vec![Vec::new(); usize::from(self.topo.clusters())];
+        for (i, &h) in self.home_cluster.iter().enumerate() {
+            shards[usize::from(h)].push(u32::try_from(i).expect("trace indices fit u32"));
+        }
+        shards
+    }
+
+    /// Heap bytes held by the columns — the footprint quantity
+    /// EXPERIMENTS.md tracks against the 16 padded bytes per reference of
+    /// the array-of-structs form.
+    #[must_use]
+    pub fn column_bytes(&self) -> usize {
+        self.addr.len() * (8 + 1 + 8 + 8 + 1 + 1) + self.wide_proc.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs_sample() -> Vec<MemRef> {
+        // Mixed procs/pages; P9 (cluster 2) first-touches page 2.
+        vec![
+            MemRef::read(ProcId(9), Addr(2 * 4096 + 64)),
+            MemRef::write(ProcId(0), Addr(0)),
+            MemRef::read(ProcId(31), Addr(2 * 4096)),
+            MemRef::write(ProcId(9), Addr(4096)),
+            MemRef::read(ProcId(0), Addr(65)),
+        ]
+    }
+
+    fn shared() -> SharedTrace {
+        SharedTrace::from_refs(
+            Topology::paper_default(),
+            Geometry::paper_default(),
+            &refs_sample(),
+        )
+    }
+
+    #[test]
+    fn roundtrips_to_memrefs() {
+        let s = shared();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        let back: Vec<MemRef> = s.iter().collect();
+        assert_eq!(back, refs_sample());
+    }
+
+    #[test]
+    fn decomposition_columns_match_geometry() {
+        let s = shared();
+        let geo = Geometry::paper_default();
+        let mut out = [DecodedRef::default(); BATCH];
+        let n = s.decode_batch(0, &mut out);
+        assert_eq!(n, 5);
+        for (d, r) in out[..n].iter().zip(refs_sample()) {
+            let parts = geo.decompose(r.addr);
+            assert_eq!(d.block, parts.block);
+            assert_eq!(d.page, parts.page);
+            let (cl, lp) = Topology::paper_default().split_of(r.proc);
+            assert_eq!((d.cluster, d.lproc), (cl, lp));
+            assert_eq!(d.write, r.op.is_write());
+        }
+    }
+
+    #[test]
+    fn first_touch_homes_follow_trace_order() {
+        let s = shared();
+        let mut out = [DecodedRef::default(); BATCH];
+        s.decode_batch(0, &mut out);
+        // Page 2 first touched by P9 => cluster 2; both page-2 refs share it.
+        assert_eq!(out[0].home, ClusterId(2));
+        assert!(out[0].first_touch);
+        assert_eq!(out[2].home, ClusterId(2));
+        assert!(!out[2].first_touch);
+        // Page 0 first touched by P0 => cluster 0.
+        assert_eq!(out[1].home, ClusterId(0));
+        assert!(out[1].first_touch);
+        assert!(!out[4].first_touch);
+        // Page 1 first touched by P9 => cluster 2, remote never set here.
+        assert_eq!(out[3].home, ClusterId(2));
+        assert!(out[3].first_touch);
+        assert!(!out[3].remote());
+    }
+
+    #[test]
+    fn batched_decode_covers_whole_trace() {
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let refs: Vec<MemRef> = (0..100u64)
+            .map(|i| MemRef::read(ProcId((i % 32) as u16), Addr(i * 128)))
+            .collect();
+        let s = SharedTrace::from_refs(topo, geo, &refs);
+        let mut out = [DecodedRef::default(); BATCH];
+        let mut seen = 0usize;
+        let mut start = 0usize;
+        loop {
+            let n = s.decode_batch(start, &mut out);
+            if n == 0 {
+                break;
+            }
+            assert!(n <= BATCH);
+            seen += n;
+            start += n;
+        }
+        assert_eq!(seen, refs.len());
+        assert_eq!(s.decode_batch(refs.len(), &mut out), 0);
+    }
+
+    #[test]
+    fn wide_machines_use_the_side_column() {
+        // 32 clusters x 4 procs = 128 > 64: packed bits cannot hold ids.
+        let topo = Topology::new(32, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let refs = vec![
+            MemRef::read(ProcId(127), Addr(64)),
+            MemRef::write(ProcId(5), Addr(4096)),
+        ];
+        let s = SharedTrace::from_refs(topo, geo, &refs);
+        assert_eq!(s.iter().collect::<Vec<_>>(), refs);
+        let mut out = [DecodedRef::default(); 2];
+        s.decode_batch(0, &mut out);
+        assert_eq!(out[0].cluster, ClusterId(31));
+        assert_eq!(out[0].lproc, LocalProcId(3));
+        assert_eq!(out[1].cluster, ClusterId(1));
+        assert_eq!(out[1].lproc, LocalProcId(1));
+    }
+
+    #[test]
+    fn rejects_out_of_topology_processor() {
+        let err = SharedTrace::try_from_refs(
+            Topology::paper_default(),
+            Geometry::paper_default(),
+            &[MemRef::read(ProcId(32), Addr(0))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("outside topology"), "{err}");
+    }
+
+    #[test]
+    fn rejects_too_many_clusters() {
+        let topo = Topology::new(300, 1).unwrap();
+        let err = SharedTrace::try_from_refs(topo, Geometry::paper_default(), &[]).unwrap_err();
+        assert!(err.to_string().contains("256"), "{err}");
+    }
+
+    #[test]
+    fn shards_partition_by_home_column() {
+        let s = shared();
+        let shards = s.shard_by_home();
+        assert_eq!(shards.len(), 8);
+        // Pages 1 and 2 homed at cluster 2 (refs 0, 2, 3); page 0 at 0.
+        assert_eq!(shards[2], vec![0, 2, 3]);
+        assert_eq!(shards[0], vec![1, 4]);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    fn column_bytes_track_the_footprint() {
+        let s = shared();
+        assert_eq!(s.column_bytes(), 5 * 27);
+        let wide = SharedTrace::from_refs(
+            Topology::new(32, 4).unwrap(),
+            Geometry::paper_default(),
+            &[MemRef::read(ProcId(0), Addr(0))],
+        );
+        assert_eq!(wide.column_bytes(), 27 + 2);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let s = SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &[]);
+        assert!(s.is_empty());
+        let mut out = [DecodedRef::default(); BATCH];
+        assert_eq!(s.decode_batch(0, &mut out), 0);
+        assert!(s.iter().next().is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! The pre-split form of a [`MemRef`](crate::MemRef): every per-reference
+//! derivation done once, ahead of replay.
+
+use crate::{BlockAddr, ClusterId, LocalProcId, PageAddr};
+
+/// One shared-memory reference with its address decomposition and issuer
+/// split already applied — the unit a columnar replay buffer hands the
+/// simulator, so the per-reference hot path does zero address arithmetic
+/// and no page-table lookups.
+///
+/// A `DecodedRef` carries exactly what `System::process` derives from a
+/// `MemRef` before dispatching:
+///
+/// * [`Topology::split_of`](crate::Topology::split_of) →
+///   [`DecodedRef::cluster`] / [`DecodedRef::lproc`];
+/// * [`Geometry::decompose`](crate::Geometry::decompose) →
+///   [`DecodedRef::block`] / [`DecodedRef::page`];
+/// * first-touch page placement → [`DecodedRef::home`] /
+///   [`DecodedRef::first_touch`] (the home the page has under pure
+///   first-touch placement, i.e. the issuing cluster of the trace's first
+///   reference to it — see `SharedTrace` in `dsm-trace`).
+///
+/// The precomputed home is only valid while page homes are static; a
+/// simulator running OS migration policies must fall back to its live
+/// placement map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodedRef {
+    /// The issuing processor's cluster.
+    pub cluster: ClusterId,
+    /// The issuing processor's index within its cluster.
+    pub lproc: LocalProcId,
+    /// Whether the reference is a store.
+    pub write: bool,
+    /// Whether this is the trace's first reference to [`DecodedRef::page`]
+    /// (the reference that first-touch placement assigns the page on).
+    pub first_touch: bool,
+    /// The block containing the address.
+    pub block: BlockAddr,
+    /// The page containing the address.
+    pub page: PageAddr,
+    /// The page's home cluster under first-touch placement.
+    pub home: ClusterId,
+}
+
+impl DecodedRef {
+    /// Whether the reference is remote to its issuer under first-touch
+    /// placement.
+    #[must_use]
+    #[inline]
+    pub fn remote(&self) -> bool {
+        self.home != self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_compares_home_to_issuer() {
+        let mut r = DecodedRef {
+            cluster: ClusterId(2),
+            home: ClusterId(2),
+            ..DecodedRef::default()
+        };
+        assert!(!r.remote());
+        r.home = ClusterId(3);
+        assert!(r.remote());
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod addr;
 pub mod cluster_set;
+pub mod decoded;
 pub mod error;
 pub mod fastmap;
 pub mod geometry;
@@ -32,6 +33,7 @@ pub mod op;
 
 pub use addr::{Addr, BlockAddr, PageAddr};
 pub use cluster_set::{ClusterSet, ClusterSetIter};
+pub use decoded::DecodedRef;
 pub use error::ConfigError;
 pub use fastmap::{DenseMap, FxBuildHasher, FxHashMap, FxHasher};
 pub use geometry::{AddrParts, Geometry};

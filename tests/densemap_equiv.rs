@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use dsm_core::runner::run_trace;
 use dsm_core::SystemSpec;
-use dsm_trace::{Scale, WorkloadKind};
+use dsm_trace::{Scale, SharedTrace, WorkloadKind};
 use dsm_types::{DenseMap, Geometry, Topology};
 
 /// Deterministic xorshift64* generator — no external crates, fixed seeds.
@@ -146,27 +146,12 @@ fn golden_fft_base_metrics_are_stable() {
     let w = WorkloadKind::Fft.dev_instance();
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
-    let trace = w.generate(&topo, Scale::new(0.25).unwrap());
-    let r = run_trace(
-        &SystemSpec::base(),
-        w.name(),
-        w.shared_bytes(),
-        &trace,
-        topo,
-        geo,
-    )
-    .unwrap();
+    let refs = w.generate(&topo, Scale::new(0.25).unwrap());
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
+    let r = run_trace(&SystemSpec::base(), w.name(), w.shared_bytes(), &trace).unwrap();
 
     // Two replays of the same trace must agree exactly (determinism).
-    let r2 = run_trace(
-        &SystemSpec::base(),
-        w.name(),
-        w.shared_bytes(),
-        &trace,
-        topo,
-        geo,
-    )
-    .unwrap();
+    let r2 = run_trace(&SystemSpec::base(), w.name(), w.shared_bytes(), &trace).unwrap();
     assert_eq!(
         r.metrics, r2.metrics,
         "same trace, same system, same metrics"

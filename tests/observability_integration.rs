@@ -7,14 +7,15 @@
 use dsm_core::obs::{JsonlSink, StatsSink};
 use dsm_core::runner::{run_trace, run_trace_probed};
 use dsm_core::{Latencies, LatencyModel, Metrics, NcTechnology, PcSize, System, SystemSpec, Tee};
-use dsm_trace::{workloads::Lu, Scale, Workload};
+use dsm_trace::{workloads::Lu, Scale, SharedTrace, Workload};
 use dsm_types::{ClusterId, Geometry, Topology};
 
-fn lu_trace() -> (Topology, Geometry, u64, Vec<dsm_types::MemRef>) {
+fn lu_trace() -> (Topology, Geometry, u64, SharedTrace) {
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
     let w = Lu::with_matrix(128); // small instance: ~fast, still remote-heavy
-    let trace = w.generate(&topo, Scale::full());
+    let refs = w.generate(&topo, Scale::full());
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
     (topo, geo, w.shared_bytes(), trace)
 }
 
@@ -28,7 +29,7 @@ fn epoch_samples_partition_the_run_exactly() {
     let mut system =
         System::with_probe(vxp_spec(), topo, geo, data_bytes, StatsSink::new()).unwrap();
     system.set_epoch_window(10_000);
-    system.run(trace.iter().copied());
+    system.run_shared(&trace);
     system.finish();
 
     let sink = system.probe();
@@ -60,16 +61,14 @@ fn epoch_samples_partition_the_run_exactly() {
 
 #[test]
 fn probe_does_not_perturb_any_system() {
-    let (topo, geo, data_bytes, trace) = lu_trace();
+    let (_topo, _geo, data_bytes, trace) = lu_trace();
     for spec in [SystemSpec::base(), SystemSpec::vb(), vxp_spec()] {
-        let plain = run_trace(&spec, "lu", data_bytes, &trace, topo, geo).unwrap();
+        let plain = run_trace(&spec, "lu", data_bytes, &trace).unwrap();
         let (probed, _) = run_trace_probed(
             &spec,
             "lu",
             data_bytes,
             &trace,
-            topo,
-            geo,
             StatsSink::new(),
             Some(25_000),
         )
@@ -80,14 +79,12 @@ fn probe_does_not_perturb_any_system() {
 
 #[test]
 fn event_stream_agrees_with_aggregate_metrics() {
-    let (topo, geo, data_bytes, trace) = lu_trace();
+    let (topo, _geo, data_bytes, trace) = lu_trace();
     let (report, sink) = run_trace_probed(
         &vxp_spec(),
         "lu",
         data_bytes,
         &trace,
-        topo,
-        geo,
         StatsSink::new(),
         None,
     )
@@ -120,19 +117,10 @@ fn event_stream_agrees_with_aggregate_metrics() {
 
 #[test]
 fn jsonl_sink_streams_the_whole_run() {
-    let (topo, geo, data_bytes, trace) = lu_trace();
+    let (_topo, _geo, data_bytes, trace) = lu_trace();
     let probe = Tee(StatsSink::new(), JsonlSink::new(Vec::new()));
-    let (_, Tee(stats, jsonl)) = run_trace_probed(
-        &vxp_spec(),
-        "lu",
-        data_bytes,
-        &trace,
-        topo,
-        geo,
-        probe,
-        Some(50_000),
-    )
-    .unwrap();
+    let (_, Tee(stats, jsonl)) =
+        run_trace_probed(&vxp_spec(), "lu", data_bytes, &trace, probe, Some(50_000)).unwrap();
     let lines_written = jsonl.lines();
     let buf = jsonl.finish().unwrap();
     let text = String::from_utf8(buf).unwrap();
@@ -216,9 +204,9 @@ fn golden_remote_traffic_counts_block_transfers() {
 
 #[test]
 fn report_figures_of_merit_match_metrics_methods() {
-    let (topo, geo, data_bytes, trace) = lu_trace();
+    let (_topo, _geo, data_bytes, trace) = lu_trace();
     let spec = vxp_spec();
-    let report = run_trace(&spec, "lu", data_bytes, &trace, topo, geo).unwrap();
+    let report = run_trace(&spec, "lu", data_bytes, &trace).unwrap();
     let model = LatencyModel::new(Latencies::paper_default(), spec.technology());
     let m = &report.metrics;
     assert_eq!(report.remote_read_stall, m.remote_read_stall(&model));

@@ -4,17 +4,18 @@
 
 use dsm_core::runner::{run_trace, run_workload};
 use dsm_core::{PcSize, Report, SystemSpec};
-use dsm_trace::{Scale, WorkloadKind};
+use dsm_trace::{Scale, SharedTrace, WorkloadKind};
 use dsm_types::{Geometry, Topology};
 
 fn dev_reports(kind: WorkloadKind, specs: &[SystemSpec]) -> Vec<Report> {
     let w = kind.dev_instance();
     let topo = Topology::paper_default();
     let geo = Geometry::paper_default();
-    let trace = w.generate(&topo, Scale::new(0.5).unwrap());
+    let refs = w.generate(&topo, Scale::new(0.5).unwrap());
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
     specs
         .iter()
-        .map(|s| run_trace(s, w.name(), w.shared_bytes(), &trace, topo, geo).unwrap())
+        .map(|s| run_trace(s, w.name(), w.shared_bytes(), &trace).unwrap())
         .collect()
 }
 
