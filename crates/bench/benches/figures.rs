@@ -14,6 +14,7 @@ use dsm_bench::figures::{fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9}
 use dsm_bench::tinybench::Tiny;
 use dsm_bench::{FigureTable, TraceSet};
 use dsm_trace::{Scale, WorkloadKind};
+use dsm_types::DsmError;
 
 const BENCH_SCALE: f64 = 0.1;
 
@@ -21,11 +22,11 @@ fn bench_figure(
     t: &mut Tiny,
     name: &str,
     kind: WorkloadKind,
-    runner: fn(&mut TraceSet, &[WorkloadKind]) -> FigureTable,
+    runner: fn(&mut TraceSet, &[WorkloadKind]) -> Result<FigureTable, DsmError>,
 ) {
     // Print the single-workload table once for eyeballing.
     let mut ts = TraceSet::new(Scale::new(BENCH_SCALE).unwrap());
-    let table = runner(&mut ts, &[kind]);
+    let table = runner(&mut ts, &[kind]).expect("figure run");
     println!(
         "[{name} @ scale {BENCH_SCALE}, {kind} only]\n{}",
         table.render()
@@ -33,7 +34,7 @@ fn bench_figure(
 
     t.bench(name, || {
         let mut ts = TraceSet::new(Scale::new(BENCH_SCALE).unwrap());
-        black_box(runner(&mut ts, &[kind]));
+        black_box(runner(&mut ts, &[kind]).expect("figure run"));
     });
 }
 

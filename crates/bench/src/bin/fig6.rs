@@ -3,13 +3,23 @@
 //! where the synthetic traces actually thrash. `--scale <f>` shortens
 //! traces; `--jobs <n>` sizes the sweep worker pool.
 
+use std::process::ExitCode;
+
 use dsm_bench::figures::{all_workloads, fig6};
+use dsm_bench::harness::report_failure;
 use dsm_bench::{parse_run_args, TraceSet};
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_run_args("fig6 [--scale <f>] [--jobs <n>]");
     let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
-    println!("{}", fig6::run(&mut ts, &all_workloads()).render());
+    match fig6::run(&mut ts, &all_workloads()) {
+        Ok(t) => println!("{}", t.render()),
+        Err(e) => return report_failure(&e),
+    }
     let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
-    println!("{}", fig6::run_tight(&mut ts, &all_workloads()).render());
+    match fig6::run_tight(&mut ts, &all_workloads()) {
+        Ok(t) => println!("{}", t.render()),
+        Err(e) => return report_failure(&e),
+    }
+    ExitCode::SUCCESS
 }

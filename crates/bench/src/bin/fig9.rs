@@ -2,11 +2,18 @@
 //! traces; `--jobs <n>` sizes the sweep worker pool.
 
 use dsm_bench::figures::{all_workloads, fig9};
+use std::process::ExitCode;
+
+use dsm_bench::harness::report_failure;
 use dsm_bench::{parse_run_args, TraceSet};
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_run_args("fig9 [--scale <f>] [--jobs <n>]");
     let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
-    let table = fig9::run(&mut ts, &all_workloads());
+    let table = match fig9::run(&mut ts, &all_workloads()) {
+        Ok(t) => t,
+        Err(e) => return report_failure(&e),
+    };
     println!("{}", table.render());
+    ExitCode::SUCCESS
 }

@@ -3,11 +3,20 @@
 //! (`origin+vb`). `--scale <f>` shortens traces; `--jobs <n>` sizes the
 //! sweep worker pool.
 
+use std::process::ExitCode;
+
 use dsm_bench::figures::{all_workloads, origin};
+use dsm_bench::harness::report_failure;
 use dsm_bench::{parse_run_args, TraceSet};
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_run_args("origin [--scale <f>] [--jobs <n>]");
     let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
-    println!("{}", origin::run(&mut ts, &all_workloads()).render());
+    match origin::run(&mut ts, &all_workloads()) {
+        Ok(t) => {
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => report_failure(&e),
+    }
 }

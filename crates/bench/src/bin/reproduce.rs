@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>]
+//!           [--journal <file> | --resume <file>]
+//!           [--figures <csv>] [--workloads <csv>]
 //! reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]
 //! ```
 //!
@@ -16,9 +18,21 @@
 //! byte-identical regardless of `--jobs` — the determinism CI job diffs
 //! exactly that file (and stdout).
 //!
+//! `--journal <file>` appends every completed sweep point to an fsynced
+//! JSONL journal as it finishes; if the run is killed, `--resume <file>`
+//! reloads the journal, skips the completed points, and merges their
+//! recorded reports with the freshly computed remainder — producing the
+//! same bytes an uninterrupted run would have. `--figures` /
+//! `--workloads` restrict the run to a comma-separated subset (figure
+//! keys: fig3..fig11, fig6-tight, origin).
+//!
 //! Every figure executes through the parallel sweep engine
 //! (`dsm_bench::sweep`) on `--jobs <n>` workers (default: all hardware
 //! threads; env `DSM_JOBS`); `--jobs 1` is the exact legacy serial path.
+//! A figure whose sweep points fail does not abort the rest: remaining
+//! figures still run, the failure summaries (with one-line `simulate`
+//! repro invocations) are printed at the end, no dataset is written, and
+//! the process exits with the first failure's code.
 //!
 //! The second form runs the *instrumented* reproduction instead: each
 //! workload runs on the key system configurations (`base`, `vb`, `ncd`,
@@ -31,17 +45,21 @@
 
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
 
 use dsm_bench::figures::{
     all_workloads, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9, origin, tables,
 };
 use dsm_bench::harness::{parse_argv, usage_exit, RunArgs};
-use dsm_bench::{FigureTable, TraceSet};
-use dsm_core::obs::{Json, JsonlSink, StatsSink};
+use dsm_bench::{FigureTable, SweepJournal, TraceSet};
+use dsm_core::obs::{write_json_atomic, Json, JsonlSink, StatsSink};
 use dsm_core::{PcSize, SystemSpec, Tee};
+use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
-const USAGE: &str = "reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>]\n       reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]";
+const USAGE: &str = "reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>] [--journal <file> | --resume <file>] [--figures <csv>] [--workloads <csv>]\n       reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]";
 
 struct Flags {
     run: RunArgs,
@@ -49,6 +67,22 @@ struct Flags {
     epoch: Option<u64>,
     trace_events: bool,
     out: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    figures: Option<Vec<String>>,
+    workloads: Option<Vec<WorkloadKind>>,
+}
+
+fn parse_workload_csv(csv: &str) -> Result<Vec<WorkloadKind>, String> {
+    csv.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|name| {
+            WorkloadKind::all()
+                .into_iter()
+                .find(|k| k.display_name().eq_ignore_ascii_case(name.trim()))
+                .ok_or_else(|| format!("unknown workload '{}'", name.trim()))
+        })
+        .collect()
 }
 
 fn parse_flags() -> Flags {
@@ -56,6 +90,10 @@ fn parse_flags() -> Flags {
     let mut epoch = None;
     let mut trace_events = false;
     let mut out = None;
+    let mut journal = None;
+    let mut resume = None;
+    let mut figures = None;
+    let mut workloads = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let run = parse_argv(&argv, |args, i| match args[i].as_str() {
         "--markdown" => {
@@ -84,15 +122,55 @@ fn parse_flags() -> Flags {
             out = Some(PathBuf::from(v));
             Ok(2)
         }
+        "--journal" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--journal requires a value".to_owned())?;
+            journal = Some(PathBuf::from(v));
+            Ok(2)
+        }
+        "--resume" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--resume requires a value".to_owned())?;
+            resume = Some(PathBuf::from(v));
+            Ok(2)
+        }
+        "--figures" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--figures requires a value".to_owned())?;
+            figures = Some(
+                v.split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().to_owned())
+                    .collect::<Vec<_>>(),
+            );
+            Ok(2)
+        }
+        "--workloads" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--workloads requires a value".to_owned())?;
+            workloads = Some(parse_workload_csv(v)?);
+            Ok(2)
+        }
         _ => Ok(0),
     })
     .unwrap_or_else(|msg| usage_exit(USAGE, &msg));
+    if journal.is_some() && resume.is_some() {
+        usage_exit(USAGE, "--journal and --resume are mutually exclusive");
+    }
     Flags {
         run,
         markdown,
         epoch,
         trace_events,
         out,
+        journal,
+        resume,
+        figures,
+        workloads,
     }
 }
 
@@ -108,35 +186,27 @@ fn file_stem(name: &str) -> String {
     out.trim_matches('-').to_owned()
 }
 
-fn write_json(path: &Path, json: &Json) {
-    let mut f = BufWriter::new(
-        File::create(path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display())),
-    );
-    writeln!(f, "{}", json.render())
-        .and_then(|()| f.flush())
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-}
-
 /// The instrumented reproduction: probed runs of every workload on the
 /// key configurations, exported as JSON run reports. This path runs
 /// serially regardless of `--jobs`: each run streams its own event log
 /// and progress lines, which must stay ordered.
-fn run_instrumented(flags: &Flags) {
+fn run_instrumented(flags: &Flags) -> Result<(), DsmError> {
     let scale = flags.run.scale;
     let out = flags
         .out
         .clone()
         .unwrap_or_else(|| PathBuf::from("results"));
     std::fs::create_dir_all(&out)
-        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
+        .map_err(|e| DsmError::bad_input(format!("cannot create {}: {e}", out.display())))?;
     let specs = [
         SystemSpec::base(),
         SystemSpec::vb(),
         SystemSpec::ncd(),
         SystemSpec::vxp(PcSize::DataFraction(5), 32),
     ];
+    let kinds = flags.workloads.clone().unwrap_or_else(all_workloads);
     let mut index: Vec<Json> = Vec::new();
-    for &kind in &all_workloads() {
+    for &kind in &kinds {
         let mut ts = TraceSet::new(scale);
         let wl = kind.display_name().to_lowercase();
         for spec in &specs {
@@ -144,18 +214,18 @@ fn run_instrumented(flags: &Flags) {
             let stem = format!("{wl}_{}", file_stem(&spec.name));
             let (report, sink) = if flags.trace_events {
                 let ev_path = out.join(format!("{stem}.events.jsonl"));
-                let file = BufWriter::new(
-                    File::create(&ev_path)
-                        .unwrap_or_else(|e| panic!("cannot create {}: {e}", ev_path.display())),
-                );
+                let file = BufWriter::new(File::create(&ev_path).map_err(|e| {
+                    DsmError::bad_input(format!("cannot create {}: {e}", ev_path.display()))
+                })?);
                 let probe = Tee(StatsSink::new(), JsonlSink::new(file));
                 let (report, Tee(sink, jsonl)) = ts.run_probed(spec, kind, probe, flags.epoch);
                 let lines = jsonl.lines();
                 jsonl
                     .finish()
-                    .unwrap_or_else(|e| panic!("event log {}: {e}", ev_path.display()))
-                    .flush()
-                    .unwrap_or_else(|e| panic!("event log {}: {e}", ev_path.display()));
+                    .and_then(|mut f| f.flush().map(|()| f))
+                    .map_err(|e| {
+                        DsmError::internal(format!("event log {}: {e}", ev_path.display()))
+                    })?;
                 eprintln!("reproduce:   {} events -> {}", lines, ev_path.display());
                 (report, sink)
             } else {
@@ -173,10 +243,15 @@ fn run_instrumented(flags: &Flags) {
                 )
                 .set("report", report.to_json())
                 .set("observability", sink.to_json(10));
-            write_json(&path, &json);
+            write_json_atomic(&path, &json)?;
             index.push(
                 Json::obj()
-                    .set("file", path.file_name().unwrap().to_string_lossy().as_ref())
+                    .set(
+                        "file",
+                        path.file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_default(),
+                    )
                     .set("workload", wl.as_str())
                     .set("system", spec.name.as_str())
                     .set("refs", report.refs)
@@ -186,17 +261,12 @@ fn run_instrumented(flags: &Flags) {
         }
     }
     let count = index.len();
-    write_json(&out.join("index.json"), &Json::obj().set("runs", index));
+    write_json_atomic(&out.join("index.json"), &Json::obj().set("runs", index))?;
     eprintln!("reproduce: wrote {count} run reports to {}", out.display());
+    Ok(())
 }
 
-fn main() {
-    let flags = parse_flags();
-    if flags.epoch.is_some() || flags.trace_events {
-        run_instrumented(&flags);
-        return;
-    }
-
+fn run_figures(flags: &Flags) -> Result<(), DsmError> {
     let scale = flags.run.scale;
     let jobs = flags.run.jobs;
     eprintln!(
@@ -205,35 +275,87 @@ fn main() {
         jobs.get()
     );
 
+    let journal: Option<Arc<SweepJournal>> = match (&flags.journal, &flags.resume) {
+        (Some(path), None) => Some(Arc::new(SweepJournal::create(path)?)),
+        (None, Some(path)) => {
+            let j = SweepJournal::resume(path)?;
+            eprintln!(
+                "reproduce: resumed journal {} ({} completed point(s) will be skipped)",
+                path.display(),
+                j.resumed_points()
+            );
+            Some(Arc::new(j))
+        }
+        _ => None,
+    };
+
     println!("{}", tables::table1());
     println!("{}", tables::table2());
     println!("{}", tables::table3());
 
-    let kinds = all_workloads();
-    type Runner = fn(&mut TraceSet, &[dsm_trace::WorkloadKind]) -> FigureTable;
-    let figures: Vec<(&str, Runner)> = vec![
-        ("fig3", fig3::run as Runner),
-        ("fig4", fig4::run as Runner),
-        ("fig5", fig5::run as Runner),
-        ("fig6", fig6::run as Runner),
-        ("fig6-tight (supplementary)", fig6::run_tight as Runner),
-        ("fig7", fig7::run as Runner),
-        ("fig8", fig8::run as Runner),
-        ("fig9", fig9::run as Runner),
-        ("fig10", fig10::run as Runner),
-        ("fig11", fig11::run as Runner),
-        ("origin (supplementary)", origin::run as Runner),
+    let kinds = flags.workloads.clone().unwrap_or_else(all_workloads);
+    type Runner = fn(&mut TraceSet, &[WorkloadKind]) -> Result<FigureTable, DsmError>;
+    // (journal scope key, dataset name, runner)
+    let figures: Vec<(&str, &str, Runner)> = vec![
+        ("fig3", "fig3", fig3::run as Runner),
+        ("fig4", "fig4", fig4::run as Runner),
+        ("fig5", "fig5", fig5::run as Runner),
+        ("fig6", "fig6", fig6::run as Runner),
+        (
+            "fig6-tight",
+            "fig6-tight (supplementary)",
+            fig6::run_tight as Runner,
+        ),
+        ("fig7", "fig7", fig7::run as Runner),
+        ("fig8", "fig8", fig8::run as Runner),
+        ("fig9", "fig9", fig9::run as Runner),
+        ("fig10", "fig10", fig10::run as Runner),
+        ("fig11", "fig11", fig11::run as Runner),
+        ("origin", "origin (supplementary)", origin::run as Runner),
     ];
+    if let Some(wanted) = &flags.figures {
+        for w in wanted {
+            if !figures.iter().any(|(key, _, _)| key == w) {
+                return Err(DsmError::usage(format!(
+                    "unknown figure '{w}' (known: {})",
+                    figures
+                        .iter()
+                        .map(|(key, _, _)| *key)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+    }
 
     let mut exported: Vec<Json> = Vec::new();
     let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut failures: Vec<(String, DsmError)> = Vec::new();
     let t_all = std::time::Instant::now();
-    for (name, runner) in figures {
+    for (key, name, runner) in figures {
+        if flags
+            .figures
+            .as_ref()
+            .is_some_and(|wanted| !wanted.iter().any(|w| w == key))
+        {
+            continue;
+        }
         eprintln!("reproduce: running {name} ...");
         let t0 = std::time::Instant::now();
+        if let Some(j) = &journal {
+            j.set_scope(key);
+        }
         // A fresh trace set per figure keeps peak memory to one trace.
         let mut ts = TraceSet::with_jobs(scale, jobs);
-        let table = runner(&mut ts, &kinds);
+        ts.set_journal(journal.clone());
+        let table = match runner(&mut ts, &kinds) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reproduce: {name} FAILED");
+                failures.push((name.to_owned(), e));
+                continue;
+            }
+        };
         let wall_s = t0.elapsed().as_secs_f64();
         eprintln!("reproduce: {name} done in {wall_s:.1}s");
         timings.push((name.to_owned(), wall_s));
@@ -247,18 +369,28 @@ fn main() {
         }
     }
     let total_s = t_all.elapsed().as_secs_f64();
+
+    if !failures.is_empty() {
+        eprintln!("reproduce: {} figure(s) failed:", failures.len());
+        for (name, e) in &failures {
+            eprintln!("reproduce: {name}: {e}");
+        }
+        eprintln!("reproduce: no dataset written");
+        let (name, first) = failures.swap_remove(0);
+        return Err(first.context(format!("figure {name}")));
+    }
     eprintln!("reproduce: all figures done in {total_s:.1}s");
 
     if let Some(out) = &flags.out {
         std::fs::create_dir_all(out)
-            .unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
+            .map_err(|e| DsmError::bad_input(format!("cannot create {}: {e}", out.display())))?;
         // The dataset: everything *but* wall clock, so any two runs at
         // one scale are byte-identical whatever the worker count.
         let path = out.join("reproduce_full.json");
         let json = Json::obj()
             .set("scale", scale.factor())
             .set("figures", exported);
-        write_json(&path, &json);
+        write_json_atomic(&path, &json)?;
         eprintln!("reproduce: wrote {}", path.display());
         // The timings, separately, so the sweep-engine speedup is
         // visible in results/ without polluting the diffable dataset.
@@ -272,7 +404,24 @@ fn main() {
             .set("jobs", jobs.get())
             .set("total_wall_s", total_s)
             .set("figures", figures_json);
-        write_json(&t_path, &t_json);
+        write_json_atomic(&t_path, &t_json)?;
         eprintln!("reproduce: wrote {}", t_path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let flags = parse_flags();
+    let result = if flags.epoch.is_some() || flags.trace_events {
+        run_instrumented(&flags)
+    } else {
+        run_figures(&flags)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
     }
 }

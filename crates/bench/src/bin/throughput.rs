@@ -27,14 +27,13 @@
 //! cross-machine numbers are never compared blindly.
 
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 use dsm_bench::harness::{parse_argv, usage_exit};
 use dsm_bench::tinybench::{consume, Tiny};
 use dsm_bench::TraceSet;
-use dsm_core::obs::Json;
+use dsm_core::obs::{write_json_atomic, Json};
 use dsm_core::{PcSize, SystemSpec};
 use dsm_trace::WorkloadKind;
 
@@ -46,7 +45,7 @@ const USAGE: &str = "throughput [--scale <f>] [--out <path>] [--baseline <worklo
 const WORKLOADS: [(WorkloadKind, &str); 2] =
     [(WorkloadKind::Fft, "fft"), (WorkloadKind::Radix, "radix")];
 
-fn main() {
+fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut baseline: HashMap<String, f64> = HashMap::new();
     let mut baseline_commit: Option<String> = None;
@@ -134,7 +133,9 @@ fn main() {
         );
     }
 
-    let Some(out) = out else { return };
+    let Some(out) = out else {
+        return ExitCode::SUCCESS;
+    };
     let machine = Json::obj()
         .set("arch", std::env::consts::ARCH)
         .set("os", std::env::consts::OS)
@@ -154,11 +155,10 @@ fn main() {
             },
         )
         .set("workloads", workload_reports);
-    let mut f = BufWriter::new(
-        File::create(&out).unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display())),
-    );
-    writeln!(f, "{}", json.render())
-        .and_then(|()| f.flush())
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    if let Err(e) = write_json_atomic(&out, &json) {
+        eprintln!("error: {e}");
+        return ExitCode::from(e.exit_code());
+    }
     eprintln!("throughput: wrote {}", out.display());
+    ExitCode::SUCCESS
 }

@@ -4,20 +4,21 @@
 
 use dsm_core::Report;
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::figures::fig9::{self, StallMetric};
 use crate::harness::{normalized_table, run_grid, FigureTable, TraceSet};
 
 /// Runs Figure 10 over `kinds`.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = fig9::specs();
-    let grid = run_grid(ts, &specs, kinds);
-    normalized_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(normalized_table(
         "Figure 10: remote data traffic, normalized to an infinite NC",
         &grid,
         fig9::columns(),
         Report::traffic_metric,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -28,7 +29,7 @@ mod tests {
     #[test]
     fn victim_cache_cuts_radix_traffic() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Radix]);
+        let t = run(&mut ts, &[WorkloadKind::Radix]).expect("figure run");
         let v = &t.rows[0].1;
         // Columns: base NCS NCD ncp vbp vpp ncp5 vbp5 vpp5.
         // "the victim cache is effective in reducing the traffic,

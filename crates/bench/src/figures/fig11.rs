@@ -5,6 +5,7 @@
 
 use dsm_core::{PcSize, Report, SystemSpec};
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::figures::fig9::StallMetric;
 use crate::harness::{normalized_table, run_grid, FigureTable, TraceSet};
@@ -21,16 +22,16 @@ pub fn specs() -> Vec<SystemSpec> {
 }
 
 /// Runs Figure 11 over `kinds`.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = specs();
     let columns = specs.iter().skip(1).map(|s| s.name.clone()).collect();
-    let grid = run_grid(ts, &specs, kinds);
-    normalized_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(normalized_table(
         "Figure 11: remote read stalls, directory counters (ncp5) vs victim-set counters (vxp5), normalized",
         &grid,
         columns,
         Report::stall_metric,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -41,7 +42,7 @@ mod tests {
     #[test]
     fn vxp_is_competitive_with_directory_counters() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Fmm]);
+        let t = run(&mut ts, &[WorkloadKind::Fmm]).expect("figure run");
         let v = &t.rows[0].1;
         // "vxp performs as well as ncp": within 40% on the irregular apps
         // where the victim cache matters (generous bound for a scaled

@@ -4,6 +4,7 @@
 
 use dsm_core::SystemSpec;
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
 
@@ -27,16 +28,16 @@ pub fn specs() -> Vec<SystemSpec> {
 }
 
 /// Runs Figure 3 over `kinds`.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = specs();
     let columns = specs.iter().map(|s| s.name.clone()).collect();
-    let grid = run_grid(ts, &specs, kinds);
-    miss_ratio_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(miss_ratio_table(
         "Figure 3: cluster miss ratio (%) vs cache associativity x victim-NC size",
         &grid,
         columns,
         false,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -56,7 +57,7 @@ mod tests {
     #[test]
     fn victim_nc_only_improves_miss_ratio() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Lu]);
+        let t = run(&mut ts, &[WorkloadKind::Lu]).expect("figure run");
         assert_eq!(t.rows.len(), 1);
         let v = &t.rows[0].1;
         // Within each associativity, a bigger victim NC never hurts.

@@ -3,19 +3,20 @@
 
 use dsm_core::SystemSpec;
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
 
 /// Runs Figure 4 over `kinds`.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = [SystemSpec::nc(), SystemSpec::vb()];
-    let grid = run_grid(ts, &specs, kinds);
-    miss_ratio_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(miss_ratio_table(
         "Figure 4: cluster miss ratio (%), inclusion NC (nc) vs victim NC (vb), 16 KB",
         &grid,
         vec!["nc".into(), "vb".into()],
         false,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -26,7 +27,7 @@ mod tests {
     #[test]
     fn victim_beats_or_matches_inclusion() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Radix, WorkloadKind::Lu]);
+        let t = run(&mut ts, &[WorkloadKind::Radix, WorkloadKind::Lu]).expect("figure run");
         for (name, v) in &t.rows {
             assert!(
                 v[1] <= v[0] + 0.05,

@@ -3,19 +3,20 @@
 
 use dsm_core::SystemSpec;
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
 
 /// Runs Figure 5 over `kinds`.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = [SystemSpec::vb(), SystemSpec::vp()];
-    let grid = run_grid(ts, &specs, kinds);
-    miss_ratio_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(miss_ratio_table(
         "Figure 5: cluster miss ratio (%), block-indexed (vb) vs page-indexed (vp) victim NC",
         &grid,
         vec!["vb".into(), "vp".into()],
         false,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -33,10 +34,11 @@ mod tests {
                 &mut ts,
                 &[dsm_core::SystemSpec::base()],
                 &[WorkloadKind::Ocean],
-            );
+            )
+            .expect("base grid");
             (grid[0].1[0].read_miss_ratio + grid[0].1[0].write_miss_ratio) * 100.0
         };
-        let t = run(&mut ts, &[WorkloadKind::Ocean]);
+        let t = run(&mut ts, &[WorkloadKind::Ocean]).expect("figure run");
         let vp = t.rows[0].1[1];
         assert!(vp <= base + 1e-9, "vp ({vp}) worse than no NC ({base})");
     }

@@ -4,12 +4,13 @@
 
 use dsm_core::{PcSize, SystemSpec, ThresholdPolicy};
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
 
 /// Runs Figure 6 over `kinds`. Values include the relocation overhead in
 /// equivalent misses (the paper's bar tops).
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     run_at(ts, kinds, 5)
 }
 
@@ -17,26 +18,26 @@ pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
 /// (1/16 of the data set), where our synthetic traces actually thrash —
 /// the paper notes "with smaller page caches, thrashing occurs in other
 /// applications as well".
-pub fn run_tight(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run_tight(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     run_at(ts, kinds, 16)
 }
 
-fn run_at(ts: &mut TraceSet, kinds: &[WorkloadKind], denom: u32) -> FigureTable {
+fn run_at(ts: &mut TraceSet, kinds: &[WorkloadKind], denom: u32) -> Result<FigureTable, DsmError> {
     let mut fixed =
         SystemSpec::ncp(PcSize::DataFraction(denom)).with_threshold(ThresholdPolicy::Fixed(32));
     fixed.name = format!("ncp{denom}-fixed32");
     let mut adaptive = SystemSpec::ncp(PcSize::DataFraction(denom));
     adaptive.name = format!("ncp{denom}-adaptive");
     let specs = [fixed, adaptive];
-    let grid = run_grid(ts, &specs, kinds);
-    miss_ratio_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(miss_ratio_table(
         &format!(
             "Figure 6: cluster miss ratio + relocation overhead (%), fixed(32) vs adaptive threshold, ncp{denom}"
         ),
         &grid,
         vec!["fixed32".into(), "adaptive".into()],
         true,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -47,7 +48,7 @@ mod tests {
     #[test]
     fn adaptive_does_not_lose_badly() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Radix]);
+        let t = run(&mut ts, &[WorkloadKind::Radix]).expect("figure run");
         let v = &t.rows[0].1;
         // Adaptive must be no worse than fixed beyond noise: its whole
         // point is to cut relocation overhead under thrashing.

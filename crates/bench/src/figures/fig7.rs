@@ -5,6 +5,7 @@
 
 use dsm_core::{CounterSource, PcSize, PcSpec, SystemSpec, ThresholdPolicy};
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
 
@@ -49,16 +50,16 @@ pub fn specs() -> Vec<SystemSpec> {
 }
 
 /// Runs Figure 7 over `kinds`; values fold in relocation overhead.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = specs();
     let columns = specs.iter().map(|s| s.name.clone()).collect();
-    let grid = run_grid(ts, &specs, kinds);
-    miss_ratio_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(miss_ratio_table(
         "Figure 7: cluster miss ratio + relocation overhead (%), page-cache size sweep",
         &grid,
         columns,
         true,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -78,7 +79,7 @@ mod tests {
     #[test]
     fn nc_improves_over_no_nc_with_page_cache() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Fmm]);
+        let t = run(&mut ts, &[WorkloadKind::Fmm]).expect("figure run");
         let v = &t.rows[0].1;
         // The paper: "The 16KB NC clearly improves performance in both
         // ncp and vbp over the system without NC" (columns 3 = pc5,

@@ -4,22 +4,23 @@
 
 use dsm_core::{PcSize, SystemSpec};
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::harness::{miss_ratio_table, run_grid, FigureTable, TraceSet};
 
 /// Runs Figure 8 over `kinds`; values fold in relocation overhead.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = [
         SystemSpec::vbp(PcSize::DataFraction(5)),
         SystemSpec::vpp(PcSize::DataFraction(5)),
     ];
-    let grid = run_grid(ts, &specs, kinds);
-    miss_ratio_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(miss_ratio_table(
         "Figure 8: cluster miss ratio + relocation overhead (%), vbp5 vs vpp5",
         &grid,
         vec!["vbp5".into(), "vpp5".into()],
         true,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -30,7 +31,7 @@ mod tests {
     #[test]
     fn indexing_gap_is_small_with_page_cache() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Ocean]);
+        let t = run(&mut ts, &[WorkloadKind::Ocean]).expect("figure run");
         let v = &t.rows[0].1;
         // "Overall, there is little difference between the two indexing
         // methods" once the page cache is present.

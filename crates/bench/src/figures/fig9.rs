@@ -5,6 +5,7 @@
 
 use dsm_core::{PcSize, Report, SystemSpec};
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::harness::{normalized_table, run_grid, FigureTable, TraceSet};
 
@@ -32,15 +33,15 @@ pub fn columns() -> Vec<String> {
 }
 
 /// Runs Figure 9 over `kinds`.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = specs();
-    let grid = run_grid(ts, &specs, kinds);
-    normalized_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(normalized_table(
         "Figure 9: remote read stalls, normalized to an infinite DRAM NC",
         &grid,
         columns(),
         Report::stall_metric,
-    )
+    ))
 }
 
 /// Extraction helper shared with Figures 10-11.
@@ -76,7 +77,7 @@ mod tests {
     #[test]
     fn ideal_sram_nc_is_best_or_near() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Lu]);
+        let t = run(&mut ts, &[WorkloadKind::Lu]).expect("figure run");
         let v = &t.rows[0].1;
         // NCS (index 1) should beat base (index 0) and be <= 1 vs the
         // infinite DRAM baseline (it saturates capacity at SRAM speed).

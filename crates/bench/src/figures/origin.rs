@@ -11,6 +11,7 @@
 
 use dsm_core::{Report, SystemSpec};
 use dsm_trace::WorkloadKind;
+use dsm_types::DsmError;
 
 use crate::figures::fig9::StallMetric;
 use crate::harness::{normalized_table, run_grid, FigureTable, TraceSet};
@@ -29,16 +30,16 @@ pub fn specs() -> Vec<SystemSpec> {
 }
 
 /// Runs the Origin comparison over `kinds`.
-pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> FigureTable {
+pub fn run(ts: &mut TraceSet, kinds: &[WorkloadKind]) -> Result<FigureTable, DsmError> {
     let specs = specs();
     let columns = specs.iter().skip(1).map(|s| s.name.clone()).collect();
-    let grid = run_grid(ts, &specs, kinds);
-    normalized_table(
+    let grid = run_grid(ts, &specs, kinds)?;
+    Ok(normalized_table(
         "Supplementary: Origin-style migration/replication vs network caches, normalized remote read stall",
         &grid,
         columns,
         Report::stall_metric,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -54,7 +55,8 @@ mod tests {
         // itself the expected Origin behaviour on reuse-free data.
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
         let grid =
-            crate::harness::run_grid(&mut ts, &[SystemSpec::origin()], &[WorkloadKind::Raytrace]);
+            crate::harness::run_grid(&mut ts, &[SystemSpec::origin()], &[WorkloadKind::Raytrace])
+                .expect("origin grid");
         let m = &grid[0].1[0].metrics;
         assert!(m.replications > 0, "{m:?}");
         assert!(
@@ -66,7 +68,7 @@ mod tests {
     #[test]
     fn victim_nc_composes_with_origin() {
         let mut ts = TraceSet::new(Scale::new(0.1).unwrap());
-        let t = run(&mut ts, &[WorkloadKind::Barnes]);
+        let t = run(&mut ts, &[WorkloadKind::Barnes]).expect("figure run");
         let v = &t.rows[0].1;
         // The paper's hypothesis: origin+vb <= origin (the NC absorbs
         // conflict misses the OS policies would otherwise chase).

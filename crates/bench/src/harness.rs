@@ -2,13 +2,15 @@
 //! comparison, and table rendering.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dsm_core::obs::Json;
 use dsm_core::runner::{run_trace, run_trace_probed};
 use dsm_core::{Probe, Report, SystemSpec};
 use dsm_trace::{Scale, SharedTrace, WorkloadKind};
-use dsm_types::{Geometry, Topology};
+use dsm_types::{DsmError, Geometry, Topology};
 
+use crate::journal::SweepJournal;
 use crate::sweep::{run_sweep, Jobs, SweepPoint};
 
 /// The flags every figure binary accepts — one usage text shared by all
@@ -93,6 +95,14 @@ pub fn usage_exit(usage_line: &str, msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Prints a figure-run error and maps it to the process exit code
+/// (see `DsmError::exit_code`: 2 usage, 3 bad input, 4 internal).
+#[must_use]
+pub fn report_failure(e: &DsmError) -> std::process::ExitCode {
+    eprintln!("error: {e}");
+    std::process::ExitCode::from(e.exit_code())
+}
+
 /// Parses the process arguments of a figure binary (only the common
 /// flags), exiting with `usage_line` on anything unrecognized.
 #[must_use]
@@ -114,6 +124,9 @@ pub struct TraceSet {
     geo: Geometry,
     scale: Scale,
     jobs: Jobs,
+    /// Crash-safety journal consulted and appended by the sweep engine
+    /// (see [`SweepJournal`]); `None` = no journaling.
+    journal: Option<Arc<SweepJournal>>,
     /// One columnar trace per workload: the decomposition columns are
     /// computed here, once, and shared read-only by every configuration
     /// (and every sweep worker) that replays the workload.
@@ -136,6 +149,7 @@ impl TraceSet {
             geo: Geometry::paper_default(),
             scale,
             jobs,
+            journal: None,
             traces: HashMap::new(),
         }
     }
@@ -150,6 +164,26 @@ impl TraceSet {
     #[must_use]
     pub fn jobs(&self) -> Jobs {
         self.jobs
+    }
+
+    /// The trace-length scale factor (part of every trace's identity).
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Attaches (or detaches) a crash-safety journal: every sweep run
+    /// from this set records completed points to it, and points a
+    /// resumed journal already holds are skipped with their recorded
+    /// reports returned instead.
+    pub fn set_journal(&mut self, journal: Option<Arc<SweepJournal>>) {
+        self.journal = journal;
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&SweepJournal> {
+        self.journal.as_deref()
     }
 
     /// Generates (once) the trace for `kind`; afterwards the trace is
@@ -354,17 +388,21 @@ impl FigureTable {
 /// (and therefore every table and JSON export) is identical to the serial
 /// run by the engine's submission-order guarantee.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with the first failed point's label and message if any point
-/// panicked (after the whole grid has been attempted).
+/// The whole grid is always attempted (a failed point never aborts the
+/// remaining points — they keep running, and keep journaling if a
+/// journal is attached). If any point failed, returns a [`DsmError`]
+/// whose message lists every failure with its one-line `simulate`
+/// repro invocation.
 pub fn run_grid(
     ts: &mut TraceSet,
     specs: &[SystemSpec],
     kinds: &[WorkloadKind],
-) -> Vec<(WorkloadKind, Vec<Report>)> {
+) -> Result<Vec<(WorkloadKind, Vec<Report>)>, DsmError> {
     let jobs = ts.jobs();
     let mut rows = Vec::new();
+    let mut failures = Vec::new();
     for &kind in kinds {
         let points: Vec<SweepPoint> = specs
             .iter()
@@ -372,13 +410,24 @@ pub fn run_grid(
             .collect();
         let outcomes = run_sweep(ts, &points, jobs);
         ts.evict(kind);
-        let reports = outcomes
-            .into_iter()
-            .map(crate::sweep::SweepOutcome::into_report)
-            .collect();
+        let mut reports = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome.result {
+                Ok(r) => reports.push(r),
+                Err(f) => failures.push(f),
+            }
+        }
         rows.push((kind, reports));
     }
-    rows
+    if failures.is_empty() {
+        return Ok(rows);
+    }
+    let mut msg = format!("{} sweep point(s) failed:", failures.len());
+    for f in &failures {
+        msg.push_str("\n  ");
+        msg.push_str(&f.to_string());
+    }
+    Err(DsmError::internal(msg))
 }
 
 /// Builds a table of total cluster miss ratios (%) — the Figures 3-5/8

@@ -1,0 +1,284 @@
+//! Crash-safe sweep journaling: an append-only JSONL record of every
+//! completed sweep point, fsynced per entry, from which an interrupted
+//! reproduction can resume.
+//!
+//! Each line is one JSON object:
+//!
+//! ```text
+//! {"scope":"fig3","label":"1w-vb0/LU","wall_s":1.2,"report":{...}}
+//! {"scope":"fig3","label":"x/LU","wall_s":0.4,"failed":{"message":...,"repro":...}}
+//! ```
+//!
+//! `scope` is the enclosing experiment (the figure name), so one journal
+//! can span a whole `reproduce` run; `label` is the sweep point's label.
+//! Successful points carry the full [`Report`] (which round-trips
+//! byte-identically through the JSON writer/parser); failed points carry
+//! the structured [`PointFailure`] so the failure summary — including
+//! the one-line repro invocation — survives the crash.
+//!
+//! On [`SweepJournal::resume`], successful entries become a skip-set:
+//! the sweep engine returns their recorded reports without re-running
+//! them, in submission order, so a killed-and-resumed run merges to
+//! byte-identical output. Failed entries are *not* skipped — a resumed
+//! run retries them. A torn final line (the crash happened mid-write)
+//! is ignored, as is everything after it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use dsm_core::obs::Json;
+use dsm_core::Report;
+use dsm_types::{DsmError, FxHashMap};
+
+use crate::sweep::PointFailure;
+
+/// The journal: shared by every worker of a sweep, serialized by an
+/// internal mutex, durable per entry (`fsync` after each line).
+#[derive(Debug)]
+pub struct SweepJournal {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// `None` after a write failure: journaling disables itself (with a
+    /// warning) rather than failing the sweep it was meant to protect.
+    file: Option<File>,
+    path: PathBuf,
+    scope: String,
+    /// Completed points from a resumed journal, keyed `scope/label`.
+    completed: FxHashMap<String, Report>,
+}
+
+impl SweepJournal {
+    /// Starts a fresh journal at `path`, truncating any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DsmError`] if the file cannot be created.
+    pub fn create(path: &Path) -> Result<Self, DsmError> {
+        let file = File::create(path).map_err(|e| {
+            DsmError::bad_input(format!("cannot create journal {}: {e}", path.display()))
+        })?;
+        Ok(SweepJournal {
+            inner: Mutex::new(Inner {
+                file: Some(file),
+                path: path.to_owned(),
+                scope: String::new(),
+                completed: FxHashMap::default(),
+            }),
+        })
+    }
+
+    /// Reopens the journal at `path`, loading every successful entry as
+    /// a skip-set and appending new entries after them. Lines after a
+    /// torn (unparseable) line are ignored — they are the debris of the
+    /// crash being resumed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DsmError`] if the file cannot be read or reopened,
+    /// or if a well-formed entry carries a malformed report.
+    pub fn resume(path: &Path) -> Result<Self, DsmError> {
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| {
+                DsmError::bad_input(format!("cannot read journal {}: {e}", path.display()))
+            })?;
+        let mut completed = FxHashMap::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(entry) = Json::parse(line) else {
+                break; // torn tail: the crash interrupted this write
+            };
+            let (Some(scope), Some(label)) = (
+                entry.get("scope").and_then(Json::as_str),
+                entry.get("label").and_then(Json::as_str),
+            ) else {
+                return Err(DsmError::bad_input(format!(
+                    "journal {}: entry without scope/label",
+                    path.display()
+                )));
+            };
+            if let Some(report) = entry.get("report") {
+                let report = Report::from_json(report)
+                    .map_err(|e| e.context(format!("journal {}", path.display())))?;
+                completed.insert(format!("{scope}/{label}"), report);
+            }
+            // Failed entries are read past but not skipped: resume
+            // retries them.
+        }
+        let file = OpenOptions::new().append(true).open(path).map_err(|e| {
+            DsmError::bad_input(format!("cannot reopen journal {}: {e}", path.display()))
+        })?;
+        Ok(SweepJournal {
+            inner: Mutex::new(Inner {
+                file: Some(file),
+                path: path.to_owned(),
+                scope: String::new(),
+                completed,
+            }),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Sets the scope (experiment name) recorded with subsequent entries
+    /// and consulted by [`SweepJournal::lookup`].
+    pub fn set_scope(&self, scope: &str) {
+        self.lock().scope = scope.to_owned();
+    }
+
+    /// The report a resumed journal recorded for `label` under the
+    /// current scope, if that point already completed successfully.
+    #[must_use]
+    pub fn lookup(&self, label: &str) -> Option<Report> {
+        let inner = self.lock();
+        inner
+            .completed
+            .get(&format!("{}/{label}", inner.scope))
+            .cloned()
+    }
+
+    /// Number of completed points loaded by [`SweepJournal::resume`].
+    #[must_use]
+    pub fn resumed_points(&self) -> usize {
+        self.lock().completed.len()
+    }
+
+    /// Appends a successful point. Durable before return (fsync).
+    pub fn record_ok(&self, label: &str, report: &Report, wall_s: f64) {
+        let entry = |scope: &str| {
+            Json::obj()
+                .set("scope", scope)
+                .set("label", label)
+                .set("wall_s", wall_s)
+                .set("report", report.to_json())
+        };
+        self.append(entry);
+    }
+
+    /// Appends a failed point (structured, including the repro line).
+    /// Durable before return (fsync).
+    pub fn record_failed(&self, failure: &PointFailure, wall_s: f64) {
+        let entry = |scope: &str| {
+            Json::obj()
+                .set("scope", scope)
+                .set("label", failure.label.as_str())
+                .set("wall_s", wall_s)
+                .set("failed", failure.to_json())
+        };
+        self.append(entry);
+    }
+
+    /// Writes one entry under the mutex; a write failure disables the
+    /// journal (sticky) with a warning instead of failing the sweep.
+    fn append(&self, entry: impl FnOnce(&str) -> Json) {
+        let mut inner = self.lock();
+        let line = entry(&inner.scope).render();
+        let Some(file) = inner.file.as_mut() else {
+            return;
+        };
+        let result = writeln!(file, "{line}").and_then(|()| file.sync_data());
+        if let Err(e) = result {
+            eprintln!(
+                "warning: journal {} failed ({e}); journaling disabled for the rest of the run",
+                inner.path.display()
+            );
+            inner.file = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsm-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn sample_report(label: &str) -> Report {
+        // A report with enough non-trivial floats to exercise the
+        // byte-identity of the JSON round-trip.
+        let mut r = Report {
+            system: label.to_owned(),
+            workload: "lu".to_owned(),
+            data_bytes: 1 << 20,
+            refs: 12345,
+            read_miss_ratio: 0.062_499_999_3,
+            write_miss_ratio: 0.01,
+            relocation_overhead: 0.0,
+            remote_read_stall: 987_654,
+            remote_traffic: 4321,
+            directory_bits_per_block: 32,
+            metrics: dsm_core::Metrics::default(),
+            wall_s: 1.5,
+        };
+        r.metrics.shared_refs = 12345;
+        r
+    }
+
+    #[test]
+    fn journal_round_trips_completed_points() {
+        let path = tmp_path("roundtrip");
+        let j = SweepJournal::create(&path).expect("create");
+        j.set_scope("fig3");
+        let r = sample_report("base");
+        j.record_ok("base/LU", &r, 0.25);
+        drop(j);
+
+        let j = SweepJournal::resume(&path).expect("resume");
+        assert_eq!(j.resumed_points(), 1);
+        j.set_scope("fig3");
+        let back = j.lookup("base/LU").expect("completed point");
+        assert_eq!(back, r);
+        // Wrong scope, wrong label: no hit.
+        j.set_scope("fig4");
+        assert!(j.lookup("base/LU").is_none());
+        j.set_scope("fig3");
+        assert!(j.lookup("vb/LU").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_failures_are_retried() {
+        let path = tmp_path("torn");
+        let j = SweepJournal::create(&path).expect("create");
+        j.set_scope("fig3");
+        j.record_ok("base/LU", &sample_report("base"), 0.1);
+        let failure = PointFailure {
+            label: "vb/LU".to_owned(),
+            system: "vb".to_owned(),
+            workload: "LU".to_owned(),
+            scale: 0.05,
+            message: "boom".to_owned(),
+            repro: "simulate --system vb --workload lu --scale 0.05".to_owned(),
+        };
+        j.record_failed(&failure, 0.2);
+        drop(j);
+        // Simulate a crash mid-write: a torn final line.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"scope\":\"fig3\",\"label\":\"nc/LU\",\"repo").unwrap();
+        }
+
+        let j = SweepJournal::resume(&path).expect("resume tolerates the torn tail");
+        j.set_scope("fig3");
+        assert!(j.lookup("base/LU").is_some(), "completed point skipped");
+        assert!(j.lookup("vb/LU").is_none(), "failed point must be retried");
+        assert!(j.lookup("nc/LU").is_none(), "torn point must be retried");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -28,8 +28,10 @@
 
 pub mod figures;
 pub mod harness;
+pub mod journal;
 pub mod sweep;
 pub mod tinybench;
 
 pub use harness::{parse_run_args, FigureTable, RunArgs, TraceSet};
-pub use sweep::{run_sweep, Jobs, SweepOutcome, SweepPoint};
+pub use journal::SweepJournal;
+pub use sweep::{run_sweep, Jobs, PointFailure, SweepOutcome, SweepPoint};

@@ -29,8 +29,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use dsm_core::{Report, SystemSpec};
-use dsm_trace::WorkloadKind;
+use dsm_core::config::NcIndexingSpec;
+use dsm_core::obs::Json;
+use dsm_core::{CounterSource, DirectorySpec, NcSpec, PcSize, Report, SystemSpec};
+use dsm_trace::{Scale, WorkloadKind};
 
 use crate::harness::TraceSet;
 
@@ -104,15 +106,159 @@ impl SweepPoint {
     }
 }
 
+/// A structured record of one failed sweep point: the full configuration
+/// and trace identity, the captured panic message, and a one-line
+/// `simulate` invocation that reproduces the point in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointFailure {
+    /// The submitted point's label.
+    pub label: String,
+    /// The system configuration's name.
+    pub system: String,
+    /// The workload whose trace the point ran on.
+    pub workload: String,
+    /// The trace-length scale factor (the trace identity: traces are a
+    /// deterministic function of workload and scale).
+    pub scale: f64,
+    /// The captured panic message.
+    pub message: String,
+    /// A one-line `simulate` invocation reproducing the point.
+    pub repro: String,
+}
+
+impl PointFailure {
+    /// Builds the failure record for `point` from a captured panic.
+    #[must_use]
+    pub fn from_panic(point: &SweepPoint, scale: Scale, message: String) -> Self {
+        PointFailure {
+            label: point.label.clone(),
+            system: point.spec.name.clone(),
+            workload: point.workload.display_name().to_owned(),
+            scale: scale.factor(),
+            message,
+            repro: repro_command(&point.spec, point.workload, scale),
+        }
+    }
+
+    /// Serializes the failure for the sweep journal.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("system", self.system.as_str())
+            .set("workload", self.workload.as_str())
+            .set("scale", self.scale)
+            .set("message", self.message.as_str())
+            .set("repro", self.repro.as_str())
+    }
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} on {} at scale {}): {}\n  reproduce with: {}",
+            self.label, self.system, self.workload, self.scale, self.message, self.repro
+        )
+    }
+}
+
+/// Maps a [`SystemSpec`] back to the `simulate` system family name.
+fn system_family(spec: &SystemSpec) -> &'static str {
+    if spec.migrep.is_some() {
+        return if matches!(spec.nc, NcSpec::None) {
+            "origin"
+        } else {
+            "origin-vb"
+        };
+    }
+    if let Some(pc) = &spec.pc {
+        return match &spec.nc {
+            NcSpec::SramVictim {
+                indexing: NcIndexingSpec::Block,
+                ..
+            } => "vbp",
+            NcSpec::SramVictim {
+                indexing: NcIndexingSpec::Page,
+                ..
+            } => match pc.counters {
+                CounterSource::VictimSets => "vxp",
+                CounterSource::Directory => "vpp",
+            },
+            _ => "ncp",
+        };
+    }
+    match &spec.nc {
+        NcSpec::None => "base",
+        NcSpec::SramInclusion { .. } => "nc",
+        NcSpec::SramVictim {
+            indexing: NcIndexingSpec::Block,
+            ..
+        } => "vb",
+        NcSpec::SramVictim {
+            indexing: NcIndexingSpec::Page,
+            ..
+        } => "vp",
+        NcSpec::DramInclusion { .. } => "ncd",
+        NcSpec::Infinite { dram: false } => "ncs",
+        NcSpec::Infinite { dram: true } => "inf-dram",
+    }
+}
+
+/// Builds the one-line `simulate` invocation reproducing a sweep point:
+/// system family plus the spec knobs `simulate` exposes (cache shape,
+/// NC size, page-cache size, threshold, directory pointers, MOESI-R).
+/// Exotic ablations (e.g. disabled clean capture) may need manual flags
+/// beyond this line, but every configuration the figures sweep maps
+/// exactly.
+#[must_use]
+pub fn repro_command(spec: &SystemSpec, workload: WorkloadKind, scale: Scale) -> String {
+    use std::fmt::Write as _;
+    let mut cmd = format!(
+        "simulate --system {} --workload {} --scale {} --cache-bytes {} --cache-ways {}",
+        system_family(spec),
+        workload.display_name().to_lowercase(),
+        scale.factor(),
+        spec.cache.bytes,
+        spec.cache.ways,
+    );
+    match &spec.nc {
+        NcSpec::SramInclusion { bytes, .. }
+        | NcSpec::SramVictim { bytes, .. }
+        | NcSpec::DramInclusion { bytes, .. } => {
+            let _ = write!(cmd, " --nc-bytes {bytes}");
+        }
+        NcSpec::None | NcSpec::Infinite { .. } => {}
+    }
+    if let Some(pc) = &spec.pc {
+        match pc.size {
+            PcSize::Bytes(b) => {
+                let _ = write!(cmd, " --pc-bytes {b}");
+            }
+            PcSize::DataFraction(d) => {
+                let _ = write!(cmd, " --pc-fraction {d}");
+            }
+        }
+        let _ = write!(cmd, " --threshold {}", pc.threshold.initial());
+    }
+    if let DirectorySpec::LimitedPointer { pointers } = spec.directory {
+        let _ = write!(cmd, " --pointers {pointers}");
+    }
+    if spec.dirty_shared {
+        cmd.push_str(" --dirty-shared");
+    }
+    cmd
+}
+
 /// The result of one sweep point, in submission order.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// The submitted point's label.
     pub label: String,
-    /// The report, or the captured panic message of a failed point.
-    pub result: Result<Report, String>,
+    /// The report, or the structured record of a failed point.
+    pub result: Result<Report, PointFailure>,
     /// Wall-clock seconds this point took inside its worker (simulation
-    /// only; trace generation is hoisted and not attributed to points).
+    /// only; trace generation is hoisted and not attributed to points;
+    /// 0.0 for points restored from a resumed journal).
     pub wall_s: f64,
 }
 
@@ -121,12 +267,13 @@ impl SweepOutcome {
     ///
     /// # Panics
     ///
-    /// Panics with the point's label and captured message if it failed.
+    /// Panics with the failure record (including the repro line) if the
+    /// point failed.
     #[must_use]
     pub fn into_report(self) -> Report {
         match self.result {
             Ok(r) => r,
-            Err(e) => panic!("sweep point {}: {e}", self.label),
+            Err(e) => panic!("sweep point {e}"),
         }
     }
 }
@@ -143,16 +290,49 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Runs one prepared point under panic capture, timing it.
+///
+/// When the trace set carries a resumed journal, points the journal
+/// already recorded as successful are *not* re-run: their recorded
+/// reports come back immediately (in submission order like everything
+/// else), which is what makes a killed-and-resumed sweep merge to
+/// byte-identical output. Fresh results are appended to the journal,
+/// durably, before the outcome is returned.
+///
+/// Fault injection for the crash-safety tests: if `DSM_FAULT_POINT`
+/// names this point's label the point panics (exercising the captured-
+/// failure path), and if `DSM_FAULT_ABORT` names it the whole process
+/// aborts (exercising kill-and-resume).
 fn run_point(ts: &TraceSet, point: &SweepPoint) -> SweepOutcome {
+    if let Some(report) = ts.journal().and_then(|j| j.lookup(&point.label)) {
+        return SweepOutcome {
+            label: point.label.clone(),
+            result: Ok(report),
+            wall_s: 0.0,
+        };
+    }
+    if std::env::var("DSM_FAULT_ABORT").as_deref() == Ok(point.label.as_str()) {
+        eprintln!("sweep: DSM_FAULT_ABORT tripped at {}", point.label);
+        std::process::abort();
+    }
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
+        if std::env::var("DSM_FAULT_POINT").as_deref() == Ok(point.label.as_str()) {
+            panic!("injected fault (DSM_FAULT_POINT) at {}", point.label);
+        }
         ts.run_prepared(&point.spec, point.workload)
     }))
-    .map_err(panic_message);
+    .map_err(|payload| PointFailure::from_panic(point, ts.scale(), panic_message(payload)));
+    let wall_s = t0.elapsed().as_secs_f64();
+    if let Some(journal) = ts.journal() {
+        match &result {
+            Ok(report) => journal.record_ok(&point.label, report, wall_s),
+            Err(failure) => journal.record_failed(failure, wall_s),
+        }
+    }
     SweepOutcome {
         label: point.label.clone(),
         result,
-        wall_s: t0.elapsed().as_secs_f64(),
+        wall_s,
     }
 }
 
@@ -184,16 +364,33 @@ pub fn run_sweep(ts: &mut TraceSet, points: &[SweepPoint], jobs: Jobs) -> Vec<Sw
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(i) else { break };
                 let outcome = run_point(ts, point);
-                *slots[i].lock().unwrap() = Some(outcome);
+                // A sibling worker's panic can only poison a *different*
+                // slot's mutex; recover the data rather than cascade.
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every queue index was claimed by exactly one worker")
+        .zip(points)
+        .map(|(slot, point)| {
+            let outcome = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Every queue index is claimed by exactly one worker; an
+            // empty slot would mean the engine itself broke, which is
+            // reported as a failed row rather than a panic.
+            outcome.unwrap_or_else(|| SweepOutcome {
+                label: point.label.clone(),
+                result: Err(PointFailure::from_panic(
+                    point,
+                    ts.scale(),
+                    "sweep engine lost this point's outcome".to_owned(),
+                )),
+                wall_s: 0.0,
+            })
         })
         .collect()
 }
@@ -258,9 +455,76 @@ mod tests {
         assert!(outcomes[2].result.is_ok(), "sweep aborted after a panic");
         let err = outcomes[1].result.as_ref().unwrap_err();
         assert!(
-            err.contains("ncp-too-small"),
+            err.message.contains("ncp-too-small"),
             "captured message should identify the point: {err}"
         );
+        assert_eq!(err.system, "ncp-too-small");
+        assert_eq!(err.workload, "LU");
+        assert!(
+            err.repro.starts_with("simulate --system ncp --workload lu"),
+            "repro line should rebuild the invocation: {}",
+            err.repro
+        );
+    }
+
+    #[test]
+    fn repro_commands_cover_the_design_space() {
+        let scale = Scale::new(0.5).unwrap();
+        let cases = [
+            (SystemSpec::base(), "--system base "),
+            (SystemSpec::nc(), "--system nc "),
+            (SystemSpec::vb(), "--system vb "),
+            (SystemSpec::vp(), "--system vp "),
+            (SystemSpec::ncd(), "--system ncd "),
+            (SystemSpec::ncs(), "--system ncs "),
+            (SystemSpec::infinite_dram(), "--system inf-dram "),
+            (SystemSpec::ncp(PcSize::DataFraction(5)), "--system ncp "),
+            (SystemSpec::vbp(PcSize::DataFraction(5)), "--system vbp "),
+            (SystemSpec::vpp(PcSize::DataFraction(5)), "--system vpp "),
+            (SystemSpec::vxp(PcSize::Bytes(8192), 64), "--system vxp "),
+            (SystemSpec::origin(), "--system origin "),
+            (SystemSpec::origin_vb(), "--system origin-vb "),
+        ];
+        for (spec, family) in cases {
+            let cmd = repro_command(&spec, WorkloadKind::Fft, scale);
+            assert!(cmd.contains(family), "{}: {cmd}", spec.name);
+            assert!(cmd.contains("--workload fft"), "{cmd}");
+            assert!(cmd.contains("--scale 0.5"), "{cmd}");
+            assert!(cmd.contains("--cache-bytes"), "{cmd}");
+        }
+        let vxp = repro_command(
+            &SystemSpec::vxp(PcSize::Bytes(8192), 64),
+            WorkloadKind::Lu,
+            scale,
+        );
+        assert!(vxp.contains("--pc-bytes 8192"), "{vxp}");
+        assert!(vxp.contains("--threshold 64"), "{vxp}");
+        let lim = repro_command(
+            &SystemSpec::vb().with_limited_directory(2),
+            WorkloadKind::Lu,
+            scale,
+        );
+        assert!(lim.contains("--pointers 2"), "{lim}");
+        assert!(lim.contains("--nc-bytes 16384"), "{lim}");
+    }
+
+    #[test]
+    fn injected_fault_point_becomes_failed_row() {
+        let mut ts = small_ts();
+        // A label unique to this test, so the env var cannot trip a
+        // concurrently running sibling test's sweep.
+        let mut target = SystemSpec::vb();
+        target.name = "fault-target".into();
+        let points = vec![
+            SweepPoint::new(SystemSpec::base(), WorkloadKind::Lu),
+            SweepPoint::new(target, WorkloadKind::Lu),
+        ];
+        std::env::set_var("DSM_FAULT_POINT", "fault-target/LU");
+        let outcomes = run_sweep(&mut ts, &points, Jobs::serial());
+        std::env::remove_var("DSM_FAULT_POINT");
+        assert!(outcomes[0].result.is_ok());
+        let err = outcomes[1].result.as_ref().unwrap_err();
+        assert!(err.message.contains("injected fault"), "{err}");
     }
 
     #[test]

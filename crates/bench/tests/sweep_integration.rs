@@ -16,9 +16,9 @@ fn scale() -> Scale {
 fn fig3_parallel_equals_serial() {
     let kinds = [WorkloadKind::Lu, WorkloadKind::Fft, WorkloadKind::Radix];
     let mut serial_ts = TraceSet::with_jobs(scale(), Jobs::serial());
-    let serial = fig3::run(&mut serial_ts, &kinds);
+    let serial = fig3::run(&mut serial_ts, &kinds).expect("serial fig3");
     let mut parallel_ts = TraceSet::with_jobs(scale(), Jobs::new(4).unwrap());
-    let parallel = fig3::run(&mut parallel_ts, &kinds);
+    let parallel = fig3::run(&mut parallel_ts, &kinds).expect("parallel fig3");
 
     assert_eq!(serial.caption, parallel.caption);
     assert_eq!(serial.columns, parallel.columns);
@@ -40,11 +40,13 @@ fn normalized_figure_parallel_equals_serial() {
     // Figure 9 normalizes every column to the first spec's report, so it
     // also exercises cross-point data flow after the parallel region.
     let kinds = [WorkloadKind::Lu];
-    let serial = fig9::run(&mut TraceSet::with_jobs(scale(), Jobs::serial()), &kinds);
+    let serial =
+        fig9::run(&mut TraceSet::with_jobs(scale(), Jobs::serial()), &kinds).expect("serial fig9");
     let parallel = fig9::run(
         &mut TraceSet::with_jobs(scale(), Jobs::new(4).unwrap()),
         &kinds,
-    );
+    )
+    .expect("parallel fig9");
     assert_eq!(serial.render(), parallel.render());
 }
 

@@ -22,19 +22,21 @@ use std::process::ExitCode;
 
 use dsm_core::obs::StatsSink;
 use dsm_core::runner::{report_of, run_trace};
-use dsm_core::{PcSize, Report, System, SystemSpec};
+use dsm_core::{NcSpec, PcSize, Report, System, SystemSpec};
 use dsm_trace::{read_shared, Scale, SharedTrace, WorkloadKind};
-use dsm_types::{ClusterId, Geometry, Topology};
+use dsm_types::{ClusterId, DsmError, Geometry, Topology};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: simulate --system <name> --workload <benchmark> [--scale <f>] [--dev]\n\
          \x20      simulate --system <name> --trace <file.dsmt> [--data-mb <n>]\n\
-         systems: base nc vb vp ncd ncs inf-dram ncp vbp vpp vxp\n\
+         systems: base nc vb vp ncd ncs inf-dram ncp vbp vpp vxp origin origin-vb\n\
+         overrides: --cache-bytes <n> --cache-ways <n> --nc-bytes <n> --pointers <p> --dirty-shared\n\
          page-cache options: --pc-fraction <d> | --pc-bytes <n>; vxp: --threshold <t>\n\
+         checking: --check <K> (validate coherence invariants every K references)\n\
          observability: --stats [--top <k>] [--epoch <refs>]"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
 }
 
 struct Options {
@@ -46,13 +48,19 @@ struct Options {
     pc_fraction: Option<u32>,
     pc_bytes: Option<u64>,
     threshold: u32,
+    cache_bytes: Option<u64>,
+    cache_ways: Option<usize>,
+    nc_bytes: Option<u64>,
+    pointers: Option<usize>,
+    dirty_shared: bool,
+    check: Option<u64>,
     data_mb: Option<u64>,
     stats: bool,
     top: usize,
     epoch: Option<u64>,
 }
 
-fn parse_args() -> Option<Options> {
+fn parse_args() -> Result<Options, String> {
     let mut o = Options {
         system: String::new(),
         workload: None,
@@ -62,6 +70,12 @@ fn parse_args() -> Option<Options> {
         pc_fraction: None,
         pc_bytes: None,
         threshold: 32,
+        cache_bytes: None,
+        cache_ways: None,
+        nc_bytes: None,
+        pointers: None,
+        dirty_shared: false,
+        check: None,
         data_mb: None,
         stats: false,
         top: 10,
@@ -69,7 +83,10 @@ fn parse_args() -> Option<Options> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut val = || args.next();
+        let mut val = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        fn num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad value '{v}' for {flag}"))
+        }
         match a.as_str() {
             "--system" => o.system = val()?,
             "--workload" => {
@@ -77,40 +94,57 @@ fn parse_args() -> Option<Options> {
                 o.workload = WorkloadKind::all()
                     .into_iter()
                     .find(|k| k.display_name().eq_ignore_ascii_case(&name));
-                o.workload?;
+                if o.workload.is_none() {
+                    return Err(format!("unknown benchmark '{name}'"));
+                }
             }
             "--trace" => o.trace = Some(val()?),
-            "--scale" => o.scale = val()?.parse().ok()?,
+            "--scale" => o.scale = num("--scale", &val()?)?,
             "--dev" => o.dev = true,
-            "--pc-fraction" => o.pc_fraction = Some(val()?.parse().ok()?),
-            "--pc-bytes" => o.pc_bytes = Some(val()?.parse().ok()?),
-            "--threshold" => o.threshold = val()?.parse().ok()?,
-            "--data-mb" => o.data_mb = Some(val()?.parse().ok()?),
+            "--pc-fraction" => o.pc_fraction = Some(num("--pc-fraction", &val()?)?),
+            "--pc-bytes" => o.pc_bytes = Some(num("--pc-bytes", &val()?)?),
+            "--threshold" => o.threshold = num("--threshold", &val()?)?,
+            "--cache-bytes" => o.cache_bytes = Some(num("--cache-bytes", &val()?)?),
+            "--cache-ways" => o.cache_ways = Some(num("--cache-ways", &val()?)?),
+            "--nc-bytes" => o.nc_bytes = Some(num("--nc-bytes", &val()?)?),
+            "--pointers" => {
+                let p: usize = num("--pointers", &val()?)?;
+                if p == 0 {
+                    return Err("--pointers must be positive".to_owned());
+                }
+                o.pointers = Some(p);
+            }
+            "--dirty-shared" => o.dirty_shared = true,
+            "--check" => o.check = Some(num("--check", &val()?)?),
+            "--data-mb" => o.data_mb = Some(num("--data-mb", &val()?)?),
             "--stats" => o.stats = true,
-            "--top" => o.top = val()?.parse().ok()?,
+            "--top" => o.top = num("--top", &val()?)?,
             "--epoch" => {
-                let w: u64 = val()?.parse().ok()?;
+                let w: u64 = num("--epoch", &val()?)?;
                 if w == 0 {
-                    return None;
+                    return Err("--epoch must be positive".to_owned());
                 }
                 o.epoch = Some(w);
             }
-            _ => return None,
+            other => return Err(format!("unknown option '{other}'")),
         }
     }
-    if o.system.is_empty() || (o.workload.is_none() == o.trace.is_none()) {
-        return None;
+    if o.system.is_empty() {
+        return Err("--system is required".to_owned());
     }
-    Some(o)
+    if o.workload.is_none() == o.trace.is_none() {
+        return Err("exactly one of --workload and --trace is required".to_owned());
+    }
+    Ok(o)
 }
 
-fn spec_of(o: &Options) -> Option<SystemSpec> {
+fn spec_of(o: &Options) -> Result<SystemSpec, String> {
     let pc_size = match (o.pc_bytes, o.pc_fraction) {
         (Some(b), _) => PcSize::Bytes(b),
         (None, Some(d)) => PcSize::DataFraction(d),
         (None, None) => PcSize::DataFraction(5),
     };
-    Some(match o.system.as_str() {
+    let mut spec = match o.system.as_str() {
         "base" => SystemSpec::base(),
         "nc" => SystemSpec::nc(),
         "vb" => SystemSpec::vb(),
@@ -122,8 +156,35 @@ fn spec_of(o: &Options) -> Option<SystemSpec> {
         "vbp" => SystemSpec::vbp(pc_size),
         "vpp" => SystemSpec::vpp(pc_size),
         "vxp" => SystemSpec::vxp(pc_size, o.threshold),
-        _ => return None,
-    })
+        "origin" => SystemSpec::origin(),
+        "origin-vb" => SystemSpec::origin_vb(),
+        other => return Err(format!("unknown system '{other}'")),
+    };
+    if o.cache_bytes.is_some() || o.cache_ways.is_some() {
+        let bytes = o.cache_bytes.unwrap_or(spec.cache.bytes);
+        let ways = o.cache_ways.unwrap_or(spec.cache.ways);
+        spec = spec.with_cache(bytes, ways);
+    }
+    if let Some(bytes) = o.nc_bytes {
+        match &mut spec.nc {
+            NcSpec::SramInclusion { bytes: b, .. }
+            | NcSpec::SramVictim { bytes: b, .. }
+            | NcSpec::DramInclusion { bytes: b, .. } => *b = bytes,
+            NcSpec::None | NcSpec::Infinite { .. } => {
+                return Err(format!(
+                    "--nc-bytes does not apply to system '{}'",
+                    o.system
+                ))
+            }
+        }
+    }
+    if let Some(p) = o.pointers {
+        spec = spec.with_limited_directory(p);
+    }
+    if o.dirty_shared {
+        spec = spec.with_dirty_shared();
+    }
+    Ok(spec)
 }
 
 fn print_report(report: &Report) {
@@ -290,24 +351,9 @@ fn print_stats(system: &System<StatsSink>, top: usize) {
     }
 }
 
-#[allow(clippy::too_many_lines)]
-fn main() -> ExitCode {
-    let Some(o) = parse_args() else {
-        return usage();
-    };
-    let Some(spec) = spec_of(&o) else {
-        eprintln!("unknown system '{}'", o.system);
-        return usage();
-    };
-
+fn run(o: &Options, spec: SystemSpec) -> Result<(), DsmError> {
     let (trace, data_bytes, name) = if let Some(kind) = o.workload {
-        let scale = match Scale::new(o.scale) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let scale = Scale::new(o.scale).map_err(DsmError::from)?;
         let w = if o.dev {
             kind.dev_instance()
         } else {
@@ -318,55 +364,69 @@ fn main() -> ExitCode {
         let trace = SharedTrace::from_refs(topo, Geometry::paper_default(), &refs);
         (trace, w.shared_bytes(), w.name().to_owned())
     } else {
-        let path = o.trace.as_deref().expect("checked by parse_args");
-        let file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("cannot open {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let path = o.trace.as_deref().unwrap_or_default();
+        let file = File::open(path)
+            .map_err(|e| DsmError::bad_input(format!("cannot open {path}: {e}")))?;
         // v2 trace files carry their geometry; v1 files replay under the
         // paper default.
-        match read_shared(BufReader::new(file)) {
-            Ok(trace) => {
-                let data_bytes = o.data_mb.unwrap_or(32) * 1024 * 1024;
-                (trace, data_bytes, path.to_owned())
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        let trace = read_shared(BufReader::new(file))
+            .map_err(|e| DsmError::from(e).context(format!("trace {path}")))?;
+        let data_bytes = o.data_mb.unwrap_or(32) * 1024 * 1024;
+        (trace, data_bytes, path.to_owned())
     };
 
     if o.stats {
         let (topo, geo) = (*trace.topology(), *trace.geometry());
-        let mut system = match System::with_probe(spec, topo, geo, data_bytes, StatsSink::new()) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let mut system = System::with_probe(spec, topo, geo, data_bytes, StatsSink::new())?;
         if let Some(w) = o.epoch {
             system.set_epoch_window(w);
         }
-        system.run_shared(&trace);
+        if let Some(k) = o.check {
+            system.set_check_level(k);
+            system.run_shared_checked(&trace)?;
+        } else {
+            system.run_shared(&trace);
+        }
         system.finish();
         let report = report_of(&system, &name, data_bytes, trace.len() as u64);
         print_report(&report);
         print_stats(&system, o.top.max(1));
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
-    let report = match run_trace(&spec, &name, data_bytes, &trace) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    let report = if let Some(k) = o.check {
+        let (topo, geo) = (*trace.topology(), *trace.geometry());
+        let mut system = System::new(spec, topo, geo, data_bytes)?;
+        system.set_check_level(k);
+        system.run_shared_checked(&trace)?;
+        report_of(&system, &name, data_bytes, trace.len() as u64)
+    } else {
+        run_trace(&spec, &name, data_bytes, &trace)?
     };
     print_report(&report);
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return usage();
+        }
+    };
+    let spec = match spec_of(&o) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return usage();
+        }
+    };
+    match run(&o, spec) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
 }

@@ -174,6 +174,21 @@ impl Metrics {
         for_each_metric_field!(list_fields)
     }
 
+    /// Sets the counter named `name` (the [`Metrics::fields`] spelling) to
+    /// `value`, returning `false` for unknown names — the inverse of
+    /// `fields()`, used to rehydrate metrics from journaled JSON.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        macro_rules! assign_field {
+            ($($f:ident),*) => {
+                match name {
+                    $(stringify!($f) => { self.$f = value; true })*
+                    _ => false,
+                }
+            };
+        }
+        for_each_metric_field!(assign_field)
+    }
+
     /// Read misses to remote data serviced by the home node (all classes).
     #[must_use]
     pub fn remote_read_misses(&self) -> u64 {
@@ -439,6 +454,17 @@ mod tests {
         let mut later = earlier.clone();
         later.merge(&gained);
         assert_eq!(later.delta(&earlier), gained);
+    }
+
+    #[test]
+    fn set_field_inverts_fields() {
+        let original = dense(11);
+        let mut rebuilt = Metrics::new();
+        for (name, v) in original.fields() {
+            assert!(rebuilt.set_field(name, v), "unknown field {name}");
+        }
+        assert_eq!(rebuilt, original);
+        assert!(!rebuilt.set_field("no_such_counter", 1));
     }
 
     #[test]

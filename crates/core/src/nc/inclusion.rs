@@ -234,6 +234,16 @@ impl InclusionNc {
         self.frames.peek(self.set_of(block), block.0).is_some()
     }
 
+    /// Read-only probe of whether `block`'s entry holds dirty *data* (no
+    /// LRU effect; shadow entries report `false` — their dirty data lives
+    /// in a processor cache). `None` when not resident.
+    #[must_use]
+    pub fn peek_dirty(&self, block: BlockAddr) -> Option<bool> {
+        self.frames
+            .peek(self.set_of(block), block.0)
+            .map(|e| *e == Entry::Dirty)
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -127,6 +127,13 @@ impl InfiniteNc {
         self.entries.contains_key(block.0)
     }
 
+    /// Read-only probe of whether `block`'s entry holds dirty data
+    /// (shadow entries report `false`); `None` when not resident.
+    #[must_use]
+    pub fn peek_dirty(&self, block: BlockAddr) -> Option<bool> {
+        self.entries.get(block.0).map(|e| *e == Entry::Dirty)
+    }
+
     /// Number of blocks held.
     #[must_use]
     pub fn len(&self) -> usize {

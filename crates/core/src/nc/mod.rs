@@ -223,6 +223,19 @@ impl NcUnit {
         }
     }
 
+    /// Read-only probe of whether `block`'s entry holds dirty data (no
+    /// LRU or state effect — safe for the invariant checker). `None` when
+    /// not resident; shadow entries report `Some(false)`.
+    #[must_use]
+    pub fn peek_dirty(&self, block: BlockAddr) -> Option<bool> {
+        match self {
+            NcUnit::None => None,
+            NcUnit::Victim(nc) => nc.peek_dirty(block),
+            NcUnit::Inclusion(nc) => nc.peek_dirty(block),
+            NcUnit::Infinite(nc) => nc.peek_dirty(block),
+        }
+    }
+
     /// The predominant page among the tags of victim-NC set `set` — the
     /// relocation candidate `vxp` derives from the set contents. `None`
     /// for non-victim organizations or empty sets.

@@ -137,6 +137,13 @@ impl VictimNc {
         self.frames.peek(self.set_of(block), block.0).is_some()
     }
 
+    /// Read-only probe of `block`'s dirty flag (no LRU effect) — the
+    /// invariant checker's view; `None` when not resident.
+    #[must_use]
+    pub fn peek_dirty(&self, block: BlockAddr) -> Option<bool> {
+        self.frames.peek(self.set_of(block), block.0).copied()
+    }
+
     /// Number of resident blocks.
     #[must_use]
     pub fn len(&self) -> usize {

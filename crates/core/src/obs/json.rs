@@ -1,10 +1,14 @@
-//! A minimal JSON value and serializer.
+//! A minimal JSON value, serializer, and parser.
 //!
 //! The workspace builds with no external dependencies, so run reports and
-//! event logs serialize through this ~100-line writer instead of serde.
-//! It covers exactly what the observability layer needs: objects with
+//! event logs serialize through this small writer instead of serde. It
+//! covers exactly what the observability layer needs: objects with
 //! ordered keys, arrays, strings with escaping, integers, and finite
-//! floats (non-finite floats render as `null`).
+//! floats (non-finite floats render as `null`). [`Json::parse`] is the
+//! matching reader, used by the sweep journal to resume interrupted runs;
+//! for any value produced by [`Json::render`], parsing and re-rendering
+//! is byte-identical (floats round-trip because Rust's `{}` formatting is
+//! shortest-roundtrip).
 
 use std::fmt::Write as _;
 
@@ -61,6 +65,94 @@ impl Json {
         out
     }
 
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing non-whitespace is an error).
+    ///
+    /// Numbers without sign, fraction or exponent parse as [`Json::U64`];
+    /// everything else numeric parses as [`Json::F64`]. This matches the
+    /// writer, so `parse(render(v))` re-renders byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first syntax
+    /// error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or
+    /// non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen (a whole-number float renders
+    /// as an integer, so readers of float fields must accept both).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -100,6 +192,192 @@ impl Json {
             }
         }
     }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {pos}", want as char))
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect_byte(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at offset {pos}", *c as char)),
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    // &b[start..*pos] stays on char boundaries: every byte consumed is
+    // ASCII.
+    let token = core::str::from_utf8(&b[start..*pos]).map_err(|_| "non-utf8 number".to_owned())?;
+    if !fractional && b[start] != b'-' {
+        if let Ok(v) = token.parse::<u64>() {
+            return Ok(Json::U64(v));
+        }
+    }
+    match token.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Json::F64(v)),
+        _ => Err(format!("bad number '{token}' at offset {start}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let start = *pos;
+        while let Some(&c) = b.get(*pos) {
+            if c == b'"' || c == b'\\' {
+                break;
+            }
+            *pos += 1;
+        }
+        out.push_str(
+            core::str::from_utf8(&b[start..*pos]).map_err(|_| "non-utf8 string".to_owned())?,
+        );
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let code = parse_hex4(b, pos)?;
+                        // Surrogate pairs: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        let c = if (0xd800..0xdc00).contains(&code) {
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let low = parse_hex4(b, pos)?;
+                                let combined =
+                                    0x10000 + ((code - 0xd800) << 10) + (low.wrapping_sub(0xdc00));
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(code)
+                        };
+                        out.push(c.ok_or_else(|| format!("bad \\u escape at offset {pos}"))?);
+                    }
+                    other => {
+                        return Err(format!("bad escape '\\{}' at offset {pos}", other as char))
+                    }
+                }
+            }
+            Some(_) => unreachable!("scan stops only at quote or backslash"),
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = b
+        .get(*pos..*pos + 4)
+        .and_then(|s| core::str::from_utf8(s).ok())
+        .ok_or_else(|| format!("short \\u escape at offset {pos}"))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape '{hex}'"))?;
+    *pos += 4;
+    Ok(code)
 }
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -195,5 +473,74 @@ mod tests {
     fn set_replaces_existing_key() {
         let j = Json::obj().set("k", 1u64).set("k", 2u64);
         assert_eq!(j.render(), r#"{"k":2}"#);
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let j = Json::obj()
+            .set("name", "vb16")
+            .set("count", 42u64)
+            .set("ratio", 0.25)
+            .set("big", 1.0e300)
+            .set("neg", -0.125)
+            .set("whole", 3.0)
+            .set("ok", true)
+            .set("none", Json::Null)
+            .set("text", "a\"b\\c\nd\u{1}é")
+            .set("tags", Json::Arr(vec![Json::U64(1), Json::Null]));
+        let rendered = j.render();
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.render(), rendered);
+        assert_eq!(back.get("count").and_then(Json::as_u64), Some(42));
+        assert_eq!(back.get("ratio").and_then(Json::as_f64), Some(0.25));
+        // Whole floats render as integers and must read back via as_f64.
+        assert_eq!(back.get("whole").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            back.get("text").and_then(Json::as_str),
+            Some("a\"b\\c\nd\u{1}é")
+        );
+        assert_eq!(
+            back.get("tags").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_nesting() {
+        let j = Json::parse(" { \"a\" : [ 1 , { \"b\" : false } ] } ").unwrap();
+        let arr = j.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("b").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "{\"a\" 1}",
+            "[1] trailing",
+            "\"bad \\q escape\"",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        // \u escapes: plain BMP chars and a surrogate pair.
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Json::Str("Aé\u{1f600}".into())
+        );
+        // Raw (unescaped) multi-byte UTF-8 passes through too.
+        assert_eq!(Json::parse("\"é😀\"").unwrap(), Json::Str("é😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
     }
 }

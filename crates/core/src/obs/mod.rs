@@ -16,13 +16,55 @@
 pub mod json;
 
 use std::io::{self, Write};
+use std::path::Path;
 
-use dsm_types::{DenseMap, FxHashMap, PageAddr};
+use dsm_types::{DenseMap, DsmError, FxHashMap, PageAddr};
 
 use crate::metrics::{ClusterCounts, Metrics};
 use crate::probe::{EpochSample, Event, Probe};
 
 pub use json::Json;
+
+/// Writes `json` to `path` atomically: the document is rendered into a
+/// sibling `<name>.tmp` file, flushed and synced, then renamed over the
+/// target. A crash mid-write leaves either the old file or the new one —
+/// never a truncated half-document.
+///
+/// # Errors
+///
+/// Returns a [`DsmError`] naming the path on any I/O failure; the
+/// temporary file is removed on a failed write.
+pub fn write_json_atomic(path: &Path, json: &Json) -> Result<(), DsmError> {
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            path.with_file_name(n)
+        }
+        None => {
+            return Err(DsmError::bad_input(format!(
+                "not a file path: {}",
+                path.display()
+            )))
+        }
+    };
+    let io_err = |stage: &str, e: io::Error| {
+        DsmError::internal(format!("cannot {stage} {}: {e}", path.display()))
+    };
+    let write = || -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        writeln!(f, "{}", json.render())?;
+        f.flush()?;
+        f.into_inner()
+            .map_err(io::IntoInnerError::into_error)?
+            .sync_data()
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err("write", e));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err("replace", e))
+}
 
 /// Serializes the full counter set as a JSON object.
 #[must_use]

@@ -6,7 +6,7 @@ use crate::obs::{json::Json, metrics_json};
 use crate::probe::Probe;
 use crate::system::System;
 use dsm_trace::{Scale, SharedTrace, Workload};
-use dsm_types::{ConfigError, Geometry, Topology};
+use dsm_types::{ConfigError, DsmError, Geometry, Topology};
 
 /// The result of running one workload on one system configuration.
 ///
@@ -93,6 +93,63 @@ impl Report {
             .set("directory_bits_per_block", self.directory_bits_per_block)
             .set("metrics", metrics_json(&self.metrics))
             .set("wall_s", self.wall_s)
+    }
+
+    /// Rebuilds a report from its [`Report::to_json`] serialization — the
+    /// inverse used when a sweep journal is resumed. Re-serializing the
+    /// result is byte-identical to the original, so journaled points merge
+    /// into exports indistinguishably from freshly-run ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsmError`] (bad input) if a field is missing, has the
+    /// wrong type, or a metrics counter name is unknown.
+    pub fn from_json(json: &Json) -> Result<Report, DsmError> {
+        fn str_field(json: &Json, key: &str) -> Result<String, DsmError> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| DsmError::bad_input(format!("missing string field '{key}'")))
+        }
+        fn u64_field(json: &Json, key: &str) -> Result<u64, DsmError> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| DsmError::bad_input(format!("missing integer field '{key}'")))
+        }
+        fn f64_field(json: &Json, key: &str) -> Result<f64, DsmError> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| DsmError::bad_input(format!("missing number field '{key}'")))
+        }
+        let mut metrics = Metrics::new();
+        let entries = json
+            .get("metrics")
+            .and_then(Json::as_object)
+            .ok_or_else(|| DsmError::bad_input("missing object field 'metrics'"))?;
+        for (name, value) in entries {
+            let value = value
+                .as_u64()
+                .ok_or_else(|| DsmError::bad_input(format!("metric '{name}' is not a counter")))?;
+            if !metrics.set_field(name, value) {
+                return Err(DsmError::bad_input(format!("unknown metric '{name}'")));
+            }
+        }
+        let bits = u64_field(json, "directory_bits_per_block")?;
+        Ok(Report {
+            system: str_field(json, "system")?,
+            workload: str_field(json, "workload")?,
+            data_bytes: u64_field(json, "data_bytes")?,
+            refs: u64_field(json, "refs")?,
+            metrics,
+            read_miss_ratio: f64_field(json, "read_miss_ratio")?,
+            write_miss_ratio: f64_field(json, "write_miss_ratio")?,
+            relocation_overhead: f64_field(json, "relocation_overhead")?,
+            remote_read_stall: u64_field(json, "remote_read_stall")?,
+            remote_traffic: u64_field(json, "remote_traffic")?,
+            directory_bits_per_block: u32::try_from(bits)
+                .map_err(|_| DsmError::bad_input("directory_bits_per_block out of range"))?,
+            wall_s: f64_field(json, "wall_s")?,
+        })
     }
 }
 
@@ -338,5 +395,29 @@ mod tests {
         assert!(json.starts_with(r#"{"system":"base","workload":"fft""#));
         assert!(json.contains(r#""metrics":{"#));
         assert!(json.contains(&format!(r#""refs":{}"#, r.refs)));
+    }
+
+    #[test]
+    fn report_json_roundtrip_is_byte_identical() {
+        let fft = Fft::with_points(1 << 8);
+        let r = run_workload(&SystemSpec::vb(), &fft, Scale::full()).unwrap();
+        let rendered = r.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        let back = Report::from_json(&parsed).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json().render(), rendered);
+    }
+
+    #[test]
+    fn report_from_json_rejects_malformed_input() {
+        let missing = Json::obj().set("system", "base");
+        assert!(Report::from_json(&missing).is_err());
+        let fft = Fft::with_points(1 << 8);
+        let r = run_workload(&SystemSpec::base(), &fft, Scale::full()).unwrap();
+        let bad_metric = r
+            .to_json()
+            .set("metrics", Json::obj().set("no_such_counter", 1u64));
+        let err = Report::from_json(&bad_metric).unwrap_err();
+        assert!(err.to_string().contains("no_such_counter"), "{err}");
     }
 }

@@ -6,8 +6,8 @@ use dsm_directory::{DirectoryUnit, HomeMap, RnumaCounters};
 use dsm_protocol::mesir;
 use dsm_trace::{SharedTrace, BATCH};
 use dsm_types::{
-    AddrParts, BlockAddr, ClusterId, ClusterSet, ConfigError, DecodedRef, DenseMap, Geometry,
-    LocalProcId, MemOp, MemRef, PageAddr, Topology,
+    AddrParts, BlockAddr, ClusterId, ClusterSet, ConfigError, DecodedRef, DenseMap, DsmError,
+    Geometry, LocalProcId, MemOp, MemRef, PageAddr, Topology,
 };
 
 use crate::cluster::ClusterUnit;
@@ -45,19 +45,24 @@ use crate::probe::{EpochSample, Event, NoProbe, Probe};
 /// ```
 #[derive(Debug, Clone)]
 pub struct System<P: Probe = NoProbe> {
-    spec: SystemSpec,
-    topo: Topology,
-    geo: Geometry,
-    home: HomeMap,
-    dir: DirectoryUnit,
+    // `pub(crate)` so the sibling `check` module can walk the machine
+    // state read-only; external code still goes through the accessors.
+    pub(crate) spec: SystemSpec,
+    pub(crate) topo: Topology,
+    pub(crate) geo: Geometry,
+    pub(crate) home: HomeMap,
+    pub(crate) dir: DirectoryUnit,
     rnuma: RnumaCounters,
-    clusters: Vec<ClusterUnit>,
+    pub(crate) clusters: Vec<ClusterUnit>,
     metrics: Metrics,
     per_cluster: Vec<ClusterCounts>,
     migrep: Option<MigRepState>,
     model: LatencyModel,
     probe: P,
     epoch: Option<EpochState>,
+    /// Invariant-check cadence for [`System::run_shared_checked`] (0 =
+    /// check only at end of trace). Never read on the unchecked paths.
+    check_every: u64,
 }
 
 /// Live state of the epoch sampler (see [`System::set_epoch_window`]).
@@ -154,6 +159,7 @@ impl<P: Probe> System<P> {
             geo,
             probe,
             epoch: None,
+            check_every: 0,
         })
     }
 
@@ -384,6 +390,94 @@ impl<P: Probe> System<P> {
             }
             start += n;
         }
+    }
+
+    /// Sets the invariant-check cadence for
+    /// [`System::run_shared_checked`]: the coherence invariants are
+    /// validated after every `every` references (plus once at end of
+    /// trace). `0` restores the default end-of-trace-only check.
+    ///
+    /// This knob is only read by the checked replay path; the unchecked
+    /// [`System::run_shared`] hot path never looks at it, so leaving
+    /// checks off costs nothing.
+    pub fn set_check_level(&mut self, every: u64) {
+        self.check_every = every;
+    }
+
+    /// Replays a trace like [`System::run_shared`], validating the
+    /// coherence invariants at the cadence set by
+    /// [`System::set_check_level`] and once after the last reference.
+    ///
+    /// Runs on the per-reference path (metric-identical to the batched
+    /// path; see `tests/sharedtrace_equiv.rs`), so a violation can be
+    /// reported with the exact reference that exposed it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsmError`] with kind `BadInput` if the trace was built
+    /// under a different topology or geometry, or `InvariantViolation`
+    /// (with the offending reference and epoch attached as context) if
+    /// the machine state is inconsistent.
+    pub fn run_shared_checked(&mut self, trace: &SharedTrace) -> Result<(), DsmError> {
+        if trace.topology() != &self.topo {
+            return Err(DsmError::bad_input(format!(
+                "trace topology {} does not match system topology {}",
+                trace.topology(),
+                self.topo
+            )));
+        }
+        if trace.geometry() != &self.geo {
+            return Err(DsmError::bad_input(
+                "trace geometry does not match system geometry",
+            ));
+        }
+        let every = self.check_every;
+        let mut last: Option<(u64, MemRef)> = None;
+        for (i, r) in trace.iter().enumerate() {
+            self.process(r);
+            let i = i as u64;
+            last = Some((i, r));
+            if every > 0 && (i + 1).is_multiple_of(every) {
+                self.check_invariants()
+                    .map_err(|e| self.attach_reference_context(e, i, r))?;
+            }
+        }
+        self.check_invariants().map_err(|e| match last {
+            Some((i, r)) => self
+                .attach_reference_context(e, i, r)
+                .context("end of trace"),
+            None => e.context("end of trace (empty)"),
+        })
+    }
+
+    /// Wraps an invariant violation with the reference that exposed it
+    /// and, when epoch sampling is on, the current epoch index.
+    fn attach_reference_context(&self, e: DsmError, index: u64, r: MemRef) -> DsmError {
+        let AddrParts { block, page, .. } = self.geo.decompose(r.addr);
+        let (cl, lp) = self.topo.split_of(r.proc);
+        let op = if r.op.is_write() { "write" } else { "read" };
+        let epoch = match &self.epoch {
+            Some(st) => format!(", epoch {}", st.index),
+            None => String::new(),
+        };
+        e.context(format!(
+            "after ref {index}: {op} by proc {} (cluster {}, local proc {}) \
+             at addr {:#x} ({block}, {page}){epoch}",
+            r.proc.0, cl.0, lp.0, r.addr.0
+        ))
+    }
+
+    /// Deliberately corrupts the directory by dropping `cluster`'s
+    /// presence bit for `block`, leaving any cached copies untracked.
+    /// Exists solely so tests can prove the invariant checker catches
+    /// real corruption; full-map directories only.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a limited-pointer directory.
+    #[doc(hidden)]
+    pub fn corrupt_directory_drop_presence(&mut self, block: BlockAddr, cluster: ClusterId) {
+        self.dir.drop_presence(block, cluster);
     }
 
     /// Processes one pre-decoded reference on the static-home fast path

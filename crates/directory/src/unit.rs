@@ -125,6 +125,23 @@ impl DirectoryUnit {
             DirectoryUnit::LimitedPointer(d) => d.grant_exclusive(block, cluster),
         }
     }
+
+    /// Silently clears `cluster`'s presence bit — a deliberate corruption
+    /// primitive for exercising the coherence invariant checker (the
+    /// protocol itself never forgets a sharer). Full-map only.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a limited-pointer directory, whose packed entries have no
+    /// per-cluster bit to drop.
+    pub fn drop_presence(&mut self, block: BlockAddr, cluster: ClusterId) {
+        match self {
+            DirectoryUnit::FullMap(d) => d.drop_presence(block, cluster),
+            DirectoryUnit::LimitedPointer(_) => {
+                panic!("presence corruption is only defined for full-map directories")
+            }
+        }
+    }
 }
 
 #[cfg(test)]

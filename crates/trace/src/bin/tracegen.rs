@@ -19,14 +19,14 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 
 use dsm_trace::{analyze, write_shared, write_trace, Scale, SharedTrace, TraceStats, WorkloadKind};
-use dsm_types::{Geometry, Topology};
+use dsm_types::{DsmError, Geometry, Topology};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tracegen <benchmark> [--scale <f>] [--dev] [--out <file>] [--format <1|2>] [--stats] [--analyze]\n\
          benchmarks: barnes cholesky fft fmm lu ocean radix raytrace"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
 }
 
 fn parse_kind(name: &str) -> Option<WorkloadKind> {
@@ -76,13 +76,26 @@ fn main() -> ExitCode {
         }
     }
 
-    let scale = match Scale::new(scale) {
-        Ok(s) => s,
+    match run(kind, scale, dev, out, stats, analyze_flag, format) {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
-    };
+    }
+}
+
+#[allow(clippy::fn_params_excessive_bools)]
+fn run(
+    kind: WorkloadKind,
+    scale: f64,
+    dev: bool,
+    out: Option<String>,
+    stats: bool,
+    analyze_flag: bool,
+    format: u32,
+) -> Result<(), DsmError> {
+    let scale = Scale::new(scale).map_err(DsmError::from)?;
     let workload = if dev {
         kind.dev_instance()
     } else {
@@ -115,7 +128,7 @@ fn main() -> ExitCode {
         );
         println!("sequentiality:         {:.3}", a.sequentiality);
         if !stats {
-            return ExitCode::SUCCESS;
+            return Ok(());
         }
     }
     if stats {
@@ -132,30 +145,22 @@ fn main() -> ExitCode {
             s.footprint_bytes(&geo) as f64 / (1024.0 * 1024.0)
         );
         println!("refs per block:  {:.2}", s.refs_per_block());
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     let path = out.unwrap_or_else(|| format!("{}.dsmt", workload.name()));
-    let file = match File::create(&path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot create {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let file = File::create(&path)
+        .map_err(|e| DsmError::bad_input(format!("cannot create {path}: {e}")))?;
     let result = if format == 2 {
         let shared = SharedTrace::from_refs(topo, Geometry::paper_default(), &trace);
         write_shared(BufWriter::new(file), &shared)
     } else {
         write_trace(BufWriter::new(file), &topo, &trace)
     };
-    if let Err(e) = result {
-        eprintln!("write failed: {e}");
-        return ExitCode::FAILURE;
-    }
+    result.map_err(|e| DsmError::from(e).context(format!("writing {path}")))?;
     eprintln!(
         "tracegen: wrote {} references to {path} (format v{format})",
         trace.len()
     );
-    ExitCode::SUCCESS
+    Ok(())
 }

@@ -40,7 +40,7 @@
 
 use std::io::{self, Read, Write};
 
-use dsm_types::{Addr, ConfigError, Geometry, MemOp, MemRef, ProcId, Topology};
+use dsm_types::{Addr, ConfigError, DsmError, Geometry, MemOp, MemRef, ProcId, Topology};
 
 use crate::shared::SharedTrace;
 
@@ -82,6 +82,25 @@ impl std::error::Error for CodecError {
 impl From<io::Error> for CodecError {
     fn from(e: io::Error) -> Self {
         CodecError::Io(e)
+    }
+}
+
+impl From<CodecError> for DsmError {
+    /// Classifies codec failures for exit codes: malformed bytes, invalid
+    /// header configuration, and truncation (`UnexpectedEof`) are the
+    /// input's fault; any other I/O failure (permissions, disk) is
+    /// environmental and therefore internal.
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Io(io) if io.kind() == io::ErrorKind::UnexpectedEof => {
+                DsmError::bad_input(format!("truncated trace: {io}"))
+            }
+            CodecError::Io(io) => DsmError::internal(format!("i/o error: {io}")),
+            CodecError::Format(m) => DsmError::bad_input(format!("malformed trace: {m}")),
+            CodecError::Config(c) => {
+                DsmError::bad_input(format!("invalid configuration in trace: {c}"))
+            }
+        }
     }
 }
 
@@ -574,6 +593,22 @@ mod tests {
             read_trace(bytes.as_slice()).unwrap_err(),
             CodecError::Config(_)
         ));
+    }
+
+    #[test]
+    fn codec_errors_classify_into_dsm_errors() {
+        use dsm_types::ErrorKind;
+        let truncated: DsmError =
+            CodecError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")).into();
+        assert_eq!(truncated.kind(), ErrorKind::BadInput);
+        let denied: DsmError =
+            CodecError::Io(io::Error::new(io::ErrorKind::PermissionDenied, "no")).into();
+        assert_eq!(denied.kind(), ErrorKind::Internal);
+        let malformed: DsmError = CodecError::Format("bad magic".into()).into();
+        assert_eq!(malformed.kind(), ErrorKind::BadInput);
+        assert!(malformed.to_string().contains("bad magic"));
+        let config: DsmError = CodecError::Config(ConfigError::new("zero clusters")).into();
+        assert_eq!(config.kind(), ErrorKind::BadInput);
     }
 
     #[test]

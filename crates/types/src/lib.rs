@@ -34,7 +34,7 @@ pub mod op;
 pub use addr::{Addr, BlockAddr, PageAddr};
 pub use cluster_set::{ClusterSet, ClusterSetIter};
 pub use decoded::DecodedRef;
-pub use error::ConfigError;
+pub use error::{ConfigError, DsmError, ErrorKind};
 pub use fastmap::{DenseMap, FxBuildHasher, FxHashMap, FxHasher};
 pub use geometry::{AddrParts, Geometry};
 pub use ids::{ClusterId, LocalProcId, ProcId, Topology};

@@ -33,6 +33,29 @@ if grep -rn "std::collections::HashMap" "${hot_paths[@]}" | grep -v "^[^:]*:[0-9
   exit 1
 fi
 
+echo "== panic-free fallible-surface gate =="
+# Structured-error surfaces must not regress to unwrap()/expect(): the
+# trace codec, the sweep engine and its crash-safety journal, and every
+# binary report DsmError (exit codes 2 usage / 3 bad input / 4 internal)
+# instead of panicking. Test modules (below #[cfg(test)]) are exempt.
+fallible=(
+  crates/trace/src/codec.rs
+  crates/bench/src/sweep.rs
+  crates/bench/src/journal.rs
+)
+while IFS= read -r f; do fallible+=("$f"); done < <(find crates -path '*/src/bin/*.rs' | sort)
+bad=0
+for f in "${fallible[@]}"; do
+  if awk -v f="$f" '/#\[cfg\(test\)\]/{exit} {print f":"FNR": "$0}' "$f" \
+      | grep -E '\.unwrap\(\)|\.expect\('; then
+    bad=1
+  fi
+done
+if [[ $bad -ne 0 ]]; then
+  echo "error: unwrap()/expect() on a structured-error surface (return DsmError instead)"
+  exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
