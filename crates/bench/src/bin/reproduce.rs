@@ -8,6 +8,7 @@
 //! reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>]
 //!           [--journal <file> | --resume <file>]
 //!           [--figures <csv>] [--workloads <csv>]
+//!           [--progress] [--phase-stats] [--chrome-trace <file>]
 //! reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]
 //! ```
 //!
@@ -17,6 +18,14 @@
 //! no timestamps or wall times, so two runs at the same scale are
 //! byte-identical regardless of `--jobs` — the determinism CI job diffs
 //! exactly that file (and stdout).
+//!
+//! Telemetry (all off by default; none of it perturbs the simulation or
+//! the diffable dataset): `--progress` streams one line per completed
+//! sweep point to stderr with Mrefs/s and an ETA; `--phase-stats` runs
+//! every point under the phase profiler and folds per-point phase-counter
+//! rollups into `timings.json`; `--chrome-trace <file>` records
+//! hierarchical spans (figure → trace load → sweep point, one lane per
+//! sweep worker) and writes a chrome://tracing JSON trace.
 //!
 //! `--journal <file>` appends every completed sweep point to an fsynced
 //! JSONL journal as it finishes; if the run is killed, `--resume <file>`
@@ -54,12 +63,13 @@ use dsm_bench::figures::{
 };
 use dsm_bench::harness::{parse_argv, usage_exit, RunArgs};
 use dsm_bench::{FigureTable, SweepJournal, TraceSet};
+use dsm_core::obs::span::SpanTracer;
 use dsm_core::obs::{write_json_atomic, Json, JsonlSink, StatsSink};
-use dsm_core::{PcSize, SystemSpec, Tee};
+use dsm_core::{PcSize, PhaseCounters, SystemSpec, Tee};
 use dsm_trace::WorkloadKind;
 use dsm_types::DsmError;
 
-const USAGE: &str = "reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>] [--journal <file> | --resume <file>] [--figures <csv>] [--workloads <csv>]\n       reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]";
+const USAGE: &str = "reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>] [--journal <file> | --resume <file>] [--figures <csv>] [--workloads <csv>] [--progress] [--phase-stats] [--chrome-trace <file>]\n       reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]";
 
 struct Flags {
     run: RunArgs,
@@ -71,6 +81,9 @@ struct Flags {
     resume: Option<PathBuf>,
     figures: Option<Vec<String>>,
     workloads: Option<Vec<WorkloadKind>>,
+    progress: bool,
+    phase_stats: bool,
+    chrome_trace: Option<PathBuf>,
 }
 
 fn parse_workload_csv(csv: &str) -> Result<Vec<WorkloadKind>, String> {
@@ -94,6 +107,9 @@ fn parse_flags() -> Flags {
     let mut resume = None;
     let mut figures = None;
     let mut workloads = None;
+    let mut progress = false;
+    let mut phase_stats = false;
+    let mut chrome_trace = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let run = parse_argv(&argv, |args, i| match args[i].as_str() {
         "--markdown" => {
@@ -155,6 +171,21 @@ fn parse_flags() -> Flags {
             workloads = Some(parse_workload_csv(v)?);
             Ok(2)
         }
+        "--progress" => {
+            progress = true;
+            Ok(1)
+        }
+        "--phase-stats" => {
+            phase_stats = true;
+            Ok(1)
+        }
+        "--chrome-trace" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--chrome-trace requires a value".to_owned())?;
+            chrome_trace = Some(PathBuf::from(v));
+            Ok(2)
+        }
         _ => Ok(0),
     })
     .unwrap_or_else(|msg| usage_exit(USAGE, &msg));
@@ -171,6 +202,9 @@ fn parse_flags() -> Flags {
         resume,
         figures,
         workloads,
+        progress,
+        phase_stats,
+        chrome_trace,
     }
 }
 
@@ -288,6 +322,10 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
         }
         _ => None,
     };
+    let tracer: Option<Arc<SpanTracer>> = flags
+        .chrome_trace
+        .as_ref()
+        .map(|_| Arc::new(SpanTracer::new()));
 
     println!("{}", tables::table1());
     println!("{}", tables::table2());
@@ -328,8 +366,10 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
         }
     }
 
+    // Per-figure timing entry: name, wall seconds, per-point rollups.
+    type FigureTiming = (String, f64, Vec<(String, PhaseCounters)>);
     let mut exported: Vec<Json> = Vec::new();
-    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut timings: Vec<FigureTiming> = Vec::new();
     let mut failures: Vec<(String, DsmError)> = Vec::new();
     let t_all = std::time::Instant::now();
     for (key, name, runner) in figures {
@@ -348,17 +388,30 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
         // A fresh trace set per figure keeps peak memory to one trace.
         let mut ts = TraceSet::with_jobs(scale, jobs);
         ts.set_journal(journal.clone());
+        ts.set_progress(flags.progress);
+        ts.enable_phase_stats(flags.phase_stats);
+        ts.set_tracer(tracer.clone());
+        let fig_span = tracer.as_deref().map(|t| {
+            let lane = t.lane("main");
+            t.span(lane, format!("figure: {name}"))
+        });
         let table = match runner(&mut ts, &kinds) {
             Ok(t) => t,
             Err(e) => {
+                drop(fig_span);
                 eprintln!("reproduce: {name} FAILED");
                 failures.push((name.to_owned(), e));
                 continue;
             }
         };
+        drop(fig_span);
         let wall_s = t0.elapsed().as_secs_f64();
         eprintln!("reproduce: {name} done in {wall_s:.1}s");
-        timings.push((name.to_owned(), wall_s));
+        // Rollups accumulate in completion order; sort by point label so
+        // timings.json is stable across worker counts.
+        let mut rollups = ts.take_phase_rollups();
+        rollups.sort_by(|a, b| a.0.cmp(&b.0));
+        timings.push((name.to_owned(), wall_s, rollups));
         if flags.markdown {
             println!("## {}\n\n{}", table.caption, table.render_markdown());
         } else {
@@ -397,7 +450,21 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
         let t_path = out.join("timings.json");
         let figures_json: Vec<Json> = timings
             .into_iter()
-            .map(|(name, wall_s)| Json::obj().set("figure", name).set("wall_s", wall_s))
+            .map(|(name, wall_s, rollups)| {
+                let mut fig = Json::obj().set("figure", name).set("wall_s", wall_s);
+                if flags.phase_stats {
+                    let phases: Vec<Json> = rollups
+                        .into_iter()
+                        .map(|(label, counters)| {
+                            Json::obj()
+                                .set("point", label)
+                                .set("counters", counters.to_json())
+                        })
+                        .collect();
+                    fig = fig.set("phases", phases);
+                }
+                fig
+            })
             .collect();
         let t_json = Json::obj()
             .set("scale", scale.factor())
@@ -406,6 +473,10 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
             .set("figures", figures_json);
         write_json_atomic(&t_path, &t_json)?;
         eprintln!("reproduce: wrote {}", t_path.display());
+    }
+    if let (Some(path), Some(t)) = (&flags.chrome_trace, &tracer) {
+        t.write(path)?;
+        eprintln!("reproduce: wrote {}", path.display());
     }
     Ok(())
 }

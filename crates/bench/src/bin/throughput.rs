@@ -6,7 +6,7 @@
 //! Usage:
 //!
 //! ```text
-//! throughput [--scale <f>] [--out <path>] \
+//! throughput [--scale <f>] [--out <path>] [--best-of <n>] \
 //!            [--baseline <workload>/<name>=<refs_per_s>]... [--baseline-commit <sha>]
 //! ```
 //!
@@ -16,15 +16,25 @@
 //! the CC-NUMA base machine (full-map directory, no NC), the SRAM victim
 //! network cache, and the integrated NC + page-cache system. Each
 //! benchmark prints a tinybench line; with `--out` the measured refs/sec
-//! land in a JSON file whose schema (`dsm-bench-throughput/v2`) is
+//! land in a JSON file whose schema (`dsm-bench-throughput/v3`) is
 //! documented in the README ("Throughput benchmark").
 //!
 //! `--baseline` attaches reference numbers measured at an earlier commit
 //! (`--baseline-commit`), keyed `<workload>/<config>` (e.g. `fft/base`),
-//! so the file records the before/after pair; the CI `bench-smoke` job
-//! compares a fresh run against the committed file and fails on a >30%
-//! regression. Machine info (arch, OS, hardware threads) is recorded so
+//! so the file records the before/after pair. The v3 schema makes the
+//! baselines total: giving any `--baseline` requires one for *every*
+//! workload/config pair, so no config can silently drop out of the
+//! regression guard (v2 allowed partial coverage, and radix shipped
+//! without baselines for two PRs). The CI `bench-smoke` job compares a
+//! fresh run against the committed file and fails on a >30% regression.
+//! Machine info (arch, OS, hardware threads) is recorded so
 //! cross-machine numbers are never compared blindly.
+//!
+//! `--best-of <n>` repeats each configuration's benchmark `n` times and
+//! records the fastest repetition. Throughput noise on shared machines
+//! is one-sided (interference only ever slows a run down), so the
+//! per-config maximum is the stable estimator the regression gates
+//! compare; the default is a single repetition.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -37,7 +47,7 @@ use dsm_core::obs::{write_json_atomic, Json};
 use dsm_core::{PcSize, SystemSpec};
 use dsm_trace::WorkloadKind;
 
-const USAGE: &str = "throughput [--scale <f>] [--out <path>] [--baseline <workload>/<name>=<refs_per_s>]... [--baseline-commit <sha>]";
+const USAGE: &str = "throughput [--scale <f>] [--out <path>] [--best-of <n>] [--baseline <workload>/<name>=<refs_per_s>]... [--baseline-commit <sha>]";
 
 /// The benchmarked workloads: one regular, one irregular kernel, so the
 /// replay cost is tracked under both friendly and hostile access
@@ -49,6 +59,7 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut baseline: HashMap<String, f64> = HashMap::new();
     let mut baseline_commit: Option<String> = None;
+    let mut best_of = 1usize;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let run = parse_argv(&argv, |args, i| match args[i].as_str() {
         "--out" => {
@@ -78,6 +89,18 @@ fn main() -> ExitCode {
             baseline_commit = Some(v.clone());
             Ok(2)
         }
+        "--best-of" => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--best-of requires a value".to_owned())?;
+            best_of = v
+                .parse()
+                .map_err(|_| format!("bad repetition count '{v}'"))?;
+            if best_of == 0 {
+                return Err("--best-of must be positive".to_owned());
+            }
+            Ok(2)
+        }
         _ => Ok(0),
     })
     .unwrap_or_else(|msg| usage_exit(USAGE, &msg));
@@ -91,6 +114,25 @@ fn main() -> ExitCode {
         SystemSpec::vpp(PcSize::DataFraction(5)),
     ];
 
+    // v3: baselines are all-or-nothing. A partial set means some config
+    // silently escapes the CI regression guard, so reject it up front.
+    if !baseline.is_empty() {
+        let missing: Vec<String> = WORKLOADS
+            .iter()
+            .flat_map(|(_, wname)| specs.iter().map(move |s| format!("{wname}/{}", s.name)))
+            .filter(|label| !baseline.contains_key(label))
+            .collect();
+        if !missing.is_empty() {
+            usage_exit(
+                USAGE,
+                &format!(
+                    "--baseline must cover every workload/config pair; missing: {}",
+                    missing.join(", ")
+                ),
+            );
+        }
+    }
+
     let mut ts = TraceSet::new(scale);
     for (kind, _) in WORKLOADS {
         ts.prepare(kind);
@@ -98,23 +140,49 @@ fn main() -> ExitCode {
 
     let mut tiny = Tiny::unfiltered();
     tiny.group("sim_throughput");
-    let mut workload_reports: Vec<Json> = Vec::new();
+
+    // One untimed run per workload up front: validates the configs and
+    // yields the reference count for the throughput denominator.
+    let mut workload_refs: Vec<u64> = Vec::new();
     for (kind, wname) in WORKLOADS {
-        // One untimed run per workload up front: validates the configs
-        // and yields the reference count for the throughput denominator.
         let refs = ts.run_prepared(&specs[0], kind).refs;
         eprintln!(
             "throughput: {wname} trace, scale {}, {refs} refs per replay",
             scale.factor()
         );
+        workload_refs.push(refs);
+    }
 
+    // Interference is one-sided (it only ever slows a run down), so the
+    // fastest repetition per config is the estimator the regression
+    // gates compare. Repetitions run round-robin over the whole suite —
+    // not back-to-back per config — so a slow window on a shared
+    // machine degrades one round of every config instead of every
+    // sample of one, which keeps the *ratios* between configs stable.
+    let mut best: HashMap<String, f64> = HashMap::new();
+    for _round in 0..best_of {
+        for ((kind, wname), &refs) in WORKLOADS.iter().zip(&workload_refs) {
+            for spec in &specs {
+                let label = format!("{wname}/{}", spec.name);
+                let eps = tiny.bench_value(&label, refs, || {
+                    consume(ts.run_prepared(spec, *kind));
+                });
+                if let Some(eps) = eps {
+                    let slot = best.entry(label).or_insert(eps);
+                    *slot = slot.max(eps);
+                }
+            }
+        }
+    }
+
+    let mut workload_reports: Vec<Json> = Vec::new();
+    for ((_, wname), &refs) in WORKLOADS.iter().zip(&workload_refs) {
         let mut configs: Vec<Json> = Vec::new();
         for spec in &specs {
             let label = format!("{wname}/{}", spec.name);
-            let eps = tiny.bench_value(&label, refs, || {
-                consume(ts.run_prepared(spec, kind));
-            });
-            let Some(eps) = eps else { continue };
+            let Some(&eps) = best.get(&label) else {
+                continue;
+            };
             let mut j = Json::obj()
                 .set("name", spec.name.as_str())
                 .set("refs_per_s", eps);
@@ -127,7 +195,7 @@ fn main() -> ExitCode {
         }
         workload_reports.push(
             Json::obj()
-                .set("workload", wname)
+                .set("workload", *wname)
                 .set("refs", refs)
                 .set("configs", configs),
         );
@@ -144,7 +212,7 @@ fn main() -> ExitCode {
             std::thread::available_parallelism().map_or(0, |n| n.get() as u64),
         );
     let json = Json::obj()
-        .set("schema", "dsm-bench-throughput/v2")
+        .set("schema", "dsm-bench-throughput/v3")
         .set("scale", scale.factor())
         .set("machine", machine)
         .set(

@@ -2,11 +2,12 @@
 //! comparison, and table rendering.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use dsm_core::obs::span::SpanTracer;
 use dsm_core::obs::Json;
 use dsm_core::runner::{run_trace, run_trace_probed};
-use dsm_core::{Probe, Report, SystemSpec};
+use dsm_core::{PhaseCounters, PhaseProfiler, Probe, Report, SystemSpec};
 use dsm_trace::{Scale, SharedTrace, WorkloadKind};
 use dsm_types::{DsmError, Geometry, Topology};
 
@@ -131,6 +132,16 @@ pub struct TraceSet {
     /// computed here, once, and shared read-only by every configuration
     /// (and every sweep worker) that replays the workload.
     traces: HashMap<WorkloadKind, (u64, SharedTrace)>,
+    /// Live per-point progress lines on stderr (`--progress`).
+    progress: bool,
+    /// Per-point phase-counter collection (`--phase-stats`): sweep points
+    /// run under a [`PhaseProfiler`] and their rollups accumulate here.
+    phase_stats: bool,
+    /// Span tracer shared with the sweep engine (`--chrome-trace`).
+    tracer: Option<Arc<SpanTracer>>,
+    /// Completed `(point label, counters)` rollups, appended by sweep
+    /// workers under the mutex and drained by [`TraceSet::take_phase_rollups`].
+    phase_rollups: Mutex<Vec<(String, PhaseCounters)>>,
 }
 
 impl TraceSet {
@@ -151,6 +162,10 @@ impl TraceSet {
             jobs,
             journal: None,
             traces: HashMap::new(),
+            progress: false,
+            phase_stats: false,
+            tracer: None,
+            phase_rollups: Mutex::new(Vec::new()),
         }
     }
 
@@ -186,13 +201,78 @@ impl TraceSet {
         self.journal.as_deref()
     }
 
+    /// Enables (or disables) live per-point progress lines on stderr.
+    pub fn set_progress(&mut self, on: bool) {
+        self.progress = on;
+    }
+
+    /// Whether sweeps from this set stream progress lines to stderr.
+    #[must_use]
+    pub fn progress(&self) -> bool {
+        self.progress
+    }
+
+    /// Enables per-point phase-counter collection: sweep points run under
+    /// a [`PhaseProfiler`] and their rollups accumulate on this set until
+    /// drained with [`TraceSet::take_phase_rollups`]. Reports are
+    /// unchanged (probes observe, never steer).
+    pub fn enable_phase_stats(&mut self, on: bool) {
+        self.phase_stats = on;
+    }
+
+    /// Whether sweep points run under phase profiling.
+    #[must_use]
+    pub fn phase_stats(&self) -> bool {
+        self.phase_stats
+    }
+
+    /// Attaches (or detaches) a span tracer: trace generation and every
+    /// sweep point record timed spans on it, one lane per sweep worker.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<SpanTracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached span tracer, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&SpanTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Records one completed point's phase-counter rollup (called by
+    /// sweep workers; `&self` — the accumulator is behind a mutex).
+    pub fn record_phase_rollup(&self, label: &str, counters: PhaseCounters) {
+        self.phase_rollups
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((label.to_owned(), counters));
+    }
+
+    /// Drains the accumulated `(point label, counters)` rollups, in the
+    /// order points completed (not submission order — sort by label for
+    /// deterministic output).
+    pub fn take_phase_rollups(&mut self) -> Vec<(String, PhaseCounters)> {
+        std::mem::take(
+            &mut *self
+                .phase_rollups
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
     /// Generates (once) the trace for `kind`; afterwards the trace is
     /// immutable and [`TraceSet::run_prepared`] can run on `&self` from
     /// any number of threads.
     pub fn prepare(&mut self, kind: WorkloadKind) {
         if !self.traces.contains_key(&kind) {
+            let mut span = self.tracer.as_deref().map(|t| {
+                let lane = t.lane("main");
+                t.span(lane, format!("trace load: {kind}"))
+            });
             let w = kind.paper_instance();
             let refs = w.generate(&self.topo, self.scale);
+            if let Some(s) = &mut span {
+                s.arg("refs", refs.len() as u64);
+            }
             let trace = SharedTrace::from_refs(self.topo, self.geo, &refs);
             self.traces.insert(kind, (w.shared_bytes(), trace));
         }
@@ -227,6 +307,36 @@ impl TraceSet {
             trace,
         )
         .unwrap_or_else(|e| panic!("{}/{kind}: {e}", spec.name))
+    }
+
+    /// [`TraceSet::run_prepared`] under a [`PhaseProfiler`]: returns the
+    /// report next to the point's phase counters. The report is identical
+    /// to the unprofiled run — the profiler only observes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not [`TraceSet::prepare`]d, or if the system
+    /// spec is invalid for this workload.
+    #[must_use]
+    pub fn run_prepared_profiled(
+        &self,
+        spec: &SystemSpec,
+        kind: WorkloadKind,
+    ) -> (Report, PhaseCounters) {
+        let (data_bytes, trace) = self
+            .traces
+            .get(&kind)
+            .unwrap_or_else(|| panic!("trace for {kind} not prepared"));
+        let (report, profiler) = run_trace_probed(
+            spec,
+            &kind.display_name().to_lowercase(),
+            *data_bytes,
+            trace,
+            PhaseProfiler::for_spec(spec),
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{}/{kind}: {e}", spec.name));
+        (report, profiler.into_counters())
     }
 
     /// Runs `spec` on `kind`'s cached trace with an attached probe,

@@ -30,6 +30,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use dsm_core::config::NcIndexingSpec;
+use dsm_core::obs::span::Lane;
 use dsm_core::obs::Json;
 use dsm_core::{CounterSource, DirectorySpec, NcSpec, PcSize, Report, SystemSpec};
 use dsm_trace::{Scale, WorkloadKind};
@@ -278,6 +279,52 @@ impl SweepOutcome {
     }
 }
 
+/// Live sweep telemetry: a shared completion counter that prints one
+/// per-point line to stderr — throughput in Mrefs/s and an ETA from the
+/// average pace so far. Off (`enabled == false`) it does nothing; the
+/// counter bump is two relaxed atomics per *point*, nowhere near the
+/// per-reference hot path.
+struct Progress {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    t0: Instant,
+}
+
+impl Progress {
+    fn new(enabled: bool, total: usize) -> Self {
+        Progress {
+            enabled,
+            total,
+            done: AtomicUsize::new(0),
+            t0: Instant::now(),
+        }
+    }
+
+    /// Counts a completed point and, when enabled, prints its line.
+    /// `detail` is `Some((refs, wall_s))` for a freshly simulated point,
+    /// `None` for journal-restored or failed points.
+    fn tick(&self, label: &str, detail: Option<(u64, f64)>) {
+        let k = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let elapsed = self.t0.elapsed().as_secs_f64();
+        let eta = elapsed / k as f64 * (self.total.saturating_sub(k)) as f64;
+        match detail {
+            Some((refs, wall_s)) => {
+                let mrefs_per_s = refs as f64 / wall_s.max(1e-9) / 1e6;
+                eprintln!(
+                    "sweep: [{k}/{}] {label}: {refs} refs in {wall_s:.2}s \
+                     ({mrefs_per_s:.1} Mrefs/s), ETA {eta:.0}s",
+                    self.total
+                );
+            }
+            None => eprintln!("sweep: [{k}/{}] {label}, ETA {eta:.0}s", self.total),
+        }
+    }
+}
+
 /// Renders a captured panic payload as a message.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -302,8 +349,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// names this point's label the point panics (exercising the captured-
 /// failure path), and if `DSM_FAULT_ABORT` names it the whole process
 /// aborts (exercising kill-and-resume).
-fn run_point(ts: &TraceSet, point: &SweepPoint) -> SweepOutcome {
+fn run_point(
+    ts: &TraceSet,
+    point: &SweepPoint,
+    progress: &Progress,
+    lane: Option<Lane>,
+) -> SweepOutcome {
     if let Some(report) = ts.journal().and_then(|j| j.lookup(&point.label)) {
+        progress.tick(&format!("{} restored from journal", point.label), None);
         return SweepOutcome {
             label: point.label.clone(),
             result: Ok(report),
@@ -314,15 +367,40 @@ fn run_point(ts: &TraceSet, point: &SweepPoint) -> SweepOutcome {
         eprintln!("sweep: DSM_FAULT_ABORT tripped at {}", point.label);
         std::process::abort();
     }
+    let mut span = ts
+        .tracer()
+        .zip(lane)
+        .map(|(t, lane)| t.span(lane, point.label.clone()));
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         if std::env::var("DSM_FAULT_POINT").as_deref() == Ok(point.label.as_str()) {
             panic!("injected fault (DSM_FAULT_POINT) at {}", point.label);
         }
-        ts.run_prepared(&point.spec, point.workload)
+        if ts.phase_stats() {
+            let (report, counters) = ts.run_prepared_profiled(&point.spec, point.workload);
+            (report, Some(counters))
+        } else {
+            (ts.run_prepared(&point.spec, point.workload), None)
+        }
     }))
     .map_err(|payload| PointFailure::from_panic(point, ts.scale(), panic_message(payload)));
     let wall_s = t0.elapsed().as_secs_f64();
+    let result = result.map(|(report, counters)| {
+        if let Some(counters) = counters {
+            ts.record_phase_rollup(&point.label, counters);
+        }
+        report
+    });
+    match &result {
+        Ok(report) => {
+            if let Some(s) = &mut span {
+                s.arg("refs", report.refs);
+            }
+            progress.tick(&point.label, Some((report.refs, wall_s)));
+        }
+        Err(_) => progress.tick(&format!("{} FAILED", point.label), None),
+    }
+    drop(span);
     if let Some(journal) = ts.journal() {
         match &result {
             Ok(report) => journal.record_ok(&point.label, report, wall_s),
@@ -350,25 +428,48 @@ pub fn run_sweep(ts: &mut TraceSet, points: &[SweepPoint], jobs: Jobs) -> Vec<Sw
         ts.prepare(p.workload);
     }
     let ts: &TraceSet = ts;
+    let progress = Progress::new(ts.progress(), points.len());
 
     if jobs.get() == 1 || points.len() <= 1 {
-        return points.iter().map(|p| run_point(ts, p)).collect();
+        // The serial path runs on the calling thread: its spans share the
+        // "main" lane with trace loading.
+        let lane = ts.tracer().map(|t| t.lane("main"));
+        return points
+            .iter()
+            .map(|p| run_point(ts, p, &progress, lane))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<SweepOutcome>>> = points.iter().map(|_| Mutex::new(None)).collect();
     let workers = jobs.get().min(points.len());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(point) = points.get(i) else { break };
-                let outcome = run_point(ts, point);
-                // A sibling worker's panic can only poison a *different*
-                // slot's mutex; recover the data rather than cascade.
-                *slots[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+        for w in 0..workers {
+            let (next, slots, progress) = (&next, &slots, &progress);
+            scope.spawn(move || {
+                // Register the lane (and a worker-lifetime span) before
+                // claiming any point, so the trace shows one lane per
+                // worker even if this worker never wins a claim.
+                let lane = ts.tracer().map(|t| t.lane(&format!("worker-{}", w + 1)));
+                let mut worker_span = ts
+                    .tracer()
+                    .zip(lane)
+                    .map(|(t, lane)| t.span(lane, "sweep worker"));
+                let mut claimed = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = points.get(i) else { break };
+                    claimed += 1;
+                    let outcome = run_point(ts, point, progress, lane);
+                    // A sibling worker's panic can only poison a *different*
+                    // slot's mutex; recover the data rather than cascade.
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+                }
+                if let Some(s) = &mut worker_span {
+                    s.arg("points", claimed);
+                }
             });
         }
     });

@@ -247,6 +247,17 @@ impl<T: Copy + Default> SetAssoc<T> {
         victim.map(|i| (self.tags[i], &self.values[i]))
     }
 
+    /// Occupied frames in `set` — the per-set fill hook the profiling
+    /// layer reads (victim-NC set pressure). O(ways).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn set_len(&self, set: usize) -> usize {
+        self.iter_set(set).count()
+    }
+
     /// Iterates over the occupants of `set` as `(tag, &value)` pairs.
     ///
     /// # Panics

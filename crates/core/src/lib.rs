@@ -56,6 +56,13 @@
 //! reports ([`Report::to_json`]) built on the dependency-free
 //! [`obs::Json`] writer.
 //!
+//! On top of the probe sit two profiling layers: [`phase`] attributes
+//! every event to a protocol phase ([`PhaseProfiler`], with estimated
+//! per-phase cycle contributions and log-bucketed histograms), and
+//! [`obs::span`] records hierarchical wall-clock spans exportable as
+//! chrome://tracing JSON. [`System::occupancy`] snapshots structure
+//! fill levels (cache/NC/PC/directory) for the same diagnostics.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -80,6 +87,7 @@ pub mod model;
 pub mod nc;
 pub mod obs;
 pub mod page_cache;
+pub mod phase;
 pub mod probe;
 pub mod relocation;
 pub mod runner;
@@ -91,6 +99,7 @@ pub use config::{
 };
 pub use metrics::Metrics;
 pub use model::{Latencies, LatencyModel, NcTechnology};
+pub use phase::{LogHistogram, Phase, PhaseCounters, PhaseProfiler, PHASES};
 pub use probe::{EpochSample, Event, NoProbe, Probe, Tee};
 pub use runner::{run_workload, Report};
-pub use system::System;
+pub use system::{ClusterOccupancy, OccupancySnapshot, System};

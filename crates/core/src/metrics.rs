@@ -254,6 +254,31 @@ impl Metrics {
     pub fn remote_traffic(&self) -> u64 {
         self.remote_read_misses() + self.remote_write_misses() + self.remote_writebacks
     }
+
+    /// The sum of all *primary* service classifications: every shared
+    /// reference is served in exactly one way — a cache hit (or silent
+    /// upgrade), a peer transfer, an NC hit, a PC hit, a local-memory
+    /// fill, or a remote fill — so this always equals
+    /// [`Metrics::shared_refs`]. Secondary counters (ownership requests,
+    /// invalidations, write-backs, relocations, ...) describe work that
+    /// *accompanies* a service and are deliberately excluded. The
+    /// phase-counter identity tests pin this partition.
+    #[must_use]
+    pub fn primary_services(&self) -> u64 {
+        self.read_hits
+            + self.write_hits
+            + self.local_upgrades
+            + self.peer_transfers
+            + self.nc_read_hits
+            + self.nc_write_hits
+            + self.pc_read_hits
+            + self.pc_write_hits
+            + self.local_misses
+            + self.remote_read_necessary
+            + self.remote_read_capacity
+            + self.remote_write_necessary
+            + self.remote_write_capacity
+    }
 }
 
 /// Per-cluster event counts, for locality/imbalance analysis (e.g. how

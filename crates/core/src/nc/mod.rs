@@ -264,6 +264,19 @@ impl NcUnit {
             _ => None,
         }
     }
+
+    /// Blocks currently resident in the network cache — the occupancy
+    /// hook the profiling layer snapshots (0 for [`NcUnit::None`];
+    /// unbounded organizations report their live entry count).
+    #[must_use]
+    pub fn occupied_blocks(&self) -> usize {
+        match self {
+            NcUnit::None => 0,
+            NcUnit::Victim(nc) => nc.len(),
+            NcUnit::Inclusion(nc) => nc.len(),
+            NcUnit::Infinite(nc) => nc.len(),
+        }
+    }
 }
 
 #[cfg(test)]

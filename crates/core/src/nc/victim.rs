@@ -156,6 +156,16 @@ impl VictimNc {
         self.frames.is_empty()
     }
 
+    /// Occupied frames in `set` (victim-set pressure, for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn set_len(&self, set: usize) -> usize {
+        self.frames.set_len(set)
+    }
+
     /// The page holding the most tags in `set` — the page a software
     /// relocation handler would pick when the set's victimization counter
     /// trips (`vxp`). Ties break toward the lower page number.

@@ -12,8 +12,14 @@
 //!
 //! Combine sinks with [`Tee`](crate::probe::Tee) to, say, stream a JSONL
 //! log while also aggregating statistics.
+//!
+//! [`span`] is the wall-clock side of observability: hierarchical timed
+//! spans (trace load → sweep point → replay batch) recorded by a
+//! thread-safe [`span::SpanTracer`] and exported as chrome://tracing
+//! JSON, so a whole `reproduce` run opens in a trace viewer.
 
 pub mod json;
+pub mod span;
 
 use std::io::{self, Write};
 use std::path::Path;

@@ -75,6 +75,56 @@ struct EpochState {
     last_per_cluster: Vec<ClusterCounts>,
 }
 
+/// A point-in-time fill snapshot of one cluster's structures (see
+/// [`System::occupancy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterOccupancy {
+    /// Valid blocks across the cluster's processor caches.
+    pub cache_blocks: usize,
+    /// Blocks resident in the network cache (0 without an NC).
+    pub nc_blocks: usize,
+    /// Pages resident in the page cache (0 without a PC).
+    pub pc_pages: usize,
+    /// Page-cache frame capacity (0 without a PC).
+    pub pc_capacity: usize,
+    /// Bus transactions the cluster has carried so far.
+    pub bus_transactions: u64,
+}
+
+/// A machine-wide occupancy snapshot: per-cluster structure fill plus
+/// live directory entries (see [`System::occupancy`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// One fill snapshot per cluster, in cluster order.
+    pub clusters: Vec<ClusterOccupancy>,
+    /// Blocks with live directory state (either organization).
+    pub directory_tracked_blocks: usize,
+}
+
+impl OccupancySnapshot {
+    /// Serializes the snapshot for `profile --out` / rollup exports.
+    #[must_use]
+    pub fn to_json(&self) -> crate::obs::json::Json {
+        use crate::obs::json::Json;
+        let clusters = self
+            .clusters
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .set("cache_blocks", c.cache_blocks as u64)
+                    .set("nc_blocks", c.nc_blocks as u64)
+                    .set("pc_pages", c.pc_pages as u64)
+                    .set("pc_capacity", c.pc_capacity as u64)
+                    .set("bus_transactions", c.bus_transactions)
+            })
+            .collect();
+        Json::obj().set("clusters", Json::Arr(clusters)).set(
+            "directory_tracked_blocks",
+            self.directory_tracked_blocks as u64,
+        )
+    }
+}
+
 /// Runtime state of the Origin-style OS page policies.
 #[derive(Debug, Clone)]
 struct MigRepState {
@@ -326,6 +376,36 @@ impl<P: Probe> System<P> {
     #[must_use]
     pub fn cluster_counts(&self, cluster: ClusterId) -> &ClusterCounts {
         &self.per_cluster[usize::from(cluster.0)]
+    }
+
+    /// Snapshots how full the machine's structures are right now:
+    /// per-cluster processor-cache/NC blocks, page-cache frames and bus
+    /// transactions, plus live directory entries. Read-on-demand (the
+    /// structures already track their fill), so taking a snapshot costs
+    /// nothing on the per-reference path; the directory walk is
+    /// O(blocks) and meant for end-of-run diagnostics.
+    #[must_use]
+    pub fn occupancy(&self) -> OccupancySnapshot {
+        let clusters = self
+            .clusters
+            .iter()
+            .map(|cl| {
+                let cache_blocks = (0..cl.bus.procs())
+                    .map(|p| cl.bus.cache(LocalProcId(p as u16)).len())
+                    .sum();
+                ClusterOccupancy {
+                    cache_blocks,
+                    nc_blocks: cl.nc.occupied_blocks(),
+                    pc_pages: cl.pc.as_ref().map_or(0, |pc| pc.len()),
+                    pc_capacity: cl.pc.as_ref().map_or(0, |pc| pc.capacity()),
+                    bus_transactions: cl.bus.stats().transactions(),
+                }
+            })
+            .collect();
+        OccupancySnapshot {
+            clusters,
+            directory_tracked_blocks: self.dir.tracked_blocks(),
+        }
     }
 
     /// Processes an entire trace.

@@ -207,6 +207,18 @@ impl LimitedPointerDirectory {
         u32::try_from(self.pointers).expect("pointers <= 8") * 6 + 4 + 1 + 7
     }
 
+    /// Number of blocks with live directory state (pointers, a broadcast
+    /// mark, or a dirty owner) — the Dir-i-B counterpart of
+    /// [`crate::FullMapDirectory::tracked_blocks`]. O(blocks);
+    /// diagnostics only, never on the hot path.
+    #[must_use]
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.count() > 0 || e.broadcast() || e.owner().is_some())
+            .count()
+    }
+
     fn check(&self, cluster: ClusterId) {
         assert!(
             cluster.0 < self.clusters,

@@ -126,6 +126,17 @@ impl DirectoryUnit {
         }
     }
 
+    /// Number of blocks with live directory state, under either
+    /// organization — the occupancy hook the profiling layer snapshots.
+    /// O(blocks); diagnostics only, never on the hot path.
+    #[must_use]
+    pub fn tracked_blocks(&self) -> usize {
+        match self {
+            DirectoryUnit::FullMap(d) => d.tracked_blocks(),
+            DirectoryUnit::LimitedPointer(d) => d.tracked_blocks(),
+        }
+    }
+
     /// Silently clears `cluster`'s presence bit — a deliberate corruption
     /// primitive for exercising the coherence invariant checker (the
     /// protocol itself never forgets a sharer). Full-map only.
