@@ -9,7 +9,7 @@ use dsm_bench::{parse_run_args, TraceSet};
 
 fn main() -> ExitCode {
     let args = parse_run_args("fig10 [--scale <f>] [--jobs <n>]");
-    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
+    let mut ts = TraceSet::from_args(&args);
     let table = match fig10::run(&mut ts, &all_workloads()) {
         Ok(t) => t,
         Err(e) => return report_failure(&e),

@@ -11,12 +11,12 @@ use dsm_bench::{parse_run_args, TraceSet};
 
 fn main() -> ExitCode {
     let args = parse_run_args("fig6 [--scale <f>] [--jobs <n>]");
-    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
+    let mut ts = TraceSet::from_args(&args);
     match fig6::run(&mut ts, &all_workloads()) {
         Ok(t) => println!("{}", t.render()),
         Err(e) => return report_failure(&e),
     }
-    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
+    let mut ts = TraceSet::from_args(&args);
     match fig6::run_tight(&mut ts, &all_workloads()) {
         Ok(t) => println!("{}", t.render()),
         Err(e) => return report_failure(&e),

@@ -11,7 +11,7 @@ use dsm_bench::{parse_run_args, TraceSet};
 
 fn main() -> ExitCode {
     let args = parse_run_args("origin [--scale <f>] [--jobs <n>]");
-    let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
+    let mut ts = TraceSet::from_args(&args);
     match origin::run(&mut ts, &all_workloads()) {
         Ok(t) => {
             println!("{}", t.render());

@@ -5,7 +5,8 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>]
+//! reproduce [--scale <f>] [--jobs <n>] [--shard-workers <n>]
+//!           [--markdown] [--out <dir>]
 //!           [--journal <file> | --resume <file>]
 //!           [--figures <csv>] [--workloads <csv>]
 //!           [--progress] [--phase-stats] [--chrome-trace <file>]
@@ -38,6 +39,10 @@
 //! Every figure executes through the parallel sweep engine
 //! (`dsm_bench::sweep`) on `--jobs <n>` workers (default: all hardware
 //! threads; env `DSM_JOBS`); `--jobs 1` is the exact legacy serial path.
+//! `--shard-workers <n>` (env `DSM_SHARD_WORKERS`) additionally replays
+//! each point through the sharded engine on up to `n` threads — metric-
+//! and byte-identical to the oracle for any value, with the sweep worker
+//! count shrunk to `jobs/n` so the two levels share one thread budget.
 //! A figure whose sweep points fail does not abort the rest: remaining
 //! figures still run, the failure summaries (with one-line `simulate`
 //! repro invocations) are printed at the end, no dataset is written, and
@@ -69,7 +74,7 @@ use dsm_core::{PcSize, PhaseCounters, SystemSpec, Tee};
 use dsm_trace::WorkloadKind;
 use dsm_types::DsmError;
 
-const USAGE: &str = "reproduce [--scale <f>] [--jobs <n>] [--markdown] [--out <dir>] [--journal <file> | --resume <file>] [--figures <csv>] [--workloads <csv>] [--progress] [--phase-stats] [--chrome-trace <file>]\n       reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]";
+const USAGE: &str = "reproduce [--scale <f>] [--jobs <n>] [--shard-workers <n>] [--markdown] [--out <dir>] [--journal <file> | --resume <file>] [--figures <csv>] [--workloads <csv>] [--progress] [--phase-stats] [--chrome-trace <file>]\n       reproduce --epoch <refs> [--trace-events] [--scale <f>] [--out <dir>]";
 
 struct Flags {
     run: RunArgs,
@@ -304,9 +309,10 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
     let scale = flags.run.scale;
     let jobs = flags.run.jobs;
     eprintln!(
-        "reproduce: scale factor {}, {} sweep worker(s)",
+        "reproduce: scale factor {}, {} sweep worker(s), {} shard worker(s)",
         scale.factor(),
-        jobs.get()
+        jobs.get(),
+        flags.run.shard_workers
     );
 
     let journal: Option<Arc<SweepJournal>> = match (&flags.journal, &flags.resume) {
@@ -386,7 +392,7 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
             j.set_scope(key);
         }
         // A fresh trace set per figure keeps peak memory to one trace.
-        let mut ts = TraceSet::with_jobs(scale, jobs);
+        let mut ts = TraceSet::from_args(&flags.run);
         ts.set_journal(journal.clone());
         ts.set_progress(flags.progress);
         ts.enable_phase_stats(flags.phase_stats);

@@ -6,7 +6,7 @@ use std::sync::{Arc, Mutex};
 
 use dsm_core::obs::span::SpanTracer;
 use dsm_core::obs::Json;
-use dsm_core::runner::{run_trace, run_trace_probed};
+use dsm_core::runner::{run_trace, run_trace_probed, run_trace_sharded};
 use dsm_core::{PhaseCounters, PhaseProfiler, Probe, Report, SystemSpec};
 use dsm_trace::{Scale, SharedTrace, WorkloadKind};
 use dsm_types::{DsmError, Geometry, Topology};
@@ -20,7 +20,11 @@ pub const COMMON_FLAGS_USAGE: &str = "\
 common flags:
   --scale <f>  trace-length scale factor in (0, 1] (env DSM_SCALE; default 1.0)
   --jobs <n>   sweep worker threads (env DSM_JOBS; default: available
-               parallelism; 1 = the serial legacy path)";
+               parallelism; 1 = the serial legacy path)
+  --shard-workers <n>  replay threads per simulated point (env
+               DSM_SHARD_WORKERS; default 1 = the single-threaded oracle
+               path). Results are byte-identical for any value; sweep
+               workers shrink to jobs/n so both levels share one budget";
 
 /// The common CLI arguments of every experiment binary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,10 +33,13 @@ pub struct RunArgs {
     pub scale: Scale,
     /// Sweep-engine worker count.
     pub jobs: Jobs,
+    /// Replay threads per simulated point (1 = oracle path).
+    pub shard_workers: usize,
 }
 
-/// Parses `argv` (without the program name), accepting `--scale <f>` and
-/// `--jobs <n>`. Any other argument is first offered to `extra`, which
+/// Parses `argv` (without the program name), accepting `--scale <f>`,
+/// `--jobs <n>` and `--shard-workers <n>`. Any other argument is first
+/// offered to `extra`, which
 /// returns how many argv items it consumed (`Ok(0)` = unrecognized).
 /// Unknown or malformed flags are an `Err` — nothing is silently
 /// swallowed. Missing values fall back to `DSM_SCALE` / `DSM_JOBS`, then
@@ -47,6 +54,7 @@ pub fn parse_argv(
 ) -> Result<RunArgs, String> {
     let mut scale: Option<f64> = None;
     let mut jobs: Option<usize> = None;
+    let mut shard_workers: Option<usize> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -62,6 +70,13 @@ pub fn parse_argv(
                     .get(i + 1)
                     .ok_or_else(|| "--jobs requires a value".to_owned())?;
                 jobs = Some(v.parse().map_err(|_| format!("bad job count '{v}'"))?);
+                i += 2;
+            }
+            "--shard-workers" => {
+                let v = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "--shard-workers requires a value".to_owned())?;
+                shard_workers = Some(v.parse().map_err(|_| format!("bad worker count '{v}'"))?);
                 i += 2;
             }
             other => match extra(argv, i)? {
@@ -80,12 +95,25 @@ pub fn parse_argv(
             jobs = Some(v.parse().map_err(|_| format!("bad DSM_JOBS '{v}'"))?);
         }
     }
+    if shard_workers.is_none() {
+        if let Ok(v) = std::env::var("DSM_SHARD_WORKERS") {
+            shard_workers = Some(
+                v.parse()
+                    .map_err(|_| format!("bad DSM_SHARD_WORKERS '{v}'"))?,
+            );
+        }
+    }
+    let shard_workers = shard_workers.unwrap_or(1);
+    if shard_workers == 0 {
+        return Err("--shard-workers must be at least 1".to_owned());
+    }
     Ok(RunArgs {
         scale: Scale::new(scale.unwrap_or(1.0)).map_err(|e| e.to_string())?,
         jobs: match jobs {
             Some(n) => Jobs::new(n)?,
             None => Jobs::available(),
         },
+        shard_workers,
     })
 }
 
@@ -125,6 +153,10 @@ pub struct TraceSet {
     geo: Geometry,
     scale: Scale,
     jobs: Jobs,
+    /// Replay threads per simulated point (1 = the single-threaded
+    /// oracle path). See [`TraceSet::effective_jobs`] for how this
+    /// shares one thread budget with the sweep workers.
+    shard_workers: usize,
     /// Crash-safety journal consulted and appended by the sweep engine
     /// (see [`SweepJournal`]); `None` = no journaling.
     journal: Option<Arc<SweepJournal>>,
@@ -152,6 +184,16 @@ impl TraceSet {
         TraceSet::with_jobs(scale, Jobs::available())
     }
 
+    /// Builds a set from parsed CLI arguments: scale, sweep jobs and
+    /// per-point replay workers — the one-liner every figure binary uses
+    /// so `--shard-workers` is honored everywhere.
+    #[must_use]
+    pub fn from_args(args: &RunArgs) -> Self {
+        let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
+        ts.set_shard_workers(args.shard_workers);
+        ts
+    }
+
     /// [`TraceSet::new`] with an explicit sweep worker count.
     #[must_use]
     pub fn with_jobs(scale: Scale, jobs: Jobs) -> Self {
@@ -160,6 +202,7 @@ impl TraceSet {
             geo: Geometry::paper_default(),
             scale,
             jobs,
+            shard_workers: 1,
             journal: None,
             traces: HashMap::new(),
             progress: false,
@@ -179,6 +222,34 @@ impl TraceSet {
     #[must_use]
     pub fn jobs(&self) -> Jobs {
         self.jobs
+    }
+
+    /// Sets the replay-thread count per simulated point (see
+    /// [`dsm_core::runner::run_trace_sharded`]); 1 restores the
+    /// single-threaded oracle path. Results are identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn set_shard_workers(&mut self, workers: usize) {
+        assert!(workers > 0, "shard workers must be at least 1");
+        self.shard_workers = workers;
+    }
+
+    /// Replay threads per simulated point.
+    #[must_use]
+    pub fn shard_workers(&self) -> usize {
+        self.shard_workers
+    }
+
+    /// The sweep worker count after sharing the thread budget with the
+    /// per-point replay workers: `max(1, jobs / shard_workers)`, so
+    /// `--jobs 8 --shard-workers 4` runs 2 concurrent points of 4 replay
+    /// threads each instead of oversubscribing 32 threads.
+    #[must_use]
+    pub fn effective_jobs(&self) -> Jobs {
+        let budget = (self.jobs.get() / self.shard_workers).max(1);
+        Jobs::new(budget).unwrap_or_else(|_| Jobs::serial())
     }
 
     /// The trace-length scale factor (part of every trace's identity).
@@ -300,12 +371,12 @@ impl TraceSet {
             .traces
             .get(&kind)
             .unwrap_or_else(|| panic!("trace for {kind} not prepared"));
-        run_trace(
-            spec,
-            &kind.display_name().to_lowercase(),
-            *data_bytes,
-            trace,
-        )
+        let name = kind.display_name().to_lowercase();
+        if self.shard_workers > 1 {
+            run_trace_sharded(spec, &name, *data_bytes, trace, self.shard_workers)
+        } else {
+            run_trace(spec, &name, *data_bytes, trace)
+        }
         .unwrap_or_else(|e| panic!("{}/{kind}: {e}", spec.name))
     }
 
@@ -510,7 +581,8 @@ pub fn run_grid(
     specs: &[SystemSpec],
     kinds: &[WorkloadKind],
 ) -> Result<Vec<(WorkloadKind, Vec<Report>)>, DsmError> {
-    let jobs = ts.jobs();
+    // Sweep-level and replay-level parallelism share one thread budget.
+    let jobs = ts.effective_jobs();
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     for &kind in kinds {
@@ -630,6 +702,38 @@ mod tests {
         assert!(parse_argv(&argv(&["--scale", "two"]), |_, _| Ok(0)).is_err());
         assert!(parse_argv(&argv(&["--jobs", "0"]), |_, _| Ok(0)).is_err());
         assert!(parse_argv(&argv(&["--scale", "7"]), |_, _| Ok(0)).is_err());
+    }
+
+    #[test]
+    fn parse_argv_accepts_shard_workers() {
+        let a = parse_argv(&argv(&["--shard-workers", "4"]), |_, _| Ok(0)).unwrap();
+        assert_eq!(a.shard_workers, 4);
+        let default = parse_argv(&argv(&[]), |_, _| Ok(0)).unwrap();
+        assert_eq!(default.shard_workers, 1);
+        assert!(parse_argv(&argv(&["--shard-workers", "0"]), |_, _| Ok(0)).is_err());
+        assert!(parse_argv(&argv(&["--shard-workers"]), |_, _| Ok(0)).is_err());
+    }
+
+    #[test]
+    fn shard_workers_shrink_the_sweep_budget() {
+        let mut ts = TraceSet::with_jobs(Scale::new(0.5).unwrap(), Jobs::new(8).unwrap());
+        assert_eq!(ts.effective_jobs().get(), 8);
+        ts.set_shard_workers(4);
+        assert_eq!(ts.shard_workers(), 4);
+        assert_eq!(ts.effective_jobs().get(), 2);
+        ts.set_shard_workers(16); // more replay threads than jobs
+        assert_eq!(ts.effective_jobs().get(), 1);
+    }
+
+    #[test]
+    fn sharded_trace_set_runs_match_oracle() {
+        let mut ts = TraceSet::with_jobs(Scale::new(0.5).unwrap(), Jobs::serial());
+        ts.prepare(WorkloadKind::Lu);
+        let oracle = ts.run_prepared(&SystemSpec::vb(), WorkloadKind::Lu);
+        ts.set_shard_workers(4);
+        let sharded = ts.run_prepared(&SystemSpec::vb(), WorkloadKind::Lu);
+        assert_eq!(oracle, sharded);
+        ts.evict(WorkloadKind::Lu);
     }
 
     #[test]

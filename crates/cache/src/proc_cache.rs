@@ -125,6 +125,47 @@ impl ProcCache {
         *slot = state;
     }
 
+    /// Single-scan MESIR replacement hand-off probe: if `block` is
+    /// resident in `Shared`, promotes it to `RemoteMaster` and returns
+    /// `true`; otherwise leaves the cache untouched and returns `false`.
+    /// Equivalent to `state_of` + `set_state` on the promotion path, with
+    /// one tag-array scan instead of two and no LRU effect (it models a
+    /// snoop, not a processor access).
+    #[inline]
+    pub fn promote_if_shared(&mut self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        match self.frames.peek_mut(set, block.0) {
+            Some(s) if *s == CacheState::Shared => {
+                *s = CacheState::RemoteMaster;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Single-scan snoop downgrade: if `block` is resident in a master
+    /// state (`M`/`O`/`E`), moves it to `Shared` and returns the state it
+    /// held; returns `None` (no state change) otherwise. Equivalent to
+    /// `state_of` + `set_state` on the downgrade path, with one tag-array
+    /// scan instead of two and no LRU effect.
+    #[inline]
+    pub fn downgrade_master(&mut self, block: BlockAddr) -> Option<CacheState> {
+        let set = self.set_of(block);
+        match self.frames.peek_mut(set, block.0) {
+            Some(s)
+                if matches!(
+                    *s,
+                    CacheState::Modified | CacheState::Owned | CacheState::Exclusive
+                ) =>
+            {
+                let old = *s;
+                *s = CacheState::Shared;
+                Some(old)
+            }
+            _ => None,
+        }
+    }
+
     /// Allocates `block` in `state`, evicting the set's LRU occupant if
     /// necessary. Returns the eviction, if any.
     ///
@@ -276,6 +317,46 @@ mod tests {
         assert_eq!(pv, ev);
         // Resident block: upgrade, no victim.
         assert!(c.pending_victim(BlockAddr(4)).is_none());
+    }
+
+    #[test]
+    fn promote_if_shared_only_promotes_shared() {
+        let mut c = small();
+        assert!(!c.promote_if_shared(BlockAddr(0))); // absent
+        c.fill(BlockAddr(0), CacheState::Modified);
+        assert!(!c.promote_if_shared(BlockAddr(0))); // not Shared
+        assert_eq!(c.state_of(BlockAddr(0)), CacheState::Modified);
+        c.fill(BlockAddr(2), CacheState::Shared);
+        assert!(c.promote_if_shared(BlockAddr(2)));
+        assert_eq!(c.state_of(BlockAddr(2)), CacheState::RemoteMaster);
+    }
+
+    #[test]
+    fn promote_keeps_lru_position() {
+        let mut c = small();
+        c.fill(BlockAddr(0), CacheState::Shared);
+        c.fill(BlockAddr(2), CacheState::Modified);
+        // Promote block 0 via snoop; it must remain LRU.
+        assert!(c.promote_if_shared(BlockAddr(0)));
+        let ev = c.fill(BlockAddr(4), CacheState::Shared).unwrap();
+        assert_eq!(ev.block, BlockAddr(0));
+        assert_eq!(ev.state, CacheState::RemoteMaster);
+    }
+
+    #[test]
+    fn downgrade_master_reports_prior_state() {
+        let mut c = small();
+        assert_eq!(c.downgrade_master(BlockAddr(0)), None); // absent
+        c.fill(BlockAddr(0), CacheState::Modified);
+        assert_eq!(c.downgrade_master(BlockAddr(0)), Some(CacheState::Modified));
+        assert_eq!(c.state_of(BlockAddr(0)), CacheState::Shared);
+        assert_eq!(c.downgrade_master(BlockAddr(0)), None); // already Shared
+        c.fill(BlockAddr(2), CacheState::Exclusive);
+        assert_eq!(
+            c.downgrade_master(BlockAddr(2)),
+            Some(CacheState::Exclusive)
+        );
+        assert_eq!(c.state_of(BlockAddr(2)), CacheState::Shared);
     }
 
     #[test]

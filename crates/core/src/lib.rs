@@ -91,6 +91,7 @@ pub mod phase;
 pub mod probe;
 pub mod relocation;
 pub mod runner;
+pub mod shard;
 pub mod system;
 
 pub use config::{
@@ -102,4 +103,5 @@ pub use model::{Latencies, LatencyModel, NcTechnology};
 pub use phase::{LogHistogram, Phase, PhaseCounters, PhaseProfiler, PHASES};
 pub use probe::{EpochSample, Event, NoProbe, Probe, Tee};
 pub use runner::{run_workload, Report};
+pub use shard::{ShardMsg, ShardTuning};
 pub use system::{ClusterOccupancy, OccupancySnapshot, System};

@@ -13,7 +13,7 @@ use crate::model::LatencyModel;
 /// * **remote read stall** (Figure 9, Equation 1);
 /// * **remote data traffic** (Figure 10): read misses + write misses +
 ///   write-backs crossing the network.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// All shared references processed.
     pub shared_refs: u64,
@@ -453,7 +453,7 @@ mod tests {
     fn merge_sums_every_field() {
         let a = dense(0);
         let b = dense(100);
-        let mut merged = a.clone();
+        let mut merged = a;
         merged.merge(&b);
         for (i, (name, v)) in merged.fields().iter().enumerate() {
             let expect = (i as u64 + 1) + (100 + i as u64 + 1);
@@ -464,7 +464,7 @@ mod tests {
     #[test]
     fn merge_with_default_is_identity() {
         let a = dense(7);
-        let mut merged = a.clone();
+        let mut merged = a;
         merged.merge(&Metrics::default());
         assert_eq!(merged, a);
         let mut from_zero = Metrics::default();
@@ -476,7 +476,7 @@ mod tests {
     fn delta_inverts_merge() {
         let earlier = dense(3);
         let gained = dense(40);
-        let mut later = earlier.clone();
+        let mut later = earlier;
         later.merge(&gained);
         assert_eq!(later.delta(&earlier), gained);
     }

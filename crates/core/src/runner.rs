@@ -239,6 +239,36 @@ pub fn run_trace(
     Ok(report)
 }
 
+/// [`run_trace`] replaying through [`System::run_sharded`]: the replay is
+/// partitioned across up to `shard_workers` threads when the trace's
+/// sharing structure allows it, falling back to the single-threaded
+/// oracle path otherwise (see the [`crate::shard`] module docs). The
+/// report is identical to [`run_trace`]'s for any worker count; only
+/// [`Report::wall_s`] (excluded from comparisons and exports) differs.
+///
+/// # Errors
+///
+/// As [`run_workload`].
+pub fn run_trace_sharded(
+    spec: &SystemSpec,
+    workload_name: &str,
+    data_bytes: u64,
+    trace: &SharedTrace,
+    shard_workers: usize,
+) -> Result<Report, ConfigError> {
+    let mut system = System::new(
+        spec.clone(),
+        *trace.topology(),
+        *trace.geometry(),
+        data_bytes,
+    )?;
+    let t0 = std::time::Instant::now();
+    system.run_sharded(trace, shard_workers);
+    let mut report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
+    report.wall_s = t0.elapsed().as_secs_f64();
+    Ok(report)
+}
+
 /// [`run_trace`] with an attached [`Probe`]: the trace runs through an
 /// instrumented system and the probe is returned alongside the report for
 /// inspection (event counts, epoch series, a drained JSONL sink, ...).
@@ -288,7 +318,7 @@ pub fn report_of<P: Probe>(
     data_bytes: u64,
     refs: u64,
 ) -> Report {
-    let m = system.metrics().clone();
+    let m = *system.metrics();
     let model = system.model();
     Report {
         system: system.name().to_owned(),
@@ -346,6 +376,19 @@ mod tests {
         assert_eq!(a.refs, b.refs);
         // A victim NC can only help the cluster miss ratio.
         assert!(b.read_miss_ratio <= a.read_miss_ratio + 1e-12);
+    }
+
+    #[test]
+    fn sharded_run_matches_oracle_report() {
+        use dsm_types::{Geometry, Topology};
+        let fft = Fft::with_points(1 << 8);
+        let topo = Topology::paper_default();
+        let geo = Geometry::paper_default();
+        let trace = SharedTrace::from_refs(topo, geo, &fft.generate(&topo, Scale::full()));
+        let a = run_trace(&SystemSpec::vb(), "fft", fft.shared_bytes(), &trace).unwrap();
+        let b = run_trace_sharded(&SystemSpec::vb(), "fft", fft.shared_bytes(), &trace, 4).unwrap();
+        // Identical whether the plan sharded or fell back to the oracle.
+        assert_eq!(a, b);
     }
 
     #[test]

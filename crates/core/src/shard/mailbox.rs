@@ -1,0 +1,203 @@
+//! Bounded single-producer/single-consumer mailboxes for sharded replay.
+//!
+//! Workers stream per-chunk metric deltas to the committer through these
+//! queues. The implementation stays inside `forbid(unsafe_code)`: a fixed
+//! ring of `Mutex<Option<T>>` slots with a sender-local tail cursor and a
+//! receiver-local head cursor. With exactly one producer and one consumer
+//! each side only ever locks the single slot at its own cursor, so a lock
+//! is uncontended unless the queue is empty (receiver) or full (sender)
+//! at that slot. Neither [`Sender::send`] nor [`Receiver::recv`]
+//! allocates: the ring is sized once at [`channel`] time and
+//! backpressure is a spin with `thread::yield_now()`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+/// Ring storage shared by the two endpoints.
+#[derive(Debug)]
+struct Ring<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+    tx_closed: AtomicBool,
+    rx_closed: AtomicBool,
+}
+
+impl<T> Ring<T> {
+    /// Locks slot `index % capacity`, recovering from poisoning (a
+    /// panicked peer must not wedge the other endpoint).
+    fn lock(&self, index: usize) -> MutexGuard<'_, Option<T>> {
+        let slot = &self.slots[index % self.slots.len()];
+        slot.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The producing endpoint of a bounded SPSC mailbox.
+#[derive(Debug)]
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+    tail: usize,
+}
+
+/// The consuming endpoint of a bounded SPSC mailbox.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+    head: usize,
+}
+
+/// Creates a bounded SPSC mailbox holding at most `capacity` messages.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+#[must_use]
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "mailbox capacity must be positive");
+    let ring = Arc::new(Ring {
+        slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        tx_closed: AtomicBool::new(false),
+        rx_closed: AtomicBool::new(false),
+    });
+    (
+        Sender {
+            ring: Arc::clone(&ring),
+            tail: 0,
+        },
+        Receiver { ring, head: 0 },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Delivers `value`, spinning (with yields) while the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiver has been dropped.
+    pub fn send(&mut self, value: T) -> Result<(), T> {
+        loop {
+            if self.ring.rx_closed.load(Ordering::Acquire) {
+                return Err(value);
+            }
+            let mut slot = self.ring.lock(self.tail);
+            if slot.is_none() {
+                *slot = Some(value);
+                self.tail += 1;
+                return Ok(());
+            }
+            drop(slot);
+            thread::yield_now();
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.ring.tx_closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Takes the message at the head cursor, if one is present.
+    fn take_head(&mut self) -> Option<T> {
+        let taken = self.ring.lock(self.head).take();
+        if taken.is_some() {
+            self.head += 1;
+        }
+        taken
+    }
+
+    /// Receives the next message, spinning (with yields) while the ring
+    /// is empty. Returns `None` once the sender has been dropped and
+    /// every in-flight message has been drained.
+    pub fn recv(&mut self) -> Option<T> {
+        loop {
+            if let Some(v) = self.take_head() {
+                return Some(v);
+            }
+            if self.ring.tx_closed.load(Ordering::Acquire) {
+                // The sender may have filled the head slot between our
+                // empty observation and its close; one final look sees
+                // any such message (the close stores after the send).
+                return self.take_head();
+            }
+            thread::yield_now();
+        }
+    }
+
+    /// Takes the next message if one is already present (never blocks).
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.take_head()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.ring.rx_closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_order() {
+        let (mut tx, mut rx) = channel(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_returns_none_after_sender_drops() {
+        let (tx, mut rx) = channel::<u32>(2);
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (mut tx, rx) = channel(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn tail_message_survives_close_race() {
+        let (mut tx, mut rx) = channel(1);
+        tx.send(42).unwrap();
+        drop(tx); // close after the send: recv must still see 42
+        assert_eq!(rx.recv(), Some(42));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn capacity_one_streams_across_threads() {
+        const N: u64 = 10_000;
+        let (mut tx, mut rx) = channel(1);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut expect = 0;
+            while let Some(v) = rx.recv() {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+            assert_eq!(expect, N);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = channel::<u8>(0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Sharded trace replay: partition the machine by home cluster and
+//! replay disjoint partitions on worker threads.
+//!
+//! [`SharedTrace::shard_plan`] splits the cluster set into connected
+//! components of the page-sharing graph (clusters belong to the same
+//! component iff some page is accessed by both). Under pure first-touch
+//! placement every page a component's processors touch is homed *inside*
+//! that component, so the machine state its references can reach —
+//! cluster units (caches, NC, PC, bus), directory entries, placement
+//! slots, R-NUMA counters — is disjoint from every other component's.
+//! Each worker replays its components in trace order against a pristine
+//! clone of the system; the results are merged back in ascending shard
+//! order. Because the per-shard replays are exact and the aggregates are
+//! plain sums, the outcome is **identical to [`System::run_shared`] for
+//! any worker count** — the single-threaded path stays the oracle
+//! (`tests/sharded_equiv.rs` pins the identity).
+//!
+//! Workers stream per-chunk [`Metrics`] deltas to the calling thread
+//! through bounded SPSC [`mailbox`]es; the committer folds them as they
+//! arrive (sums are order-independent) and the merged structural state
+//! is reconciled against the streamed totals at join.
+//!
+//! # Fallback
+//!
+//! Sharding requires static first-touch homes and a pristine system.
+//! [`System::run_sharded`] transparently falls back to
+//! [`System::run_shared`] (returning a parallelism of 1) when any of
+//! these hold:
+//!
+//! * fewer than two workers were requested;
+//! * the system runs OS page policies (migration/replication moves
+//!   homes, coupling clusters across components);
+//! * the placement map is already populated or counters are non-zero
+//!   (a prior run on the same system: clones would not be pristine);
+//! * the trace's sharing graph has a single component (fully coupled
+//!   workloads — nothing to parallelize without breaking exactness).
+
+pub mod mailbox;
+
+use dsm_trace::{SharedTrace, BATCH};
+use dsm_types::DecodedRef;
+
+use crate::metrics::Metrics;
+use crate::system::System;
+
+/// A message streamed from a shard worker to the committer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMsg {
+    /// The counters gained since the worker's previous chunk.
+    Chunk(Metrics),
+}
+
+/// Knobs for [`System::run_sharded_with`] — exposed so tests can force
+/// tiny chunks and mailboxes (backpressure) without slowing real runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTuning {
+    /// References a worker replays between streamed metric chunks.
+    pub chunk_refs: usize,
+    /// Bounded mailbox capacity, in messages, per worker.
+    pub mailbox_capacity: usize,
+}
+
+impl Default for ShardTuning {
+    fn default() -> Self {
+        ShardTuning {
+            chunk_refs: 1 << 16,
+            mailbox_capacity: 64,
+        }
+    }
+}
+
+impl System {
+    /// Replays `trace` like [`System::run_shared`], but partitioned
+    /// across up to `workers` threads (see the [module docs](self) for
+    /// the partitioning and its exactness argument). Returns the number
+    /// of worker threads actually used; `1` means the run fell back to
+    /// the single-threaded oracle path.
+    ///
+    /// Only the unprobed system offers this: probes observe a single
+    /// interleaved event stream, which a partitioned replay does not
+    /// produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` was built under a different topology or
+    /// geometry than this system.
+    pub fn run_sharded(&mut self, trace: &SharedTrace, workers: usize) -> usize {
+        self.run_sharded_with(trace, workers, ShardTuning::default())
+    }
+
+    /// [`System::run_sharded`] with explicit streaming knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` was built under a different topology or
+    /// geometry than this system, or if `tuning.chunk_refs` or
+    /// `tuning.mailbox_capacity` is zero.
+    pub fn run_sharded_with(
+        &mut self,
+        trace: &SharedTrace,
+        workers: usize,
+        tuning: ShardTuning,
+    ) -> usize {
+        assert_eq!(
+            trace.topology(),
+            &self.topo,
+            "trace topology does not match system topology"
+        );
+        assert_eq!(
+            trace.geometry(),
+            &self.geo,
+            "trace geometry does not match system geometry"
+        );
+        assert!(tuning.chunk_refs > 0, "chunk_refs must be positive");
+        let eligible = workers >= 2
+            && self.migrep.is_none()
+            && self.home.placement().placed_pages() == 0
+            && self.metrics == Metrics::default();
+        if !eligible {
+            self.run_shared(trace);
+            return 1;
+        }
+        let plan = trace.shard_plan();
+        if plan.len() < 2 {
+            self.run_shared(trace);
+            return 1;
+        }
+        let threads = workers.min(plan.len());
+
+        let mut worker_systems: Vec<System> = Vec::with_capacity(threads);
+        let mut streamed = Metrics::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut receivers = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let mut sys = self.clone();
+                let (mut tx, rx) = mailbox::channel(tuning.mailbox_capacity);
+                receivers.push(rx);
+                let plan = &plan;
+                handles.push(scope.spawn(move || {
+                    // Round-robin: thread `t` owns shards t, t+threads, ...
+                    // replayed in ascending shard (= earliest-trace) order.
+                    for s in (t..plan.len()).step_by(threads) {
+                        replay_indices(&mut sys, trace, &plan.shards()[s], tuning, &mut tx);
+                    }
+                    sys
+                }));
+            }
+            // Drain mailboxes worker-by-worker. Sums are commutative, so
+            // the drain order cannot affect the totals; draining one
+            // worker to completion never deadlocks another (each send
+            // only waits on its own mailbox's committer cursor).
+            for rx in &mut receivers {
+                while let Some(ShardMsg::Chunk(delta)) = rx.recv() {
+                    streamed.merge(&delta);
+                }
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(sys) => worker_systems.push(sys),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+
+        // Merge in ascending thread order. Every piece of state is
+        // either a commutative sum (metrics, per-cluster counts) or
+        // touched by exactly one shard (cluster units, directory
+        // entries, placement slots, R-NUMA counters), so this
+        // reconstructs the oracle's final state exactly.
+        let mut total = Metrics::new();
+        for w in &worker_systems {
+            total.merge(&w.metrics);
+        }
+        debug_assert_eq!(
+            streamed, total,
+            "streamed chunk deltas disagree with merged worker metrics"
+        );
+        self.metrics.merge(&total);
+        for w in &mut worker_systems {
+            for (mine, theirs) in self.per_cluster.iter_mut().zip(&w.per_cluster) {
+                mine.merge(theirs);
+            }
+            self.dir.absorb_disjoint(&w.dir);
+            self.rnuma.absorb_disjoint(&w.rnuma);
+            for (page, cluster) in w.home.placement().iter() {
+                self.home.preassign(page, cluster);
+            }
+        }
+        for c in 0..self.clusters.len() {
+            if let Some(s) = plan.shard_of_cluster(c) {
+                let owner = s % threads;
+                std::mem::swap(
+                    &mut self.clusters[c],
+                    &mut worker_systems[owner].clusters[c],
+                );
+            }
+        }
+        threads
+    }
+}
+
+/// Replays one shard's trace positions on `sys`, streaming a metrics
+/// delta roughly every `tuning.chunk_refs` references. The final partial
+/// chunk is flushed by the caller's sender drop closing the mailbox
+/// after the last explicit send here.
+fn replay_indices(
+    sys: &mut System,
+    trace: &SharedTrace,
+    indices: &[u32],
+    tuning: ShardTuning,
+    tx: &mut mailbox::Sender<ShardMsg>,
+) {
+    let mut batch = [DecodedRef::default(); BATCH];
+    let mut last = *sys.metrics();
+    let mut since_flush = 0;
+    let mut pos = 0;
+    while pos < indices.len() {
+        let n = trace.decode_gather(&indices[pos..], &mut batch);
+        if n == 0 {
+            break;
+        }
+        for d in &batch[..n] {
+            sys.process_decoded(*d);
+        }
+        pos += n;
+        since_flush += n;
+        if since_flush >= tuning.chunk_refs {
+            since_flush = 0;
+            let delta = sys.metrics().delta(&last);
+            last = *sys.metrics();
+            // A dropped receiver only loses telemetry; the worker's own
+            // counters remain the authoritative copy merged at join.
+            let _ = tx.send(ShardMsg::Chunk(delta));
+        }
+    }
+    let delta = sys.metrics().delta(&last);
+    if delta != Metrics::default() {
+        let _ = tx.send(ShardMsg::Chunk(delta));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemSpec;
+    use dsm_types::{Addr, Geometry, MemRef, ProcId, Topology};
+
+    fn two_component_trace(topo: Topology, geo: Geometry) -> SharedTrace {
+        // Clusters {0} and {1} touch disjoint pages: two components.
+        let page = geo.page_bytes();
+        let mut refs = Vec::new();
+        for i in 0..200u64 {
+            refs.push(MemRef::read(ProcId(0), Addr(i % 8 * page)));
+            refs.push(MemRef::write(ProcId(4), Addr((100 + i % 8) * page)));
+        }
+        SharedTrace::from_refs(topo, geo, &refs)
+    }
+
+    #[test]
+    fn sharded_matches_oracle_and_reports_parallelism() {
+        let topo = Topology::new(2, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let trace = two_component_trace(topo, geo);
+        let mut oracle = System::new(SystemSpec::vb(), topo, geo, 0).unwrap();
+        oracle.run_shared(&trace);
+        let mut sharded = System::new(SystemSpec::vb(), topo, geo, 0).unwrap();
+        let used = sharded.run_sharded(&trace, 2);
+        assert_eq!(used, 2);
+        assert_eq!(sharded.metrics(), oracle.metrics());
+    }
+
+    #[test]
+    fn single_component_falls_back() {
+        let topo = Topology::new(2, 4).unwrap();
+        let geo = Geometry::paper_default();
+        // Both clusters read page 0: one component.
+        let refs = vec![
+            MemRef::read(ProcId(0), Addr(0)),
+            MemRef::read(ProcId(4), Addr(0)),
+        ];
+        let trace = SharedTrace::from_refs(topo, geo, &refs);
+        let mut sys = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
+        assert_eq!(sys.run_sharded(&trace, 4), 1);
+        assert_eq!(sys.metrics().shared_refs, 2);
+    }
+
+    #[test]
+    fn used_system_falls_back() {
+        let topo = Topology::new(2, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let trace = two_component_trace(topo, geo);
+        let mut sys = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
+        sys.run_shared(&trace); // placement now populated
+        assert_eq!(sys.run_sharded(&trace, 2), 1);
+    }
+
+    #[test]
+    fn tiny_mailbox_and_chunks_do_not_deadlock() {
+        let topo = Topology::new(2, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let trace = two_component_trace(topo, geo);
+        let mut oracle = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
+        oracle.run_shared(&trace);
+        let mut sys = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
+        let tuning = ShardTuning {
+            chunk_refs: 1,
+            mailbox_capacity: 1,
+        };
+        assert_eq!(sys.run_sharded_with(&trace, 2, tuning), 2);
+        assert_eq!(sys.metrics(), oracle.metrics());
+    }
+}

@@ -45,18 +45,19 @@ use crate::probe::{EpochSample, Event, NoProbe, Probe};
 /// ```
 #[derive(Debug, Clone)]
 pub struct System<P: Probe = NoProbe> {
-    // `pub(crate)` so the sibling `check` module can walk the machine
-    // state read-only; external code still goes through the accessors.
+    // `pub(crate)` so the sibling `check` and `shard` modules can walk
+    // (and, for `shard`, merge) the machine state; external code still
+    // goes through the accessors.
     pub(crate) spec: SystemSpec,
     pub(crate) topo: Topology,
     pub(crate) geo: Geometry,
     pub(crate) home: HomeMap,
     pub(crate) dir: DirectoryUnit,
-    rnuma: RnumaCounters,
+    pub(crate) rnuma: RnumaCounters,
     pub(crate) clusters: Vec<ClusterUnit>,
-    metrics: Metrics,
-    per_cluster: Vec<ClusterCounts>,
-    migrep: Option<MigRepState>,
+    pub(crate) metrics: Metrics,
+    pub(crate) per_cluster: Vec<ClusterCounts>,
+    pub(crate) migrep: Option<MigRepState>,
     model: LatencyModel,
     probe: P,
     epoch: Option<EpochState>,
@@ -127,7 +128,7 @@ impl OccupancySnapshot {
 
 /// Runtime state of the Origin-style OS page policies.
 #[derive(Debug, Clone)]
-struct MigRepState {
+pub(crate) struct MigRepState {
     spec: MigRepSpec,
     /// Per-page per-cluster remote-miss counters (same hardware R-NUMA
     /// assumes, repurposed for the OS policy).
@@ -229,7 +230,7 @@ impl<P: Probe> System<P> {
             window,
             index: 0,
             start_ref: self.metrics.shared_refs,
-            last_metrics: self.metrics.clone(),
+            last_metrics: self.metrics,
             last_per_cluster: self.per_cluster.clone(),
         });
     }
@@ -307,7 +308,7 @@ impl<P: Probe> System<P> {
             };
             st.index += 1;
             st.start_ref = self.metrics.shared_refs;
-            st.last_metrics = self.metrics.clone();
+            st.last_metrics = self.metrics;
             st.last_per_cluster = self.per_cluster.clone();
             self.probe.epoch(&sample);
         }
@@ -567,7 +568,7 @@ impl<P: Probe> System<P> {
     /// placement map populated for eviction home lookups and
     /// victimization accounting.
     #[inline]
-    fn process_decoded(&mut self, d: DecodedRef) {
+    pub(crate) fn process_decoded(&mut self, d: DecodedRef) {
         debug_assert!(self.migrep.is_none());
         if d.first_touch {
             self.home.preassign(d.page, d.home);

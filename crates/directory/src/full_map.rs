@@ -327,6 +327,33 @@ impl FullMapDirectory {
             .filter(|e| e.presence != 0 || e.owner != NO_OWNER)
             .count()
     }
+
+    /// Merges `other`'s live entries into this directory. The two
+    /// directories must track **disjoint** block sets (the sharded-replay
+    /// invariant: each shard owns the blocks of its own pages); a block
+    /// live in both trips a debug assertion, and in release the absorbed
+    /// entry wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directories serve different cluster counts.
+    pub fn absorb_disjoint(&mut self, other: &FullMapDirectory) {
+        assert_eq!(
+            self.clusters, other.clusters,
+            "cannot merge directories of different machines"
+        );
+        for (i, e) in other.entries.iter().enumerate() {
+            if e.presence == 0 && e.owner == NO_OWNER {
+                continue;
+            }
+            let slot = self.entry_mut(BlockAddr(i as u64));
+            debug_assert!(
+                slot.presence == 0 && slot.owner == NO_OWNER,
+                "block {i} tracked by both directories"
+            );
+            *slot = *e;
+        }
+    }
 }
 
 #[cfg(test)]

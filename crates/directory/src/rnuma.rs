@@ -82,6 +82,21 @@ impl RnumaCounters {
         self.counts.values().filter(|&&c| c > 0).count()
     }
 
+    /// Merges `other`'s counters into this table; the two must cover
+    /// disjoint `(page, cluster)` pairs (the sharded-replay merge step,
+    /// where first-touch homing keeps each shard's pages private to it).
+    pub fn absorb_disjoint(&mut self, other: &RnumaCounters) {
+        for (&key, &count) in &other.counts {
+            let prev = self.counts.insert(key, count);
+            debug_assert!(
+                prev.is_none(),
+                "page {} / cluster {} counted by both shards",
+                key.0,
+                key.1
+            );
+        }
+    }
+
     /// The memory overhead of a *full-map* hardware realization of this
     /// scheme: one counter byte per cluster per page, expressed as a
     /// fraction of the memory left for data. For 256 clusters and 4-KB
@@ -142,6 +157,19 @@ mod tests {
         c.increment(P, C);
         assert_eq!(c.decrement(P, C), 0);
         assert_eq!(c.decrement(P, C), 0);
+    }
+
+    #[test]
+    fn absorb_disjoint_unions_counters() {
+        let mut a = RnumaCounters::new();
+        a.increment(P, C);
+        a.increment(P, C);
+        let mut b = RnumaCounters::new();
+        b.increment(PageAddr(8), ClusterId(0));
+        a.absorb_disjoint(&b);
+        assert_eq!(a.count(P, C), 2);
+        assert_eq!(a.count(PageAddr(8), ClusterId(0)), 1);
+        assert_eq!(a.live_counters(), 2);
     }
 
     #[test]

@@ -137,6 +137,22 @@ impl DirectoryUnit {
         }
     }
 
+    /// Merges `other`'s live entries into this directory; the two must
+    /// track disjoint block sets (the sharded-replay merge step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directories are of different organizations or shapes.
+    pub fn absorb_disjoint(&mut self, other: &DirectoryUnit) {
+        match (self, other) {
+            (DirectoryUnit::FullMap(a), DirectoryUnit::FullMap(b)) => a.absorb_disjoint(b),
+            (DirectoryUnit::LimitedPointer(a), DirectoryUnit::LimitedPointer(b)) => {
+                a.absorb_disjoint(b);
+            }
+            _ => panic!("cannot merge directories of different organizations"),
+        }
+    }
+
     /// Silently clears `cluster`'s presence bit — a deliberate corruption
     /// primitive for exercising the coherence invariant checker (the
     /// protocol itself never forgets a sharer). Full-map only.

@@ -349,16 +349,13 @@ impl BusCluster {
     pub fn downgrade_to_shared(&mut self, block: BlockAddr) -> bool {
         self.stats.downgrades += 1;
         for cache in &mut self.caches {
-            match cache.state_of(block) {
-                CacheState::Modified | CacheState::Owned => {
-                    cache.set_state(block, CacheState::Shared);
-                    return true;
-                }
-                CacheState::Exclusive => {
-                    cache.set_state(block, CacheState::Shared);
-                    return false;
-                }
-                _ => {}
+            // Single scan per cache: the downgrade probe finds and
+            // rewrites the master frame in one tag-array pass (PR-6
+            // profiling flagged this path's double scan on radix).
+            match cache.downgrade_master(block) {
+                Some(CacheState::Modified | CacheState::Owned) => return true,
+                Some(_) => return false, // Exclusive: memory already current
+                None => {}
             }
         }
         false
@@ -370,8 +367,8 @@ impl BusCluster {
     /// peer took mastership.
     pub fn promote_sharer(&mut self, block: BlockAddr) -> bool {
         for cache in &mut self.caches {
-            if cache.state_of(block) == CacheState::Shared {
-                cache.set_state(block, CacheState::RemoteMaster);
+            // Single scan per cache (replacement path; see above).
+            if cache.promote_if_shared(block) {
                 self.stats.promotions += 1;
                 return true;
             }

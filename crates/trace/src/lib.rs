@@ -54,6 +54,6 @@ pub use codec::{read_shared, read_trace, write_shared, write_trace, CodecError};
 pub use interleave::PhaseBuilder;
 pub use layout::{Layout, Region};
 pub use scale::Scale;
-pub use shared::{SharedTrace, BATCH};
+pub use shared::{ShardPlan, SharedTrace, BATCH};
 pub use stats::TraceStats;
 pub use workload::{Workload, WorkloadKind};

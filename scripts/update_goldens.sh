@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates the committed goldens that the CI shard-determinism job
+# diffs against (ci/golden/). Run after any intentional change to the
+# simulator's metrics or to the reproduce output format, and commit the
+# result. The goldens are produced by the single-thread oracle
+# (--shard-workers 1 --jobs 1); CI then requires every other
+# shard-worker / sweep-job combination to match them byte for byte.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.05}"
+
+cargo build --release -p dsm-bench --bin reproduce
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+target/release/reproduce --scale "$SCALE" --shard-workers 1 --jobs 1 \
+  --out "$out" > "$out/stdout.txt"
+
+mkdir -p ci/golden
+cp "$out/reproduce_full.json" "ci/golden/reproduce_full.scale${SCALE}.json"
+cp "$out/stdout.txt" "ci/golden/reproduce_stdout.scale${SCALE}.txt"
+echo "goldens updated under ci/golden/ (scale ${SCALE})"

@@ -33,6 +33,19 @@ if grep -rn "std::collections::HashMap" "${hot_paths[@]}" | grep -v "^[^:]*:[0-9
   exit 1
 fi
 
+echo "== mailbox hot-path allocation gate =="
+# The sharded-replay mailbox moves one message per metrics chunk; its
+# send/receive path must stay allocation-free (slots are preallocated at
+# channel construction). A Vec::push, a HashMap, or a String on that
+# path would put an allocator call inside every cross-thread event.
+# Test modules (below #[cfg(test)]) are exempt.
+if awk '/#\[cfg\(test\)\]/{exit} {print "crates/core/src/shard/mailbox.rs:"FNR": "$0}' \
+    crates/core/src/shard/mailbox.rs \
+    | grep -E '\.push\(|\.to_vec\(|HashMap|String::|vec!|Vec::new|\.clone\('; then
+  echo "error: allocation on the mailbox send/receive path (preallocate in channel())"
+  exit 1
+fi
+
 echo "== panic-free fallible-surface gate =="
 # Structured-error surfaces must not regress to unwrap()/expect(): the
 # trace codec, the sweep engine and its crash-safety journal, and every

@@ -81,7 +81,7 @@ fn local_exclusive_fill_takes_e_state() {
         CacheState::Exclusive
     );
     // Silent E -> M write: no new directory transaction.
-    let before = sys.metrics().clone();
+    let before = *sys.metrics();
     sys.process(write(0, 0x1000));
     assert_eq!(sys.metrics().write_hits, before.write_hits + 1);
 }

@@ -436,7 +436,7 @@ fn system_is_deterministic() {
             )
             .unwrap();
             sys.run(refs.iter().copied());
-            sys.metrics().clone()
+            *sys.metrics()
         };
         assert_eq!(run(), run(), "case {case}");
     }

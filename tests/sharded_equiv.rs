@@ -1,0 +1,198 @@
+//! Equivalence gates for the sharded `System::run_sharded` replay path.
+//!
+//! The sharded engine partitions a trace by connected components of the
+//! cluster/page sharing graph and replays each component on its own
+//! worker. Because first-touch homing confines a component's pages to
+//! its own clusters, the merged machine state must be *identical* — not
+//! statistically close — to the single-thread `run_shared` oracle, at
+//! every worker count and on every directory/cache configuration. These
+//! tests replay randomized multi-component traces through both paths,
+//! validate the merged state under the PR-5 invariant checker, and pin
+//! the bounded-mailbox streaming layer against deadlock at capacity 1.
+
+use dsm_core::shard::ShardTuning;
+use dsm_core::{PcSize, System, SystemSpec};
+use dsm_trace::SharedTrace;
+use dsm_types::{Addr, ClusterId, Geometry, MemOp, MemRef, ProcId, Topology};
+
+/// Deterministic xorshift64* generator — no external crates, fixed seeds.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A random trace whose clusters split into `components` disjoint
+/// sharing groups: cluster `c` belongs to group `c % components`, and
+/// every reference from that cluster lands in the group's private 1 MiB
+/// address window. Pages are shared freely *within* a group (so every
+/// coherence transition still fires) but never across groups, which is
+/// exactly the structure the shard planner detects.
+fn component_refs(seed: u64, len: usize, topo: &Topology, components: u64) -> Vec<MemRef> {
+    let mut rng = Rng(seed);
+    let procs = u64::from(topo.total_procs());
+    let per_cluster = u64::from(topo.procs_per_cluster());
+    (0..len)
+        .map(|_| {
+            let r = rng.next();
+            let proc = r % procs;
+            let group = (proc / per_cluster) % components;
+            let op = if (r >> 16) % 10 < 3 {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
+            // ~64 pages of reuse per group, in the group's own window.
+            let addr = group * (1 << 20) + ((r >> 24) % (1 << 18));
+            MemRef::new(ProcId(proc as u16), op, Addr(addr))
+        })
+        .collect()
+}
+
+fn oracle(spec: &SystemSpec, trace: &SharedTrace, data_bytes: u64) -> System {
+    let mut sys = System::new(
+        spec.clone(),
+        *trace.topology(),
+        *trace.geometry(),
+        data_bytes,
+    )
+    .unwrap();
+    sys.run_shared(trace);
+    sys
+}
+
+fn sharded(
+    spec: &SystemSpec,
+    trace: &SharedTrace,
+    data_bytes: u64,
+    workers: usize,
+) -> (System, usize) {
+    let mut sys = System::new(
+        spec.clone(),
+        *trace.topology(),
+        *trace.geometry(),
+        data_bytes,
+    )
+    .unwrap();
+    let engaged = sys.run_sharded(trace, workers);
+    (sys, engaged)
+}
+
+fn assert_state_identical(a: &System, b: &System, label: &str) {
+    assert_eq!(
+        a.metrics(),
+        b.metrics(),
+        "aggregate metrics diverge: {label}"
+    );
+    for c in 0..a.topology().clusters() {
+        assert_eq!(
+            a.cluster_counts(ClusterId(c)),
+            b.cluster_counts(ClusterId(c)),
+            "cluster {c} counters diverge: {label}"
+        );
+    }
+}
+
+/// The core identity: every spec family the paper sweeps, replayed
+/// sharded at several worker counts, must reproduce the oracle's
+/// metrics and per-cluster counters exactly.
+#[test]
+fn sharded_replay_matches_oracle_across_specs_and_worker_counts() {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let specs = [
+        SystemSpec::base(),
+        SystemSpec::base().with_limited_directory(4),
+        SystemSpec::vb(),
+        SystemSpec::vpp(PcSize::DataFraction(5)),
+        SystemSpec::vxp(PcSize::DataFraction(5), 32),
+    ];
+    for (seed, components) in [(5u64, 4u64), (0xFACE_FEED, 8)] {
+        let refs = component_refs(seed, 30_000, &topo, components);
+        let trace = SharedTrace::from_refs(topo, geo, &refs);
+        for spec in &specs {
+            let base = oracle(spec, &trace, 1 << 20);
+            for workers in [1usize, 2, 4, 8] {
+                let (sys, engaged) = sharded(spec, &trace, 1 << 20, workers);
+                if workers >= 2 {
+                    assert!(
+                        engaged >= 2,
+                        "{} with {workers} workers fell back on a {components}-component trace",
+                        spec.name
+                    );
+                }
+                assert_state_identical(
+                    &base,
+                    &sys,
+                    &format!("{} at {workers} workers, seed {seed}", spec.name),
+                );
+            }
+        }
+    }
+}
+
+/// Migratory home policies (Origin migrep) rewrite pages' homes during
+/// the run, which breaks the disjointness argument — the engine must
+/// refuse to shard and still produce oracle-identical results.
+#[test]
+fn migratory_specs_fall_back_to_the_oracle() {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let refs = component_refs(23, 20_000, &topo, 4);
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
+    let spec = SystemSpec::origin();
+    let base = oracle(&spec, &trace, 1 << 20);
+    let (sys, engaged) = sharded(&spec, &trace, 1 << 20, 4);
+    assert_eq!(engaged, 1, "migrep systems must not shard");
+    assert_state_identical(&base, &sys, "origin fallback");
+}
+
+/// The merged machine state after a sharded replay must satisfy every
+/// PR-5 coherence invariant, and must equal the state the oracle
+/// reaches when it validates those invariants after every reference
+/// (check level K=1).
+#[test]
+fn sharded_state_passes_invariant_checker_against_k1_oracle() {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let refs = component_refs(31, 3_000, &topo, 4);
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
+    for spec in [SystemSpec::vb(), SystemSpec::vpp(PcSize::DataFraction(5))] {
+        let mut checked = System::new(spec.clone(), topo, geo, 1 << 20).unwrap();
+        checked.set_check_level(1);
+        checked.run_shared_checked(&trace).unwrap();
+        let (sys, engaged) = sharded(&spec, &trace, 1 << 20, 4);
+        assert!(engaged >= 2, "{} fell back unexpectedly", spec.name);
+        sys.check_invariants()
+            .unwrap_or_else(|e| panic!("merged {} state violates invariants: {e}", spec.name));
+        assert_state_identical(&checked, &sys, &format!("{} vs K=1 oracle", spec.name));
+    }
+}
+
+/// Backpressure: with single-slot mailboxes and a one-reference chunk
+/// size, every send blocks until the committer drains — the run must
+/// complete (no deadlock) and still match the oracle exactly.
+#[test]
+fn single_slot_mailboxes_stream_without_deadlock() {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let refs = component_refs(47, 20_000, &topo, 4);
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
+    let spec = SystemSpec::vb();
+    let base = oracle(&spec, &trace, 1 << 20);
+    let mut sys = System::new(spec.clone(), topo, geo, 1 << 20).unwrap();
+    let tuning = ShardTuning {
+        chunk_refs: 1,
+        mailbox_capacity: 1,
+    };
+    let engaged = sys.run_sharded_with(&trace, 4, tuning);
+    assert!(engaged >= 2, "backpressure test needs real sharding");
+    assert_state_identical(&base, &sys, "capacity-1 mailboxes");
+}
