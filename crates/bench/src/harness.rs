@@ -8,7 +8,7 @@ use dsm_core::obs::span::SpanTracer;
 use dsm_core::obs::Json;
 use dsm_core::runner::{run_trace, run_trace_probed, run_trace_sharded};
 use dsm_core::{PhaseCounters, PhaseProfiler, Probe, Report, SystemSpec};
-use dsm_trace::{Scale, SharedTrace, WorkloadKind};
+use dsm_trace::{open_shared_mapped, write_shared, Scale, SharedTrace, WorkloadKind};
 use dsm_types::{DsmError, Geometry, Topology};
 
 use crate::journal::SweepJournal;
@@ -24,7 +24,13 @@ common flags:
   --shard-workers <n>  replay threads per simulated point (env
                DSM_SHARD_WORKERS; default 1 = the single-threaded oracle
                path). Results are byte-identical for any value; sweep
-               workers shrink to jobs/n so both levels share one budget";
+               workers shrink to jobs/n so both levels share one budget,
+               so n must not exceed --jobs (unless --jobs is 1, which
+               dedicates the whole budget to replay)
+  --mmap       replay traces through the zero-copy mmap loader:
+               generated traces are spilled to a temp file and mapped
+               read-only instead of staying heap-resident (env DSM_MMAP;
+               results are byte-identical either way)";
 
 /// The common CLI arguments of every experiment binary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +41,8 @@ pub struct RunArgs {
     pub jobs: Jobs,
     /// Replay threads per simulated point (1 = oracle path).
     pub shard_workers: usize,
+    /// Load traces through the zero-copy mmap path.
+    pub mmap: bool,
 }
 
 /// Parses `argv` (without the program name), accepting `--scale <f>`,
@@ -55,6 +63,7 @@ pub fn parse_argv(
     let mut scale: Option<f64> = None;
     let mut jobs: Option<usize> = None;
     let mut shard_workers: Option<usize> = None;
+    let mut mmap = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -78,6 +87,10 @@ pub fn parse_argv(
                     .ok_or_else(|| "--shard-workers requires a value".to_owned())?;
                 shard_workers = Some(v.parse().map_err(|_| format!("bad worker count '{v}'"))?);
                 i += 2;
+            }
+            "--mmap" => {
+                mmap = true;
+                i += 1;
             }
             other => match extra(argv, i)? {
                 0 => return Err(format!("unknown flag '{other}'")),
@@ -103,17 +116,35 @@ pub fn parse_argv(
             );
         }
     }
+    if !mmap {
+        if let Ok(v) = std::env::var("DSM_MMAP") {
+            mmap = !v.is_empty() && v != "0";
+        }
+    }
     let shard_workers = shard_workers.unwrap_or(1);
     if shard_workers == 0 {
         return Err("--shard-workers must be at least 1".to_owned());
     }
+    let jobs = match jobs {
+        Some(n) => Jobs::new(n)?,
+        None => Jobs::available(),
+    };
+    // The two parallelism levels share one thread budget (jobs /
+    // shard-workers sweep workers). Asking for more replay threads than
+    // the budget holds cannot be honored — except under --jobs 1, the
+    // explicit "serial sweep, all threads to replay" idiom.
+    if jobs.get() > 1 && shard_workers > jobs.get() {
+        return Err(format!(
+            "--shard-workers {shard_workers} exceeds the --jobs {} thread budget \
+             (use --jobs 1 to dedicate every thread to replay)",
+            jobs.get()
+        ));
+    }
     Ok(RunArgs {
         scale: Scale::new(scale.unwrap_or(1.0)).map_err(|e| e.to_string())?,
-        jobs: match jobs {
-            Some(n) => Jobs::new(n)?,
-            None => Jobs::available(),
-        },
+        jobs,
         shard_workers,
+        mmap,
     })
 }
 
@@ -157,6 +188,10 @@ pub struct TraceSet {
     /// oracle path). See [`TraceSet::effective_jobs`] for how this
     /// shares one thread budget with the sweep workers.
     shard_workers: usize,
+    /// Spill generated traces to a temp file and reopen them through the
+    /// zero-copy mmap loader (`--mmap`), so sweeps replay from mapped
+    /// pages exactly like externally supplied trace files.
+    mmap: bool,
     /// Crash-safety journal consulted and appended by the sweep engine
     /// (see [`SweepJournal`]); `None` = no journaling.
     journal: Option<Arc<SweepJournal>>,
@@ -191,6 +226,7 @@ impl TraceSet {
     pub fn from_args(args: &RunArgs) -> Self {
         let mut ts = TraceSet::with_jobs(args.scale, args.jobs);
         ts.set_shard_workers(args.shard_workers);
+        ts.set_mmap(args.mmap);
         ts
     }
 
@@ -203,6 +239,7 @@ impl TraceSet {
             scale,
             jobs,
             shard_workers: 1,
+            mmap: false,
             journal: None,
             traces: HashMap::new(),
             progress: false,
@@ -240,6 +277,20 @@ impl TraceSet {
     #[must_use]
     pub fn shard_workers(&self) -> usize {
         self.shard_workers
+    }
+
+    /// Enables (or disables) the zero-copy trace path: traces generated
+    /// by [`TraceSet::prepare`] are written to a temp file and reopened
+    /// through the kernel mapping, so replays decode from mapped pages.
+    /// Results are byte-identical either way.
+    pub fn set_mmap(&mut self, on: bool) {
+        self.mmap = on;
+    }
+
+    /// Whether prepared traces replay from a kernel mapping.
+    #[must_use]
+    pub fn mmap(&self) -> bool {
+        self.mmap
     }
 
     /// The sweep worker count after sharing the thread budget with the
@@ -344,7 +395,10 @@ impl TraceSet {
             if let Some(s) = &mut span {
                 s.arg("refs", refs.len() as u64);
             }
-            let trace = SharedTrace::from_refs(self.topo, self.geo, &refs);
+            let mut trace = SharedTrace::from_refs(self.topo, self.geo, &refs);
+            if self.mmap {
+                trace = spill_and_map(kind, &trace);
+            }
             self.traces.insert(kind, (w.shared_bytes(), trace));
         }
     }
@@ -441,6 +495,31 @@ impl TraceSet {
     pub fn evict(&mut self, kind: WorkloadKind) {
         self.traces.remove(&kind);
     }
+}
+
+/// Round-trips a generated trace through a temp `.dsmt` file and reopens
+/// it with the zero-copy loader, so `--mmap` sweeps replay from kernel
+/// mappings exactly like externally supplied trace files. The temp file
+/// is unlinked immediately — success or failure — because the mapping
+/// keeps the pages alive without the directory entry.
+///
+/// # Panics
+///
+/// Panics if the spill or re-open fails: an `--mmap` run that silently
+/// fell back to heap storage would misreport what was measured.
+fn spill_and_map(kind: WorkloadKind, trace: &SharedTrace) -> SharedTrace {
+    use std::io::Write as _;
+    let path = std::env::temp_dir().join(format!("dsm-bench-{}-{kind}.dsmt", std::process::id()));
+    let spilled = (|| -> Result<SharedTrace, String> {
+        let file =
+            std::fs::File::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        let mut w = std::io::BufWriter::new(file);
+        write_shared(&mut w, trace).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        open_shared_mapped(&path).map_err(|e| e.to_string())
+    })();
+    let _ = std::fs::remove_file(&path);
+    spilled.unwrap_or_else(|e| panic!("--mmap trace spill for {kind}: {e}"))
 }
 
 /// A printable figure: a caption, column headers, and one row per
@@ -712,6 +791,49 @@ mod tests {
         assert_eq!(default.shard_workers, 1);
         assert!(parse_argv(&argv(&["--shard-workers", "0"]), |_, _| Ok(0)).is_err());
         assert!(parse_argv(&argv(&["--shard-workers"]), |_, _| Ok(0)).is_err());
+    }
+
+    #[test]
+    fn parse_argv_accepts_mmap() {
+        let a = parse_argv(&argv(&["--mmap", "--scale", "0.1"]), |_, _| Ok(0)).unwrap();
+        assert!(a.mmap);
+        let default = parse_argv(&argv(&[]), |_, _| Ok(0)).unwrap();
+        assert!(!default.mmap);
+    }
+
+    #[test]
+    fn parse_argv_rejects_replay_threads_beyond_the_jobs_budget() {
+        // jobs/shard-workers integer-divide into the sweep budget; more
+        // replay threads than jobs cannot be honored...
+        let e = parse_argv(&argv(&["--jobs", "2", "--shard-workers", "4"]), |_, _| {
+            Ok(0)
+        })
+        .unwrap_err();
+        assert!(e.contains("exceeds"), "{e}");
+        // ...except under --jobs 1, the "all threads to replay" idiom.
+        let a = parse_argv(&argv(&["--jobs", "1", "--shard-workers", "4"]), |_, _| {
+            Ok(0)
+        })
+        .unwrap();
+        assert_eq!(a.shard_workers, 4);
+        // Equal split is the boundary: still legal.
+        let a = parse_argv(&argv(&["--jobs", "4", "--shard-workers", "4"]), |_, _| {
+            Ok(0)
+        })
+        .unwrap();
+        assert_eq!(a.jobs.get(), 4);
+        assert_eq!(a.shard_workers, 4);
+    }
+
+    #[test]
+    fn mmap_trace_set_runs_match_owned_runs() {
+        let mut owned = TraceSet::with_jobs(Scale::new(0.5).unwrap(), Jobs::serial());
+        let baseline = owned.run(&SystemSpec::vb(), WorkloadKind::Lu);
+        let mut mapped = TraceSet::with_jobs(Scale::new(0.5).unwrap(), Jobs::serial());
+        mapped.set_mmap(true);
+        assert!(mapped.mmap());
+        let spilled = mapped.run(&SystemSpec::vb(), WorkloadKind::Lu);
+        assert_eq!(baseline, spilled);
     }
 
     #[test]

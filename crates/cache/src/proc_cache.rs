@@ -62,6 +62,13 @@ impl ProcCache {
         self.frames.shape().set_of_block(block)
     }
 
+    /// Hints `block`'s tag row into L1 ahead of the lookups replay will
+    /// make for it — see [`SetAssoc::prefetch_set`].
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        self.frames.prefetch_set(self.set_of(block));
+    }
+
     /// The state of `block`, `Invalid` if not present. Does not touch LRU.
     #[must_use]
     #[inline]

@@ -120,6 +120,16 @@ impl<T: Copy + Default> SetAssoc<T> {
         self.find(set, tag).map(|i| &self.values[i])
     }
 
+    /// Hints `set`'s tag row into L1 — a row of up to eight ways shares
+    /// one cache line, so a single hint covers the whole associative
+    /// scan. The replay pipeline calls this for the blocks of batch
+    /// `N+1` while batch `N` runs through the protocol. Out-of-range
+    /// sets are ignored (the caller is predicting, not asserting).
+    #[inline]
+    pub fn prefetch_set(&self, set: usize) {
+        dsm_types::prefetch_slice(&self.tags, set * self.shape.ways());
+    }
+
     /// Looks up `tag` in `set`, marking it most-recently-used on a hit.
     ///
     /// # Panics

@@ -118,6 +118,13 @@ impl InclusionNc {
             .and_then(|(tag, old)| self.eviction_of(tag, old))
     }
 
+    /// Hints `block`'s tag row into L1 ahead of the lookup replay will
+    /// make for it.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        self.frames.prefetch_set(self.set_of(block));
+    }
+
     /// Allocates on a completed remote fill (`write` fills shadow the
     /// cache's `M` copy). Displaces at most one block.
     pub fn on_remote_fill(&mut self, block: BlockAddr, write: bool) -> Option<NcEviction> {

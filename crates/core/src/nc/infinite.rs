@@ -51,6 +51,13 @@ impl InfiniteNc {
         self.technology
     }
 
+    /// Hints `block`'s entry's home slot into L1 ahead of the lookup
+    /// replay will make for it.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        self.entries.prefetch(block.0);
+    }
+
     /// Allocates on a completed remote fill.
     pub fn on_remote_fill(&mut self, block: BlockAddr, write: bool) {
         let entry = if write { Entry::Shadow } else { Entry::Clean };

@@ -92,6 +92,18 @@ impl NcUnit {
         }
     }
 
+    /// Hints `block`'s NC line into L1 ahead of the lookups replay will
+    /// make for it — the batch-ahead prefetch hook.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        match self {
+            NcUnit::None => {}
+            NcUnit::Victim(nc) => nc.prefetch(block),
+            NcUnit::Inclusion(nc) => nc.prefetch(block),
+            NcUnit::Infinite(nc) => nc.prefetch(block),
+        }
+    }
+
     /// Looks up `block` for a read miss. Victim organizations transfer the
     /// block to the requesting cache (the entry is removed); inclusion
     /// organizations keep their entry.

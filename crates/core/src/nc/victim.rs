@@ -81,6 +81,13 @@ impl VictimNc {
         }
     }
 
+    /// Hints `block`'s tag row into L1 ahead of the lookup replay will
+    /// make for it.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        self.frames.prefetch_set(self.set_of(block));
+    }
+
     /// Transfers `block` out of the NC (read or write miss service):
     /// removes the entry and reports its dirtiness.
     pub fn take(&mut self, block: BlockAddr) -> Option<NcHit> {

@@ -211,15 +211,22 @@ fn replay_indices(
     tuning: ShardTuning,
     tx: &mut mailbox::Sender<ShardMsg>,
 ) {
+    // Prefetch one window ahead like `System::run_shared`: after
+    // gathering window N, peek window N+1's columns and prefetch the
+    // machine lines it will touch, overlapping window N's processing
+    // with window N+1's memory latency. Processing order is unchanged.
     let mut batch = [DecodedRef::default(); BATCH];
     let mut last = *sys.metrics();
     let mut since_flush = 0;
     let mut pos = 0;
-    while pos < indices.len() {
+    loop {
         let n = trace.decode_gather(&indices[pos..], &mut batch);
         if n == 0 {
             break;
         }
+        trace.peek_gather(&indices[pos + n..], BATCH, |cl, lp, block| {
+            sys.prefetch_line(cl, lp, block);
+        });
         for d in &batch[..n] {
             sys.process_decoded(*d);
         }

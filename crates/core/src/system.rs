@@ -14,7 +14,7 @@ use crate::cluster::ClusterUnit;
 use crate::config::{CounterSource, MigRepSpec, SystemSpec};
 use crate::metrics::{ClusterCounts, Metrics};
 use crate::model::{Latencies, LatencyModel};
-use crate::nc::NcEviction;
+use crate::nc::{NcEviction, NcUnit};
 use crate::page_cache::PcBlockState;
 use crate::probe::{EpochSample, Event, NoProbe, Probe};
 
@@ -459,6 +459,15 @@ impl<P: Probe> System<P> {
             }
             return;
         }
+        // Prefetch one batch ahead: after decoding batch N, peek batch
+        // N+1's columns (registers only, no DecodedRef materialization)
+        // and issue prefetches for the machine lines it will touch —
+        // processor-cache tag rows, directory entries, NC lines — so
+        // batch N's processing overlaps batch N+1's memory latency.
+        // Processing order is unchanged; prefetches are hints. The peek
+        // deliberately avoids a second decoded buffer: double-buffering
+        // forces both batches' lanes through the stack, which measures
+        // slower than re-reading the columns.
         let mut batch = [DecodedRef::default(); BATCH];
         let mut start = 0;
         loop {
@@ -466,11 +475,27 @@ impl<P: Probe> System<P> {
             if n == 0 {
                 break;
             }
+            trace.peek_batch(start + n, BATCH, |cl, lp, block| {
+                self.prefetch_line(cl, lp, block);
+            });
             for d in &batch[..n] {
                 self.process_decoded(*d);
             }
             start += n;
         }
+    }
+
+    /// Issues prefetch hints for the machine lines a reference issued by
+    /// local processor `lp` of cluster `cl` against `block` will touch
+    /// when processed: the processor's cache tag row, the directory
+    /// entry, and the cluster's NC line. Called one batch ahead of
+    /// processing; never changes state.
+    #[inline]
+    pub(crate) fn prefetch_line(&self, cl: ClusterId, lp: LocalProcId, block: BlockAddr) {
+        self.dir.prefetch(block);
+        let c = &self.clusters[usize::from(cl.0)];
+        c.bus.prefetch(lp, block);
+        c.nc.prefetch(block);
     }
 
     /// Sets the invariant-check cadence for
@@ -827,7 +852,7 @@ impl<P: Probe> System<P> {
                     self.apply_invalidations(grant.invalidate, block);
                     self.clusters[ci].bus.upgrade(lp, block);
                 }
-                self.after_local_write(ci, cl, block, page);
+                self.after_local_write(ci, cl, block, remote);
             }
             CacheState::Invalid => {
                 self.process_write_miss(ci, cl, lp, block, page, remote);
@@ -864,7 +889,7 @@ impl<P: Probe> System<P> {
                 block,
                 write: true,
             });
-            self.after_local_write(ci, cl, block, page);
+            self.after_local_write(ci, cl, block, remote);
             if let Some(ev) = res.eviction {
                 self.handle_cache_eviction(ci, cl, ev);
             }
@@ -990,7 +1015,30 @@ impl<P: Probe> System<P> {
 
     /// A local processor now holds `block` in `M`: scrub stale NC/PC
     /// copies.
-    fn after_local_write(&mut self, ci: usize, cl: ClusterId, block: BlockAddr, _page: PageAddr) {
+    ///
+    /// For the victim organization (and no NC at all) a write to a
+    /// locally-homed block has nothing to scrub: victim captures,
+    /// downgrade absorptions, and page relocations are all gated on the
+    /// block's home being elsewhere, so neither the victim NC nor the PC
+    /// can hold it, and `on_local_write` is a pure remove. Skipping both
+    /// tag scans is then exact — and it is the per-reference bookkeeping
+    /// the write-upgrade path was paying on every local write. Inclusion
+    /// and infinite NCs *allocate* a shadow entry here (occupying a frame
+    /// behind the cache's `M`), so their call must always go through —
+    /// as must every call under OS migration, where homes move: a block
+    /// captured while remote can become locally homed later, so
+    /// "locally homed" no longer implies "not in the NC".
+    fn after_local_write(&mut self, ci: usize, cl: ClusterId, block: BlockAddr, remote: bool) {
+        if !remote
+            && self.migrep.is_none()
+            && matches!(self.clusters[ci].nc, NcUnit::None | NcUnit::Victim(_))
+        {
+            debug_assert!(
+                !self.clusters[ci].nc.contains(block),
+                "under static homes a victim NC never holds locally-homed blocks"
+            );
+            return;
+        }
         if let Some(e) = self.clusters[ci].nc.on_local_write(block) {
             self.handle_nc_eviction(ci, cl, e);
         }

@@ -167,6 +167,17 @@ impl FullMapDirectory {
         u32::from(self.clusters) + 7
     }
 
+    /// Hints `block`'s entry line into L1 — the directory is the hottest
+    /// map in the simulator, and the flat array makes the target address
+    /// a single index computation. Blocks beyond the table are ignored
+    /// (the entry would be grown on the real access).
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        if let Ok(i) = usize::try_from(block.0) {
+            dsm_types::prefetch_slice(&self.entries, i);
+        }
+    }
+
     fn bit(&self, cluster: ClusterId) -> u64 {
         assert!(
             cluster.0 < self.clusters,

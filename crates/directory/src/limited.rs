@@ -255,6 +255,13 @@ impl LimitedPointerDirectory {
         );
     }
 
+    /// Hints `block`'s entry's home slot into L1 (compare
+    /// [`crate::FullMapDirectory::prefetch`]).
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        self.entries.prefetch(block.0);
+    }
+
     /// Processes a read request (compare
     /// [`crate::FullMapDirectory::read`]).
     pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {

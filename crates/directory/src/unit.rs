@@ -47,6 +47,16 @@ impl DirectoryUnit {
         }
     }
 
+    /// Hints `block`'s entry into L1 ahead of the request replay will
+    /// make for it — the batch-ahead prefetch hook.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        match self {
+            DirectoryUnit::FullMap(d) => d.prefetch(block),
+            DirectoryUnit::LimitedPointer(d) => d.prefetch(block),
+        }
+    }
+
     /// Processes a read request.
     pub fn read(&mut self, block: BlockAddr, requester: ClusterId) -> ReadGrant {
         match self {

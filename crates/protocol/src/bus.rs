@@ -115,6 +115,15 @@ impl BusCluster {
         &mut self.caches[usize::from(proc.0)]
     }
 
+    /// Hints `proc`'s tag row for `block` into L1 — the first probe
+    /// every reference makes. Unknown processors are ignored.
+    #[inline]
+    pub fn prefetch(&self, proc: LocalProcId, block: BlockAddr) {
+        if let Some(c) = self.caches.get(usize::from(proc.0)) {
+            c.prefetch(block);
+        }
+    }
+
     /// The state `proc` holds `block` in (`Invalid` if absent); no LRU
     /// effect.
     #[must_use]

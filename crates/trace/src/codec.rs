@@ -39,10 +39,13 @@
 //! [`Geometry::paper_default`].
 
 use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
 
 use dsm_types::{Addr, ConfigError, DsmError, Geometry, MemOp, MemRef, ProcId, Topology};
 
-use crate::shared::SharedTrace;
+use crate::mmap::Mapping;
+use crate::shared::{derive_columns, AddrColumn, DeriveError, SharedTrace};
 
 const MAGIC: &[u8; 4] = b"DSMT";
 const VERSION_V1: u16 = 1;
@@ -360,6 +363,100 @@ pub fn read_shared<R: Read>(mut r: R) -> Result<SharedTrace, CodecError> {
     SharedTrace::try_from_refs(topo, geo, &refs).map_err(CodecError::Config)
 }
 
+/// Maps `path` and parses it into a [`SharedTrace`] whose address column
+/// borrows straight from the mapping — [`read_shared`] without the copy.
+/// Loading cost is independent of trace size, and every process (or
+/// sweep worker) mapping the same file shares one set of physical pages.
+///
+/// On platforms without the raw `mmap` path (or under `DSM_NO_MMAP=1`)
+/// the mapping degrades to an owned read; the parse and the resulting
+/// trace bytes are identical either way.
+///
+/// # Errors
+///
+/// As [`read_shared`]; a file shorter than its header promises is
+/// reported as truncation (`UnexpectedEof`, exit code 3 at the CLI), a
+/// longer one as trailing bytes.
+pub fn open_shared_mapped(path: &Path) -> Result<SharedTrace, CodecError> {
+    let map = Mapping::open(path)?;
+    shared_from_mapping(Arc::new(map))
+}
+
+/// Parses an already-opened [`Mapping`] of a trace file — the
+/// [`open_shared_mapped`] tail, exposed so tests and tools can feed
+/// in-memory buffers through the exact mapped code path.
+///
+/// # Errors
+///
+/// As [`open_shared_mapped`].
+pub fn shared_from_mapping(map: Arc<Mapping>) -> Result<SharedTrace, CodecError> {
+    let bytes = map.bytes();
+    let mut cursor = bytes;
+    let header = read_header(&mut cursor)?;
+    let (topo, geo, count) = match header {
+        // v1 is row-oriented: there is no contiguous address column to
+        // borrow. Parse it through the owned reader.
+        Header::V1 { .. } => return read_shared(bytes),
+        Header::V2 { topo, geo, count } => (topo, geo, count),
+    };
+    let header_len = bytes.len() - cursor.len();
+    // Column extents, overflow-checked: a hostile header can claim
+    // usize::MAX references.
+    let (proc_bytes, addr_bytes) = match (count.checked_mul(2), count.checked_mul(8)) {
+        (Some(p), Some(a)) => (p, a),
+        _ => {
+            return Err(CodecError::Format(
+                "trace too large for this platform".into(),
+            ))
+        }
+    };
+    let op_off = header_len + proc_bytes;
+    let addr_off = op_off + count.div_ceil(8);
+    let total = match addr_off.checked_add(addr_bytes) {
+        Some(t) => t,
+        None => {
+            return Err(CodecError::Format(
+                "trace too large for this platform".into(),
+            ))
+        }
+    };
+    if bytes.len() < total {
+        return Err(CodecError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "file is {} bytes but the header promises {total}",
+                bytes.len()
+            ),
+        )));
+    }
+    if bytes.len() > total {
+        return Err(CodecError::Format("trailing bytes after trace".into()));
+    }
+    let procs = &bytes[header_len..op_off];
+    let ops = &bytes[op_off..addr_off];
+    let derived = derive_columns(&topo, &geo, count, |i| {
+        let proc = u16::from_le_bytes([procs[i * 2], procs[i * 2 + 1]]);
+        let write = ops[i / 8] & (1 << (i % 8)) != 0;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&bytes[addr_off + i * 8..addr_off + i * 8 + 8]);
+        (proc, write, u64::from_le_bytes(a))
+    })
+    .map_err(|e| match e {
+        DeriveError::TooManyClusters(c) => CodecError::Config(ConfigError::new(format!(
+            "SharedTrace cluster columns are one byte: {c} clusters exceed 256"
+        ))),
+        DeriveError::BadProc { index, proc } => CodecError::Format(format!(
+            "record {index}: processor {proc} outside topology {topo}"
+        )),
+    })?;
+    let addr = AddrColumn::Mapped {
+        map: Arc::clone(&map),
+        offset: addr_off,
+        count,
+    };
+    Ok(SharedTrace::from_parts(topo, geo, addr, derived))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,6 +706,165 @@ mod tests {
         assert!(malformed.to_string().contains("bad magic"));
         let config: DsmError = CodecError::Config(ConfigError::new("zero clusters")).into();
         assert_eq!(config.kind(), ErrorKind::BadInput);
+    }
+
+    /// A deterministic pseudo-random reference stream (xorshift) for the
+    /// mapped-vs-owned equivalence checks.
+    fn random_refs(seed: u64, n: u64) -> Vec<MemRef> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let proc = ProcId((x % 32) as u16);
+                let addr = Addr((x >> 8) % (1 << 30));
+                if x.is_multiple_of(4) {
+                    MemRef::write(proc, addr)
+                } else {
+                    MemRef::read(proc, addr)
+                }
+            })
+            .collect()
+    }
+
+    fn mapped_from(bytes: Vec<u8>) -> Result<SharedTrace, CodecError> {
+        shared_from_mapping(Arc::new(Mapping::from_vec(bytes)))
+    }
+
+    #[test]
+    fn mapped_parse_matches_owned_parse_on_random_traces() {
+        use dsm_types::DecodedRef;
+        for seed in [3, 17, 0xDEAD] {
+            let refs = random_refs(seed, 777);
+            let owned =
+                SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &refs);
+            let mut bytes = Vec::new();
+            write_shared(&mut bytes, &owned).unwrap();
+            let mapped = mapped_from(bytes).unwrap();
+            assert_eq!(mapped.storage_mode(), "mapped");
+            assert_eq!(mapped.topology(), owned.topology());
+            assert_eq!(mapped.geometry(), owned.geometry());
+            assert_eq!(mapped.len(), owned.len());
+            let mut a = [DecodedRef::default(); crate::BATCH];
+            let mut b = [DecodedRef::default(); crate::BATCH];
+            let mut start = 0;
+            loop {
+                let n = owned.decode_batch(start, &mut a);
+                assert_eq!(mapped.decode_batch(start, &mut b), n);
+                if n == 0 {
+                    break;
+                }
+                assert_eq!(a[..n], b[..n], "batch at {start}, seed {seed}");
+                start += n;
+            }
+        }
+    }
+
+    #[test]
+    fn open_shared_mapped_reads_files_zero_copy() {
+        let refs = random_refs(42, 300);
+        let owned =
+            SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &refs);
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &owned).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("dsm-codec-mmap-{}.dsmt", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = open_shared_mapped(&path).unwrap();
+        assert_eq!(mapped.iter().collect::<Vec<_>>(), refs);
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert!(mapped.is_mapped());
+        // The mapping outlives the directory entry: replay after unlink.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(mapped.get(0), refs[0]);
+    }
+
+    #[test]
+    fn mapped_v1_files_fall_back_to_the_owned_parser() {
+        let (topo, trace) = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &topo, &trace).unwrap();
+        let shared = mapped_from(bytes).unwrap();
+        assert_eq!(shared.storage_mode(), "owned");
+        assert_eq!(shared.iter().collect::<Vec<_>>(), trace);
+    }
+
+    #[test]
+    fn mapped_parse_rejects_truncation_as_eof() {
+        let refs = random_refs(7, 100);
+        let owned =
+            SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &refs);
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &owned).unwrap();
+        // Torn anywhere — mid-header, mid-proc-column, mid-addr-column —
+        // must be a clean UnexpectedEof (exit code 3), never a panic.
+        for keep in [3, 20, 34, 34 + 50, bytes.len() - 1] {
+            let torn = bytes[..keep].to_vec();
+            let err = mapped_from(torn).unwrap_err();
+            match err {
+                CodecError::Io(io) => assert_eq!(io.kind(), io::ErrorKind::UnexpectedEof),
+                other => panic!("keep={keep}: expected Io(UnexpectedEof), got {other}"),
+            }
+        }
+        let err: DsmError = mapped_from(bytes[..40].to_vec()).unwrap_err().into();
+        assert_eq!(err.kind(), dsm_types::ErrorKind::BadInput);
+    }
+
+    #[test]
+    fn mapped_parse_rejects_trailing_and_bad_records() {
+        let refs = random_refs(9, 50);
+        let owned =
+            SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &refs);
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &owned).unwrap();
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        let err = mapped_from(trailing).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // Corrupt the proc column: processor 999 is outside the topology.
+        let mut bad = bytes.clone();
+        bad[34..36].copy_from_slice(&999u16.to_le_bytes());
+        let err = mapped_from(bad).unwrap_err();
+        assert!(err.to_string().contains("outside topology"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_mapping() {
+        use dsm_types::DecodedRef;
+        let refs = random_refs(11, 500);
+        let owned =
+            SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &refs);
+        let mut bytes = Vec::new();
+        write_shared(&mut bytes, &owned).unwrap();
+        let mapped = mapped_from(bytes).unwrap();
+        // Clones share the Arc'd mapping — the sweep-worker sharing shape.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let trace = mapped.clone();
+                let want = &refs;
+                s.spawn(move || {
+                    let mut out = [DecodedRef::default(); crate::BATCH];
+                    let mut start = 0;
+                    loop {
+                        let n = trace.decode_batch(start, &mut out);
+                        if n == 0 {
+                            break;
+                        }
+                        for (k, d) in out[..n].iter().enumerate() {
+                            let r = want[start + k];
+                            assert_eq!(d.write, r.op.is_write());
+                            assert_eq!(d.block, Geometry::paper_default().block_of(r.addr));
+                        }
+                        start += n;
+                    }
+                    assert_eq!(start, want.len());
+                });
+            }
+        });
     }
 
     #[test]

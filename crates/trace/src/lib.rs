@@ -35,13 +35,16 @@
 //! # Ok::<(), dsm_types::ConfigError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `mmap` module opts back in for the raw
+// mapping syscalls alone (see its module docs for the safety story).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod codec;
 pub mod interleave;
 pub mod layout;
+pub mod mmap;
 pub mod rng;
 pub mod scale;
 pub mod shared;
@@ -50,9 +53,13 @@ pub mod workload;
 pub mod workloads;
 
 pub use analysis::{analyze, SharingAnalysis};
-pub use codec::{read_shared, read_trace, write_shared, write_trace, CodecError};
+pub use codec::{
+    open_shared_mapped, read_shared, read_trace, shared_from_mapping, write_shared, write_trace,
+    CodecError,
+};
 pub use interleave::PhaseBuilder;
 pub use layout::{Layout, Region};
+pub use mmap::Mapping;
 pub use scale::Scale;
 pub use shared::{ShardPlan, SharedTrace, BATCH};
 pub use stats::TraceStats;

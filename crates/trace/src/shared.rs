@@ -9,8 +9,6 @@
 //! columns and, at construction, precomputes everything `System::process`
 //! used to derive per reference per replay:
 //!
-//! * `block` / `page` — [`Geometry::decompose`], done once instead of
-//!   once per (reference × configuration);
 //! * `issuing_cluster` / the packed local processor —
 //!   [`Topology::split_of`];
 //! * `home_cluster` — the page's home under pure first-touch placement
@@ -20,19 +18,37 @@
 //!   running OS page-migration policies ignores the column and falls
 //!   back to its live placement map.
 //!
-//! Replay consumes the columns in batches of [`BATCH`] decoded
-//! references ([`SharedTrace::decode_batch`]), streaming 19 bytes per
-//! reference through the hot loop (block 8 + page 8 + packed proc/op 1 +
-//! two cluster bytes) with no address arithmetic and no hashing.
+//! Block and page numbers are *not* materialized: they are single shifts
+//! off the address column (`addr >> shift`), which the decode loop
+//! performs on a register-resident window — cheaper than streaming two
+//! extra 8-byte columns through the cache.
 //!
-//! The decomposition columns also make partitioning a trace by home
-//! cluster — the unit of the planned per-cluster sharded simulator — a
-//! single column scan ([`SharedTrace::shard_by_home`]).
+//! Replay consumes the columns in batches of [`BATCH`] decoded
+//! references ([`SharedTrace::decode_batch`]). Each batch decodes
+//! *column-at-a-time* over contiguous slices with no per-lane branches
+//! (the wide-processor fallback is hoisted out of the lane loop), so
+//! the loop is autovectorizer-friendly; 11 bytes per reference stream
+//! through the hot loop (addr 8 + packed proc/op 1 + two cluster bytes).
+//!
+//! The address column itself lives behind [`AddrColumn`]: either an
+//! owned `Vec<u64>` (traces built in memory) or a borrowed window of a
+//! memory-mapped v2 trace file ([`crate::mmap::Mapping`]), in which case
+//! loading is zero-copy — the file's address column *is* the replay
+//! column, multi-gigabyte traces start instantly, and every sweep worker
+//! shares the same physical pages read-only.
+//!
+//! The home column also makes partitioning a trace by home cluster — the
+//! unit of the sharded simulator — a single column scan
+//! ([`SharedTrace::shard_by_home`]).
+
+use std::sync::Arc;
 
 use dsm_types::{
-    Addr, ClusterId, ConfigError, DecodedRef, DenseMap, Geometry, LocalProcId, MemOp, MemRef,
-    ProcId, Topology,
+    Addr, BlockAddr, ClusterId, ConfigError, DecodedRef, DenseMap, Geometry, LocalProcId, MemOp,
+    MemRef, PageAddr, ProcId, Topology,
 };
+
+use crate::mmap::Mapping;
 
 /// Number of references decoded per [`SharedTrace::decode_batch`] call —
 /// a small power of two so the decode loop unrolls and the batch buffer
@@ -47,8 +63,166 @@ const FIRST_TOUCH_BIT: u8 = 1 << 7;
 /// (machines up to 64 processors; wider machines use the side column).
 const PROC_MASK: u8 = OP_BIT - 1;
 
+/// Reads the little-endian `u64` at `off` — the unaligned load the
+/// mapped address column needs (the v2 addr column starts at byte
+/// `34 + 2n + ceil(n/8)`, which is not 8-aligned).
+#[inline(always)]
+fn u64_le_at(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// The storage behind [`SharedTrace`]'s address column: owned for traces
+/// built in memory, a borrowed window of a file mapping for traces
+/// opened with [`crate::codec::open_shared_mapped`].
+#[derive(Debug, Clone)]
+pub(crate) enum AddrColumn {
+    /// Trace built in memory (generated, or parsed from a reader).
+    Owned(Vec<u64>),
+    /// Zero-copy window into a mapped v2 trace file: `count` addresses
+    /// starting at byte `offset` (little-endian, unaligned).
+    Mapped {
+        map: Arc<Mapping>,
+        offset: usize,
+        count: usize,
+    },
+}
+
+impl AddrColumn {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            AddrColumn::Owned(v) => v.len(),
+            AddrColumn::Mapped { count, .. } => *count,
+        }
+    }
+
+    /// The address at `i`. Panics if out of range.
+    #[inline(always)]
+    fn at(&self, i: usize) -> u64 {
+        match self {
+            AddrColumn::Owned(v) => v[i],
+            AddrColumn::Mapped { map, offset, count } => {
+                assert!(i < *count, "address index {i} out of range");
+                u64_le_at(map.bytes(), offset + i * 8)
+            }
+        }
+    }
+
+    /// Copies addresses `[start, start + out.len())` into `out` — the
+    /// per-batch window load, one contiguous `memcpy`-shaped loop in
+    /// either storage mode.
+    #[inline(always)]
+    fn fill(&self, start: usize, out: &mut [u64]) {
+        match self {
+            AddrColumn::Owned(v) => out.copy_from_slice(&v[start..start + out.len()]),
+            AddrColumn::Mapped { map, offset, count } => {
+                assert!(start + out.len() <= *count, "address window out of range");
+                let base = offset + start * 8;
+                let bytes = &map.bytes()[base..base + out.len() * 8];
+                for (slot, ch) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(ch);
+                    *slot = u64::from_le_bytes(b);
+                }
+            }
+        }
+    }
+
+    /// Heap bytes this column holds — 0 when mapped (the bytes are
+    /// file-backed pages shared with every other reader of the file).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            AddrColumn::Owned(v) => v.len() * 8,
+            AddrColumn::Mapped { .. } => 0,
+        }
+    }
+}
+
+/// The derived (non-address) columns, shared between the in-memory
+/// builder and the mapped-file parser in [`crate::codec`].
+pub(crate) struct DerivedColumns {
+    pub(crate) proc_op: Vec<u8>,
+    pub(crate) wide_proc: Vec<u16>,
+    pub(crate) home_cluster: Vec<u8>,
+    pub(crate) issuing_cluster: Vec<u8>,
+}
+
+/// Why [`derive_columns`] rejected a reference stream. Callers format
+/// their own messages (the codec reports record indices, the in-memory
+/// builder reports the offending reference).
+pub(crate) enum DeriveError {
+    /// The topology has more than 256 clusters (columns are one byte).
+    TooManyClusters(u16),
+    /// Reference `index` names processor `proc` outside the topology.
+    BadProc { index: usize, proc: u16 },
+}
+
+/// One pass over `count` references — `nth(i)` yields `(proc, write,
+/// addr)` — producing the packed and precomputed columns: processor
+/// split, issuing cluster, and the page's first-touch home in trace
+/// order (exactly the assignments a first-touch placement map makes
+/// during replay).
+pub(crate) fn derive_columns(
+    topo: &Topology,
+    geo: &Geometry,
+    count: usize,
+    mut nth: impl FnMut(usize) -> (u16, bool, u64),
+) -> Result<DerivedColumns, DeriveError> {
+    if topo.clusters() > 256 {
+        return Err(DeriveError::TooManyClusters(topo.clusters()));
+    }
+    let total = topo.total_procs();
+    let wide = total > 64;
+    let mut proc_op = Vec::with_capacity(count);
+    let mut wide_proc = Vec::with_capacity(if wide { count } else { 0 });
+    let mut home_cluster = Vec::with_capacity(count);
+    let mut issuing_cluster = Vec::with_capacity(count);
+    let mut homes: DenseMap<u8> = DenseMap::new();
+    for i in 0..count {
+        let (proc, write, addr) = nth(i);
+        if proc >= total {
+            return Err(DeriveError::BadProc { index: i, proc });
+        }
+        let (cl, _) = topo.split_of(ProcId(proc));
+        #[allow(clippy::cast_possible_truncation)] // clusters <= 256 checked above
+        let cl8 = cl.0 as u8;
+        let mut packed = if wide {
+            wide_proc.push(proc);
+            0
+        } else {
+            #[allow(clippy::cast_possible_truncation)] // total <= 64 in this arm
+            {
+                proc as u8
+            }
+        };
+        if write {
+            packed |= OP_BIT;
+        }
+        let page = geo.page_of(Addr(addr)).0;
+        let home = match homes.get(page) {
+            Some(&h) => h,
+            None => {
+                homes.insert(page, cl8);
+                packed |= FIRST_TOUCH_BIT;
+                cl8
+            }
+        };
+        proc_op.push(packed);
+        home_cluster.push(home);
+        issuing_cluster.push(cl8);
+    }
+    Ok(DerivedColumns {
+        proc_op,
+        wide_proc,
+        home_cluster,
+        issuing_cluster,
+    })
+}
+
 /// A reference trace in columnar (struct-of-arrays) form with
-/// precomputed address decomposition, bound to the [`Topology`] and
+/// precomputed processor/home columns, bound to the [`Topology`] and
 /// [`Geometry`] it was decomposed under.
 ///
 /// # Example
@@ -79,19 +253,15 @@ const PROC_MASK: u8 = OP_BIT - 1;
 pub struct SharedTrace {
     topo: Topology,
     geo: Geometry,
-    /// Byte address column (kept for round-trips and the on-disk codec;
-    /// not streamed during replay).
-    addr: Vec<u64>,
+    /// Byte address column: owned, or a zero-copy window of a mapped v2
+    /// trace file. Block and page numbers are shifts off this column.
+    addr: AddrColumn,
     /// Packed per-reference byte: bits 0..6 processor id (machines up to
     /// 64 processors), bit 6 write, bit 7 first touch of the page.
     proc_op: Vec<u8>,
     /// Full-width processor ids, populated only when the machine has more
     /// than 64 processors (the packed field cannot hold the id).
     wide_proc: Vec<u16>,
-    /// Precomputed block addresses (`addr >> block_shift`).
-    block: Vec<u64>,
-    /// Precomputed page addresses (`addr >> page_shift`).
-    page: Vec<u64>,
     /// Precomputed first-touch home cluster of each reference's page.
     home_cluster: Vec<u8>,
     /// Precomputed issuing cluster of each reference.
@@ -99,9 +269,9 @@ pub struct SharedTrace {
 }
 
 impl SharedTrace {
-    /// Builds the columnar form of `refs`, decomposing every address
-    /// under `geo` and splitting every processor under `topo` once, and
-    /// precomputing each page's first-touch home.
+    /// Builds the columnar form of `refs`, splitting every processor
+    /// under `topo` once and precomputing each page's first-touch home
+    /// under `geo`.
     ///
     /// # Errors
     ///
@@ -114,74 +284,47 @@ impl SharedTrace {
         geo: Geometry,
         refs: &[MemRef],
     ) -> Result<Self, ConfigError> {
-        if topo.clusters() > 256 {
-            return Err(ConfigError::new(format!(
-                "SharedTrace cluster columns are one byte: {} clusters exceed 256",
-                topo.clusters()
-            )));
-        }
-        let total = topo.total_procs();
-        let wide = total > 64;
-        let n = refs.len();
-        let mut addr = Vec::with_capacity(n);
-        let mut proc_op = Vec::with_capacity(n);
-        let mut wide_proc = Vec::with_capacity(if wide { n } else { 0 });
-        let mut block = Vec::with_capacity(n);
-        let mut page = Vec::with_capacity(n);
-        let mut home_cluster = Vec::with_capacity(n);
-        let mut issuing_cluster = Vec::with_capacity(n);
-        // Page -> first-touch home, filled in trace order: exactly the
-        // assignments a first-touch placement map makes during replay.
-        let mut homes: DenseMap<u8> = DenseMap::new();
-        for r in refs {
-            if r.proc.0 >= total {
-                return Err(ConfigError::new(format!(
-                    "reference names processor {} outside topology {topo}",
-                    r.proc
-                )));
-            }
-            let (cl, _) = topo.split_of(r.proc);
-            let parts = geo.decompose(r.addr);
-            #[allow(clippy::cast_possible_truncation)] // clusters <= 256 checked above
-            let cl8 = cl.0 as u8;
-            let mut packed = if wide {
-                wide_proc.push(r.proc.0);
-                0
-            } else {
-                #[allow(clippy::cast_possible_truncation)] // total <= 64 in this arm
-                {
-                    r.proc.0 as u8
-                }
-            };
-            if r.op.is_write() {
-                packed |= OP_BIT;
-            }
-            let home = match homes.get(parts.page.0) {
-                Some(&h) => h,
-                None => {
-                    homes.insert(parts.page.0, cl8);
-                    packed |= FIRST_TOUCH_BIT;
-                    cl8
-                }
-            };
-            addr.push(r.addr.0);
-            proc_op.push(packed);
-            block.push(parts.block.0);
-            page.push(parts.page.0);
-            home_cluster.push(home);
-            issuing_cluster.push(cl8);
-        }
-        Ok(SharedTrace {
+        let derived = derive_columns(&topo, &geo, refs.len(), |i| {
+            let r = &refs[i];
+            (r.proc.0, r.op.is_write(), r.addr.0)
+        })
+        .map_err(|e| match e {
+            DeriveError::TooManyClusters(c) => ConfigError::new(format!(
+                "SharedTrace cluster columns are one byte: {c} clusters exceed 256"
+            )),
+            DeriveError::BadProc { proc, .. } => ConfigError::new(format!(
+                "reference names processor P{proc} outside topology {topo}"
+            )),
+        })?;
+        let addr = refs.iter().map(|r| r.addr.0).collect();
+        Ok(Self::from_parts(
+            topo,
+            geo,
+            AddrColumn::Owned(addr),
+            derived,
+        ))
+    }
+
+    /// Assembles a trace from an address column and its derived columns —
+    /// the shared tail of the in-memory builder and the mapped parser.
+    pub(crate) fn from_parts(
+        topo: Topology,
+        geo: Geometry,
+        addr: AddrColumn,
+        derived: DerivedColumns,
+    ) -> Self {
+        debug_assert_eq!(addr.len(), derived.proc_op.len());
+        debug_assert_eq!(addr.len(), derived.home_cluster.len());
+        debug_assert_eq!(addr.len(), derived.issuing_cluster.len());
+        SharedTrace {
             topo,
             geo,
             addr,
-            proc_op,
-            wide_proc,
-            block,
-            page,
-            home_cluster,
-            issuing_cluster,
-        })
+            proc_op: derived.proc_op,
+            wide_proc: derived.wide_proc,
+            home_cluster: derived.home_cluster,
+            issuing_cluster: derived.issuing_cluster,
+        }
     }
 
     /// [`SharedTrace::try_from_refs`], panicking on invalid input — the
@@ -202,7 +345,7 @@ impl SharedTrace {
         &self.topo
     }
 
-    /// The geometry the decomposition columns were derived under.
+    /// The geometry the decomposition was derived under.
     #[must_use]
     pub fn geometry(&self) -> &Geometry {
         &self.geo
@@ -217,7 +360,29 @@ impl SharedTrace {
     /// Whether the trace is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.addr.is_empty()
+        self.addr.len() == 0
+    }
+
+    /// Whether the address column borrows from a kernel file mapping —
+    /// `true` only for traces opened zero-copy via
+    /// [`crate::codec::open_shared_mapped`] on a platform with the raw
+    /// `mmap` path.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.addr {
+            AddrColumn::Owned(_) => false,
+            AddrColumn::Mapped { map, .. } => map.is_kernel_mapped(),
+        }
+    }
+
+    /// `"mapped"` or `"owned"` — the storage mode label telemetry and
+    /// progress lines report.
+    #[must_use]
+    pub fn storage_mode(&self) -> &'static str {
+        match &self.addr {
+            AddrColumn::Owned(_) => "owned",
+            AddrColumn::Mapped { .. } => "mapped",
+        }
     }
 
     /// The reference at `i` in its original array-of-structs form.
@@ -238,7 +403,7 @@ impl SharedTrace {
         } else {
             MemOp::Read
         };
-        MemRef::new(ProcId(proc), op, Addr(self.addr[i]))
+        MemRef::new(ProcId(proc), op, Addr(self.addr.at(i)))
     }
 
     /// Iterates the references in trace order as [`MemRef`]s — the
@@ -250,48 +415,160 @@ impl SharedTrace {
     /// Decodes up to `out.len()` references starting at `start` into
     /// `out`, returning how many were decoded (0 at end of trace). The
     /// replay hot loop calls this with a stack buffer of [`BATCH`]
-    /// entries; all address arithmetic, processor splitting and
-    /// first-touch home resolution happened at construction.
+    /// entries; processor splitting and first-touch home resolution
+    /// happened at construction, and block/page numbers are shifts off
+    /// a register-resident address window.
     #[inline]
     pub fn decode_batch(&self, start: usize, out: &mut [DecodedRef]) -> usize {
         let n = out.len().min(self.len().saturating_sub(start));
         if n == 0 {
             return 0;
         }
-        let end = start + n;
+        let mut done = 0;
+        while done < n {
+            let m = (n - done).min(BATCH);
+            self.decode_chunk(start + done, &mut out[done..done + m]);
+            done += m;
+        }
+        n
+    }
+
+    /// Decodes exactly `out.len()` (≤ [`BATCH`]) references starting at
+    /// `start`, column-at-a-time. The address window is staged into a
+    /// stack array first, so every column access in the lane loop is a
+    /// contiguous in-bounds slice read and the loop body carries no
+    /// branches — the wide-processor fallback is hoisted out of it, and
+    /// the tail is handled by the window length, not lane sentinels.
+    #[inline]
+    fn decode_chunk(&self, start: usize, out: &mut [DecodedRef]) {
+        let m = out.len();
+        debug_assert!(m <= BATCH);
+        let end = start + m;
+        // Geometry guarantees power-of-two sizes: shifts, not divides.
+        let block_shift = self.geo.block_bytes().trailing_zeros();
+        let page_shift = self.geo.page_bytes().trailing_zeros();
+        let mut addrs = [0u64; BATCH];
+        self.addr.fill(start, &mut addrs[..m]);
         let proc_op = &self.proc_op[start..end];
-        let block = &self.block[start..end];
-        let page = &self.page[start..end];
         let home = &self.home_cluster[start..end];
         let issuing = &self.issuing_cluster[start..end];
         let ppc = self.topo.procs_per_cluster();
-        for k in 0..n {
-            let packed = proc_op[k];
-            let cl = ClusterId(u16::from(issuing[k]));
-            let lp = if self.wide_proc.is_empty() {
-                LocalProcId(u16::from(packed & PROC_MASK) - cl.0 * ppc)
-            } else {
-                LocalProcId(self.wide_proc[start + k] - cl.0 * ppc)
-            };
-            out[k] = DecodedRef {
-                cluster: cl,
-                lproc: lp,
-                write: packed & OP_BIT != 0,
-                first_touch: packed & FIRST_TOUCH_BIT != 0,
-                block: dsm_types::BlockAddr(block[k]),
-                page: dsm_types::PageAddr(page[k]),
-                home: ClusterId(u16::from(home[k])),
-            };
+        if self.wide_proc.is_empty() {
+            for k in 0..m {
+                let packed = proc_op[k];
+                let cl = u16::from(issuing[k]);
+                out[k] = DecodedRef {
+                    cluster: ClusterId(cl),
+                    lproc: LocalProcId(u16::from(packed & PROC_MASK) - cl * ppc),
+                    write: packed & OP_BIT != 0,
+                    first_touch: packed & FIRST_TOUCH_BIT != 0,
+                    block: BlockAddr(addrs[k] >> block_shift),
+                    page: PageAddr(addrs[k] >> page_shift),
+                    home: ClusterId(u16::from(home[k])),
+                };
+            }
+        } else {
+            let wide = &self.wide_proc[start..end];
+            for k in 0..m {
+                let packed = proc_op[k];
+                let cl = u16::from(issuing[k]);
+                out[k] = DecodedRef {
+                    cluster: ClusterId(cl),
+                    lproc: LocalProcId(wide[k] - cl * ppc),
+                    write: packed & OP_BIT != 0,
+                    first_touch: packed & FIRST_TOUCH_BIT != 0,
+                    block: BlockAddr(addrs[k] >> block_shift),
+                    page: PageAddr(addrs[k] >> page_shift),
+                    home: ClusterId(u16::from(home[k])),
+                };
+            }
         }
-        n
+    }
+
+    /// Visits `(issuing cluster, local processor, block)` for up to
+    /// `len` references starting at `start`, without materializing
+    /// [`DecodedRef`]s. The replay loops use this to issue machine-line
+    /// prefetches for batch N+1 while batch N is in flight: the lane
+    /// values stay in registers, so the *processing* batch's decode can
+    /// remain fused with the process loop (a second decoded buffer
+    /// would force every lane of both batches through the stack).
+    #[inline]
+    pub fn peek_batch(
+        &self,
+        start: usize,
+        len: usize,
+        mut f: impl FnMut(ClusterId, LocalProcId, BlockAddr),
+    ) {
+        let n = len.min(self.len().saturating_sub(start));
+        if n == 0 {
+            return;
+        }
+        let end = start + n;
+        let block_shift = self.geo.block_bytes().trailing_zeros();
+        let ppc = self.topo.procs_per_cluster();
+        let proc_op = &self.proc_op[start..end];
+        let issuing = &self.issuing_cluster[start..end];
+        if self.wide_proc.is_empty() {
+            for k in 0..n {
+                let cl = u16::from(issuing[k]);
+                let lp = u16::from(proc_op[k] & PROC_MASK) - cl * ppc;
+                f(
+                    ClusterId(cl),
+                    LocalProcId(lp),
+                    BlockAddr(self.addr.at(start + k) >> block_shift),
+                );
+            }
+        } else {
+            let wide = &self.wide_proc[start..end];
+            for k in 0..n {
+                let cl = u16::from(issuing[k]);
+                f(
+                    ClusterId(cl),
+                    LocalProcId(wide[k] - cl * ppc),
+                    BlockAddr(self.addr.at(start + k) >> block_shift),
+                );
+            }
+        }
+    }
+
+    /// [`SharedTrace::peek_batch`] over *listed trace positions* (a
+    /// gather) — the sharded replay's prefetch peek, visiting at most
+    /// `len` of `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn peek_gather(
+        &self,
+        indices: &[u32],
+        len: usize,
+        mut f: impl FnMut(ClusterId, LocalProcId, BlockAddr),
+    ) {
+        let n = len.min(indices.len());
+        let block_shift = self.geo.block_bytes().trailing_zeros();
+        let ppc = self.topo.procs_per_cluster();
+        for &i in &indices[..n] {
+            let i = i as usize;
+            let cl = u16::from(self.issuing_cluster[i]);
+            let lp = if self.wide_proc.is_empty() {
+                u16::from(self.proc_op[i] & PROC_MASK) - cl * ppc
+            } else {
+                self.wide_proc[i] - cl * ppc
+            };
+            f(
+                ClusterId(cl),
+                LocalProcId(lp),
+                BlockAddr(self.addr.at(i) >> block_shift),
+            );
+        }
     }
 
     /// Partitions the trace by home cluster: `result[c]` lists the
     /// indices of every reference whose page is homed at cluster `c`, in
     /// trace order — one scan of the precomputed `home_cluster` column.
-    /// This is the work split of the planned per-cluster sharded
-    /// simulator (each shard owns the directory state of its home
-    /// cluster's pages).
+    /// This is the work split of the per-cluster sharded simulator (each
+    /// shard owns the directory state of its home cluster's pages).
     #[must_use]
     pub fn shard_by_home(&self) -> Vec<Vec<u32>> {
         let mut shards = vec![Vec::new(); usize::from(self.topo.clusters())];
@@ -313,25 +590,41 @@ impl SharedTrace {
     #[inline]
     pub fn decode_gather(&self, indices: &[u32], out: &mut [DecodedRef]) -> usize {
         let n = out.len().min(indices.len());
+        let block_shift = self.geo.block_bytes().trailing_zeros();
+        let page_shift = self.geo.page_bytes().trailing_zeros();
         let ppc = self.topo.procs_per_cluster();
-        for (slot, &i) in out[..n].iter_mut().zip(indices) {
-            let i = i as usize;
-            let packed = self.proc_op[i];
-            let cl = ClusterId(u16::from(self.issuing_cluster[i]));
-            let lp = if self.wide_proc.is_empty() {
-                LocalProcId(u16::from(packed & PROC_MASK) - cl.0 * ppc)
-            } else {
-                LocalProcId(self.wide_proc[i] - cl.0 * ppc)
-            };
-            *slot = DecodedRef {
-                cluster: cl,
-                lproc: lp,
-                write: packed & OP_BIT != 0,
-                first_touch: packed & FIRST_TOUCH_BIT != 0,
-                block: dsm_types::BlockAddr(self.block[i]),
-                page: dsm_types::PageAddr(self.page[i]),
-                home: ClusterId(u16::from(self.home_cluster[i])),
-            };
+        if self.wide_proc.is_empty() {
+            for (slot, &i) in out[..n].iter_mut().zip(indices) {
+                let i = i as usize;
+                let packed = self.proc_op[i];
+                let cl = u16::from(self.issuing_cluster[i]);
+                let a = self.addr.at(i);
+                *slot = DecodedRef {
+                    cluster: ClusterId(cl),
+                    lproc: LocalProcId(u16::from(packed & PROC_MASK) - cl * ppc),
+                    write: packed & OP_BIT != 0,
+                    first_touch: packed & FIRST_TOUCH_BIT != 0,
+                    block: BlockAddr(a >> block_shift),
+                    page: PageAddr(a >> page_shift),
+                    home: ClusterId(u16::from(self.home_cluster[i])),
+                };
+            }
+        } else {
+            for (slot, &i) in out[..n].iter_mut().zip(indices) {
+                let i = i as usize;
+                let packed = self.proc_op[i];
+                let cl = u16::from(self.issuing_cluster[i]);
+                let a = self.addr.at(i);
+                *slot = DecodedRef {
+                    cluster: ClusterId(cl),
+                    lproc: LocalProcId(self.wide_proc[i] - cl * ppc),
+                    write: packed & OP_BIT != 0,
+                    first_touch: packed & FIRST_TOUCH_BIT != 0,
+                    block: BlockAddr(a >> block_shift),
+                    page: PageAddr(a >> page_shift),
+                    home: ClusterId(u16::from(self.home_cluster[i])),
+                };
+            }
         }
         n
     }
@@ -356,6 +649,7 @@ impl SharedTrace {
     #[must_use]
     pub fn shard_plan(&self) -> ShardPlan {
         let clusters = usize::from(self.topo.clusters());
+        let page_shift = self.geo.page_bytes().trailing_zeros();
         // Union-find over the (≤ 256) clusters, keyed by shared pages.
         let mut parent: Vec<u16> = (0..clusters)
             .map(|c| u16::try_from(c).expect("clusters fit u16"))
@@ -372,7 +666,8 @@ impl SharedTrace {
         // toucher seeds the entry; every later accessor unions with it.
         let mut page_rep: DenseMap<u8> = DenseMap::new();
         for (i, &c) in self.issuing_cluster.iter().enumerate() {
-            match page_rep.get(self.page[i]) {
+            let page = self.addr.at(i) >> page_shift;
+            match page_rep.get(page) {
                 Some(&rep) => {
                     let (a, b) = (
                         find(&mut parent, u16::from(c)),
@@ -383,7 +678,7 @@ impl SharedTrace {
                     }
                 }
                 None => {
-                    page_rep.insert(self.page[i], c);
+                    page_rep.insert(page, c);
                 }
             }
         }
@@ -411,10 +706,12 @@ impl SharedTrace {
 
     /// Heap bytes held by the columns — the footprint quantity
     /// EXPERIMENTS.md tracks against the 16 padded bytes per reference of
-    /// the array-of-structs form.
+    /// the array-of-structs form. A mapped address column contributes
+    /// nothing: its bytes are file-backed pages shared with every other
+    /// reader of the same file.
     #[must_use]
     pub fn column_bytes(&self) -> usize {
-        self.addr.len() * (8 + 1 + 8 + 8 + 1 + 1) + self.wide_proc.len() * 2
+        self.addr.heap_bytes() + self.proc_op.len() * (1 + 1 + 1) + self.wide_proc.len() * 2
     }
 }
 
@@ -498,6 +795,22 @@ mod tests {
         )
     }
 
+    /// The same trace with its address column re-homed behind a mapped
+    /// buffer — every decode path must observe identical references.
+    fn remap_addr_column(s: &SharedTrace) -> SharedTrace {
+        let mut bytes = Vec::new();
+        for r in s.iter() {
+            bytes.extend_from_slice(&r.addr.0.to_le_bytes());
+        }
+        let mut out = s.clone();
+        out.addr = AddrColumn::Mapped {
+            map: Arc::new(Mapping::from_vec(bytes)),
+            offset: 0,
+            count: s.len(),
+        };
+        out
+    }
+
     #[test]
     fn roundtrips_to_memrefs() {
         let s = shared();
@@ -508,7 +821,7 @@ mod tests {
     }
 
     #[test]
-    fn decomposition_columns_match_geometry() {
+    fn decomposition_matches_geometry() {
         let s = shared();
         let geo = Geometry::paper_default();
         let mut out = [DecodedRef::default(); BATCH];
@@ -569,6 +882,25 @@ mod tests {
     }
 
     #[test]
+    fn oversized_output_windows_decode_whole_ranges() {
+        // decode_batch accepts windows larger than BATCH (chunked
+        // internally); lanes must match the one-batch-at-a-time decode.
+        let refs: Vec<MemRef> = (0..50u64)
+            .map(|i| MemRef::read(ProcId((i % 32) as u16), Addr(i * 192)))
+            .collect();
+        let s = SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &refs);
+        let mut wide = vec![DecodedRef::default(); 50];
+        assert_eq!(s.decode_batch(0, &mut wide), 50);
+        let mut narrow = [DecodedRef::default(); BATCH];
+        let mut start = 0;
+        while start < 50 {
+            let n = s.decode_batch(start, &mut narrow);
+            assert_eq!(&wide[start..start + n], &narrow[..n]);
+            start += n;
+        }
+    }
+
+    #[test]
     fn wide_machines_use_the_side_column() {
         // 32 clusters x 4 procs = 128 > 64: packed bits cannot hold ids.
         let topo = Topology::new(32, 4).unwrap();
@@ -585,6 +917,48 @@ mod tests {
         assert_eq!(out[0].lproc, LocalProcId(3));
         assert_eq!(out[1].cluster, ClusterId(1));
         assert_eq!(out[1].lproc, LocalProcId(1));
+    }
+
+    #[test]
+    fn mapped_and_owned_storage_decode_identically() {
+        let refs: Vec<MemRef> = (0..200u64)
+            .map(|i| {
+                let p = ProcId((i % 32) as u16);
+                if i % 3 == 0 {
+                    MemRef::write(p, Addr(i * 4096 / 3 + i))
+                } else {
+                    MemRef::read(p, Addr(i * 64))
+                }
+            })
+            .collect();
+        let owned =
+            SharedTrace::from_refs(Topology::paper_default(), Geometry::paper_default(), &refs);
+        let mapped = remap_addr_column(&owned);
+        assert_eq!(owned.storage_mode(), "owned");
+        assert_eq!(mapped.storage_mode(), "mapped");
+        assert_eq!(mapped.iter().collect::<Vec<_>>(), refs);
+        let (mut a, mut b) = (
+            [DecodedRef::default(); BATCH],
+            [DecodedRef::default(); BATCH],
+        );
+        let mut start = 0;
+        loop {
+            let n = owned.decode_batch(start, &mut a);
+            assert_eq!(mapped.decode_batch(start, &mut b), n);
+            if n == 0 {
+                break;
+            }
+            assert_eq!(a[..n], b[..n]);
+            start += n;
+        }
+        let indices: Vec<u32> = (0..200).rev().step_by(7).collect();
+        let mut ga = vec![DecodedRef::default(); indices.len()];
+        let mut gb = vec![DecodedRef::default(); indices.len()];
+        assert_eq!(owned.decode_gather(&indices, &mut ga), indices.len());
+        assert_eq!(mapped.decode_gather(&indices, &mut gb), indices.len());
+        assert_eq!(ga, gb);
+        assert_eq!(owned.shard_plan(), mapped.shard_plan());
+        assert_eq!(owned.shard_by_home(), mapped.shard_by_home());
     }
 
     #[test]
@@ -730,14 +1104,19 @@ mod tests {
 
     #[test]
     fn column_bytes_track_the_footprint() {
+        // 11 bytes per reference owned (addr 8 + packed 1 + two cluster
+        // bytes); block/page are shifts, not columns.
         let s = shared();
-        assert_eq!(s.column_bytes(), 5 * 27);
+        assert_eq!(s.column_bytes(), 5 * 11);
         let wide = SharedTrace::from_refs(
             Topology::new(32, 4).unwrap(),
             Geometry::paper_default(),
             &[MemRef::read(ProcId(0), Addr(0))],
         );
-        assert_eq!(wide.column_bytes(), 27 + 2);
+        assert_eq!(wide.column_bytes(), 11 + 2);
+        // A mapped address column costs no heap: 3 bytes/ref remain.
+        let mapped = remap_addr_column(&s);
+        assert_eq!(mapped.column_bytes(), 5 * 3);
     }
 
     #[test]

@@ -224,6 +224,19 @@ impl<V> DenseMap<V> {
         }
     }
 
+    /// Hints `key`'s home slot into L1 without probing — the replay
+    /// pipeline calls this for the *next* batch's keys while the current
+    /// batch is processed, overlapping the lookup miss with useful work.
+    /// Collision chains beyond the home slot's cache line may still
+    /// miss; every probe starts at the home slot, so it is the line that
+    /// matters.
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        if !self.slots.is_empty() {
+            crate::prefetch::prefetch_slice(&self.slots, self.home_slot(key));
+        }
+    }
+
     /// The value for `key`, if present.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<&V> {

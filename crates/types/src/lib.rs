@@ -19,7 +19,9 @@
 //! assert_eq!(topo.cluster_of(r.proc).0, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `prefetch` module opts back in for the
+// prefetch intrinsics alone (see its module docs for the safety story).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
@@ -30,6 +32,7 @@ pub mod fastmap;
 pub mod geometry;
 pub mod ids;
 pub mod op;
+pub mod prefetch;
 
 pub use addr::{Addr, BlockAddr, PageAddr};
 pub use cluster_set::{ClusterSet, ClusterSetIter};
@@ -39,3 +42,4 @@ pub use fastmap::{DenseMap, FxBuildHasher, FxHashMap, FxHasher};
 pub use geometry::{AddrParts, Geometry};
 pub use ids::{ClusterId, LocalProcId, ProcId, Topology};
 pub use op::{MemOp, MemRef};
+pub use prefetch::{prefetch_read, prefetch_slice};

@@ -1,0 +1,62 @@
+//! Software prefetch hints for the batched replay pipeline.
+//!
+//! Replay processes decoded references in batches of 16; while batch `N`
+//! runs through the coherence layers, the lines batch `N+1` will touch —
+//! directory entries, cache tag rows — can already be on their way from
+//! DRAM. These helpers issue non-faulting prefetch hints (`prefetcht0` on
+//! x86-64, `prfm pldl1keep` on AArch64) and compile to nothing on other
+//! architectures, so callers sprinkle them freely without `cfg` noise.
+//!
+//! A prefetch hint never dereferences: it is architecturally a no-op on
+//! an unmapped address, and the wrappers below only ever form addresses
+//! from live references, so the `unsafe` here is confined to the
+//! intrinsic call itself. This module is the only place in the crate
+//! allowed to use `unsafe` (the crate is otherwise `deny(unsafe_code)`).
+#![allow(unsafe_code)]
+
+/// Hints the CPU to pull the cache line holding `r` into L1.
+///
+/// No-op on architectures without a stable prefetch intrinsic.
+#[inline(always)]
+pub fn prefetch_read<T>(r: &T) {
+    let p: *const T = r;
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch does not dereference; any address is allowed.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: prfm is a hint; it cannot fault and touches no registers.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{addr}]",
+            addr = in(reg) p,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
+/// Prefetches element `i` of `s`, silently doing nothing when `i` is out
+/// of bounds — the caller is predicting the future and may be wrong.
+#[inline(always)]
+pub fn prefetch_slice<T>(s: &[T], i: usize) {
+    if let Some(r) = s.get(i) {
+        prefetch_read(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_harmless() {
+        let v = vec![1u64, 2, 3];
+        prefetch_read(&v[0]);
+        prefetch_slice(&v, 2);
+        prefetch_slice(&v, 1_000_000); // out of bounds: no-op
+        assert_eq!(v, [1, 2, 3]);
+    }
+}
