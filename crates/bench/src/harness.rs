@@ -21,12 +21,14 @@ common flags:
   --scale <f>  trace-length scale factor in (0, 1] (env DSM_SCALE; default 1.0)
   --jobs <n>   sweep worker threads (env DSM_JOBS; default: available
                parallelism; 1 = the serial legacy path)
-  --shard-workers <n>  replay threads per simulated point (env
+  --shard-workers <n|auto>  replay threads per simulated point (env
                DSM_SHARD_WORKERS; default 1 = the single-threaded oracle
                path). Results are byte-identical for any value; sweep
                workers shrink to jobs/n so both levels share one budget,
                so n must not exceed --jobs (unless --jobs is 1, which
-               dedicates the whole budget to replay)
+               dedicates the whole budget to replay). 'auto' derives n
+               from the host's available parallelism, capped by the
+               --jobs budget
   --mmap       replay traces through the zero-copy mmap loader:
                generated traces are spilled to a temp file and mapped
                read-only instead of staying heap-resident (env DSM_MMAP;
@@ -60,9 +62,23 @@ pub fn parse_argv(
     argv: &[String],
     mut extra: impl FnMut(&[String], usize) -> Result<usize, String>,
 ) -> Result<RunArgs, String> {
+    /// `--shard-workers` before resolution: an explicit count, or
+    /// `auto` (derive from available parallelism and the jobs budget).
+    enum ShardWorkersArg {
+        Count(usize),
+        Auto,
+    }
+    fn parse_shard_workers(v: &str) -> Result<ShardWorkersArg, String> {
+        if v == "auto" {
+            return Ok(ShardWorkersArg::Auto);
+        }
+        v.parse()
+            .map(ShardWorkersArg::Count)
+            .map_err(|_| format!("bad worker count '{v}' (expected a number or 'auto')"))
+    }
     let mut scale: Option<f64> = None;
     let mut jobs: Option<usize> = None;
-    let mut shard_workers: Option<usize> = None;
+    let mut shard_workers: Option<ShardWorkersArg> = None;
     let mut mmap = false;
     let mut i = 0;
     while i < argv.len() {
@@ -85,7 +101,7 @@ pub fn parse_argv(
                 let v = argv
                     .get(i + 1)
                     .ok_or_else(|| "--shard-workers requires a value".to_owned())?;
-                shard_workers = Some(v.parse().map_err(|_| format!("bad worker count '{v}'"))?);
+                shard_workers = Some(parse_shard_workers(v)?);
                 i += 2;
             }
             "--mmap" => {
@@ -110,10 +126,8 @@ pub fn parse_argv(
     }
     if shard_workers.is_none() {
         if let Ok(v) = std::env::var("DSM_SHARD_WORKERS") {
-            shard_workers = Some(
-                v.parse()
-                    .map_err(|_| format!("bad DSM_SHARD_WORKERS '{v}'"))?,
-            );
+            shard_workers =
+                Some(parse_shard_workers(&v).map_err(|_| format!("bad DSM_SHARD_WORKERS '{v}'"))?);
         }
     }
     if !mmap {
@@ -121,23 +135,41 @@ pub fn parse_argv(
             mmap = !v.is_empty() && v != "0";
         }
     }
-    let shard_workers = shard_workers.unwrap_or(1);
-    if shard_workers == 0 {
-        return Err("--shard-workers must be at least 1".to_owned());
-    }
     let jobs = match jobs {
         Some(n) => Jobs::new(n)?,
         None => Jobs::available(),
     };
+    // Resolve `auto` against the host and the jobs budget: under a
+    // serial sweep (--jobs 1) every hardware thread goes to replay;
+    // otherwise replay threads cannot exceed the sweep budget.
+    let shard_workers = match shard_workers {
+        None => 1,
+        Some(ShardWorkersArg::Count(n)) => n,
+        Some(ShardWorkersArg::Auto) => {
+            let avail = Jobs::available().get();
+            if jobs.get() == 1 {
+                avail
+            } else {
+                avail.min(jobs.get())
+            }
+        }
+    };
+    if shard_workers == 0 {
+        return Err("--shard-workers must be at least 1".to_owned());
+    }
     // The two parallelism levels share one thread budget (jobs /
     // shard-workers sweep workers). Asking for more replay threads than
     // the budget holds cannot be honored — except under --jobs 1, the
     // explicit "serial sweep, all threads to replay" idiom.
     if jobs.get() > 1 && shard_workers > jobs.get() {
+        let j = jobs.get();
         return Err(format!(
-            "--shard-workers {shard_workers} exceeds the --jobs {} thread budget \
-             (use --jobs 1 to dedicate every thread to replay)",
-            jobs.get()
+            "--shard-workers {shard_workers} exceeds the --jobs {j} thread budget: \
+             the split {j} jobs / {shard_workers} replay threads leaves 0 concurrent \
+             sweep points. Largest legal value here is --shard-workers {j} \
+             (split: 1 sweep point x {j} replay threads); or use --jobs 1 to \
+             dedicate every thread to replay, or --shard-workers auto to derive \
+             a legal value"
         ));
     }
     Ok(RunArgs {
@@ -791,6 +823,28 @@ mod tests {
         assert_eq!(default.shard_workers, 1);
         assert!(parse_argv(&argv(&["--shard-workers", "0"]), |_, _| Ok(0)).is_err());
         assert!(parse_argv(&argv(&["--shard-workers"]), |_, _| Ok(0)).is_err());
+        assert!(parse_argv(&argv(&["--shard-workers", "many"]), |_, _| Ok(0)).is_err());
+    }
+
+    #[test]
+    fn parse_argv_resolves_auto_shard_workers() {
+        let avail = Jobs::available().get();
+        // Serial sweep: auto dedicates the whole host to replay.
+        let a = parse_argv(
+            &argv(&["--jobs", "1", "--shard-workers", "auto"]),
+            |_, _| Ok(0),
+        )
+        .unwrap();
+        assert_eq!(a.shard_workers, avail);
+        // Parallel sweep: auto is capped by the jobs budget, so the
+        // result is always legal (never trips the exceeds error).
+        let a = parse_argv(
+            &argv(&["--jobs", "2", "--shard-workers", "auto"]),
+            |_, _| Ok(0),
+        )
+        .unwrap();
+        assert_eq!(a.shard_workers, avail.min(2));
+        assert!(a.shard_workers >= 1);
     }
 
     #[test]
@@ -810,6 +864,9 @@ mod tests {
         })
         .unwrap_err();
         assert!(e.contains("exceeds"), "{e}");
+        // The message spells out the computed split and the way out.
+        assert!(e.contains("2 jobs / 4 replay threads"), "{e}");
+        assert!(e.contains("--shard-workers 2"), "{e}");
         // ...except under --jobs 1, the "all threads to replay" idiom.
         let a = parse_argv(&argv(&["--jobs", "1", "--shard-workers", "4"]), |_, _| {
             Ok(0)

@@ -434,10 +434,14 @@ fn run(o: &Options, spec: SystemSpec) -> Result<(), DsmError> {
         let (topo, geo) = (*trace.topology(), *trace.geometry());
         let mut system = System::new(spec, topo, geo, data_bytes)?;
         let engaged = system.run_sharded(&trace, o.shard_workers);
-        if engaged > 1 {
-            eprintln!("simulate: sharded replay across {engaged} workers");
-        } else {
-            eprintln!("simulate: trace not shardable; replayed on the single-thread oracle");
+        match system.shard_report() {
+            Some(r) if engaged > 1 => eprintln!(
+                "simulate: sharded replay across {engaged} workers ({:?} engine, {} parallel rounds, {} parallel / {} serial refs)",
+                r.engine, r.parallel_rounds, r.parallel_refs, r.serial_refs
+            ),
+            _ => eprintln!(
+                "simulate: no parallel work found; replayed on the single-thread oracle"
+            ),
         }
         if o.check.is_some() {
             system.check_invariants()?;

@@ -264,6 +264,14 @@ pub fn run_trace_sharded(
     )?;
     let t0 = std::time::Instant::now();
     system.run_sharded(trace, shard_workers);
+    if let Some(r) = system.shard_report() {
+        // Stderr only: the shard-plan line is the no-silent-fallback
+        // probe CI greps for, and must stay out of the golden stdout.
+        eprintln!(
+            "shard plan [{workload_name}/{}]: engine={:?} workers={} rounds={} parallel={} serial={}",
+            spec.name, r.engine, r.workers, r.parallel_rounds, r.parallel_refs, r.serial_refs
+        );
+    }
     let mut report = report_of(&system, workload_name, data_bytes, trace.len() as u64);
     report.wall_s = t0.elapsed().as_secs_f64();
     Ok(report)

@@ -1,24 +1,36 @@
-//! Sharded trace replay: partition the machine by home cluster and
-//! replay disjoint partitions on worker threads.
+//! Sharded trace replay: two engines, one byte-identity guarantee.
 //!
-//! [`SharedTrace::shard_plan`] splits the cluster set into connected
-//! components of the page-sharing graph (clusters belong to the same
-//! component iff some page is accessed by both). Under pure first-touch
-//! placement every page a component's processors touch is homed *inside*
-//! that component, so the machine state its references can reach —
-//! cluster units (caches, NC, PC, bus), directory entries, placement
-//! slots, R-NUMA counters — is disjoint from every other component's.
-//! Each worker replays its components in trace order against a pristine
-//! clone of the system; the results are merged back in ascending shard
-//! order. Because the per-shard replays are exact and the aggregates are
-//! plain sums, the outcome is **identical to [`System::run_shared`] for
-//! any worker count** — the single-threaded path stays the oracle
-//! (`tests/sharded_equiv.rs` pins the identity).
+//! Both engines reproduce [`System::run_shared`]'s final state
+//! **exactly, for any worker count** — the single-threaded path stays
+//! the oracle (`tests/sharded_equiv.rs` pins the identity). Which
+//! engine runs is decided by the trace's sharing structure:
+//!
+//! * **Component engine** (this module): [`SharedTrace::shard_plan`]
+//!   splits the cluster set into connected components of the
+//!   page-sharing graph. Under pure first-touch placement each
+//!   component's reachable machine state — cluster units (caches, NC,
+//!   PC, bus), directory entries, placement slots, R-NUMA counters —
+//!   is disjoint from every other component's, so components replay
+//!   concurrently with no coordination and merge back in ascending
+//!   shard order.
+//!
+//! * **Rounds engine** ([`rounds`]): when the sharing graph is a single
+//!   component (the paper's all-to-all kernels: FFT transpose, radix
+//!   permutation), clusters are partitioned *within* the component and
+//!   the trace is cut into conservative time-stepped rounds — maximal
+//!   runs whose references provably stay inside one partition replay in
+//!   parallel, everything else replays serially on the main system.
 //!
 //! Workers stream per-chunk [`Metrics`] deltas to the calling thread
-//! through bounded SPSC [`mailbox`]es; the committer folds them as they
-//! arrive (sums are order-independent) and the merged structural state
-//! is reconciled against the streamed totals at join.
+//! through bounded SPSC [`mailbox`]es, tagged with their round and
+//! intra-round sequence number; the committer drains workers in
+//! ascending part order, folding chunks in the deterministic
+//! `(round, issuing part, seq)` order, and the merged structural state
+//! is reconciled against the streamed totals at join. The engine,
+//! worker count and parallel/serial split of the last sharded run are
+//! recorded in [`System::shard_report`] so callers and CI can assert
+//! that a workload really ran parallel instead of silently falling
+//! back.
 //!
 //! # Fallback
 //!
@@ -29,13 +41,14 @@
 //!
 //! * fewer than two workers were requested;
 //! * the system runs OS page policies (migration/replication moves
-//!   homes, coupling clusters across components);
+//!   homes, coupling clusters across partitions);
 //! * the placement map is already populated or counters are non-zero
 //!   (a prior run on the same system: clones would not be pristine);
-//! * the trace's sharing graph has a single component (fully coupled
-//!   workloads — nothing to parallelize without breaking exactness).
+//! * the rounds planner finds no run of independent references long
+//!   enough to be worth a round (degenerate or fully serial traces).
 
 pub mod mailbox;
+pub mod rounds;
 
 use dsm_trace::{SharedTrace, BATCH};
 use dsm_types::DecodedRef;
@@ -47,7 +60,18 @@ use crate::system::System;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardMsg {
     /// The counters gained since the worker's previous chunk.
-    Chunk(Metrics),
+    Chunk {
+        /// The parallel round this chunk belongs to (the component
+        /// engine tags its per-component replays with the shard
+        /// number). Combined with the drain order — ascending worker
+        /// within a round — and `seq`, chunks fold in the deterministic
+        /// `(round, issuing part, seq)` order.
+        round: u32,
+        /// Position of this chunk within its worker's round, from 0.
+        seq: u32,
+        /// The counters gained since the worker's previous chunk.
+        delta: Metrics,
+    },
 }
 
 /// Knobs for [`System::run_sharded_with`] — exposed so tests can force
@@ -58,6 +82,11 @@ pub struct ShardTuning {
     pub chunk_refs: usize,
     /// Bounded mailbox capacity, in messages, per worker.
     pub mailbox_capacity: usize,
+    /// Smallest run of independent references the rounds engine will
+    /// turn into a parallel round; shorter runs fold into the
+    /// surrounding serial segment (a round costs a system clone per
+    /// worker plus a merge, which tiny runs cannot amortize).
+    pub min_parallel_refs: usize,
 }
 
 impl Default for ShardTuning {
@@ -65,8 +94,37 @@ impl Default for ShardTuning {
         ShardTuning {
             chunk_refs: 1 << 16,
             mailbox_capacity: 64,
+            min_parallel_refs: 1 << 15,
         }
     }
+}
+
+/// Which sharded-replay engine a run used (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEngine {
+    /// Independent sharing components replayed concurrently.
+    Components,
+    /// Intra-component time-stepped rounds ([`rounds`]).
+    Rounds,
+}
+
+/// How a sharded replay executed — the record behind
+/// [`System::shard_report`], used to assert that a workload engaged a
+/// parallel engine rather than silently falling back to the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The engine that ran.
+    pub engine: ShardEngine,
+    /// Worker threads actually engaged (1 = serial oracle path).
+    pub workers: usize,
+    /// Parallel rounds executed (0 for the component engine, which
+    /// needs no rounds — components never interact).
+    pub parallel_rounds: usize,
+    /// References replayed inside parallel rounds.
+    pub parallel_refs: u64,
+    /// References replayed serially on the main system (0 for the
+    /// component engine: every reference replays on a worker).
+    pub serial_refs: u64,
 }
 
 impl System {
@@ -112,6 +170,10 @@ impl System {
             "trace geometry does not match system geometry"
         );
         assert!(tuning.chunk_refs > 0, "chunk_refs must be positive");
+        assert!(
+            tuning.min_parallel_refs > 0,
+            "min_parallel_refs must be positive"
+        );
         let eligible = workers >= 2
             && self.migrep.is_none()
             && self.home.placement().placed_pages() == 0
@@ -122,8 +184,9 @@ impl System {
         }
         let plan = trace.shard_plan();
         if plan.len() < 2 {
-            self.run_shared(trace);
-            return 1;
+            // One sharing component: parallelize inside it with the
+            // round-based engine instead of giving up.
+            return self.run_rounds(trace, workers, tuning);
         }
         let threads = workers.min(plan.len());
 
@@ -141,7 +204,8 @@ impl System {
                     // Round-robin: thread `t` owns shards t, t+threads, ...
                     // replayed in ascending shard (= earliest-trace) order.
                     for s in (t..plan.len()).step_by(threads) {
-                        replay_indices(&mut sys, trace, &plan.shards()[s], tuning, &mut tx);
+                        let round = u32::try_from(s).expect("shard count fits u32");
+                        replay_indices(&mut sys, trace, &plan.shards()[s], tuning, &mut tx, round);
                     }
                     sys
                 }));
@@ -151,7 +215,7 @@ impl System {
             // worker to completion never deadlocks another (each send
             // only waits on its own mailbox's committer cursor).
             for rx in &mut receivers {
-                while let Some(ShardMsg::Chunk(delta)) = rx.recv() {
+                while let Some(ShardMsg::Chunk { delta, .. }) = rx.recv() {
                     streamed.merge(&delta);
                 }
             }
@@ -196,20 +260,29 @@ impl System {
                 );
             }
         }
+        self.shard_report = Some(ShardReport {
+            engine: ShardEngine::Components,
+            workers: threads,
+            parallel_rounds: 0,
+            parallel_refs: trace.len() as u64,
+            serial_refs: 0,
+        });
         threads
     }
 }
 
 /// Replays one shard's trace positions on `sys`, streaming a metrics
-/// delta roughly every `tuning.chunk_refs` references. The final partial
-/// chunk is flushed by the caller's sender drop closing the mailbox
-/// after the last explicit send here.
+/// delta roughly every `tuning.chunk_refs` references, tagged with
+/// `round` and an intra-round sequence number. The final partial chunk
+/// is flushed by the caller's sender drop closing the mailbox after the
+/// last explicit send here.
 fn replay_indices(
     sys: &mut System,
     trace: &SharedTrace,
     indices: &[u32],
     tuning: ShardTuning,
     tx: &mut mailbox::Sender<ShardMsg>,
+    round: u32,
 ) {
     // Prefetch one window ahead like `System::run_shared`: after
     // gathering window N, peek window N+1's columns and prefetch the
@@ -219,6 +292,7 @@ fn replay_indices(
     let mut last = *sys.metrics();
     let mut since_flush = 0;
     let mut pos = 0;
+    let mut seq: u32 = 0;
     loop {
         let n = trace.decode_gather(&indices[pos..], &mut batch);
         if n == 0 {
@@ -238,12 +312,13 @@ fn replay_indices(
             last = *sys.metrics();
             // A dropped receiver only loses telemetry; the worker's own
             // counters remain the authoritative copy merged at join.
-            let _ = tx.send(ShardMsg::Chunk(delta));
+            let _ = tx.send(ShardMsg::Chunk { round, seq, delta });
+            seq = seq.wrapping_add(1);
         }
     }
     let delta = sys.metrics().delta(&last);
     if delta != Metrics::default() {
-        let _ = tx.send(ShardMsg::Chunk(delta));
+        let _ = tx.send(ShardMsg::Chunk { round, seq, delta });
     }
 }
 
@@ -278,10 +353,11 @@ mod tests {
     }
 
     #[test]
-    fn single_component_falls_back() {
+    fn trivial_single_component_runs_serially_with_a_report() {
         let topo = Topology::new(2, 4).unwrap();
         let geo = Geometry::paper_default();
-        // Both clusters read page 0: one component.
+        // Both clusters read page 0: one component, and far too short
+        // for the rounds engine to cut a parallel round out of.
         let refs = vec![
             MemRef::read(ProcId(0), Addr(0)),
             MemRef::read(ProcId(4), Addr(0)),
@@ -290,6 +366,10 @@ mod tests {
         let mut sys = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
         assert_eq!(sys.run_sharded(&trace, 4), 1);
         assert_eq!(sys.metrics().shared_refs, 2);
+        let report = sys.shard_report().unwrap();
+        assert_eq!(report.engine, ShardEngine::Rounds);
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.parallel_rounds, 0);
     }
 
     #[test]
@@ -313,8 +393,13 @@ mod tests {
         let tuning = ShardTuning {
             chunk_refs: 1,
             mailbox_capacity: 1,
+            min_parallel_refs: 1,
         };
         assert_eq!(sys.run_sharded_with(&trace, 2, tuning), 2);
         assert_eq!(sys.metrics(), oracle.metrics());
+        let report = sys.shard_report().unwrap();
+        assert_eq!(report.engine, ShardEngine::Components);
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.parallel_refs, trace.len() as u64);
     }
 }

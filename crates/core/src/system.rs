@@ -58,6 +58,9 @@ pub struct System<P: Probe = NoProbe> {
     pub(crate) metrics: Metrics,
     pub(crate) per_cluster: Vec<ClusterCounts>,
     pub(crate) migrep: Option<MigRepState>,
+    /// How the most recent `run_sharded` call executed (`None` until
+    /// one runs) — the probe the no-silent-fallback assertions read.
+    pub(crate) shard_report: Option<crate::shard::ShardReport>,
     model: LatencyModel,
     probe: P,
     epoch: Option<EpochState>,
@@ -204,6 +207,7 @@ impl<P: Probe> System<P> {
             clusters,
             metrics: Metrics::new(),
             migrep,
+            shard_report: None,
             model,
             spec,
             topo,
@@ -337,6 +341,16 @@ impl<P: Probe> System<P> {
     #[must_use]
     pub fn model(&self) -> &LatencyModel {
         &self.model
+    }
+
+    /// How the most recent `run_sharded` call on this system executed:
+    /// which engine ran, how many workers engaged, and the
+    /// parallel/serial split. `None` until a sharded run happens.
+    /// Callers (and CI) use this to assert that a workload did *not*
+    /// silently fall back to the single-threaded oracle.
+    #[must_use]
+    pub fn shard_report(&self) -> Option<crate::shard::ShardReport> {
+        self.shard_report
     }
 
     /// The machine topology.
@@ -482,6 +496,34 @@ impl<P: Probe> System<P> {
                 self.process_decoded(*d);
             }
             start += n;
+        }
+    }
+
+    /// Replays the half-open trace range `[start, end)` with the same
+    /// batched decode + one-batch-ahead prefetch discipline as
+    /// [`System::run_shared`] — the serial-segment primitive of the
+    /// intra-component sharded engine (`crate::shard::rounds`). Requires
+    /// static homes, which the sharded engine's eligibility check
+    /// already guarantees.
+    pub(crate) fn replay_range(&mut self, trace: &SharedTrace, start: usize, end: usize) {
+        debug_assert!(end <= trace.len());
+        let mut batch = [DecodedRef::default(); BATCH];
+        let mut pos = start;
+        while pos < end {
+            let want = (end - pos).min(BATCH);
+            let n = trace.decode_batch(pos, &mut batch[..want]);
+            if n == 0 {
+                break;
+            }
+            // Peeking past `end` only issues prefetch hints for lines
+            // the next segment will touch; state is unchanged.
+            trace.peek_batch(pos + n, BATCH, |cl, lp, block| {
+                self.prefetch_line(cl, lp, block);
+            });
+            for d in &batch[..n] {
+                self.process_decoded(*d);
+            }
+            pos += n;
         }
     }
 

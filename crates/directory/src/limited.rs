@@ -247,6 +247,31 @@ impl LimitedPointerDirectory {
         }
     }
 
+    /// Overwrites this directory's entry for `block` with `other`'s — the
+    /// per-ownership entry copy of the intra-component sharded merge,
+    /// where `other` (the owning worker's clone) is authoritative for
+    /// every block homed in its partition. A block `other` does not
+    /// track is dropped here too, so the copy is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directories differ in cluster count or pointer width.
+    pub fn copy_entry_from(&mut self, other: &LimitedPointerDirectory, block: BlockAddr) {
+        assert_eq!(
+            (self.clusters, self.pointers),
+            (other.clusters, other.pointers),
+            "cannot copy entries across directories of different shapes"
+        );
+        match other.entries.get(block.0) {
+            Some(e) => {
+                self.entries.insert(block.0, *e);
+            }
+            None => {
+                self.entries.remove(block.0);
+            }
+        }
+    }
+
     fn check(&self, cluster: ClusterId) {
         assert!(
             cluster.0 < self.clusters,

@@ -1,0 +1,142 @@
+//! Directory operations in serialized, location-free form.
+//!
+//! A sharded replay engine that partitions clusters across workers has
+//! to decide, *before* executing a reference, which clusters' machine
+//! state (processor caches, network cache, page cache, bus, directory
+//! entries) the reference could possibly touch. That question is pure
+//! coherence protocol — which peers a directory read or write visits —
+//! so it lives here, next to the MESIR transition tables, expressed over
+//! a serialized view of a directory entry ([`RemoteDirOp`] plus sharer /
+//! owner sets) rather than over live directory storage.
+//!
+//! The sets passed in may be conservative *over*-approximations of the
+//! true entry (supersets of the real sharers/owners); the returned
+//! footprint is then a superset of the clusters actually touched, which
+//! is exactly what a conservative scheduler needs.
+
+use dsm_types::{ClusterId, ClusterSet};
+
+/// One coherence request against a directory entry, serialized down to
+/// the fields that determine its reach: who asks, where the page is
+/// homed, and whether the access is a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteDirOp {
+    /// The cluster issuing the reference.
+    pub requester: ClusterId,
+    /// The home cluster of the referenced page (owns the directory
+    /// entry and the backing memory).
+    pub home: ClusterId,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+}
+
+impl RemoteDirOp {
+    /// Whether the request leaves the issuing cluster's bus at all
+    /// (the home's directory entry lives on another cluster).
+    #[must_use]
+    pub fn is_remote(&self) -> bool {
+        self.requester != self.home
+    }
+
+    /// The set of clusters this directory operation can touch, given a
+    /// (possibly over-approximated) view of the entry's state:
+    ///
+    /// * the requester itself (its caches fill, its bus arbitrates);
+    /// * the home (directory entry, backing memory, placement slot);
+    /// * for a **read**: any cluster that may *own* the block — MESIR
+    ///   forwards a read to the owner for a dirty supply or an
+    ///   exclusivity downgrade, and never disturbs plain sharers;
+    /// * for a **write**: every cluster that may hold a copy, since all
+    ///   of them receive invalidations; under a limited-pointer
+    ///   directory whose entry may have overflowed into broadcast mode
+    ///   (`maybe_broadcast`), *every* cluster in the machine is a
+    ///   potential invalidation target.
+    ///
+    /// If the input sets are supersets of the truth the result is a
+    /// superset of the clusters actually visited, so a scheduler may
+    /// safely run the op concurrently with anything outside the
+    /// footprint.
+    #[must_use]
+    pub fn footprint(
+        &self,
+        sharers: ClusterSet,
+        owners: ClusterSet,
+        maybe_broadcast: bool,
+        clusters: u16,
+    ) -> ClusterSet {
+        let mut reach = ClusterSet::new();
+        reach.insert(self.requester);
+        reach.insert(self.home);
+        if self.write {
+            if maybe_broadcast {
+                return ClusterSet::all(clusters);
+            }
+            ClusterSet::from_mask(reach.mask() | sharers.mask())
+        } else {
+            ClusterSet::from_mask(reach.mask() | owners.mask())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u16]) -> ClusterSet {
+        let mut s = ClusterSet::new();
+        for &c in ids {
+            s.insert(ClusterId(c));
+        }
+        s
+    }
+
+    #[test]
+    fn reads_reach_owners_not_sharers() {
+        let op = RemoteDirOp {
+            requester: ClusterId(1),
+            home: ClusterId(2),
+            write: false,
+        };
+        assert!(op.is_remote());
+        let fp = op.footprint(set(&[0, 3, 5]), set(&[3]), false, 8);
+        assert_eq!(fp, set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn writes_reach_every_sharer() {
+        let op = RemoteDirOp {
+            requester: ClusterId(0),
+            home: ClusterId(0),
+            write: true,
+        };
+        assert!(!op.is_remote());
+        let fp = op.footprint(set(&[0, 4]), set(&[4]), false, 8);
+        assert_eq!(fp, set(&[0, 4]));
+    }
+
+    #[test]
+    fn possible_broadcast_reaches_the_whole_machine() {
+        let op = RemoteDirOp {
+            requester: ClusterId(6),
+            home: ClusterId(1),
+            write: true,
+        };
+        let fp = op.footprint(set(&[2]), set(&[2]), true, 8);
+        assert_eq!(fp, ClusterSet::all(8));
+        // Broadcast state only matters for writes; reads still forward
+        // to the owner alone.
+        let rd = RemoteDirOp { write: false, ..op };
+        assert_eq!(rd.footprint(set(&[2]), set(&[2]), true, 8), set(&[1, 2, 6]));
+    }
+
+    #[test]
+    fn local_private_op_touches_only_its_cluster() {
+        let op = RemoteDirOp {
+            requester: ClusterId(3),
+            home: ClusterId(3),
+            write: true,
+        };
+        let fp = op.footprint(set(&[3]), set(&[3]), false, 8);
+        assert_eq!(fp, set(&[3]));
+    }
+}

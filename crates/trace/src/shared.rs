@@ -704,6 +704,50 @@ impl SharedTrace {
         }
     }
 
+    /// Partitions the machine's *active* clusters (those issuing at
+    /// least one reference) into at most `parts` balanced groups by
+    /// per-cluster reference count — the work split of the
+    /// intra-component round-based replay engine, where each worker owns
+    /// a group of clusters plus every page they home.
+    ///
+    /// Balancing is greedy longest-processing-time: clusters are taken
+    /// in descending reference count (ties broken by ascending cluster
+    /// id) and each is assigned to the currently lightest part (ties
+    /// broken by ascending part index), so the plan is deterministic for
+    /// a given trace. Clusters issuing no references stay unassigned —
+    /// their state is pristine and needs no owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    #[must_use]
+    pub fn cluster_partition(&self, parts: usize) -> ClusterPartition {
+        assert!(parts > 0, "parts must be positive");
+        let clusters = usize::from(self.topo.clusters());
+        let mut refs_of_cluster = vec![0u64; clusters];
+        for &c in &self.issuing_cluster {
+            refs_of_cluster[usize::from(c)] += 1;
+        }
+        let mut active: Vec<usize> = (0..clusters).filter(|&c| refs_of_cluster[c] > 0).collect();
+        let parts = parts.min(active.len()).max(1);
+        // Descending count, ascending cluster id on ties.
+        active.sort_by_key(|&c| (std::cmp::Reverse(refs_of_cluster[c]), c));
+        let mut part_of_cluster = vec![usize::MAX; clusters];
+        let mut load = vec![0u64; parts];
+        for c in active {
+            let lightest = (0..parts)
+                .min_by_key(|&p| (load[p], p))
+                .expect("parts is positive");
+            part_of_cluster[c] = lightest;
+            load[lightest] += refs_of_cluster[c];
+        }
+        ClusterPartition {
+            parts,
+            part_of_cluster,
+            refs_of_part: load,
+        }
+    }
+
     /// Heap bytes held by the columns — the footprint quantity
     /// EXPERIMENTS.md tracks against the 16 padded bytes per reference of
     /// the array-of-structs form. A mapped address column contributes
@@ -769,6 +813,63 @@ impl ShardPlan {
             .enumerate()
             .filter_map(|(c, &owner)| (owner == s).then_some(c))
             .collect()
+    }
+}
+
+/// A balanced assignment of active clusters to replay workers (see
+/// [`SharedTrace::cluster_partition`]). Unlike [`ShardPlan`], the groups
+/// are *not* coherence-independent: the round-based engine that consumes
+/// this plan is responsible for keeping cross-part references exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterPartition {
+    /// Number of parts actually formed (≤ requested, ≥ 1 when any
+    /// cluster is active).
+    parts: usize,
+    /// `part_of_cluster[c]` = owning part, or `usize::MAX` if cluster
+    /// `c` issues no references.
+    part_of_cluster: Vec<usize>,
+    /// Total references issued by each part's clusters.
+    refs_of_part: Vec<u64>,
+}
+
+impl ClusterPartition {
+    /// Number of parts formed.
+    #[must_use]
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The part owning cluster `c`, or `None` for a cluster that issues
+    /// no references (its state stays pristine).
+    #[must_use]
+    pub fn part_of_cluster(&self, c: usize) -> Option<usize> {
+        match self.part_of_cluster.get(c) {
+            Some(&p) if p != usize::MAX => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The raw cluster → part table (`usize::MAX` = unassigned), sized
+    /// to the machine's cluster count.
+    #[must_use]
+    pub fn part_table(&self) -> &[usize] {
+        &self.part_of_cluster
+    }
+
+    /// The clusters owned by part `p`, ascending.
+    #[must_use]
+    pub fn clusters_of(&self, p: usize) -> Vec<usize> {
+        self.part_of_cluster
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &owner)| (owner == p).then_some(c))
+            .collect()
+    }
+
+    /// Total references issued by part `p`'s clusters.
+    #[must_use]
+    pub fn refs_of_part(&self, p: usize) -> u64 {
+        self.refs_of_part[p]
     }
 }
 
@@ -1117,6 +1218,41 @@ mod tests {
         // A mapped address column costs no heap: 3 bytes/ref remain.
         let mapped = remap_addr_column(&s);
         assert_eq!(mapped.column_bytes(), 5 * 3);
+    }
+
+    #[test]
+    fn cluster_partition_balances_by_ref_count() {
+        let topo = Topology::new(4, 4).unwrap();
+        let geo = Geometry::paper_default();
+        // Cluster loads 40/30/20/10: LPT into two parts gives {0,10=c3}
+        // and {30=c1,20=c2} → loads 50/50.
+        let mut refs = Vec::new();
+        for (c, n) in [(0u16, 40u64), (1, 30), (2, 20), (3, 10)] {
+            for i in 0..n {
+                refs.push(MemRef::read(
+                    ProcId(c * 4),
+                    Addr((u64::from(c) * 1024 + i % 4) * geo.page_bytes()),
+                ));
+            }
+        }
+        let trace = SharedTrace::from_refs(topo, geo, &refs);
+        let p = trace.cluster_partition(2);
+        assert_eq!(p.parts(), 2);
+        assert_eq!(p.part_of_cluster(0), Some(0));
+        assert_eq!(p.part_of_cluster(1), Some(1));
+        assert_eq!(p.part_of_cluster(2), Some(1));
+        assert_eq!(p.part_of_cluster(3), Some(0));
+        assert_eq!(p.refs_of_part(0), 50);
+        assert_eq!(p.refs_of_part(1), 50);
+        assert_eq!(p.clusters_of(1), vec![1, 2]);
+        // More parts than active clusters clamps; idle clusters stay
+        // unassigned.
+        let solo = SharedTrace::from_refs(topo, geo, &refs[..3]);
+        let q = solo.cluster_partition(8);
+        assert_eq!(q.parts(), 1);
+        assert_eq!(q.part_of_cluster(0), Some(0));
+        assert_eq!(q.part_of_cluster(3), None);
+        assert_eq!(q.part_table()[3], usize::MAX);
     }
 
     #[test]

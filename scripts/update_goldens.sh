@@ -17,7 +17,15 @@ trap 'rm -rf "$out"' EXIT
 target/release/reproduce --scale "$SCALE" --shard-workers 1 --jobs 1 \
   --out "$out" > "$out/stdout.txt"
 
+# Single-component subset golden: the fft-only run CI replays at
+# --shard-workers 2 and 4 to pin the intra-component rounds engine.
+mkdir -p "$out/fft"
+target/release/reproduce --scale "$SCALE" --workloads fft \
+  --shard-workers 1 --jobs 1 --out "$out/fft" > "$out/fft/stdout.txt"
+
 mkdir -p ci/golden
 cp "$out/reproduce_full.json" "ci/golden/reproduce_full.scale${SCALE}.json"
 cp "$out/stdout.txt" "ci/golden/reproduce_stdout.scale${SCALE}.txt"
+cp "$out/fft/reproduce_full.json" "ci/golden/reproduce_full.scale${SCALE}.fft.json"
+cp "$out/fft/stdout.txt" "ci/golden/reproduce_stdout.scale${SCALE}.fft.txt"
 echo "goldens updated under ci/golden/ (scale ${SCALE})"

@@ -1,17 +1,17 @@
 //! Equivalence gates for the sharded `System::run_sharded` replay path.
 //!
-//! The sharded engine partitions a trace by connected components of the
-//! cluster/page sharing graph and replays each component on its own
-//! worker. Because first-touch homing confines a component's pages to
-//! its own clusters, the merged machine state must be *identical* — not
-//! statistically close — to the single-thread `run_shared` oracle, at
-//! every worker count and on every directory/cache configuration. These
-//! tests replay randomized multi-component traces through both paths,
+//! The sharded engines — component-parallel for traces whose sharing
+//! graph splits, round-based for single-component traces — must produce
+//! machine state *identical* (not statistically close) to the
+//! single-thread `run_shared` oracle, at every worker count and on
+//! every directory/cache configuration. These tests replay randomized
+//! multi-component and single-component traces through both paths,
 //! validate the merged state under the PR-5 invariant checker, and pin
 //! the bounded-mailbox streaming layer against deadlock at capacity 1.
 
 use dsm_core::shard::ShardTuning;
-use dsm_core::{PcSize, System, SystemSpec};
+use dsm_core::{PcSize, ShardEngine, System, SystemSpec};
+use dsm_trace::rng::TraceRng;
 use dsm_trace::SharedTrace;
 use dsm_types::{Addr, ClusterId, Geometry, MemOp, MemRef, ProcId, Topology};
 
@@ -191,8 +191,116 @@ fn single_slot_mailboxes_stream_without_deadlock() {
     let tuning = ShardTuning {
         chunk_refs: 1,
         mailbox_capacity: 1,
+        min_parallel_refs: 1,
     };
     let engaged = sys.run_sharded_with(&trace, 4, tuning);
     assert!(engaged >= 2, "backpressure test needs real sharding");
     assert_state_identical(&base, &sys, "capacity-1 mailboxes");
+}
+
+/// A *single-component* trace with kernel-like phase structure: local
+/// phases where every cluster works random addresses in its own private
+/// window (independent, so the rounds planner can parallelize them)
+/// separated by a shared phase where all clusters hit one common window
+/// (coupling the whole machine into one sharing component and forcing
+/// cross-part coherence, which must replay serially).
+fn phased_single_component_refs(seed: u64, topo: &Topology) -> Vec<MemRef> {
+    let mut rng = TraceRng::for_workload("shard-fuzz", seed);
+    let procs = u64::from(topo.total_procs());
+    let ppc = u64::from(topo.procs_per_cluster());
+    let mut refs = Vec::new();
+    let local = |refs: &mut Vec<MemRef>, rng: &mut TraceRng, n: u64| {
+        for _ in 0..n {
+            let p = rng.below(procs);
+            let cl = p / ppc;
+            let addr = (1 + cl) * (1 << 20) + rng.below(1 << 16);
+            let op = if rng.chance(0.3) {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
+            refs.push(MemRef::new(ProcId(p as u16), op, Addr(addr)));
+        }
+    };
+    local(&mut refs, &mut rng, 8_000);
+    for _ in 0..2_000 {
+        let p = rng.below(procs);
+        let op = if rng.chance(0.2) {
+            MemOp::Write
+        } else {
+            MemOp::Read
+        };
+        refs.push(MemRef::new(ProcId(p as u16), op, Addr(rng.below(1 << 14))));
+    }
+    local(&mut refs, &mut rng, 8_000);
+    refs
+}
+
+/// The intra-component identity: single-component traces must engage
+/// the rounds engine (not fall back to the oracle) and still reproduce
+/// the oracle's state exactly, for every spec family and worker count.
+#[test]
+fn intra_component_rounds_match_oracle_across_specs_and_worker_counts() {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let specs = [
+        SystemSpec::base(),
+        SystemSpec::base().with_limited_directory(4),
+        SystemSpec::vb(),
+        SystemSpec::vpp(PcSize::DataFraction(5)),
+        SystemSpec::vxp(PcSize::DataFraction(5), 32),
+    ];
+    let tuning = ShardTuning {
+        chunk_refs: 1 << 12,
+        mailbox_capacity: 8,
+        min_parallel_refs: 512,
+    };
+    for seed in [7u64, 0xDEAD_BEEF] {
+        let refs = phased_single_component_refs(seed, &topo);
+        let trace = SharedTrace::from_refs(topo, geo, &refs);
+        assert_eq!(trace.shard_plan().len(), 1, "trace must be one component");
+        for spec in &specs {
+            let base = oracle(spec, &trace, 1 << 20);
+            for workers in [2usize, 4] {
+                let mut sys = System::new(spec.clone(), topo, geo, 1 << 20).unwrap();
+                let engaged = sys.run_sharded_with(&trace, workers, tuning);
+                let label = format!("{} at {workers} workers, seed {seed}", spec.name);
+                assert!(engaged >= 2, "fell back to the oracle: {label}");
+                let report = sys.shard_report().expect("sharded run must report");
+                assert_eq!(report.engine, ShardEngine::Rounds, "{label}");
+                assert!(report.parallel_rounds >= 1, "no parallel rounds: {label}");
+                assert_eq!(
+                    report.parallel_refs + report.serial_refs,
+                    trace.len() as u64,
+                    "split must cover the trace: {label}"
+                );
+                assert_state_identical(&base, &sys, &label);
+            }
+        }
+    }
+}
+
+/// Round-barrier backpressure: capacity-1 mailboxes with one-reference
+/// chunks force every worker send to block on the committer inside each
+/// round — the run must complete and stay oracle-identical.
+#[test]
+fn rounds_with_capacity_1_mailboxes_stream_without_deadlock() {
+    let topo = Topology::paper_default();
+    let geo = Geometry::paper_default();
+    let refs = phased_single_component_refs(99, &topo);
+    let trace = SharedTrace::from_refs(topo, geo, &refs);
+    let spec = SystemSpec::vb();
+    let base = oracle(&spec, &trace, 1 << 20);
+    let mut sys = System::new(spec.clone(), topo, geo, 1 << 20).unwrap();
+    let tuning = ShardTuning {
+        chunk_refs: 1,
+        mailbox_capacity: 1,
+        min_parallel_refs: 256,
+    };
+    let engaged = sys.run_sharded_with(&trace, 4, tuning);
+    assert!(engaged >= 2, "rounds backpressure test needs real sharding");
+    let report = sys.shard_report().unwrap();
+    assert_eq!(report.engine, ShardEngine::Rounds);
+    assert!(report.parallel_rounds >= 1);
+    assert_state_identical(&base, &sys, "rounds capacity-1 mailboxes");
 }
