@@ -197,6 +197,9 @@ fn parse_flags() -> Flags {
     if journal.is_some() && resume.is_some() {
         usage_exit(USAGE, "--journal and --resume are mutually exclusive");
     }
+    if let Err(e) = dsm_bench::harness::install_fault_plan(&run) {
+        usage_exit(USAGE, e.message());
+    }
     Flags {
         run,
         markdown,
@@ -428,6 +431,15 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
         }
     }
     let total_s = t_all.elapsed().as_secs_f64();
+    // Losing crash-safety must not be silent: points whose journal
+    // entries were dropped by the sticky disable cannot be resumed.
+    let journal_disabled_points = journal.as_ref().map_or(0, |j| j.disabled_points());
+    if journal_disabled_points > 0 {
+        eprintln!(
+            "reproduce: WARNING: journaling was disabled mid-run; {journal_disabled_points} \
+             point(s) were not journaled and would re-run on --resume"
+        );
+    }
 
     if !failures.is_empty() {
         eprintln!("reproduce: {} figure(s) failed:", failures.len());
@@ -476,6 +488,7 @@ fn run_figures(flags: &Flags) -> Result<(), DsmError> {
             .set("scale", scale.factor())
             .set("jobs", jobs.get())
             .set("total_wall_s", total_s)
+            .set("journal_disabled_points", journal_disabled_points)
             .set("figures", figures_json);
         write_json_atomic(&t_path, &t_json)?;
         eprintln!("reproduce: wrote {}", t_path.display());

@@ -32,7 +32,12 @@ common flags:
   --mmap       replay traces through the zero-copy mmap loader:
                generated traces are spilled to a temp file and mapped
                read-only instead of staying heap-resident (env DSM_MMAP;
-               results are byte-identical either way)";
+               results are byte-identical either way)
+  --fault-seed <n>  arm the deterministic fault-injection plane with the
+               plan derived from seed n (env DSM_FAULT_PLAN accepts a
+               seed or an explicit site spec like worker-panic@r1.p0.s0;
+               supervised recovery keeps results byte-identical or fails
+               with a structured error — chaos testing only)";
 
 /// The common CLI arguments of every experiment binary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +50,10 @@ pub struct RunArgs {
     pub shard_workers: usize,
     /// Load traces through the zero-copy mmap path.
     pub mmap: bool,
+    /// Fault-injection seed (`--fault-seed`): `Some` arms the plan
+    /// derived from the seed via [`dsm_core::fault`]. `None` leaves the
+    /// plane disarmed unless `DSM_FAULT_PLAN` is set.
+    pub fault_seed: Option<u64>,
 }
 
 /// Parses `argv` (without the program name), accepting `--scale <f>`,
@@ -80,6 +89,7 @@ pub fn parse_argv(
     let mut jobs: Option<usize> = None;
     let mut shard_workers: Option<ShardWorkersArg> = None;
     let mut mmap = false;
+    let mut fault_seed: Option<u64> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -107,6 +117,13 @@ pub fn parse_argv(
             "--mmap" => {
                 mmap = true;
                 i += 1;
+            }
+            "--fault-seed" => {
+                let v = argv
+                    .get(i + 1)
+                    .ok_or_else(|| "--fault-seed requires a value".to_owned())?;
+                fault_seed = Some(v.parse().map_err(|_| format!("bad fault seed '{v}'"))?);
+                i += 2;
             }
             other => match extra(argv, i)? {
                 0 => return Err(format!("unknown flag '{other}'")),
@@ -177,7 +194,29 @@ pub fn parse_argv(
         jobs,
         shard_workers,
         mmap,
+        fault_seed,
     })
+}
+
+/// Arms the process-wide fault plan from `args.fault_seed` (or, when no
+/// seed was given, from `DSM_FAULT_PLAN`). Binaries call this once
+/// right after flag parsing; with neither source set it is a no-op and
+/// the injection sites stay zero-cost.
+///
+/// # Errors
+///
+/// A malformed `DSM_FAULT_PLAN` spec is a usage error (exit code 2).
+pub fn install_fault_plan(args: &RunArgs) -> Result<(), DsmError> {
+    if let Some(seed) = args.fault_seed {
+        let plan = dsm_core::fault::FaultPlan::derive(seed);
+        dsm_core::fault::install(Some(plan));
+        eprintln!("fault plan armed: seed {seed} -> {}", plan.spec());
+        return Ok(());
+    }
+    if let Some(plan) = dsm_core::fault::install_from_env()? {
+        eprintln!("fault plan armed: {}", plan.spec());
+    }
+    Ok(())
 }
 
 /// Prints `error: <msg>`, the binary's usage line, and the shared flag
@@ -200,7 +239,11 @@ pub fn report_failure(e: &DsmError) -> std::process::ExitCode {
 #[must_use]
 pub fn parse_run_args(usage_line: &str) -> RunArgs {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    parse_argv(&argv, |_, _| Ok(0)).unwrap_or_else(|msg| usage_exit(usage_line, &msg))
+    let args = parse_argv(&argv, |_, _| Ok(0)).unwrap_or_else(|msg| usage_exit(usage_line, &msg));
+    if let Err(e) = install_fault_plan(&args) {
+        usage_exit(usage_line, e.message());
+    }
+    args
 }
 
 /// A cache of generated traces, one per workload, shared by every system
@@ -719,6 +762,14 @@ pub fn run_grid(
     for f in &failures {
         msg.push_str("\n  ");
         msg.push_str(&f.to_string());
+    }
+    // A disabled journal compounds the damage — the failed points'
+    // retries won't be resumable — so the summary says so.
+    let disabled = ts.journal().map_or(0, |j| j.disabled_points());
+    if disabled > 0 {
+        msg.push_str(&format!(
+            "\n  (journaling was disabled mid-run; {disabled} point(s) were not journaled)"
+        ));
     }
     Err(DsmError::internal(msg))
 }

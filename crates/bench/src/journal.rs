@@ -50,6 +50,11 @@ struct Inner {
     scope: String,
     /// Completed points from a resumed journal, keyed `scope/label`.
     completed: FxHashMap<String, Report>,
+    /// Entries lost to the sticky disable: the append that failed plus
+    /// every one skipped afterwards. Surfaced in the sweep failure
+    /// summary and `timings.json` so losing crash-safety is never
+    /// silent.
+    disabled_appends: u64,
 }
 
 impl SweepJournal {
@@ -68,6 +73,7 @@ impl SweepJournal {
                 path: path.to_owned(),
                 scope: String::new(),
                 completed: FxHashMap::default(),
+                disabled_appends: 0,
             }),
         })
     }
@@ -122,6 +128,7 @@ impl SweepJournal {
                 path: path.to_owned(),
                 scope: String::new(),
                 completed,
+                disabled_appends: 0,
             }),
         })
     }
@@ -155,6 +162,13 @@ impl SweepJournal {
         self.lock().completed.len()
     }
 
+    /// Entries lost to the sticky disable — the failed append plus
+    /// every append skipped after it. Zero while journaling is healthy.
+    #[must_use]
+    pub fn disabled_points(&self) -> u64 {
+        self.lock().disabled_appends
+    }
+
     /// Appends a successful point. Durable before return (fsync).
     pub fn record_ok(&self, label: &str, report: &Report, wall_s: f64) {
         let entry = |scope: &str| {
@@ -180,21 +194,28 @@ impl SweepJournal {
         self.append(entry);
     }
 
-    /// Writes one entry under the mutex; a write failure disables the
-    /// journal (sticky) with a warning instead of failing the sweep.
+    /// Writes one entry under the mutex. Transient failures (`EINTR`,
+    /// injected or real) get a bounded retry-with-backoff first; a
+    /// persistent failure disables the journal (sticky, counted) with a
+    /// warning instead of failing the sweep.
     fn append(&self, entry: impl FnOnce(&str) -> Json) {
         let mut inner = self.lock();
         let line = entry(&inner.scope).render();
         let Some(file) = inner.file.as_mut() else {
+            inner.disabled_appends += 1;
             return;
         };
-        let result = writeln!(file, "{line}").and_then(|()| file.sync_data());
+        let result =
+            dsm_core::fault::retry_transient(dsm_core::fault::FaultSite::JournalIo, || {
+                writeln!(file, "{line}").and_then(|()| file.sync_data())
+            });
         if let Err(e) = result {
             eprintln!(
                 "warning: journal {} failed ({e}); journaling disabled for the rest of the run",
                 inner.path.display()
             );
             inner.file = None;
+            inner.disabled_appends += 1;
         }
     }
 }
@@ -280,5 +301,70 @@ mod tests {
         assert!(j.lookup("vb/LU").is_none(), "failed point must be retried");
         assert!(j.lookup("nc/LU").is_none(), "torn point must be retried");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_injected_failures_are_retried_not_sticky() {
+        let _guard = dsm_core::fault::test_lock();
+        let path = tmp_path("transient");
+        let j = SweepJournal::create(&path).expect("create");
+        j.set_scope("fig3");
+        // Two injected EINTRs fit the three-attempt retry budget: the
+        // append lands and journaling stays enabled.
+        dsm_core::fault::install(Some(
+            dsm_core::fault::FaultPlan::from_spec("journal-io:2").unwrap(),
+        ));
+        j.record_ok("base/LU", &sample_report("base"), 0.1);
+        dsm_core::fault::install(None);
+        assert_eq!(j.disabled_points(), 0);
+        drop(j);
+        let j = SweepJournal::resume(&path).expect("resume");
+        assert_eq!(j.resumed_points(), 1, "retried append is durable");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exhausted_injection_budget_disables_and_counts() {
+        let _guard = dsm_core::fault::test_lock();
+        let path = tmp_path("sticky");
+        let j = SweepJournal::create(&path).expect("create");
+        j.set_scope("fig3");
+        // Four failures outlast the three attempts: sticky disable.
+        dsm_core::fault::install(Some(
+            dsm_core::fault::FaultPlan::from_spec("journal-io:4").unwrap(),
+        ));
+        j.record_ok("base/LU", &sample_report("base"), 0.1);
+        dsm_core::fault::install(None);
+        assert_eq!(j.disabled_points(), 1, "the failed append is counted");
+        j.record_ok("vb/LU", &sample_report("vb"), 0.1);
+        j.record_ok("nc/LU", &sample_report("nc"), 0.1);
+        assert_eq!(j.disabled_points(), 3, "skipped appends count too");
+        drop(j);
+        let j = SweepJournal::resume(&path).expect("resume");
+        assert_eq!(j.resumed_points(), 0, "nothing was durably recorded");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn real_enospc_disables_without_retry_loops() {
+        // /dev/full fails every write with ENOSPC — a non-transient
+        // error that must go straight to the sticky disable.
+        let Ok(file) = OpenOptions::new().append(true).open("/dev/full") else {
+            return; // container without /dev/full
+        };
+        let j = SweepJournal {
+            inner: Mutex::new(Inner {
+                file: Some(file),
+                path: PathBuf::from("/dev/full"),
+                scope: "fig3".to_owned(),
+                completed: FxHashMap::default(),
+                disabled_appends: 0,
+            }),
+        };
+        j.record_ok("base/LU", &sample_report("base"), 0.1);
+        assert_eq!(j.disabled_points(), 1);
+        j.record_ok("vb/LU", &sample_report("vb"), 0.1);
+        assert_eq!(j.disabled_points(), 2);
     }
 }

@@ -32,6 +32,6 @@ pub mod journal;
 pub mod sweep;
 pub mod tinybench;
 
-pub use harness::{parse_run_args, FigureTable, RunArgs, TraceSet};
+pub use harness::{install_fault_plan, parse_run_args, FigureTable, RunArgs, TraceSet};
 pub use journal::SweepJournal;
 pub use sweep::{run_sweep, Jobs, PointFailure, SweepOutcome, SweepPoint};

@@ -2,7 +2,8 @@
 //! `DSM_FAULT_ABORT` injection point, which calls `abort()` inside a
 //! worker) and then resumed from its journal must produce a dataset
 //! byte-identical to an uninterrupted run — same figures, same f64 bits,
-//! whatever the worker count. Wall-clock timings are deliberately outside
+//! whatever the worker count, and whatever `--shard-workers` split the
+//! replay itself runs under. Wall-clock timings are deliberately outside
 //! the comparison (they live in `timings.json`, not the dataset).
 
 use std::path::Path;
@@ -13,9 +14,10 @@ use std::process::{Command, Output};
 /// the resumed run exercises both the skip path and the re-run path.
 const ABORT_AT: &str = "2w-vb16/LU";
 
-fn reproduce(args: &[&str], abort_at: Option<&str>) -> Output {
+fn reproduce(base: &[&str], args: &[&str], abort_at: Option<&str>) -> Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_reproduce"));
-    cmd.args(["--scale", "0.05", "--figures", "fig3", "--workloads", "lu"]);
+    cmd.args(["--scale", "0.05", "--figures", "fig3"]);
+    cmd.args(base);
     cmd.args(args);
     if let Some(label) = abort_at {
         cmd.env("DSM_FAULT_ABORT", label);
@@ -28,9 +30,12 @@ fn read_dataset(dir: &Path) -> Vec<u8> {
     std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-#[test]
-fn killed_sweep_resumes_to_byte_identical_output() {
-    let tmp = std::env::temp_dir().join(format!("dsm-fault-tolerance-{}", std::process::id()));
+/// The full kill-and-resume cycle under `base` flags: an uninterrupted
+/// reference run, a journaled run killed at [`ABORT_AT`], and a resume
+/// that must merge to a byte-identical dataset. `tag` isolates the temp
+/// tree so the sharded variants can run concurrently.
+fn kill_and_resume_cycle(tag: &str, base: &[&str]) {
+    let tmp = std::env::temp_dir().join(format!("dsm-fault-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&tmp);
     std::fs::create_dir_all(&tmp).expect("create temp dir");
     let dir_straight = tmp.join("straight");
@@ -40,6 +45,7 @@ fn killed_sweep_resumes_to_byte_identical_output() {
 
     // 1. The reference: an uninterrupted serial run.
     let out = reproduce(
+        base,
         &[
             "--jobs",
             "1",
@@ -50,12 +56,13 @@ fn killed_sweep_resumes_to_byte_identical_output() {
     );
     assert!(
         out.status.success(),
-        "uninterrupted run failed:\n{}",
+        "[{tag}] uninterrupted run failed:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
 
     // 2. A journaled 2-worker run killed mid-sweep by an injected abort.
     let out = reproduce(
+        base,
         &[
             "--jobs",
             "2",
@@ -68,26 +75,27 @@ fn killed_sweep_resumes_to_byte_identical_output() {
     );
     assert!(
         !out.status.success(),
-        "the injected abort must kill the run"
+        "[{tag}] the injected abort must kill the run"
     );
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("DSM_FAULT_ABORT tripped"),
-        "the run must die at the injection point, not elsewhere:\n{}",
+        "[{tag}] the run must die at the injection point, not elsewhere:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(
         !dir_resumed.join("reproduce_full.json").exists(),
-        "a killed run must not leave a dataset behind"
+        "[{tag}] a killed run must not leave a dataset behind"
     );
     let journal_bytes = std::fs::read(&journal).expect("journal must survive the crash");
     assert!(
         !journal_bytes.is_empty(),
-        "completed points must be journaled before the crash"
+        "[{tag}] completed points must be journaled before the crash"
     );
 
     // 3. Resume from the journal: completed points are skipped, the rest
     //    (including the aborted point) are recomputed.
     let out = reproduce(
+        base,
         &[
             "--jobs",
             "2",
@@ -99,18 +107,47 @@ fn killed_sweep_resumes_to_byte_identical_output() {
         None,
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(out.status.success(), "resumed run failed:\n{stderr}");
+    assert!(
+        out.status.success(),
+        "[{tag}] resumed run failed:\n{stderr}"
+    );
     assert!(
         stderr.contains("resumed journal"),
-        "resume must report the reloaded journal:\n{stderr}"
+        "[{tag}] resume must report the reloaded journal:\n{stderr}"
     );
 
     // The merged output must be byte-identical to never having crashed.
     assert_eq!(
         read_dataset(&dir_straight),
         read_dataset(&dir_resumed),
-        "resumed dataset diverged from the uninterrupted run"
+        "[{tag}] resumed dataset diverged from the uninterrupted run"
     );
 
     std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn killed_sweep_resumes_to_byte_identical_output() {
+    kill_and_resume_cycle("serial", &["--workloads", "lu"]);
+}
+
+/// Same cycle with the replay itself sharded two ways: the LU sweep
+/// points replay through the component shard planner and the FFT points
+/// (one sharing component) through the rounds engine, so the crash,
+/// journal skip, and re-run paths are all proven on top of supervised
+/// sharded replay — not just the serial oracle.
+#[test]
+fn killed_sharded_sweep_resumes_to_byte_identical_output() {
+    kill_and_resume_cycle("shard2", &["--workloads", "lu,fft", "--shard-workers", "2"]);
+}
+
+/// `--shard-workers auto` resolves the replay split from the host's
+/// parallelism and the `--jobs` budget; resume identity must hold there
+/// too, since that is the configuration operators actually run.
+#[test]
+fn killed_auto_sharded_sweep_resumes_to_byte_identical_output() {
+    kill_and_resume_cycle(
+        "shard-auto",
+        &["--workloads", "lu,fft", "--shard-workers", "auto"],
+    );
 }

@@ -35,7 +35,9 @@ fn usage() -> ExitCode {
          page-cache options: --pc-fraction <d> | --pc-bytes <n>; vxp: --threshold <t>\n\
          checking: --check <K> (validate coherence invariants every K references)\n\
          parallelism: --shard-workers <n> (shard replay by home cluster; metrics identical)\n\
-         observability: --stats [--top <k>] [--epoch <refs>]"
+         observability: --stats [--top <k>] [--epoch <refs>]\n\
+         chaos: env DSM_FAULT_PLAN=<seed|spec> arms deterministic fault injection\n\
+         \x20      (supervised recovery keeps metrics identical or fails structurally)"
     );
     ExitCode::from(2)
 }
@@ -468,6 +470,14 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    match dsm_core::fault::install_from_env() {
+        Ok(Some(plan)) => eprintln!("fault plan armed: {}", plan.spec()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    }
     let spec = match spec_of(&o) {
         Ok(s) => s,
         Err(msg) => {

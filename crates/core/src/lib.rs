@@ -82,6 +82,7 @@
 pub mod check;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod metrics;
 pub mod model;
 pub mod nc;
@@ -98,10 +99,11 @@ pub use config::{
     CacheSpec, CounterSource, DirectorySpec, MigRepSpec, NcSpec, PcSize, PcSpec, SystemSpec,
     ThresholdPolicy,
 };
+pub use fault::{FaultPlan, FaultSite};
 pub use metrics::Metrics;
 pub use model::{Latencies, LatencyModel, NcTechnology};
 pub use phase::{LogHistogram, Phase, PhaseCounters, PhaseProfiler, PHASES};
 pub use probe::{EpochSample, Event, NoProbe, Probe, Tee};
 pub use runner::{run_workload, Report};
-pub use shard::{ShardEngine, ShardMsg, ShardReport, ShardTuning};
+pub use shard::{ShardEngine, ShardFault, ShardMsg, ShardReport, ShardTuning};
 pub use system::{ClusterOccupancy, OccupancySnapshot, System};

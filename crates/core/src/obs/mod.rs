@@ -36,6 +36,10 @@ pub use json::Json;
 /// target. A crash mid-write leaves either the old file or the new one —
 /// never a truncated half-document.
 ///
+/// Transient failures (`EINTR`-class, injected or real) are retried a
+/// bounded number of times with backoff ([`crate::fault::retry_transient`])
+/// before surfacing.
+///
 /// # Errors
 ///
 /// Returns a [`DsmError`] naming the path on any I/O failure; the
@@ -65,7 +69,7 @@ pub fn write_json_atomic(path: &Path, json: &Json) -> Result<(), DsmError> {
             .map_err(io::IntoInnerError::into_error)?
             .sync_data()
     };
-    if let Err(e) = write() {
+    if let Err(e) = crate::fault::retry_transient(crate::fault::FaultSite::AtomicWriteIo, write) {
         let _ = std::fs::remove_file(&tmp);
         return Err(io_err("write", e));
     }
@@ -475,6 +479,35 @@ impl<W: Write> std::fmt::Debug for JsonlSink<W> {
 mod tests {
     use super::*;
     use dsm_types::{BlockAddr, ClusterId};
+
+    #[test]
+    fn atomic_write_absorbs_transient_injections() {
+        let _guard = crate::fault::test_lock();
+        let path = std::env::temp_dir().join(format!(
+            "dsm-obs-atomic-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // Two injected EINTRs fit inside the three-attempt budget.
+        crate::fault::install(Some(
+            crate::fault::FaultPlan::from_spec("atomic-write-io:2").unwrap(),
+        ));
+        let out = write_json_atomic(&path, &Json::U64(1));
+        crate::fault::install(None);
+        out.unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1\n");
+        // Three injections exhaust it: a structured internal error, and
+        // the old file must survive untouched (no torn write).
+        crate::fault::install(Some(
+            crate::fault::FaultPlan::from_spec("atomic-write-io:3").unwrap(),
+        ));
+        let out = write_json_atomic(&path, &Json::U64(2));
+        crate::fault::install(None);
+        let err = out.unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1\n");
+        std::fs::remove_file(&path).unwrap();
+    }
 
     #[test]
     fn stats_sink_aggregates() {

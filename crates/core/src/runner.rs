@@ -4,6 +4,7 @@ use crate::config::SystemSpec;
 use crate::metrics::Metrics;
 use crate::obs::{json::Json, metrics_json};
 use crate::probe::Probe;
+use crate::shard::ShardTuning;
 use crate::system::System;
 use dsm_trace::{Scale, SharedTrace, Workload};
 use dsm_types::{ConfigError, DsmError, Geometry, Topology};
@@ -262,14 +263,29 @@ pub fn run_trace_sharded(
         *trace.geometry(),
         data_bytes,
     )?;
+    // Revalidate the mapped backing file at the shard handoff: the
+    // replay is about to fan the mapping out across worker threads, and
+    // a file truncated since open would SIGBUS there instead of
+    // erroring cleanly here (exit code 3 at the CLI).
+    trace
+        .revalidate_mapping()
+        .map_err(|e| ConfigError::new(format!("trace mapping for {workload_name}: {e}")))?;
     let t0 = std::time::Instant::now();
-    system.run_sharded(trace, shard_workers);
+    system.run_sharded_with(trace, shard_workers, ShardTuning::from_env());
     if let Some(r) = system.shard_report() {
         // Stderr only: the shard-plan line is the no-silent-fallback
         // probe CI greps for, and must stay out of the golden stdout.
+        // `degraded` is appended so supervised recovery is visible to
+        // the chaos harness without disturbing the grepped prefix.
         eprintln!(
-            "shard plan [{workload_name}/{}]: engine={:?} workers={} rounds={} parallel={} serial={}",
-            spec.name, r.engine, r.workers, r.parallel_rounds, r.parallel_refs, r.serial_refs
+            "shard plan [{workload_name}/{}]: engine={:?} workers={} rounds={} parallel={} serial={} degraded={}",
+            spec.name,
+            r.engine,
+            r.workers,
+            r.parallel_rounds,
+            r.parallel_refs,
+            r.serial_refs,
+            r.degraded.map_or("none", |f| f.label())
         );
     }
     let mut report = report_of(&system, workload_name, data_bytes, trace.len() as u64);

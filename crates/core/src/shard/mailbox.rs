@@ -13,6 +13,19 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
+use std::time::Instant;
+
+/// The outcome of a [`Receiver::recv_deadline`] wait.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvDeadline<T> {
+    /// A message arrived before the deadline.
+    Msg(T),
+    /// The sender dropped and every in-flight message has been drained.
+    Closed,
+    /// The deadline passed with the ring still empty — the producer has
+    /// stalled (or is merely slow; the caller's watchdog decides).
+    TimedOut,
+}
 
 /// Ring storage shared by the two endpoints.
 #[derive(Debug)]
@@ -89,6 +102,15 @@ impl<T> Sender<T> {
             thread::yield_now();
         }
     }
+
+    /// Whether the receiving endpoint has been dropped — every future
+    /// [`Sender::send`] would fail. Lets a deliberately-stalled worker
+    /// (fault injection) notice the watchdog's teardown without
+    /// consuming a message slot.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.ring.rx_closed.load(Ordering::Acquire)
+    }
 }
 
 impl<T> Drop for Sender<T> {
@@ -128,6 +150,30 @@ impl<T> Receiver<T> {
     /// Takes the next message if one is already present (never blocks).
     pub fn try_recv(&mut self) -> Option<T> {
         self.take_head()
+    }
+
+    /// As [`Receiver::recv`], but gives up once `deadline` passes — the
+    /// committer's stall watchdog. The clock is checked every 64 spins
+    /// so the empty-ring fast path stays a lock-and-yield loop.
+    pub fn recv_deadline(&mut self, deadline: Instant) -> RecvDeadline<T> {
+        let mut spins: u32 = 0;
+        loop {
+            if let Some(v) = self.take_head() {
+                return RecvDeadline::Msg(v);
+            }
+            if self.ring.tx_closed.load(Ordering::Acquire) {
+                // Same close-race final look as `recv`.
+                return match self.take_head() {
+                    Some(v) => RecvDeadline::Msg(v),
+                    None => RecvDeadline::Closed,
+                };
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) && Instant::now() >= deadline {
+                return RecvDeadline::TimedOut;
+            }
+            thread::yield_now();
+        }
     }
 }
 
@@ -199,5 +245,32 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = channel::<u8>(0);
+    }
+
+    #[test]
+    fn sender_observes_receiver_drop() {
+        let (tx, rx) = channel::<u8>(2);
+        assert!(!tx.is_closed());
+        drop(rx);
+        assert!(tx.is_closed());
+    }
+
+    #[test]
+    fn recv_deadline_times_out_on_empty_ring() {
+        use std::time::Duration;
+        let (_tx, mut rx) = channel::<u8>(2);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(rx.recv_deadline(deadline), RecvDeadline::TimedOut);
+    }
+
+    #[test]
+    fn recv_deadline_delivers_and_closes() {
+        use std::time::Duration;
+        let (mut tx, mut rx) = channel(2);
+        tx.send(9).unwrap();
+        let far = Instant::now() + Duration::from_secs(30);
+        assert_eq!(rx.recv_deadline(far), RecvDeadline::Msg(9));
+        drop(tx);
+        assert_eq!(rx.recv_deadline(far), RecvDeadline::Closed);
     }
 }

@@ -47,14 +47,30 @@
 //! * the rounds planner finds no run of independent references long
 //!   enough to be worth a round (degenerate or fully serial traces).
 
+//! # Supervision
+//!
+//! Workers run under `catch_unwind`, and the committer drains mailboxes
+//! with a deadline-based watchdog ([`ShardTuning::watchdog_ms`]). On any
+//! worker failure — a panic, a stall (no chunk within the watchdog
+//! window), or an abandoned range — the supervisor tears the shard run
+//! down and replays the trace on the single-threaded oracle from the
+//! pristine pre-run state, so the output is byte-identical to an
+//! unfaulted run. The degradation is never silent: the cause is
+//! recorded in [`ShardReport::degraded`] and echoed on stderr. The
+//! injection sites that exercise this machinery live in
+//! [`crate::fault`] and cost one relaxed atomic load when disarmed.
+
 pub mod mailbox;
 pub mod rounds;
 
 use dsm_trace::{SharedTrace, BATCH};
-use dsm_types::DecodedRef;
+use dsm_types::{DecodedRef, FaultPlan, FaultSite};
 
 use crate::metrics::Metrics;
 use crate::system::System;
+
+use mailbox::RecvDeadline;
+use std::time::{Duration, Instant};
 
 /// A message streamed from a shard worker to the committer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +103,12 @@ pub struct ShardTuning {
     /// surrounding serial segment (a round costs a system clone per
     /// worker plus a merge, which tiny runs cannot amortize).
     pub min_parallel_refs: usize,
+    /// Stall watchdog: the longest the committer waits for any single
+    /// chunk before declaring the producing worker stalled and
+    /// degrading to the oracle. A healthy worker streams a chunk every
+    /// `chunk_refs` references — milliseconds — so the default (60s)
+    /// only fires on genuine wedges.
+    pub watchdog_ms: u64,
 }
 
 impl Default for ShardTuning {
@@ -95,7 +117,27 @@ impl Default for ShardTuning {
             chunk_refs: 1 << 16,
             mailbox_capacity: 64,
             min_parallel_refs: 1 << 15,
+            watchdog_ms: 60_000,
         }
+    }
+}
+
+impl ShardTuning {
+    /// The default tuning with the stall watchdog overridden by the
+    /// `DSM_SHARD_WATCHDOG_MS` environment variable when it holds a
+    /// positive integer (the chaos harness shortens it so injected
+    /// stalls resolve in milliseconds instead of a minute).
+    #[must_use]
+    pub fn from_env() -> ShardTuning {
+        let mut tuning = ShardTuning::default();
+        if let Some(ms) = std::env::var("DSM_SHARD_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+        {
+            tuning.watchdog_ms = ms;
+        }
+        tuning
     }
 }
 
@@ -106,6 +148,32 @@ pub enum ShardEngine {
     Components,
     /// Intra-component time-stepped rounds ([`rounds`]).
     Rounds,
+}
+
+/// Why a sharded run degraded to the single-threaded oracle — the
+/// supervisor's diagnosis, recorded in [`ShardReport::degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// A worker thread panicked mid-replay.
+    WorkerPanic,
+    /// A worker produced no chunk within [`ShardTuning::watchdog_ms`].
+    MailboxStall,
+    /// A worker abandoned its range without panicking (its chunk send
+    /// failed — the committer side of its mailbox vanished).
+    WorkerIncomplete,
+}
+
+impl ShardFault {
+    /// The stable label printed in the shard-plan stderr line and
+    /// matched by the chaos harness.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardFault::WorkerPanic => "worker-panic",
+            ShardFault::MailboxStall => "mailbox-stall",
+            ShardFault::WorkerIncomplete => "worker-incomplete",
+        }
+    }
 }
 
 /// How a sharded replay executed — the record behind
@@ -125,6 +193,11 @@ pub struct ShardReport {
     /// References replayed serially on the main system (0 for the
     /// component engine: every reference replays on a worker).
     pub serial_refs: u64,
+    /// `Some` when the supervisor tore the sharded run down and
+    /// re-ran the trace on the oracle; the engine field then names the
+    /// engine that was *attempted* while workers/refs describe the
+    /// oracle replay that actually produced the output.
+    pub degraded: Option<ShardFault>,
 }
 
 impl System {
@@ -159,6 +232,21 @@ impl System {
         workers: usize,
         tuning: ShardTuning,
     ) -> usize {
+        // The process-wide fault plan is read once here and threaded
+        // down, so workers never consult the global mid-replay.
+        self.run_sharded_inner(trace, workers, tuning, crate::fault::shard_plan())
+    }
+
+    /// [`System::run_sharded_with`] with the fault plan passed
+    /// explicitly — the unit tests' injection entry point (no global
+    /// state, so parallel test threads cannot see each other's plans).
+    pub(crate) fn run_sharded_inner(
+        &mut self,
+        trace: &SharedTrace,
+        workers: usize,
+        tuning: ShardTuning,
+        fplan: Option<FaultPlan>,
+    ) -> usize {
         assert_eq!(
             trace.topology(),
             &self.topo,
@@ -186,12 +274,15 @@ impl System {
         if plan.len() < 2 {
             // One sharing component: parallelize inside it with the
             // round-based engine instead of giving up.
-            return self.run_rounds(trace, workers, tuning);
+            return self.run_rounds(trace, workers, tuning, fplan);
         }
         let threads = workers.min(plan.len());
 
         let mut worker_systems: Vec<System> = Vec::with_capacity(threads);
         let mut streamed = Metrics::new();
+        let mut panicked = false;
+        let mut stalled = false;
+        let mut incomplete = false;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             let mut receivers = Vec::with_capacity(threads);
@@ -201,31 +292,73 @@ impl System {
                 receivers.push(rx);
                 let plan = &plan;
                 handles.push(scope.spawn(move || {
-                    // Round-robin: thread `t` owns shards t, t+threads, ...
-                    // replayed in ascending shard (= earliest-trace) order.
-                    for s in (t..plan.len()).step_by(threads) {
-                        let round = u32::try_from(s).expect("shard count fits u32");
-                        replay_indices(&mut sys, trace, &plan.shards()[s], tuning, &mut tx, round);
-                    }
-                    sys
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        let part = u32::try_from(t).expect("worker count fits u32");
+                        let mut completed = true;
+                        // Round-robin: thread `t` owns shards t, t+threads, ...
+                        // replayed in ascending shard (= earliest-trace) order.
+                        for s in (t..plan.len()).step_by(threads) {
+                            let round = u32::try_from(s).expect("shard count fits u32");
+                            if !replay_indices(
+                                &mut sys,
+                                trace,
+                                &plan.shards()[s],
+                                tuning,
+                                &mut tx,
+                                round,
+                                part,
+                                fplan,
+                            ) {
+                                completed = false;
+                                break;
+                            }
+                        }
+                        (sys, completed)
+                    }))
                 }));
             }
-            // Drain mailboxes worker-by-worker. Sums are commutative, so
-            // the drain order cannot affect the totals; draining one
-            // worker to completion never deadlocks another (each send
-            // only waits on its own mailbox's committer cursor).
-            for rx in &mut receivers {
-                while let Some(ShardMsg::Chunk { delta, .. }) = rx.recv() {
-                    streamed.merge(&delta);
+            // Drain mailboxes worker-by-worker under the stall watchdog.
+            // Sums are commutative, so the drain order cannot affect the
+            // totals; draining one worker to completion never deadlocks
+            // another (each send only waits on its own mailbox's
+            // committer cursor).
+            'drain: for rx in &mut receivers {
+                loop {
+                    let deadline = Instant::now() + Duration::from_millis(tuning.watchdog_ms);
+                    match rx.recv_deadline(deadline) {
+                        RecvDeadline::Msg(ShardMsg::Chunk { delta, .. }) => {
+                            streamed.merge(&delta);
+                        }
+                        RecvDeadline::Closed => break,
+                        RecvDeadline::TimedOut => {
+                            stalled = true;
+                            break 'drain;
+                        }
+                    }
                 }
+            }
+            // On a stall, drop every receiver before joining: closed
+            // mailboxes make the workers' sends fail, so blocked and
+            // stalled workers alike abandon their ranges promptly
+            // instead of wedging the join.
+            if stalled {
+                receivers.clear();
             }
             for handle in handles {
                 match handle.join() {
-                    Ok(sys) => worker_systems.push(sys),
-                    Err(panic) => std::panic::resume_unwind(panic),
+                    Ok(Ok((sys, completed))) => {
+                        incomplete |= !completed;
+                        worker_systems.push(sys);
+                    }
+                    Ok(Err(_)) | Err(_) => panicked = true,
                 }
             }
         });
+        if let Some(cause) = diagnose(panicked, stalled, incomplete) {
+            // `self` has not been touched yet (workers replayed clones),
+            // so the oracle re-run starts from the pristine state.
+            return self.degrade_to_oracle(trace, ShardEngine::Components, cause);
+        }
 
         // Merge in ascending thread order. Every piece of state is
         // either a commutative sum (metrics, per-cluster counts) or
@@ -266,8 +399,91 @@ impl System {
             parallel_rounds: 0,
             parallel_refs: trace.len() as u64,
             serial_refs: 0,
+            degraded: None,
         });
         threads
+    }
+
+    /// Supervised recovery: replays `trace` on the single-threaded
+    /// oracle after a sharded run failed. The caller guarantees `self`
+    /// is back in its pristine pre-run state (the component engine
+    /// never mutated it; the rounds engine restores a saved clone), so
+    /// the result is byte-identical to a run that never sharded. The
+    /// degradation is recorded in the shard report and echoed on
+    /// stderr — never silent.
+    pub(crate) fn degrade_to_oracle(
+        &mut self,
+        trace: &SharedTrace,
+        engine: ShardEngine,
+        cause: ShardFault,
+    ) -> usize {
+        eprintln!(
+            "shard supervisor: {} during {:?} replay; degrading to the single-threaded oracle",
+            cause.label(),
+            engine
+        );
+        self.run_shared(trace);
+        self.shard_report = Some(ShardReport {
+            engine,
+            workers: 1,
+            parallel_rounds: 0,
+            parallel_refs: 0,
+            serial_refs: trace.len() as u64,
+            degraded: Some(cause),
+        });
+        1
+    }
+}
+
+/// Folds the supervisor's three failure observations into the single
+/// reported cause, most-specific first: a panic outranks a stall
+/// (a stalling watchdog teardown routinely *causes* secondary
+/// incomplete workers), and a stall outranks a bare abandoned range.
+pub(crate) fn diagnose(panicked: bool, stalled: bool, incomplete: bool) -> Option<ShardFault> {
+    if panicked {
+        Some(ShardFault::WorkerPanic)
+    } else if stalled {
+        Some(ShardFault::MailboxStall)
+    } else if incomplete {
+        Some(ShardFault::WorkerIncomplete)
+    } else {
+        None
+    }
+}
+
+/// Consults the fault plan at one chunk boundary, before the send.
+/// Returns `false` when the worker must abandon its range (an injected
+/// send failure, or a stall whose watchdog teardown arrived).
+///
+/// The stall site sleeps in small steps until the committer's watchdog
+/// closes the mailbox (the normal resolution) or the plan's
+/// `stall_ms` budget elapses — whichever is first — so a stall shorter
+/// than the watchdog window is absorbed and the run completes
+/// normally, exactly like a real transient hiccup.
+fn chunk_fault_gate(
+    tx: &mailbox::Sender<ShardMsg>,
+    round: u32,
+    part: u32,
+    seq: u32,
+    fplan: Option<FaultPlan>,
+) -> bool {
+    let Some(plan) = fplan else { return true };
+    if !plan.fires_at(round, part, seq) {
+        return true;
+    }
+    match plan.site {
+        FaultSite::WorkerPanic => {
+            panic!("injected worker panic at r{round}.p{part}.s{seq}")
+        }
+        FaultSite::MailboxSendFail => false,
+        FaultSite::MailboxStall => {
+            let start = Instant::now();
+            while !tx.is_closed() && start.elapsed() < Duration::from_millis(plan.stall_ms) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            !tx.is_closed()
+        }
+        _ => true,
     }
 }
 
@@ -276,6 +492,12 @@ impl System {
 /// `round` and an intra-round sequence number. The final partial chunk
 /// is flushed by the caller's sender drop closing the mailbox after the
 /// last explicit send here.
+///
+/// Returns `true` when the whole range replayed; `false` when the
+/// worker abandoned it (an injected fault, or a real send failure —
+/// the committer vanished), in which case the supervisor degrades the
+/// run to the oracle and this system's partial state is discarded.
+#[allow(clippy::too_many_arguments)] // one internal call site per engine
 fn replay_indices(
     sys: &mut System,
     trace: &SharedTrace,
@@ -283,7 +505,9 @@ fn replay_indices(
     tuning: ShardTuning,
     tx: &mut mailbox::Sender<ShardMsg>,
     round: u32,
-) {
+    part: u32,
+    fplan: Option<FaultPlan>,
+) -> bool {
     // Prefetch one window ahead like `System::run_shared`: after
     // gathering window N, peek window N+1's columns and prefetch the
     // machine lines it will touch, overlapping window N's processing
@@ -310,16 +534,30 @@ fn replay_indices(
             since_flush = 0;
             let delta = sys.metrics().delta(&last);
             last = *sys.metrics();
-            // A dropped receiver only loses telemetry; the worker's own
-            // counters remain the authoritative copy merged at join.
-            let _ = tx.send(ShardMsg::Chunk { round, seq, delta });
+            if !chunk_fault_gate(tx, round, part, seq, fplan) {
+                return false;
+            }
+            if tx.send(ShardMsg::Chunk { round, seq, delta }).is_err() {
+                // The committer vanished (watchdog teardown): this
+                // worker's state can no longer be merged — abandon so
+                // the supervisor degrades instead of silently dropping
+                // the counters.
+                return false;
+            }
             seq = seq.wrapping_add(1);
         }
     }
-    let delta = sys.metrics().delta(&last);
-    if delta != Metrics::default() {
-        let _ = tx.send(ShardMsg::Chunk { round, seq, delta });
+    // The final flush consults the gate even when the residual delta is
+    // empty, so a plan aimed at the last chunk of a short range still
+    // fires deterministically.
+    if !chunk_fault_gate(tx, round, part, seq, fplan) {
+        return false;
     }
+    let delta = sys.metrics().delta(&last);
+    if delta != Metrics::default() && tx.send(ShardMsg::Chunk { round, seq, delta }).is_err() {
+        return false;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -394,6 +632,7 @@ mod tests {
             chunk_refs: 1,
             mailbox_capacity: 1,
             min_parallel_refs: 1,
+            ..ShardTuning::default()
         };
         assert_eq!(sys.run_sharded_with(&trace, 2, tuning), 2);
         assert_eq!(sys.metrics(), oracle.metrics());
@@ -401,5 +640,102 @@ mod tests {
         assert_eq!(report.engine, ShardEngine::Components);
         assert_eq!(report.workers, 2);
         assert_eq!(report.parallel_refs, trace.len() as u64);
+        assert_eq!(report.degraded, None);
+    }
+
+    fn plan(spec: &str) -> Option<FaultPlan> {
+        Some(FaultPlan::from_spec(spec).unwrap())
+    }
+
+    /// Runs the faulted replay and asserts it degraded to the oracle
+    /// with byte-identical state and the expected diagnosis.
+    fn assert_degrades(tuning: ShardTuning, fplan: Option<FaultPlan>, expect: ShardFault) {
+        let topo = Topology::new(2, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let trace = two_component_trace(topo, geo);
+        let mut oracle = System::new(SystemSpec::vb(), topo, geo, 0).unwrap();
+        oracle.run_shared(&trace);
+        let mut sys = System::new(SystemSpec::vb(), topo, geo, 0).unwrap();
+        let used = sys.run_sharded_inner(&trace, 2, tuning, fplan);
+        assert_eq!(used, 1, "degraded run reports the oracle's parallelism");
+        assert_eq!(sys.metrics(), oracle.metrics(), "byte-identical recovery");
+        for c in 0..topo.clusters() {
+            assert_eq!(
+                sys.cluster_counts(dsm_types::ClusterId(c)),
+                oracle.cluster_counts(dsm_types::ClusterId(c)),
+                "cluster {c}"
+            );
+        }
+        let report = sys.shard_report().unwrap();
+        assert_eq!(report.engine, ShardEngine::Components, "attempted engine");
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.serial_refs, trace.len() as u64);
+        assert_eq!(report.degraded, Some(expect));
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_byte_identical() {
+        // 400 refs < chunk_refs, so the final flush is chunk seq 0 of
+        // shard (round) 0 on thread (part) 0: guaranteed to fire.
+        assert_degrades(
+            ShardTuning::default(),
+            plan("worker-panic@r0.p0.s0"),
+            ShardFault::WorkerPanic,
+        );
+    }
+
+    #[test]
+    fn injected_send_failure_degrades_byte_identical() {
+        assert_degrades(
+            ShardTuning::default(),
+            plan("mailbox-send-fail@r1.p1.s0"),
+            ShardFault::WorkerIncomplete,
+        );
+    }
+
+    #[test]
+    fn injected_stall_trips_watchdog_and_degrades() {
+        let tuning = ShardTuning {
+            watchdog_ms: 50,
+            ..ShardTuning::default()
+        };
+        // Default 120s stall budget: only the watchdog can resolve it.
+        assert_degrades(
+            tuning,
+            plan("mailbox-stall@r0.p0.s0"),
+            ShardFault::MailboxStall,
+        );
+    }
+
+    #[test]
+    fn stall_shorter_than_watchdog_is_absorbed() {
+        let topo = Topology::new(2, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let trace = two_component_trace(topo, geo);
+        let mut oracle = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
+        oracle.run_shared(&trace);
+        let mut sys = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
+        // A 20ms stall against the 60s default watchdog: the worker
+        // resumes and the run completes parallel, undegraded.
+        let used = sys.run_sharded_inner(
+            &trace,
+            2,
+            ShardTuning::default(),
+            plan("mailbox-stall@r0.p0.s0:20"),
+        );
+        assert_eq!(used, 2);
+        assert_eq!(sys.metrics(), oracle.metrics());
+        assert_eq!(sys.shard_report().unwrap().degraded, None);
+    }
+
+    #[test]
+    fn io_site_plans_do_not_touch_the_shard_path() {
+        let topo = Topology::new(2, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let trace = two_component_trace(topo, geo);
+        let mut sys = System::new(SystemSpec::base(), topo, geo, 0).unwrap();
+        let used = sys.run_sharded_inner(&trace, 2, ShardTuning::default(), plan("journal-io:2"));
+        assert_eq!(used, 2);
+        assert_eq!(sys.shard_report().unwrap().degraded, None);
     }
 }

@@ -57,10 +57,13 @@ use dsm_protocol::RemoteDirOp;
 use dsm_trace::{SharedTrace, BATCH};
 use dsm_types::{BlockAddr, ClusterSet, DecodedRef};
 
-use super::{mailbox, replay_indices, ShardEngine, ShardMsg, ShardReport, ShardTuning};
+use super::mailbox::RecvDeadline;
+use super::{diagnose, mailbox, replay_indices, ShardEngine, ShardMsg, ShardReport, ShardTuning};
 use crate::config::DirectorySpec;
 use crate::metrics::Metrics;
 use crate::system::System;
+use dsm_types::FaultPlan;
+use std::time::{Duration, Instant};
 
 /// Sentinel in the per-reference classification column: not round-safe.
 const CONFLICT: u8 = u8::MAX;
@@ -245,6 +248,7 @@ impl System {
         trace: &SharedTrace,
         workers: usize,
         tuning: ShardTuning,
+        fplan: Option<FaultPlan>,
     ) -> usize {
         let partition = trace.cluster_partition(workers.max(1));
         let parts = partition.parts();
@@ -256,6 +260,7 @@ impl System {
                 parallel_rounds: 0,
                 parallel_refs: 0,
                 serial_refs: trace.len() as u64,
+                degraded: None,
             });
         };
         if parts < 2 {
@@ -280,10 +285,15 @@ impl System {
             return 1;
         }
 
+        // The serial segments mutate `self` mid-plan, so supervised
+        // recovery needs the pristine pre-run state saved up front —
+        // one clone, only on the (already clone-heavy) parallel path.
+        let pristine = self.clone();
         let bpp = self.geo.page_bytes() / self.geo.block_bytes();
         let mut streamed = Metrics::new();
         let mut expected = Metrics::new();
         let mut round_no: u32 = 0;
+        let mut fault = None;
         for seg in &plan.segments {
             match seg {
                 Segment::Serial { start, end } => self.replay_range(trace, *start, *end),
@@ -291,6 +301,9 @@ impl System {
                     round_no += 1;
                     let base_metrics = self.metrics;
                     let mut results: Vec<(usize, System)> = Vec::new();
+                    let mut panicked = false;
+                    let mut stalled = false;
+                    let mut incomplete = false;
                     let me: &System = &*self;
                     std::thread::scope(|scope| {
                         let mut handles = Vec::new();
@@ -303,27 +316,56 @@ impl System {
                             receivers.push(rx);
                             let round = round_no;
                             handles.push(scope.spawn(move || {
-                                let mut sys = me.clone();
-                                replay_indices(&mut sys, trace, list, tuning, &mut tx, round);
-                                (p, sys)
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                    let mut sys = me.clone();
+                                    let part = u32::try_from(p).expect("part index fits u32");
+                                    let done = replay_indices(
+                                        &mut sys, trace, list, tuning, &mut tx, round, part, fplan,
+                                    );
+                                    (p, sys, done)
+                                }))
                             }));
                         }
-                        // Drain in ascending part order: chunks fold in
-                        // (round, part, seq) order, and draining one
-                        // worker to completion cannot stall another
-                        // (each send waits only on its own mailbox).
-                        for rx in &mut receivers {
-                            while let Some(ShardMsg::Chunk { delta, .. }) = rx.recv() {
-                                streamed.merge(&delta);
+                        // Drain in ascending part order under the stall
+                        // watchdog: chunks fold in (round, part, seq)
+                        // order, and draining one worker to completion
+                        // cannot stall another (each send waits only on
+                        // its own mailbox).
+                        'drain: for rx in &mut receivers {
+                            loop {
+                                let deadline =
+                                    Instant::now() + Duration::from_millis(tuning.watchdog_ms);
+                                match rx.recv_deadline(deadline) {
+                                    RecvDeadline::Msg(ShardMsg::Chunk { delta, .. }) => {
+                                        streamed.merge(&delta);
+                                    }
+                                    RecvDeadline::Closed => break,
+                                    RecvDeadline::TimedOut => {
+                                        stalled = true;
+                                        break 'drain;
+                                    }
+                                }
                             }
+                        }
+                        // Closed mailboxes unstick blocked and stalled
+                        // workers alike (their sends fail → abandon).
+                        if stalled {
+                            receivers.clear();
                         }
                         for handle in handles {
                             match handle.join() {
-                                Ok(r) => results.push(r),
-                                Err(panic) => std::panic::resume_unwind(panic),
+                                Ok(Ok((p, sys, done))) => {
+                                    incomplete |= !done;
+                                    results.push((p, sys));
+                                }
+                                Ok(Err(_)) | Err(_) => panicked = true,
                             }
                         }
                     });
+                    fault = diagnose(panicked, stalled, incomplete);
+                    if fault.is_some() {
+                        break;
+                    }
                     // Merge in ascending part order. Round-safe
                     // references only touch state owned by their part,
                     // so each piece has exactly one authoritative copy.
@@ -355,6 +397,12 @@ impl System {
                 }
             }
         }
+        if let Some(cause) = fault {
+            // Discard the partially-replayed state and re-run from the
+            // saved pristine system: byte-identical to the oracle.
+            *self = pristine;
+            return self.degrade_to_oracle(trace, ShardEngine::Rounds, cause);
+        }
         debug_assert_eq!(
             streamed, expected,
             "streamed chunk deltas disagree with merged worker metrics"
@@ -365,6 +413,7 @@ impl System {
             parallel_rounds: plan.rounds,
             parallel_refs: plan.parallel_refs,
             serial_refs: plan.serial_refs,
+            degraded: None,
         });
         parts
     }
@@ -410,6 +459,7 @@ mod tests {
             chunk_refs: 64,
             mailbox_capacity: 4,
             min_parallel_refs: 64,
+            ..ShardTuning::default()
         }
     }
 
@@ -457,6 +507,56 @@ mod tests {
         );
         assert!(report.parallel_refs > 0);
         assert!(report.serial_refs > 0);
+    }
+
+    #[test]
+    fn rounds_fault_degrades_to_oracle_byte_identical() {
+        use super::super::ShardFault;
+        use dsm_types::FaultPlan;
+        let topo = Topology::new(4, 4).unwrap();
+        let geo = Geometry::paper_default();
+        let trace = phased_trace(topo, geo);
+        let mut oracle = System::new(SystemSpec::vb(), topo, geo, 0).unwrap();
+        oracle.run_shared(&trace);
+        // The rounds engine numbers rounds from 1; chunk_refs=64 means
+        // part 0's first chunk (seq 0) of round 1 fires early.
+        for (spec, tuning, expect) in [
+            (
+                "worker-panic@r1.p0.s0",
+                tiny_tuning(),
+                ShardFault::WorkerPanic,
+            ),
+            (
+                "mailbox-stall@r1.p0.s0",
+                ShardTuning {
+                    watchdog_ms: 50,
+                    ..tiny_tuning()
+                },
+                ShardFault::MailboxStall,
+            ),
+            (
+                "mailbox-send-fail@r1.p1.s0",
+                tiny_tuning(),
+                ShardFault::WorkerIncomplete,
+            ),
+        ] {
+            let fplan = Some(FaultPlan::from_spec(spec).unwrap());
+            let mut sys = System::new(SystemSpec::vb(), topo, geo, 0).unwrap();
+            let used = sys.run_sharded_inner(&trace, 4, tuning, fplan);
+            assert_eq!(used, 1, "{spec}: degraded run is serial");
+            assert_eq!(sys.metrics(), oracle.metrics(), "{spec}: byte-identical");
+            for c in 0..topo.clusters() {
+                assert_eq!(
+                    sys.cluster_counts(dsm_types::ClusterId(c)),
+                    oracle.cluster_counts(dsm_types::ClusterId(c)),
+                    "{spec}: cluster {c}"
+                );
+            }
+            let report = sys.shard_report().unwrap();
+            assert_eq!(report.engine, ShardEngine::Rounds, "{spec}");
+            assert_eq!(report.degraded, Some(expect), "{spec}");
+            assert_eq!(report.serial_refs, trace.len() as u64, "{spec}");
+        }
     }
 
     #[test]

@@ -379,6 +379,10 @@ pub fn read_shared<R: Read>(mut r: R) -> Result<SharedTrace, CodecError> {
 /// longer one as trailing bytes.
 pub fn open_shared_mapped(path: &Path) -> Result<SharedTrace, CodecError> {
     let map = Mapping::open(path)?;
+    // A file that shrank between open and map (or a mapping whose backing
+    // file was truncated by a concurrent writer) would SIGBUS on first
+    // touch; fstat it again so the race becomes a clean decode error.
+    map.revalidate()?;
     shared_from_mapping(Arc::new(map))
 }
 

@@ -38,6 +38,10 @@ pub struct Mapping {
     ptr: *const u8,
     len: usize,
     backing: Backing,
+    /// The mapped file, retained so [`Mapping::revalidate`] can fstat it
+    /// long after open. `None` for owned backings (nothing to
+    /// revalidate — the bytes are copied).
+    file: Option<File>,
 }
 
 enum Backing {
@@ -72,7 +76,7 @@ impl Mapping {
             drop(file);
             return Ok(Mapping::from_vec(std::fs::read(path)?));
         }
-        sys::map_file(&file, len)
+        sys::map_file(file, len)
     }
 
     /// Wraps an owned buffer in the `Mapping` interface — the storage the
@@ -84,7 +88,44 @@ impl Mapping {
             ptr: bytes.as_ptr(),
             len: bytes.len(),
             backing: Backing::Owned(bytes),
+            file: None,
         }
+    }
+
+    /// Re-checks (fstat) that the mapped file still covers the mapped
+    /// length. Reading pages of a file that shrank after mapping faults
+    /// the process (SIGBUS), so callers revalidate at parse time and
+    /// again before handing the mapping to shard workers, turning a
+    /// concurrent truncation into a clean error instead of a crash.
+    /// Owned backings hold a private copy and always pass. The window
+    /// between this check and the read is irreducible without copying;
+    /// the check catches the realistic failure (the file was rewritten
+    /// between spill and replay) deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be fstat'ed or is now
+    /// shorter than the mapped length (also injected under a
+    /// `mmap-truncate` [`dsm_types::fault::FaultPlan`]).
+    pub fn revalidate(&self) -> io::Result<()> {
+        let Some(file) = &self.file else {
+            return Ok(());
+        };
+        if dsm_types::fault::active().is_some_and(|p| p.site == dsm_types::FaultSite::MmapTruncate)
+        {
+            return Err(io::Error::other(
+                "injected fault: mapped trace file reported truncated (mmap-truncate)",
+            ));
+        }
+        let now = file.metadata()?.len();
+        if now < self.len as u64 {
+            return Err(io::Error::other(format!(
+                "mapped trace file shrank to {now} bytes ({} were mapped); \
+                 refusing to replay a truncated mapping",
+                self.len
+            )));
+        }
+        Ok(())
     }
 
     /// The mapped (or owned) bytes.
@@ -217,7 +258,7 @@ mod sys {
         ret
     }
 
-    pub(super) fn map_file(file: &File, len: usize) -> io::Result<Mapping> {
+    pub(super) fn map_file(file: File, len: usize) -> io::Result<Mapping> {
         let fd = file.as_raw_fd();
         // SAFETY: a NULL hint with PROT_READ|MAP_PRIVATE over an open fd
         // is always sound to *request*; the result is checked below.
@@ -240,6 +281,7 @@ mod sys {
             ptr: ret as usize as *const u8,
             len,
             backing: Backing::Kernel,
+            file: Some(file),
         })
     }
 
@@ -263,9 +305,8 @@ mod sys {
 
     /// Portable fallback: read the whole file into an owned buffer. Loses
     /// the page-sharing and instant-start properties, never the bytes.
-    pub(super) fn map_file(file: &File, len: usize) -> io::Result<Mapping> {
+    pub(super) fn map_file(mut file: File, len: usize) -> io::Result<Mapping> {
         let mut bytes = Vec::with_capacity(len);
-        let mut file = file;
         file.read_to_end(&mut bytes)?;
         Ok(Mapping::from_vec(bytes))
     }
@@ -330,6 +371,57 @@ mod tests {
         assert!(!map.is_kernel_mapped());
         let dbg = format!("{map:?}");
         assert!(dbg.contains("kernel_mapped"), "{dbg}");
+    }
+
+    #[test]
+    fn revalidate_detects_truncation_without_faulting() {
+        let path = temp_path("revalidate");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&vec![7u8; 8192])
+            .unwrap();
+        let map = Mapping::open(&path).unwrap();
+        map.revalidate().expect("intact file revalidates");
+        if map.is_kernel_mapped() {
+            // Shrink the file under the live mapping. revalidate only
+            // fstats — it must report the hazard, not touch the pages.
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_len(100)
+                .unwrap();
+            let err = map.revalidate().unwrap_err();
+            assert!(err.to_string().contains("shrank"), "{err}");
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn owned_backing_always_revalidates() {
+        Mapping::from_vec(vec![1, 2, 3]).revalidate().unwrap();
+    }
+
+    #[test]
+    fn injected_truncation_fault_trips_revalidate() {
+        use dsm_types::fault;
+        let path = temp_path("fault-reval");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[9u8; 4096])
+            .unwrap();
+        let map = Mapping::open(&path).unwrap();
+        if map.is_kernel_mapped() {
+            let _guard = fault::test_lock();
+            fault::install(Some(fault::FaultPlan::from_spec("mmap-truncate").unwrap()));
+            let err = map.revalidate().unwrap_err();
+            fault::install(None);
+            assert!(err.to_string().contains("injected"), "{err}");
+            map.revalidate().expect("clean once the plan is cleared");
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

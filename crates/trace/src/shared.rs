@@ -375,6 +375,23 @@ impl SharedTrace {
         }
     }
 
+    /// Re-checks (via `fstat`) that the file backing a kernel-mapped
+    /// address column is still at least as long as the mapped region, so
+    /// a concurrent truncation surfaces as a clean error instead of a
+    /// `SIGBUS` when replay first touches the vanished pages. Owned
+    /// traces trivially pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `fstat` failure, or an error describing the
+    /// shrunken file.
+    pub fn revalidate_mapping(&self) -> std::io::Result<()> {
+        match &self.addr {
+            AddrColumn::Owned(_) => Ok(()),
+            AddrColumn::Mapped { map, .. } => map.revalidate(),
+        }
+    }
+
     /// `"mapped"` or `"owned"` — the storage mode label telemetry and
     /// progress lines report.
     #[must_use]

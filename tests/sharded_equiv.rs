@@ -192,6 +192,7 @@ fn single_slot_mailboxes_stream_without_deadlock() {
         chunk_refs: 1,
         mailbox_capacity: 1,
         min_parallel_refs: 1,
+        ..ShardTuning::default()
     };
     let engaged = sys.run_sharded_with(&trace, 4, tuning);
     assert!(engaged >= 2, "backpressure test needs real sharding");
@@ -254,6 +255,7 @@ fn intra_component_rounds_match_oracle_across_specs_and_worker_counts() {
         chunk_refs: 1 << 12,
         mailbox_capacity: 8,
         min_parallel_refs: 512,
+        ..ShardTuning::default()
     };
     for seed in [7u64, 0xDEAD_BEEF] {
         let refs = phased_single_component_refs(seed, &topo);
@@ -296,6 +298,7 @@ fn rounds_with_capacity_1_mailboxes_stream_without_deadlock() {
         chunk_refs: 1,
         mailbox_capacity: 1,
         min_parallel_refs: 256,
+        ..ShardTuning::default()
     };
     let engaged = sys.run_sharded_with(&trace, 4, tuning);
     assert!(engaged >= 2, "rounds backpressure test needs real sharding");
